@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benches: consistent headers
+// and series printing so every bench emits a self-describing text report.
+
+#ifndef ROBUSTQO_BENCH_BENCH_UTIL_H_
+#define ROBUSTQO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace robustqo {
+namespace bench {
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& caption,
+                        const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints a table: first column `x_label` with values `xs`, then one column
+/// per named series (all series must have xs.size() entries).
+inline void PrintSeries(
+    const std::string& x_label, const std::vector<double>& xs,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const char* value_format = "%14.4f") {
+  std::printf("%-14s", x_label.c_str());
+  for (const auto& [name, values] : series) {
+    std::printf("%14s", name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-14.5f", xs[i]);
+    for (const auto& [name, values] : series) {
+      std::printf(value_format, values[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,37 @@
+// Figure 1: execution cost of two hypothetical plans as a function of query
+// selectivity, crossing at ~26%.
+
+#include "bench_util.h"
+#include "core/cost_distribution.h"
+
+using namespace robustqo;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 1", "Execution costs for two hypothetical plans",
+      "Plan 1 cheaper below the ~26% crossover, Plan 2 above it");
+
+  // Two linear plans over a 1000-row relation, calibrated to the figure:
+  // plan 1 risky (steep), plan 2 stable (flat), crossing at s ~ 26%.
+  const double rows = 1000.0;
+  core::LinearCostPlan plan1{"Plan 1", 10.0, 80.0 / rows};
+  core::LinearCostPlan plan2{"Plan 2", 30.0, 3.0 / rows};
+
+  std::vector<double> sel;
+  std::vector<double> c1;
+  std::vector<double> c2;
+  for (int i = 0; i <= 20; ++i) {
+    const double s = i * 0.05;
+    sel.push_back(s * 100.0);
+    c1.push_back(plan1.CostAtSelectivity(s, rows));
+    c2.push_back(plan2.CostAtSelectivity(s, rows));
+  }
+  bench::PrintSeries("sel(%)", sel, {{"Plan1", c1}, {"Plan2", c2}});
+
+  const double crossover =
+      (plan2.fixed - plan1.fixed) / (plan1.per_tuple - plan2.per_tuple) /
+      rows;
+  std::printf("\ncrossover selectivity: %.1f%% (paper: ~26%%)\n",
+              crossover * 100.0);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: effect of the confidence threshold — expected execution time vs
+// true selectivity for T in {5,20,50,80,95}%, n=1000 sample, paper Section
+// 5.1 cost model (N=6M, crossover ~0.14%).
+
+#include "bench_util.h"
+#include "core/analytical_model.h"
+
+using namespace robustqo;
+
+int main() {
+  core::TwoPlanAnalyticalModel model;
+  bench::PrintHeader(
+      "Figure 5", "Effect of the confidence threshold (analytical model)",
+      "high T overestimates (flat-plan bias), low T underestimates "
+      "(risky-plan bias); crossover pc ~ 0.14%");
+  std::printf("model: N=%.0f, P1=%g+%g*x, P2=%g+%g*x, pc=%.4f%%\n\n",
+              model.params().table_rows, model.params().p1.fixed,
+              model.params().p1.per_tuple, model.params().p2.fixed,
+              model.params().p2.per_tuple,
+              model.CrossoverSelectivity() * 100.0);
+
+  const uint64_t n = 1000;
+  const std::vector<double> thresholds{0.05, 0.20, 0.50, 0.80, 0.95};
+  std::vector<double> sel;
+  std::vector<std::vector<double>> series(thresholds.size());
+  std::vector<double> optimal;
+  for (int i = 0; i <= 20; ++i) {
+    const double p = i * 0.0005;  // 0% .. 1% in 0.05% steps, as the paper
+    sel.push_back(p * 100.0);
+    for (size_t t = 0; t < thresholds.size(); ++t) {
+      series[t].push_back(model.ExpectedExecutionTime(p, n, thresholds[t]));
+    }
+    optimal.push_back(model.OptimalCost(p));
+  }
+  bench::PrintSeries("sel(%)", sel,
+                     {{"T=5%", series[0]},
+                      {"T=20%", series[1]},
+                      {"T=50%", series[2]},
+                      {"T=80%", series[3]},
+                      {"T=95%", series[4]},
+                      {"optimal", optimal}});
+
+  std::printf("\nplan-1 threshold k* (min hits of %llu choosing seq scan):",
+              static_cast<unsigned long long>(n));
+  for (double t : thresholds) {
+    std::printf("  T=%.0f%%: k*=%llu", t * 100.0,
+                static_cast<unsigned long long>(model.Plan1ThresholdK(n, t)));
+  }
+  std::printf("\nnote: at T=95%% k*=0 — the risky plan is never chosen "
+              "(paper Section 5.2.1)\n");
+  return 0;
+}

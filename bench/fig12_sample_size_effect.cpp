@@ -1,0 +1,72 @@
+// Figure 12: Experiment 4 — effect of the sample size on the Experiment-1
+// scenario at a fixed T = 50%, sweeping n from 50 to 2500 (Section 6.2.4).
+// Larger samples improve both mean and variability; the 50-tuple sample is
+// the "self-adjusting" exception that always picks the sequential scan.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "tpch/tpch_gen.h"
+#include "workload/experiment_harness.h"
+#include "workload/scenarios.h"
+
+using namespace robustqo;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Figure 12", "Experiment 4: effect of sample size (T=50%)",
+      "bigger samples: lower mean and std-dev; n=50 degenerates to "
+      "always-seq-scan (very consistent, suboptimal at low selectivity)");
+
+  core::Database db;
+  tpch::TpchConfig data_config;
+  data_config.scale_factor = 0.02;  // override: argv[1]
+  if (argc > 1) data_config.scale_factor = std::atof(argv[1]);
+  Status loaded = tpch::LoadTpch(db.catalog(), data_config);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  workload::SingleTableScenario scenario;
+  std::printf("%-10s %14s %14s  %s\n", "n", "avg time (s)", "std dev (s)",
+              "plans chosen");
+  for (size_t n : {50u, 100u, 250u, 500u, 1000u, 2500u}) {
+    workload::QuerySweepExperiment experiment(
+        &db, [&](double p) { return scenario.MakeQuery(p); },
+        [&](double p) { return scenario.TrueSelectivity(*db.catalog(), p); });
+    workload::SweepConfig config;
+    config.params = workload::SingleTableScenario::DefaultParams();
+    config.repetitions = 12;
+    config.statistics.sample_size = n;
+    config.settings = {
+        {"T=50%", core::EstimatorKind::kRobustSample, 0.50}};
+    workload::SweepResult result = experiment.Run(config);
+    const auto& agg = result.overall.at("T=50%");
+    std::string plans;
+    for (const auto& [plan, count] : agg.plan_counts) {
+      plans += plan + " x" + std::to_string(count) + "; ";
+    }
+    std::printf("%-10zu %14.3f %14.3f  %s\n", n, agg.mean_seconds,
+                agg.std_dev_seconds, plans.c_str());
+  }
+
+  // Histogram baseline reference point (sample size independent).
+  {
+    workload::QuerySweepExperiment experiment(
+        &db, [&](double p) { return scenario.MakeQuery(p); },
+        [&](double p) { return scenario.TrueSelectivity(*db.catalog(), p); });
+    workload::SweepConfig config;
+    config.params = workload::SingleTableScenario::DefaultParams();
+    config.repetitions = 1;
+    config.settings = {
+        {"Histograms", core::EstimatorKind::kHistogram, 0.0}};
+    workload::SweepResult result = experiment.Run(config);
+    const auto& agg = result.overall.at("Histograms");
+    std::printf("%-10s %14.3f %14.3f  (baseline)\n", "histograms",
+                agg.mean_seconds, agg.std_dev_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// rqo_shell: a minimal interactive SQL shell over a TPC-H-lite database.
+// Reads one statement per line from stdin. Dot-commands:
+//   .estimator robust|histogram     switch the estimation module
+//   .threshold <percent>            set the system confidence threshold
+//   .explain <sql>                  threshold-preference report for a query
+//   .dot <sql>                      Graphviz digraph of the chosen plan
+//   .tables                         list tables
+//   .quit                           exit
+//
+//   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/database.h"
+#include "core/report.h"
+#include "exec/plan_dot.h"
+#include "tpch/tpch_gen.h"
+#include "util/string_util.h"
+
+using namespace robustqo;
+
+namespace {
+
+void PrintResult(const core::ExecutionResult& result) {
+  std::printf("-- plan: %s   (%.3f simulated s, predicted %.3f)\n",
+              result.plan_label.c_str(), result.simulated_seconds,
+              result.estimated_cost);
+  const storage::Table& rows = result.rows;
+  const uint64_t limit = std::min<uint64_t>(rows.num_rows(), 20);
+  for (size_t c = 0; c < rows.schema().num_columns(); ++c) {
+    std::printf("%s%s", c > 0 ? " | " : "",
+                rows.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  for (storage::Rid r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < rows.schema().num_columns(); ++c) {
+      std::printf("%s%s", c > 0 ? " | " : "",
+                  rows.ValueAt(r, c).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (rows.num_rows() > limit) {
+    std::printf("... (%llu rows total)\n",
+                static_cast<unsigned long long>(rows.num_rows()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::Database db;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.01;
+  Status loaded = tpch::LoadTpch(db.catalog(), config);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  db.UpdateStatistics();
+  core::EstimatorKind kind = core::EstimatorKind::kRobustSample;
+
+  std::printf("robustqo shell — TPC-H sf=%.2f loaded; robust estimator at "
+              "T=%.0f%%. Type SQL or .quit\n",
+              config.scale_factor, db.confidence_threshold() * 100.0);
+  std::string line;
+  while (std::printf("rqo> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".tables") {
+      for (const auto& name : db.catalog()->TableNames()) {
+        std::printf("  %-10s %10llu rows\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        db.catalog()->GetTable(name)->num_rows()));
+      }
+      continue;
+    }
+    if (StartsWith(line, ".estimator")) {
+      kind = Contains(line, "hist") ? core::EstimatorKind::kHistogram
+                                    : core::EstimatorKind::kRobustSample;
+      std::printf("estimator: %s\n",
+                  kind == core::EstimatorKind::kHistogram ? "histogram"
+                                                          : "robust");
+      continue;
+    }
+    if (StartsWith(line, ".threshold")) {
+      const double pct = std::atof(line.substr(10).c_str());
+      if (pct > 0.0 && pct < 100.0) {
+        db.SetConfidenceThreshold(pct / 100.0);
+        std::printf("confidence threshold: %.0f%%\n", pct);
+      } else {
+        std::printf("usage: .threshold <1-99>\n");
+      }
+      continue;
+    }
+    if (StartsWith(line, ".explain ")) {
+      auto query = db.ParseSql(line.substr(9));
+      if (!query.ok()) {
+        std::printf("error: %s\n", query.status().ToString().c_str());
+        continue;
+      }
+      auto report = core::ThresholdPreferenceReport(&db, query.value());
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", core::FormatThresholdReport(report.value()).c_str());
+      continue;
+    }
+    if (StartsWith(line, ".dot ")) {
+      auto query = db.ParseSql(line.substr(5));
+      if (!query.ok()) {
+        std::printf("error: %s\n", query.status().ToString().c_str());
+        continue;
+      }
+      auto plan = db.Plan(query.value(), kind);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", exec::PlanToDot(*plan.value().root).c_str());
+      continue;
+    }
+    auto result = db.ExecuteSql(line, kind);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(result.value());
+  }
+  return 0;
+}

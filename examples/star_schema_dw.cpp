@@ -1,0 +1,81 @@
+// Data-warehouse star join walkthrough (the paper's Experiment 3 scenario):
+// three 10%-selective dimension filters whose *combination* selects
+// anywhere from ~5% to ~0.01% of the fact table depending on how the
+// filtered groups align. Shows the full EXPLAIN output of the plans the
+// robust optimizer picks at both extremes and what the histogram baseline
+// does instead.
+//
+//   $ ./build/examples/star_schema_dw
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "workload/scenarios.h"
+#include "workload/star_schema.h"
+
+using namespace robustqo;
+
+namespace {
+
+void RunAndExplain(core::Database* db, const opt::QuerySpec& query,
+                   core::EstimatorKind kind, const char* title) {
+  auto result = db->Execute(query, kind);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s ---\n", title);
+  std::printf("plan: %s\n", result.value().plan_label.c_str());
+  std::printf("%s", result.value().plan_tree.c_str());
+  std::printf("predicted cost %.2fs, simulated execution %.2fs, "
+              "SUM(f_m1)=%.1f\n\n",
+              result.value().estimated_cost,
+              result.value().simulated_seconds,
+              result.value().rows.ValueAt(0, 0).AsDouble());
+}
+
+}  // namespace
+
+int main() {
+  core::Database db;
+  workload::StarSchemaConfig config;
+  config.fact_rows = 200000;
+  config.dim_rows = 1000;
+  Status loaded = workload::LoadStarSchema(db.catalog(), config);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  db.UpdateStatistics();
+  db.SetRobustnessLevel(stats::RobustnessLevel::kModerate);
+
+  workload::StarJoinScenario scenario;
+
+  std::printf("fact table: %llu rows; each dimension filter selects 10%%.\n",
+              static_cast<unsigned long long>(config.fact_rows));
+  std::printf("AVI therefore always predicts 0.1%% of fact rows joining;\n"
+              "the real fraction depends on group alignment:\n\n");
+  for (double offset : {0.0, 4.0, 9.0}) {
+    std::printf("  offset %.0f: true join fraction %7.4f%%\n", offset,
+                scenario.TrueSelectivity(*db.catalog(), offset) * 100.0);
+  }
+  std::printf("\n");
+
+  // Aligned filters: ~5% of the fact table joins. Fetching 10k rows by RID
+  // would be a disaster; the robust optimizer cascades hash joins.
+  RunAndExplain(&db, scenario.MakeQuery(0),
+                core::EstimatorKind::kRobustSample,
+                "aligned filters (join fraction ~5%), robust T=80%");
+
+  // Misaligned filters: ~0.02% joins. Now the per-dimension semijoin +
+  // RID-intersection strategy touches almost nothing.
+  RunAndExplain(&db, scenario.MakeQuery(8),
+                core::EstimatorKind::kRobustSample,
+                "misaligned filters (join fraction ~0.02%), robust T=80%");
+
+  // The baseline can't tell these apart: same 0.1% estimate, same plan.
+  RunAndExplain(&db, scenario.MakeQuery(0),
+                core::EstimatorKind::kHistogram,
+                "aligned filters, histogram baseline (estimate stuck at 0.1%)");
+  return 0;
+}

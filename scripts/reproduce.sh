@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every
+# figure of the paper into bench_output.txt (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then "$b"; fi
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,119 @@
+#include "core/analytical_model.h"
+
+#include <cmath>
+
+#include "stats_math/binomial_distribution.h"
+#include "util/macros.h"
+
+namespace robustqo {
+namespace core {
+
+PaperModelParams HighCrossoverParams() {
+  // Same N; the per-tuple gap is shrunk and the fixed gap widened so the
+  // lines cross at ~5.2% instead of ~0.14% (paper Figure 8).
+  PaperModelParams params;
+  params.p1 = {"P1(seqscan)", 35.0, 3.5e-6};
+  params.p2 = {"P2(ixsect)", 5.0, 1.0e-4};
+  // pc = (35 - 5) / ((1e-4 - 3.5e-6) * 6e6) ~ 5.18%.
+  return params;
+}
+
+TwoPlanAnalyticalModel::TwoPlanAnalyticalModel(PaperModelParams params)
+    : params_(params) {
+  RQO_CHECK_MSG(params_.p2.per_tuple > params_.p1.per_tuple,
+                "plan 2 must be the selectivity-sensitive plan");
+  RQO_CHECK_MSG(params_.p1.fixed > params_.p2.fixed,
+                "plan 1 must have the higher fixed cost");
+}
+
+double TwoPlanAnalyticalModel::CrossoverSelectivity() const {
+  return (params_.p1.fixed - params_.p2.fixed) /
+         ((params_.p2.per_tuple - params_.p1.per_tuple) * params_.table_rows);
+}
+
+double TwoPlanAnalyticalModel::OptimalCost(double p) const {
+  return std::fmin(params_.p1.CostAtSelectivity(p, params_.table_rows),
+                   params_.p2.CostAtSelectivity(p, params_.table_rows));
+}
+
+double TwoPlanAnalyticalModel::EstimateForObservation(
+    uint64_t k, uint64_t n, double threshold, stats::PriorKind prior) const {
+  stats::SelectivityPosterior posterior(k, n, prior);
+  return posterior.EstimateAtConfidence(threshold);
+}
+
+int TwoPlanAnalyticalModel::PlanChoice(uint64_t k, uint64_t n,
+                                       double threshold,
+                                       stats::PriorKind prior) const {
+  // Above the crossover the flat plan P1 wins; below it P2 wins.
+  return EstimateForObservation(k, n, threshold, prior) >
+                 CrossoverSelectivity()
+             ? 1
+             : 2;
+}
+
+uint64_t TwoPlanAnalyticalModel::Plan1ThresholdK(
+    uint64_t n, double threshold, stats::PriorKind prior) const {
+  // The estimate is monotonically increasing in k, so binary-search the
+  // smallest k choosing plan 1.
+  uint64_t lo = 0;
+  uint64_t hi = n + 1;  // n+1 encodes "plan 1 never chosen"
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (mid > n) break;
+    if (PlanChoice(mid, n, threshold, prior) == 1) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double TwoPlanAnalyticalModel::ProbabilityPlan1(double p, uint64_t n,
+                                                double threshold,
+                                                stats::PriorKind prior) const {
+  const uint64_t kstar = Plan1ThresholdK(n, threshold, prior);
+  if (kstar > n) return 0.0;
+  math::BinomialDistribution binom(static_cast<int64_t>(n), p);
+  if (kstar == 0) return 1.0;
+  return 1.0 - binom.Cdf(static_cast<int64_t>(kstar) - 1);
+}
+
+double TwoPlanAnalyticalModel::ExpectedExecutionTime(
+    double p, uint64_t n, double threshold, stats::PriorKind prior) const {
+  const double prob1 = ProbabilityPlan1(p, n, threshold, prior);
+  const double c1 = params_.p1.CostAtSelectivity(p, params_.table_rows);
+  const double c2 = params_.p2.CostAtSelectivity(p, params_.table_rows);
+  return prob1 * c1 + (1.0 - prob1) * c2;
+}
+
+double TwoPlanAnalyticalModel::SecondMomentExecutionTime(
+    double p, uint64_t n, double threshold, stats::PriorKind prior) const {
+  const double prob1 = ProbabilityPlan1(p, n, threshold, prior);
+  const double c1 = params_.p1.CostAtSelectivity(p, params_.table_rows);
+  const double c2 = params_.p2.CostAtSelectivity(p, params_.table_rows);
+  return prob1 * c1 * c1 + (1.0 - prob1) * c2 * c2;
+}
+
+TwoPlanAnalyticalModel::WorkloadSummary
+TwoPlanAnalyticalModel::SummarizeWorkload(
+    const std::vector<double>& selectivities, uint64_t n, double threshold,
+    stats::PriorKind prior) const {
+  RQO_CHECK(!selectivities.empty());
+  double mean = 0.0;
+  double second = 0.0;
+  for (double p : selectivities) {
+    mean += ExpectedExecutionTime(p, n, threshold, prior);
+    second += SecondMomentExecutionTime(p, n, threshold, prior);
+  }
+  mean /= static_cast<double>(selectivities.size());
+  second /= static_cast<double>(selectivities.size());
+  WorkloadSummary summary;
+  summary.mean_seconds = mean;
+  summary.std_dev_seconds = std::sqrt(std::fmax(0.0, second - mean * mean));
+  return summary;
+}
+
+}  // namespace core
+}  // namespace robustqo

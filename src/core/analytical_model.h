@@ -1,0 +1,117 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// The closed-form analytical model of paper Section 5: a single-table query
+// with two candidate plans whose costs are linear in the number of
+// satisfying tuples. Selectivity is estimated from an n-tuple random sample
+// at confidence threshold T; the number of satisfying sample tuples k is
+// Binomial(n, p), the estimate is the Beta(k+1/2, n-k+1/2) quantile at T,
+// and the plan choice is a threshold function of k — so the distribution of
+// execution time for any true selectivity p has a two-point closed form.
+
+#ifndef ROBUSTQO_CORE_ANALYTICAL_MODEL_H_
+#define ROBUSTQO_CORE_ANALYTICAL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statistics/selectivity_posterior.h"
+
+namespace robustqo {
+namespace core {
+
+/// A query plan whose execution time is linear in the number of satisfying
+/// tuples x: cost(x) = fixed + per_tuple * x.
+struct LinearCostPlan {
+  std::string name;
+  double fixed = 0.0;
+  double per_tuple = 0.0;
+
+  /// Cost for `x` satisfying tuples.
+  double Cost(double x) const { return fixed + per_tuple * x; }
+
+  /// Cost at selectivity `p` of a table with `rows` tuples.
+  double CostAtSelectivity(double p, double rows) const {
+    return Cost(p * rows);
+  }
+};
+
+/// The paper's Section 5.1 instantiation: N = 6,000,000, plan P1 resembling
+/// a sequential scan (f1 = 35, v1 = 3.5e-6) and plan P2 resembling an index
+/// intersection (f2 = 5, v2 = 3.5e-3). Crossover at pc ~ 0.14%.
+struct PaperModelParams {
+  double table_rows = 6.0e6;
+  LinearCostPlan p1{"P1(seqscan)", 35.0, 3.5e-6};
+  LinearCostPlan p2{"P2(ixsect)", 5.0, 3.5e-3};
+};
+
+/// Perturbed cost model for Figure 8: crossover at ~5.2% selectivity.
+PaperModelParams HighCrossoverParams();
+
+/// Two-plan analytical model.
+class TwoPlanAnalyticalModel {
+ public:
+  explicit TwoPlanAnalyticalModel(PaperModelParams params = {});
+
+  const PaperModelParams& params() const { return params_; }
+
+  /// The selectivity where the two cost lines cross:
+  /// pc = (f1 - f2) / ((v2 - v1) N). Plan 2 is optimal below pc, plan 1
+  /// above (for the paper's parameterization).
+  double CrossoverSelectivity() const;
+
+  /// Cost of the plan the optimizer *should* pick at true selectivity p.
+  double OptimalCost(double p) const;
+
+  /// The selectivity estimate produced when k of n sample tuples satisfy
+  /// the predicate, at confidence threshold T (in (0,1)).
+  double EstimateForObservation(uint64_t k, uint64_t n, double threshold,
+                                stats::PriorKind prior =
+                                    stats::PriorKind::kJeffreys) const;
+
+  /// Plan chosen for observation (k, n) at threshold T: 1 or 2.
+  int PlanChoice(uint64_t k, uint64_t n, double threshold,
+                 stats::PriorKind prior =
+                     stats::PriorKind::kJeffreys) const;
+
+  /// Smallest k for which plan 1 is chosen (n+1 if plan 1 is never chosen —
+  /// the "self-adjusting" regime of Section 6.2.4).
+  uint64_t Plan1ThresholdK(uint64_t n, double threshold,
+                           stats::PriorKind prior =
+                               stats::PriorKind::kJeffreys) const;
+
+  /// Pr[plan 1 is chosen] when the true selectivity is p and the sample has
+  /// n tuples, at threshold T.
+  double ProbabilityPlan1(double p, uint64_t n, double threshold,
+                          stats::PriorKind prior =
+                              stats::PriorKind::kJeffreys) const;
+
+  /// E[execution time] at true selectivity p (randomness over the sample).
+  double ExpectedExecutionTime(double p, uint64_t n, double threshold,
+                               stats::PriorKind prior =
+                                   stats::PriorKind::kJeffreys) const;
+
+  /// E[execution time^2] at true selectivity p.
+  double SecondMomentExecutionTime(double p, uint64_t n, double threshold,
+                                   stats::PriorKind prior =
+                                       stats::PriorKind::kJeffreys) const;
+
+  /// Mean and standard deviation of execution time over a workload whose
+  /// true selectivity is uniform over `selectivities` (paper Figure 6).
+  struct WorkloadSummary {
+    double mean_seconds = 0.0;
+    double std_dev_seconds = 0.0;
+  };
+  WorkloadSummary SummarizeWorkload(const std::vector<double>& selectivities,
+                                    uint64_t n, double threshold,
+                                    stats::PriorKind prior =
+                                        stats::PriorKind::kJeffreys) const;
+
+ private:
+  PaperModelParams params_;
+};
+
+}  // namespace core
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CORE_ANALYTICAL_MODEL_H_

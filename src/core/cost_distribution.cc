@@ -1,0 +1,92 @@
+#include "core/cost_distribution.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace core {
+
+PlanCostDistribution::PlanCostDistribution(
+    stats::SelectivityPosterior posterior, LinearCostPlan plan,
+    double table_rows)
+    : posterior_(std::move(posterior)), plan_(plan), table_rows_(table_rows) {
+  RQO_CHECK(table_rows > 0.0);
+  RQO_CHECK_MSG(plan_.per_tuple > 0.0,
+                "cost must be strictly increasing in selectivity");
+}
+
+double PlanCostDistribution::SelectivityForCost(double cost) const {
+  const double s =
+      (cost - plan_.fixed) / (plan_.per_tuple * table_rows_);
+  return std::fmin(1.0, std::fmax(0.0, s));
+}
+
+double PlanCostDistribution::CostCdf(double cost) const {
+  return posterior_.Cdf(SelectivityForCost(cost));
+}
+
+double PlanCostDistribution::CostPdf(double cost) const {
+  const double slope = plan_.per_tuple * table_rows_;
+  const double s = (cost - plan_.fixed) / slope;
+  if (s < 0.0 || s > 1.0) return 0.0;
+  return posterior_.Pdf(s) / slope;
+}
+
+double PlanCostDistribution::CostQuantile(double threshold) const {
+  // The paper's shortcut (Section 3.1.1): invert the selectivity cdf once,
+  // then invoke the cost function once.
+  const double s = posterior_.EstimateAtConfidence(threshold);
+  return plan_.CostAtSelectivity(s, table_rows_);
+}
+
+double PlanCostDistribution::CostQuantileByInversion(double threshold) const {
+  // Bisection on the explicit execution-cost cdf.
+  double lo = plan_.fixed;
+  double hi = plan_.CostAtSelectivity(1.0, table_rows_);
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (CostCdf(mid) < threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double PlanCostDistribution::ExpectedCost() const {
+  return plan_.fixed +
+         plan_.per_tuple * table_rows_ * posterior_.distribution().Mean();
+}
+
+double PlanCostDistribution::CostVariance() const {
+  const double slope = plan_.per_tuple * table_rows_;
+  return slope * slope * posterior_.distribution().Variance();
+}
+
+std::optional<double> PreferenceCrossoverThreshold(
+    const PlanCostDistribution& a, const PlanCostDistribution& b, double lo,
+    double hi) {
+  auto diff = [&](double t) { return a.CostQuantile(t) - b.CostQuantile(t); };
+  double flo = diff(lo);
+  double fhi = diff(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo < 0.0) == (fhi < 0.0)) return std::nullopt;  // no flip
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = diff(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace core
+}  // namespace robustqo

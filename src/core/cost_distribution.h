@@ -1,0 +1,74 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Execution-cost distributions (paper Section 3.1): pushing the selectivity
+// posterior through a plan's (monotone) cost function yields a probability
+// distribution over execution cost. Includes both the explicit
+// change-of-variable derivation (Figures 2-3) and the shortcut the paper
+// implements — invert the selectivity cdf once, then cost once
+// (Section 3.1.1) — which this module proves equivalent in tests.
+
+#ifndef ROBUSTQO_CORE_COST_DISTRIBUTION_H_
+#define ROBUSTQO_CORE_COST_DISTRIBUTION_H_
+
+#include <optional>
+
+#include "core/analytical_model.h"
+#include "statistics/selectivity_posterior.h"
+
+namespace robustqo {
+namespace core {
+
+/// The execution-cost distribution of one linear-cost plan under an
+/// uncertain selectivity described by a Beta posterior.
+class PlanCostDistribution {
+ public:
+  /// `table_rows` converts selectivity into satisfying-tuple counts.
+  PlanCostDistribution(stats::SelectivityPosterior posterior,
+                       LinearCostPlan plan, double table_rows);
+
+  const LinearCostPlan& plan() const { return plan_; }
+  const stats::SelectivityPosterior& posterior() const { return posterior_; }
+
+  /// Selectivity that produces execution cost `cost` (inverse of the cost
+  /// function); clamped to [0, 1].
+  double SelectivityForCost(double cost) const;
+
+  /// Pr[cost <= c]: the cdf of execution cost, via change of variable.
+  double CostCdf(double cost) const;
+
+  /// Density of execution cost at c: f(g^{-1}(c)) / g'(s) with
+  /// g'(s) = per_tuple * N.
+  double CostPdf(double cost) const;
+
+  /// cdf^{-1}(T): the cost value the optimizer is T-confident not to
+  /// exceed. Computed with the paper's shortcut — invert the *selectivity*
+  /// cdf, then apply the cost function once.
+  double CostQuantile(double threshold) const;
+
+  /// Same quantile computed the roundabout way (bisection on CostCdf); used
+  /// to verify the shortcut's equivalence.
+  double CostQuantileByInversion(double threshold) const;
+
+  /// E[cost] — exact for linear cost: fixed + per_tuple * N * E[s].
+  double ExpectedCost() const;
+
+  /// Var[cost] — exact for linear cost: (per_tuple * N)^2 * Var[s].
+  double CostVariance() const;
+
+ private:
+  stats::SelectivityPosterior posterior_;
+  LinearCostPlan plan_;
+  double table_rows_;
+};
+
+/// The confidence threshold at which the preferred plan flips between two
+/// alternatives (the T where their cost quantiles are equal), if any flip
+/// occurs in (lo, hi). Figure 3's ~65% for the paper's example.
+std::optional<double> PreferenceCrossoverThreshold(
+    const PlanCostDistribution& a, const PlanCostDistribution& b,
+    double lo = 0.01, double hi = 0.99);
+
+}  // namespace core
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CORE_COST_DISTRIBUTION_H_

@@ -1,0 +1,147 @@
+#include "core/database.h"
+
+#include "sql/parser.h"
+#include "statistics/persistence.h"
+#include "util/macros.h"
+
+namespace robustqo {
+namespace core {
+
+Database::Database() {
+  statistics_ = std::make_unique<stats::StatisticsCatalog>(&catalog_);
+  histogram_estimator_ =
+      std::make_unique<stats::HistogramEstimator>(statistics_.get());
+  robust_estimator_ = std::make_unique<stats::RobustSampleEstimator>(
+      statistics_.get(), stats::RobustEstimatorConfig{});
+  histogram_optimizer_ = std::make_unique<opt::Optimizer>(
+      &catalog_, histogram_estimator_.get(), cost_model_);
+  robust_optimizer_ = std::make_unique<opt::Optimizer>(
+      &catalog_, robust_estimator_.get(), cost_model_);
+  last_used_ = robust_optimizer_.get();
+}
+
+void Database::UpdateStatistics(const stats::StatisticsConfig& config) {
+  statistics_->BuildAllHistograms(config.histogram_buckets);
+  statistics_->BuildAllSamples(config);
+}
+
+void Database::SetRobustnessLevel(stats::RobustnessLevel level) {
+  SetConfidenceThreshold(stats::ConfidenceThresholdFor(level));
+}
+
+void Database::SetConfidenceThreshold(double threshold) {
+  robust_estimator_->set_confidence_threshold(threshold);
+}
+
+double Database::confidence_threshold() const {
+  return robust_estimator_->config().confidence_threshold;
+}
+
+stats::CardinalityEstimator* Database::estimator(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kHistogram:
+      return histogram_estimator_.get();
+    case EstimatorKind::kRobustSample:
+      return robust_estimator_.get();
+  }
+  return robust_estimator_.get();
+}
+
+Result<opt::QuerySpec> Database::ParseSql(
+    const std::string& statement) const {
+  return sql::ParseQuery(catalog_, statement);
+}
+
+Result<ExecutionResult> Database::ExecuteSql(
+    const std::string& statement, EstimatorKind kind,
+    const opt::OptimizerOptions& options) {
+  Result<opt::QuerySpec> query = ParseSql(statement);
+  if (!query.ok()) return query.status();
+  return Execute(query.value(), kind, options);
+}
+
+Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
+                                         EstimatorKind kind,
+                                         const opt::OptimizerOptions& options) {
+  // Rebuild lazily so cost-model changes propagate.
+  opt::Optimizer* optimizer = nullptr;
+  switch (kind) {
+    case EstimatorKind::kHistogram:
+      histogram_optimizer_ = std::make_unique<opt::Optimizer>(
+          &catalog_, histogram_estimator_.get(), cost_model_);
+      optimizer = histogram_optimizer_.get();
+      break;
+    case EstimatorKind::kRobustSample:
+      robust_optimizer_ = std::make_unique<opt::Optimizer>(
+          &catalog_, robust_estimator_.get(), cost_model_);
+      optimizer = robust_optimizer_.get();
+      break;
+  }
+  last_used_ = optimizer;
+  return optimizer->Optimize(query, options);
+}
+
+ExecutionResult Database::ExecutePlan(const opt::PlannedQuery& plan) {
+  exec::ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.cost_model = cost_model_;
+  storage::Table rows = plan.root->Execute(&ctx);
+  const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
+                                ? ctx.aggregate_input_rows
+                                : rows.num_rows();
+  ExecutionResult result{std::move(rows),
+                         ctx.meter.total_seconds(),
+                         ctx.meter,
+                         spj_rows,
+                         plan.estimated_cost,
+                         plan.label,
+                         plan.Explain()};
+  return result;
+}
+
+Result<ExecutionResult> Database::Execute(const opt::QuerySpec& query,
+                                          EstimatorKind kind,
+                                          const opt::OptimizerOptions& options) {
+  Result<opt::PlannedQuery> plan = Plan(query, kind, options);
+  if (!plan.ok()) return plan.status();
+  ExecutionResult result = ExecutePlan(plan.value());
+  if (feedback_enabled_) {
+    auto root = catalog_.FindRootTable(query.TableNames());
+    if (root.ok()) {
+      const double root_rows = static_cast<double>(
+          catalog_.GetTable(root.value())->num_rows());
+      if (root_rows > 0.0) {
+        feedback_.Observe(static_cast<double>(result.spj_rows) / root_rows);
+      }
+    }
+  }
+  return result;
+}
+
+Result<stats::BetaPrior> Database::AdoptFeedbackPrior(
+    size_t min_observations) {
+  Result<stats::BetaPrior> fit = feedback_.Fit(min_observations);
+  if (!fit.ok()) return fit;
+  robust_estimator_->mutable_config()->custom_prior = fit.value();
+  return fit;
+}
+
+void Database::ResetPrior() {
+  robust_estimator_->mutable_config()->custom_prior.reset();
+}
+
+Status Database::SaveStatisticsTo(const std::string& directory) const {
+  return stats::SaveStatistics(*statistics_, directory);
+}
+
+Status Database::LoadStatisticsFrom(const std::string& directory) {
+  return stats::LoadStatistics(directory, statistics_.get());
+}
+
+const opt::Optimizer::Metrics& Database::last_optimizer_metrics() const {
+  RQO_CHECK(last_used_ != nullptr);
+  return last_used_->last_metrics();
+}
+
+}  // namespace core
+}  // namespace robustqo

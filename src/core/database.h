@@ -1,0 +1,150 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Database: the convenience facade tying the whole system together —
+// catalog + statistics + estimators + optimizer + executor. This is the
+// entry point examples and experiment harnesses use; individual subsystems
+// remain directly usable for finer control.
+
+#ifndef ROBUSTQO_CORE_DATABASE_H_
+#define ROBUSTQO_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "optimizer/optimizer.h"
+#include "statistics/histogram_estimator.h"
+#include "statistics/robust_sample_estimator.h"
+#include "statistics/statistics_catalog.h"
+#include "statistics/workload_prior.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace core {
+
+/// Which cardinality-estimation module the optimizer should use.
+enum class EstimatorKind {
+  kHistogram,     ///< the baseline: equi-depth histograms + AVI
+  kRobustSample,  ///< the paper's robust Bayesian sample-based estimator
+};
+
+/// End-to-end result of planning and executing one query.
+struct ExecutionResult {
+  storage::Table rows;
+  /// Simulated execution seconds (the experiments' "execution time").
+  double simulated_seconds = 0.0;
+  /// Full work counters from execution.
+  exec::CostMeter meter;
+  /// Size of the SPJ result (rows entering the final aggregation, or the
+  /// result rows themselves for aggregate-free queries) — the quantity
+  /// execution feedback compares against the optimizer's estimate.
+  uint64_t spj_rows = 0;
+  /// Optimizer's predicted cost for the chosen plan.
+  double estimated_cost = 0.0;
+  /// Structure label of the chosen plan (e.g. "Agg(IxSect(...))").
+  std::string plan_label;
+  /// Printable plan tree.
+  std::string plan_tree;
+};
+
+/// An in-memory database with both estimation stacks configured.
+class Database {
+ public:
+  Database();
+
+  storage::Catalog* catalog() { return &catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+  stats::StatisticsCatalog* statistics() { return statistics_.get(); }
+
+  /// Builds histograms, samples and join synopses for every table — the
+  /// UPDATE STATISTICS analogue. Call after loading data (and again after
+  /// changing `config.seed` to redraw samples).
+  void UpdateStatistics(const stats::StatisticsConfig& config = {});
+
+  /// Sets the system-wide robustness configuration (Section 6.2.5); a
+  /// per-query hint in OptimizerOptions overrides it.
+  void SetRobustnessLevel(stats::RobustnessLevel level);
+  void SetConfidenceThreshold(double threshold);
+  double confidence_threshold() const;
+
+  stats::HistogramEstimator* histogram_estimator() {
+    return histogram_estimator_.get();
+  }
+  stats::RobustSampleEstimator* robust_estimator() {
+    return robust_estimator_.get();
+  }
+  stats::CardinalityEstimator* estimator(EstimatorKind kind);
+
+  const exec::CostModel& cost_model() const { return cost_model_; }
+  void set_cost_model(const exec::CostModel& model) { cost_model_ = model; }
+
+  /// Parses a SQL statement (see sql/parser.h for the supported subset)
+  /// against this database's catalog.
+  Result<opt::QuerySpec> ParseSql(const std::string& statement) const;
+
+  /// Parses, plans and executes a SQL statement.
+  Result<ExecutionResult> ExecuteSql(
+      const std::string& statement,
+      EstimatorKind kind = EstimatorKind::kRobustSample,
+      const opt::OptimizerOptions& options = {});
+
+  /// Plans `query` with the chosen estimation module.
+  Result<opt::PlannedQuery> Plan(const opt::QuerySpec& query,
+                                 EstimatorKind kind,
+                                 const opt::OptimizerOptions& options = {});
+
+  /// Plans and executes `query`, returning rows plus the simulated cost.
+  Result<ExecutionResult> Execute(const opt::QuerySpec& query,
+                                  EstimatorKind kind,
+                                  const opt::OptimizerOptions& options = {});
+
+  /// Executes an already-built plan.
+  ExecutionResult ExecutePlan(const opt::PlannedQuery& plan);
+
+  /// Metrics from the most recent Plan()/Execute() optimization.
+  const opt::Optimizer::Metrics& last_optimizer_metrics() const;
+
+  // ---- Execution feedback (paper Section 3.3's workload knowledge) ----
+
+  /// When enabled, every Execute() records the query's true SPJ
+  /// selectivity into the feedback collector.
+  void EnableFeedback(bool enable) { feedback_enabled_ = enable; }
+  bool feedback_enabled() const { return feedback_enabled_; }
+
+  /// Observed selectivities collected so far.
+  const stats::WorkloadPriorBuilder& feedback() const { return feedback_; }
+  stats::WorkloadPriorBuilder* mutable_feedback() { return &feedback_; }
+
+  /// Fits a Beta prior from the collected feedback and installs it as the
+  /// robust estimator's prior. Fails (and leaves the prior unchanged) when
+  /// too little or degenerate feedback was collected.
+  Result<stats::BetaPrior> AdoptFeedbackPrior(size_t min_observations = 10);
+
+  /// Reverts the robust estimator to the non-informative Jeffreys prior.
+  void ResetPrior();
+
+  /// Persists every histogram, sample and join synopsis to `directory`
+  /// (see statistics/persistence.h for the format).
+  Status SaveStatisticsTo(const std::string& directory) const;
+
+  /// Restores previously saved statistics, replacing same-keyed entries.
+  Status LoadStatisticsFrom(const std::string& directory);
+
+ private:
+  storage::Catalog catalog_;
+  std::unique_ptr<stats::StatisticsCatalog> statistics_;
+  std::unique_ptr<stats::HistogramEstimator> histogram_estimator_;
+  std::unique_ptr<stats::RobustSampleEstimator> robust_estimator_;
+  exec::CostModel cost_model_;
+  std::unique_ptr<opt::Optimizer> histogram_optimizer_;
+  std::unique_ptr<opt::Optimizer> robust_optimizer_;
+  opt::Optimizer* last_used_ = nullptr;
+  bool feedback_enabled_ = false;
+  stats::WorkloadPriorBuilder feedback_;
+};
+
+}  // namespace core
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CORE_DATABASE_H_

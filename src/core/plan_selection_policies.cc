@@ -1,0 +1,146 @@
+#include "core/plan_selection_policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace core {
+
+namespace {
+
+// 4-point Gauss-Legendre nodes/weights on [-1, 1].
+constexpr double kNodes[4] = {-0.8611363115940526, -0.3399810435848563,
+                              0.3399810435848563, 0.8611363115940526};
+constexpr double kWeights[4] = {0.3478548451374538, 0.6521451548625461,
+                                0.6521451548625461, 0.3478548451374538};
+
+}  // namespace
+
+double ExpectedCost(const CostedPlan& plan,
+                    const stats::SelectivityPosterior& posterior) {
+  // Integrate in quantile space: E[cost(S)] = ∫₀¹ cost(F⁻¹(u)) du. This
+  // adapts the node placement to the posterior automatically — crucial
+  // because selectivity posteriors routinely concentrate their whole mass
+  // in a sliver of [0, 1]. cost∘F⁻¹ is smooth for smooth costs, so
+  // panel-wise Gauss-Legendre converges quickly.
+  const int panels = 64;
+  double total = 0.0;
+  for (int p = 0; p < panels; ++p) {
+    const double a = static_cast<double>(p) / panels;
+    const double b = static_cast<double>(p + 1) / panels;
+    const double half = 0.5 * (b - a);
+    const double mid = 0.5 * (a + b);
+    double panel = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      const double u = mid + half * kNodes[i];
+      panel += kWeights[i] *
+               plan.cost(posterior.distribution().InverseCdf(u));
+    }
+    total += panel * half;
+  }
+  return total;
+}
+
+double PolicyScore(const CostedPlan& plan,
+                   const stats::SelectivityPosterior& posterior,
+                   SelectionPolicy policy, double threshold) {
+  switch (policy) {
+    case SelectionPolicy::kClassicalPointEstimate:
+      return plan.cost(posterior.Mean());
+    case SelectionPolicy::kLeastExpectedCost:
+      return ExpectedCost(plan, posterior);
+    case SelectionPolicy::kConfidenceThreshold:
+      return plan.cost(posterior.EstimateAtConfidence(threshold));
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+size_t SelectPlan(const std::vector<CostedPlan>& plans,
+                  const stats::SelectivityPosterior& posterior,
+                  SelectionPolicy policy, double threshold) {
+  RQO_CHECK(!plans.empty());
+  size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const double score = PolicyScore(plans[i], posterior, policy, threshold);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Evaluation grid over the posterior's central credible region, in
+// quantile space so it adapts to however tightly the mass concentrates.
+std::vector<double> CredibleGrid(const stats::SelectivityPosterior& posterior,
+                                 double credible_mass) {
+  RQO_CHECK(credible_mass > 0.0 && credible_mass < 1.0);
+  const double lo_q = 0.5 * (1.0 - credible_mass);
+  const double hi_q = 1.0 - lo_q;
+  const int points = 101;
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    const double u = lo_q + (hi_q - lo_q) * i / (points - 1);
+    grid.push_back(posterior.distribution().InverseCdf(u));
+  }
+  return grid;
+}
+
+}  // namespace
+
+double MaxRegret(const std::vector<CostedPlan>& plans, size_t plan_index,
+                 const stats::SelectivityPosterior& posterior,
+                 double credible_mass) {
+  RQO_CHECK(plan_index < plans.size());
+  double worst = 0.0;
+  for (double s : CredibleGrid(posterior, credible_mass)) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const CostedPlan& plan : plans) {
+      best = std::min(best, plan.cost(s));
+    }
+    worst = std::max(worst, plans[plan_index].cost(s) - best);
+  }
+  return worst;
+}
+
+size_t SelectPlanMinimaxRegret(const std::vector<CostedPlan>& plans,
+                               const stats::SelectivityPosterior& posterior,
+                               double credible_mass) {
+  RQO_CHECK(!plans.empty());
+  size_t best = 0;
+  double best_regret = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const double regret = MaxRegret(plans, i, posterior, credible_mass);
+    if (regret < best_regret) {
+      best_regret = regret;
+      best = i;
+    }
+  }
+  return best;
+}
+
+CostedPlan LinearPlan(std::string name, double fixed, double slope) {
+  return {std::move(name),
+          [fixed, slope](double s) { return fixed + slope * s; }};
+}
+
+CostedPlan KneePlan(std::string name, double fixed, double slope_lo,
+                    double knee_selectivity, double slope_hi) {
+  RQO_CHECK(knee_selectivity >= 0.0 && knee_selectivity <= 1.0);
+  return {std::move(name), [fixed, slope_lo, knee_selectivity,
+                            slope_hi](double s) {
+            if (s <= knee_selectivity) return fixed + slope_lo * s;
+            return fixed + slope_lo * knee_selectivity +
+                   slope_hi * (s - knee_selectivity);
+          }};
+}
+
+}  // namespace core
+}  // namespace robustqo

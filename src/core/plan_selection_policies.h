@@ -1,0 +1,93 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Plan-selection policies under selectivity uncertainty. The paper's
+// Related-Work discussion (Sections 2.2 and 4) contrasts three ways of
+// using a selectivity distribution to rank candidate plans:
+//
+//  * kClassicalPointEstimate — collapse the distribution to its expected
+//    value first, then cost each plan once (what traditional optimizers
+//    effectively do);
+//  * kLeastExpectedCost — rank by E[cost(s)] over the posterior (Chu,
+//    Halpern & Gehrke [6,7]; Donjerkovic & Ramakrishnan [10]). Differs
+//    from the classical choice exactly when cost is nonlinear in s;
+//  * kConfidenceThreshold — the paper's proposal: rank by the cost at
+//    selectivity cdf^{-1}(T).
+//
+// Policies operate on arbitrary (monotone) cost functions, so the
+// LEC-vs-classical divergence on nonlinear costs (e.g. a memory-spill
+// knee) is directly demonstrable; see bench/ablation_policies.
+
+#ifndef ROBUSTQO_CORE_PLAN_SELECTION_POLICIES_H_
+#define ROBUSTQO_CORE_PLAN_SELECTION_POLICIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "statistics/selectivity_posterior.h"
+
+namespace robustqo {
+namespace core {
+
+/// A candidate plan: name + execution cost as a function of selectivity
+/// (must be non-negative over [0, 1]; monotonicity is not required for
+/// expected-cost ranking, only for the threshold policy's guarantees).
+struct CostedPlan {
+  std::string name;
+  std::function<double(double selectivity)> cost;
+};
+
+/// How to condense the posterior when ranking plans.
+enum class SelectionPolicy {
+  kClassicalPointEstimate,
+  kLeastExpectedCost,
+  kConfidenceThreshold,
+};
+
+/// The score a policy assigns to one plan (lower is better).
+/// `threshold` is used only by kConfidenceThreshold.
+double PolicyScore(const CostedPlan& plan,
+                   const stats::SelectivityPosterior& posterior,
+                   SelectionPolicy policy, double threshold = 0.8);
+
+/// E[plan.cost(s)] under the posterior, by fixed-order Gauss-Legendre
+/// quadrature against the Beta density (exact enough for smooth costs:
+/// 128 panels x 4-point rule).
+double ExpectedCost(const CostedPlan& plan,
+                    const stats::SelectivityPosterior& posterior);
+
+/// Index of the plan the policy selects from `plans` (lowest score; ties
+/// broken by position). Requires non-empty `plans`.
+size_t SelectPlan(const std::vector<CostedPlan>& plans,
+                  const stats::SelectivityPosterior& posterior,
+                  SelectionPolicy policy, double threshold = 0.8);
+
+/// Minimax-regret selection (the robust-optimization alternative explored
+/// by later work on robust plans): for each plan, its regret at
+/// selectivity s is cost(s) minus the best plan's cost at s; the chosen
+/// plan minimizes the maximum regret over the posterior's central
+/// `credible_mass` region. Unlike the scalar policies above, regret is a
+/// property of the *set* of plans, not of one plan in isolation.
+size_t SelectPlanMinimaxRegret(const std::vector<CostedPlan>& plans,
+                               const stats::SelectivityPosterior& posterior,
+                               double credible_mass = 0.98);
+
+/// The maximum regret of `plan_index` over the central credible region
+/// (the objective SelectPlanMinimaxRegret minimizes).
+double MaxRegret(const std::vector<CostedPlan>& plans, size_t plan_index,
+                 const stats::SelectivityPosterior& posterior,
+                 double credible_mass = 0.98);
+
+/// Convenience: a linear cost function fixed + slope * s.
+CostedPlan LinearPlan(std::string name, double fixed, double slope);
+
+/// Convenience: a piecewise-linear cost with a knee — linear with
+/// `slope_lo` below `knee_selectivity`, then `slope_hi` (models e.g. a
+/// hash table spilling to disk once the build side outgrows memory).
+CostedPlan KneePlan(std::string name, double fixed, double slope_lo,
+                    double knee_selectivity, double slope_hi);
+
+}  // namespace core
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CORE_PLAN_SELECTION_POLICIES_H_

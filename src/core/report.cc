@@ -1,0 +1,42 @@
+#include "core/report.h"
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace core {
+
+Result<std::vector<ThresholdPreference>> ThresholdPreferenceReport(
+    Database* db, const opt::QuerySpec& query,
+    std::vector<double> thresholds) {
+  std::vector<ThresholdPreference> report;
+  report.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    opt::OptimizerOptions options;
+    options.confidence_threshold_hint = threshold;
+    Result<opt::PlannedQuery> plan =
+        db->Plan(query, EstimatorKind::kRobustSample, options);
+    if (!plan.ok()) return plan.status();
+    report.push_back({threshold, plan.value().label,
+                      plan.value().estimated_cost,
+                      plan.value().estimated_rows});
+  }
+  return report;
+}
+
+std::string FormatThresholdReport(
+    const std::vector<ThresholdPreference>& report) {
+  std::string out = StrPrintf("%-8s %12s %14s  %s\n", "T", "est rows",
+                              "est cost (s)", "chosen plan");
+  for (size_t i = 0; i < report.size(); ++i) {
+    const ThresholdPreference& row = report[i];
+    const bool flipped = i > 0 && row.plan_label != report[i - 1].plan_label;
+    out += StrPrintf("%-8.0f %12.1f %14.4f  %s%s\n", row.threshold * 100.0,
+                     row.estimated_rows, row.estimated_cost,
+                     row.plan_label.c_str(),
+                     flipped ? "   <-- preference flips" : "");
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace robustqo

@@ -1,0 +1,44 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Uncertainty-aware EXPLAIN: optimize a query across a range of confidence
+// thresholds and report which plan wins where — making the crossover
+// structure of the plan space (Figure 3's flip point) visible to a user
+// deciding how to set the robustness knob.
+
+#ifndef ROBUSTQO_CORE_REPORT_H_
+#define ROBUSTQO_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "optimizer/query.h"
+
+namespace robustqo {
+namespace core {
+
+/// One row of the report: at threshold T the optimizer picks `plan_label`
+/// with estimated cost `estimated_cost` and estimated output rows
+/// `estimated_rows`.
+struct ThresholdPreference {
+  double threshold = 0.0;
+  std::string plan_label;
+  double estimated_cost = 0.0;
+  double estimated_rows = 0.0;
+};
+
+/// Plans `query` at each threshold and records the winner. Thresholds
+/// default to {5, 20, 50, 80, 95}%.
+Result<std::vector<ThresholdPreference>> ThresholdPreferenceReport(
+    Database* db, const opt::QuerySpec& query,
+    std::vector<double> thresholds = {0.05, 0.20, 0.50, 0.80, 0.95});
+
+/// Renders the report as an aligned text table, marking the thresholds
+/// where the preferred plan flips.
+std::string FormatThresholdReport(
+    const std::vector<ThresholdPreference>& report);
+
+}  // namespace core
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CORE_REPORT_H_

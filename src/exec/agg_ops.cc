@@ -1,0 +1,308 @@
+#include "exec/agg_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace exec {
+
+using storage::DataType;
+using storage::Rid;
+using storage::Table;
+using storage::Value;
+
+namespace {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+// Running state for one aggregate.
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+
+  void Update(double v) {
+    sum += v;
+    min = std::fmin(min, v);
+    max = std::fmax(max, v);
+    ++count;
+  }
+
+  Value Finalize(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCount:
+        return Value::Int64(static_cast<int64_t>(count));
+      case AggKind::kSum:
+        return Value::Double(sum);
+      case AggKind::kMin:
+        return Value::Double(count == 0 ? 0.0 : min);
+      case AggKind::kMax:
+        return Value::Double(count == 0 ? 0.0 : max);
+      case AggKind::kAvg:
+        return Value::Double(count == 0 ? 0.0
+                                        : sum / static_cast<double>(count));
+    }
+    return Value();
+  }
+};
+
+storage::Schema AggOutputSchema(const std::vector<std::string>& group_names,
+                                const storage::Schema& input,
+                                const std::vector<AggSpec>& aggs) {
+  std::vector<storage::ColumnDef> defs;
+  for (const std::string& g : group_names) {
+    auto idx = input.ColumnIndex(g);
+    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    defs.push_back(input.column(idx.value()));
+  }
+  for (const AggSpec& agg : aggs) {
+    const DataType type =
+        agg.kind == AggKind::kCount ? DataType::kInt64 : DataType::kDouble;
+    defs.push_back({agg.output_name, type});
+  }
+  return storage::Schema(std::move(defs));
+}
+
+// Column index for each aggregate's input (SIZE_MAX for COUNT(*)).
+std::vector<size_t> AggInputColumns(const storage::Schema& input,
+                                    const std::vector<AggSpec>& aggs) {
+  std::vector<size_t> cols;
+  cols.reserve(aggs.size());
+  for (const AggSpec& agg : aggs) {
+    if (agg.kind == AggKind::kCount && agg.column.empty()) {
+      cols.push_back(SIZE_MAX);
+      continue;
+    }
+    auto idx = input.ColumnIndex(agg.column);
+    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    cols.push_back(idx.value());
+  }
+  return cols;
+}
+
+void UpdateStates(const Table& input, Rid rid,
+                  const std::vector<size_t>& agg_cols,
+                  std::vector<AggState>* states) {
+  for (size_t a = 0; a < agg_cols.size(); ++a) {
+    if (agg_cols[a] == SIZE_MAX) {
+      (*states)[a].Update(0.0);  // COUNT(*): only the count matters
+    } else {
+      (*states)[a].Update(input.ValueAt(rid, agg_cols[a]).NumericValue());
+    }
+  }
+}
+
+std::string DescribeAggs(const std::vector<AggSpec>& aggs) {
+  std::vector<std::string> parts;
+  parts.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    parts.push_back(StrPrintf("%s(%s)", AggKindName(a.kind),
+                              a.column.empty() ? "*" : a.column.c_str()));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace
+
+// ----- FilterOp -----
+
+FilterOp::FilterOp(OperatorPtr child, expr::ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  RQO_CHECK(predicate_ != nullptr);
+}
+
+Table FilterOp::Execute(ExecContext* ctx) const {
+  const Table input = child_->Execute(ctx);
+  ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
+  Table out("filter", input.schema());
+  std::vector<size_t> all_cols(input.schema().num_columns());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  for (Rid rid = 0; rid < input.num_rows(); ++rid) {
+    if (predicate_->EvaluateBool(input, rid)) {
+      AppendProjectedRow(input, rid, all_cols, &out);
+    }
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+std::vector<const PhysicalOperator*> FilterOp::children() const {
+  return {child_.get()};
+}
+
+// ----- LimitOp -----
+
+LimitOp::LimitOp(OperatorPtr child, uint64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Table LimitOp::Execute(ExecContext* ctx) const {
+  const Table input = child_->Execute(ctx);
+  Table out("limit", input.schema());
+  std::vector<size_t> all_cols(input.schema().num_columns());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  const uint64_t n = std::min(input.num_rows(), limit_);
+  for (Rid rid = 0; rid < n; ++rid) {
+    AppendProjectedRow(input, rid, all_cols, &out);
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string LimitOp::Describe() const {
+  return StrPrintf("Limit(%llu)", static_cast<unsigned long long>(limit_));
+}
+
+std::vector<const PhysicalOperator*> LimitOp::children() const {
+  return {child_.get()};
+}
+
+// ----- ProjectOp -----
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<std::string> columns)
+    : child_(std::move(child)), columns_(std::move(columns)) {}
+
+Table ProjectOp::Execute(ExecContext* ctx) const {
+  const Table input = child_->Execute(ctx);
+  Table out("project", ProjectSchema(input.schema(), columns_));
+  const std::vector<size_t> col_idx = ResolveColumns(input.schema(), columns_);
+  for (Rid rid = 0; rid < input.num_rows(); ++rid) {
+    AppendProjectedRow(input, rid, col_idx, &out);
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string ProjectOp::Describe() const {
+  return "Project(" + StrJoin(columns_, ", ") + ")";
+}
+
+std::vector<const PhysicalOperator*> ProjectOp::children() const {
+  return {child_.get()};
+}
+
+// ----- ScalarAggregateOp -----
+
+ScalarAggregateOp::ScalarAggregateOp(OperatorPtr child,
+                                     std::vector<AggSpec> aggs)
+    : child_(std::move(child)), aggs_(std::move(aggs)) {
+  RQO_CHECK(!aggs_.empty());
+}
+
+Table ScalarAggregateOp::Execute(ExecContext* ctx) const {
+  const Table input = child_->Execute(ctx);
+  ctx->aggregate_input_rows = input.num_rows();
+  ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
+  const std::vector<size_t> agg_cols = AggInputColumns(input.schema(), aggs_);
+  std::vector<AggState> states(aggs_.size());
+  for (Rid rid = 0; rid < input.num_rows(); ++rid) {
+    UpdateStates(input, rid, agg_cols, &states);
+  }
+  Table out("aggregate", AggOutputSchema({}, input.schema(), aggs_));
+  std::vector<Value> row;
+  row.reserve(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    row.push_back(states[a].Finalize(aggs_[a].kind));
+  }
+  out.AppendRow(row);
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, 1);
+  return out;
+}
+
+std::string ScalarAggregateOp::Describe() const {
+  return "ScalarAggregate(" + DescribeAggs(aggs_) + ")";
+}
+
+std::vector<const PhysicalOperator*> ScalarAggregateOp::children() const {
+  return {child_.get()};
+}
+
+// ----- GroupByAggregateOp -----
+
+GroupByAggregateOp::GroupByAggregateOp(OperatorPtr child,
+                                       std::vector<std::string> group_columns,
+                                       std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_columns_(std::move(group_columns)),
+      aggs_(std::move(aggs)) {
+  RQO_CHECK(!group_columns_.empty());
+}
+
+Table GroupByAggregateOp::Execute(ExecContext* ctx) const {
+  const Table input = child_->Execute(ctx);
+  ctx->aggregate_input_rows = input.num_rows();
+  ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
+  const std::vector<size_t> group_idx =
+      ResolveColumns(input.schema(), group_columns_);
+  for (size_t g : group_idx) {
+    RQO_CHECK_MSG(
+        storage::IsIntegerPhysical(input.schema().column(g).type),
+        "group-by keys must be integer-physical");
+  }
+  const std::vector<size_t> agg_cols = AggInputColumns(input.schema(), aggs_);
+
+  // Ordered map keeps output deterministic (sorted by group key).
+  std::map<std::vector<int64_t>, std::vector<AggState>> groups;
+  for (Rid rid = 0; rid < input.num_rows(); ++rid) {
+    std::vector<int64_t> key;
+    key.reserve(group_idx.size());
+    for (size_t g : group_idx) {
+      key.push_back(input.ValueAt(rid, g).AsInt64());
+    }
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), aggs_.size(), AggState());
+    UpdateStates(input, rid, agg_cols, &it->second);
+  }
+
+  Table out("groupby", AggOutputSchema(group_columns_, input.schema(), aggs_));
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row;
+    row.reserve(key.size() + aggs_.size());
+    for (size_t g = 0; g < key.size(); ++g) {
+      const DataType type = input.schema().column(group_idx[g]).type;
+      row.push_back(type == DataType::kDate ? Value::Date(key[g])
+                                            : Value::Int64(key[g]));
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      row.push_back(states[a].Finalize(aggs_[a].kind));
+    }
+    out.AppendRow(row);
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string GroupByAggregateOp::Describe() const {
+  return "GroupByAggregate(" + StrJoin(group_columns_, ", ") + "; " +
+         DescribeAggs(aggs_) + ")";
+}
+
+std::vector<const PhysicalOperator*> GroupByAggregateOp::children() const {
+  return {child_.get()};
+}
+
+}  // namespace exec
+}  // namespace robustqo

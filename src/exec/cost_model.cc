@@ -1,0 +1,114 @@
+#include "exec/cost_model.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace exec {
+
+void CostMeter::Reset() { *this = CostMeter(); }
+
+void CostMeter::ChargeSeqTuples(const CostModel& m, uint64_t count) {
+  seq_tuples_ += count;
+  total_seconds_ += m.seq_tuple_cost * static_cast<double>(count);
+}
+
+void CostMeter::ChargeIndexProbe(const CostModel& m, uint64_t entries) {
+  index_seeks_ += 1;
+  index_entries_ += entries;
+  total_seconds_ +=
+      m.index_seek_cost + m.index_entry_cost * static_cast<double>(entries);
+}
+
+void CostMeter::ChargeRandomIo(const CostModel& m, uint64_t count) {
+  random_ios_ += count;
+  total_seconds_ += m.random_io_cost * static_cast<double>(count);
+}
+
+void CostMeter::ChargeCpuTuples(const CostModel& m, uint64_t count) {
+  cpu_tuples_ += count;
+  total_seconds_ += m.cpu_tuple_cost * static_cast<double>(count);
+}
+
+void CostMeter::ChargeHashJoin(const CostModel& m, uint64_t build,
+                               uint64_t probe) {
+  cpu_tuples_ += build + probe;
+  total_seconds_ += m.hash_build_cost * static_cast<double>(build) +
+                    m.hash_probe_cost * static_cast<double>(probe);
+}
+
+void CostMeter::ChargeOutputTuples(const CostModel& m, uint64_t count) {
+  output_tuples_ += count;
+  total_seconds_ += m.output_tuple_cost * static_cast<double>(count);
+}
+
+std::string CostMeter::ToString() const {
+  return StrPrintf(
+      "cost=%.4fs seq=%llu seeks=%llu entries=%llu rio=%llu cpu=%llu out=%llu",
+      total_seconds_, static_cast<unsigned long long>(seq_tuples_),
+      static_cast<unsigned long long>(index_seeks_),
+      static_cast<unsigned long long>(index_entries_),
+      static_cast<unsigned long long>(random_ios_),
+      static_cast<unsigned long long>(cpu_tuples_),
+      static_cast<unsigned long long>(output_tuples_));
+}
+
+void CostMeter::ChargeSortWork(const CostModel& m, uint64_t rows) {
+  cpu_tuples_ += rows;
+  output_tuples_ += rows;
+  total_seconds_ += SortCost(m, static_cast<double>(rows));
+}
+
+double SortCost(const CostModel& m, double rows) {
+  const double n = std::fmax(2.0, rows);
+  return m.cpu_tuple_cost * rows * std::log2(n) +
+         m.output_tuple_cost * rows;
+}
+
+double SeqScanCost(const CostModel& m, double rows, double out_rows) {
+  return m.seq_tuple_cost * rows + m.output_tuple_cost * out_rows;
+}
+
+double IndexRangeScanCost(const CostModel& m, double entries, double fetches,
+                          double out_rows) {
+  return m.index_seek_cost + m.index_entry_cost * entries +
+         m.random_io_cost * fetches + m.output_tuple_cost * out_rows;
+}
+
+double IndexIntersectionCost(const CostModel& m, int num_indexes,
+                             double entries_total, double fetches,
+                             double out_rows) {
+  // One seek per index, scan all entries, RID-list intersection CPU over
+  // every entry, then fetch the survivors.
+  return m.index_seek_cost * num_indexes +
+         m.index_entry_cost * entries_total +
+         m.cpu_tuple_cost * entries_total + m.random_io_cost * fetches +
+         m.output_tuple_cost * out_rows;
+}
+
+double HashJoinCost(const CostModel& m, double build_rows, double probe_rows,
+                    double out_rows) {
+  return m.hash_build_cost * build_rows + m.hash_probe_cost * probe_rows +
+         m.output_tuple_cost * out_rows;
+}
+
+double MergeJoinCost(const CostModel& m, double left_rows, double right_rows,
+                     double out_rows) {
+  return m.cpu_tuple_cost * (left_rows + right_rows) +
+         m.output_tuple_cost * out_rows;
+}
+
+double IndexNestedLoopJoinCost(const CostModel& m, double outer_rows,
+                               double inner_entries, double inner_fetches,
+                               double out_rows) {
+  return m.index_seek_cost * outer_rows + m.index_entry_cost * inner_entries +
+         m.random_io_cost * inner_fetches + m.output_tuple_cost * out_rows;
+}
+
+double AggregateCost(const CostModel& m, double in_rows, double out_rows) {
+  return m.cpu_tuple_cost * in_rows + m.output_tuple_cost * out_rows;
+}
+
+}  // namespace exec
+}  // namespace robustqo

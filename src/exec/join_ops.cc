@@ -1,0 +1,247 @@
+#include "exec/join_ops.h"
+
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace exec {
+
+using storage::Rid;
+using storage::Table;
+
+namespace {
+
+// Integer join key of row `rid` in `table.column(idx)`.
+int64_t KeyAt(const Table& table, size_t idx, Rid rid) {
+  const storage::ColumnVector& col = table.column(idx);
+  RQO_CHECK_MSG(storage::IsIntegerPhysical(col.type()),
+                "join keys must be integer-physical");
+  return col.Int64At(rid);
+}
+
+size_t MustResolve(const storage::Schema& schema, const std::string& name) {
+  auto idx = schema.ColumnIndex(name);
+  RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+  return idx.value();
+}
+
+// Output plumbing for binary joins: maps each requested output column to
+// (which input, column index there).
+struct JoinOutput {
+  storage::Schema schema;
+  std::vector<std::pair<int, size_t>> sources;  // {0=left/build, 1=right}
+
+  static JoinOutput Plan(const storage::Schema& left,
+                         const storage::Schema& right,
+                         const std::vector<std::string>& requested) {
+    JoinOutput out;
+    std::vector<storage::ColumnDef> defs;
+    auto add = [&](const storage::Schema& schema, int side, size_t i) {
+      defs.push_back(schema.column(i));
+      out.sources.emplace_back(side, i);
+    };
+    if (requested.empty()) {
+      for (size_t i = 0; i < left.num_columns(); ++i) add(left, 0, i);
+      for (size_t i = 0; i < right.num_columns(); ++i) add(right, 1, i);
+    } else {
+      for (const std::string& name : requested) {
+        auto li = left.ColumnIndex(name);
+        if (li.ok()) {
+          add(left, 0, li.value());
+          continue;
+        }
+        add(right, 1, MustResolve(right, name));
+      }
+    }
+    out.schema = storage::Schema(std::move(defs));
+    return out;
+  }
+
+  void AppendJoined(const Table& left, Rid lrid, const Table& right,
+                    Rid rrid, Table* dest) const {
+    std::vector<storage::Value> row;
+    row.reserve(sources.size());
+    for (const auto& [side, idx] : sources) {
+      row.push_back(side == 0 ? left.ValueAt(lrid, idx)
+                              : right.ValueAt(rrid, idx));
+    }
+    dest->AppendRow(row);
+  }
+};
+
+}  // namespace
+
+// ----- HashJoinOp -----
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::string build_key, std::string probe_key,
+                       std::vector<std::string> output_columns)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_key_(std::move(build_key)),
+      probe_key_(std::move(probe_key)),
+      output_columns_(std::move(output_columns)) {}
+
+Table HashJoinOp::Execute(ExecContext* ctx) const {
+  const Table build_rows = build_->Execute(ctx);
+  const Table probe_rows = probe_->Execute(ctx);
+  const size_t build_key_idx = MustResolve(build_rows.schema(), build_key_);
+  const size_t probe_key_idx = MustResolve(probe_rows.schema(), probe_key_);
+
+  ctx->meter.ChargeHashJoin(ctx->cost_model, build_rows.num_rows(),
+                            probe_rows.num_rows());
+
+  std::unordered_multimap<int64_t, Rid> hash_table;
+  hash_table.reserve(build_rows.num_rows() * 2);
+  for (Rid rid = 0; rid < build_rows.num_rows(); ++rid) {
+    hash_table.emplace(KeyAt(build_rows, build_key_idx, rid), rid);
+  }
+
+  const JoinOutput plan = JoinOutput::Plan(
+      build_rows.schema(), probe_rows.schema(), output_columns_);
+  Table out("hashjoin", plan.schema);
+  for (Rid prid = 0; prid < probe_rows.num_rows(); ++prid) {
+    const int64_t key = KeyAt(probe_rows, probe_key_idx, prid);
+    auto [begin, end] = hash_table.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      plan.AppendJoined(build_rows, it->second, probe_rows, prid, &out);
+    }
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string HashJoinOp::Describe() const {
+  return StrPrintf("HashJoin(%s = %s)", build_key_.c_str(),
+                   probe_key_.c_str());
+}
+
+std::vector<const PhysicalOperator*> HashJoinOp::children() const {
+  return {build_.get(), probe_.get()};
+}
+
+// ----- MergeJoinOp -----
+
+MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
+                         std::string left_key, std::string right_key,
+                         std::vector<std::string> output_columns)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      output_columns_(std::move(output_columns)) {}
+
+Table MergeJoinOp::Execute(ExecContext* ctx) const {
+  const Table left_rows = left_->Execute(ctx);
+  const Table right_rows = right_->Execute(ctx);
+  const size_t lk = MustResolve(left_rows.schema(), left_key_);
+  const size_t rk = MustResolve(right_rows.schema(), right_key_);
+
+  ctx->meter.ChargeCpuTuples(
+      ctx->cost_model, left_rows.num_rows() + right_rows.num_rows());
+
+  const JoinOutput plan = JoinOutput::Plan(left_rows.schema(),
+                                           right_rows.schema(),
+                                           output_columns_);
+  Table out("mergejoin", plan.schema);
+
+  Rid li = 0;
+  Rid ri = 0;
+  const Rid ln = left_rows.num_rows();
+  const Rid rn = right_rows.num_rows();
+  while (li < ln && ri < rn) {
+    const int64_t lkey = KeyAt(left_rows, lk, li);
+    const int64_t rkey = KeyAt(right_rows, rk, ri);
+    RQO_DCHECK(li == 0 || KeyAt(left_rows, lk, li - 1) <= lkey);
+    RQO_DCHECK(ri == 0 || KeyAt(right_rows, rk, ri - 1) <= rkey);
+    if (lkey < rkey) {
+      ++li;
+    } else if (lkey > rkey) {
+      ++ri;
+    } else {
+      // Emit the cross product of the two equal-key runs.
+      Rid lend = li;
+      while (lend < ln && KeyAt(left_rows, lk, lend) == lkey) ++lend;
+      Rid rend = ri;
+      while (rend < rn && KeyAt(right_rows, rk, rend) == rkey) ++rend;
+      for (Rid a = li; a < lend; ++a) {
+        for (Rid b = ri; b < rend; ++b) {
+          plan.AppendJoined(left_rows, a, right_rows, b, &out);
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string MergeJoinOp::Describe() const {
+  return StrPrintf("MergeJoin(%s = %s)", left_key_.c_str(),
+                   right_key_.c_str());
+}
+
+std::vector<const PhysicalOperator*> MergeJoinOp::children() const {
+  return {left_.get(), right_.get()};
+}
+
+// ----- IndexNestedLoopJoinOp -----
+
+IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
+    OperatorPtr outer, std::string outer_key, std::string inner_table,
+    std::string inner_index_column, expr::ExprPtr inner_residual,
+    std::vector<std::string> output_columns)
+    : outer_(std::move(outer)),
+      outer_key_(std::move(outer_key)),
+      inner_table_(std::move(inner_table)),
+      inner_index_column_(std::move(inner_index_column)),
+      inner_residual_(std::move(inner_residual)),
+      output_columns_(std::move(output_columns)) {}
+
+Table IndexNestedLoopJoinOp::Execute(ExecContext* ctx) const {
+  const Table outer_rows = outer_->Execute(ctx);
+  const Table* inner = ctx->catalog->GetTable(inner_table_);
+  RQO_CHECK_MSG(inner != nullptr, ("no table " + inner_table_).c_str());
+  const storage::SortedIndex* index =
+      ctx->catalog->GetIndex(inner_table_, inner_index_column_);
+  RQO_CHECK_MSG(
+      index != nullptr,
+      ("no index on " + inner_table_ + "." + inner_index_column_).c_str());
+  const size_t ok = MustResolve(outer_rows.schema(), outer_key_);
+
+  const JoinOutput plan = JoinOutput::Plan(outer_rows.schema(),
+                                           inner->schema(), output_columns_);
+  Table out("inlj", plan.schema);
+
+  for (Rid orid = 0; orid < outer_rows.num_rows(); ++orid) {
+    const int64_t key = KeyAt(outer_rows, ok, orid);
+    uint64_t entries = 0;
+    std::vector<Rid> matches =
+        index->EqualLookup(static_cast<double>(key), &entries);
+    ctx->meter.ChargeIndexProbe(ctx->cost_model, entries);
+    ctx->meter.ChargeRandomIo(ctx->cost_model, matches.size());
+    for (Rid irid : matches) {
+      if (inner_residual_ == nullptr ||
+          inner_residual_->EvaluateBool(*inner, irid)) {
+        plan.AppendJoined(outer_rows, orid, *inner, irid, &out);
+      }
+    }
+  }
+  ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+  return out;
+}
+
+std::string IndexNestedLoopJoinOp::Describe() const {
+  return StrPrintf("IndexNestedLoopJoin(%s -> %s.%s)", outer_key_.c_str(),
+                   inner_table_.c_str(), inner_index_column_.c_str());
+}
+
+std::vector<const PhysicalOperator*> IndexNestedLoopJoinOp::children() const {
+  return {outer_.get()};
+}
+
+}  // namespace exec
+}  // namespace robustqo

@@ -1,0 +1,59 @@
+#include "exec/operator.h"
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace exec {
+
+std::string PhysicalOperator::TreeString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const PhysicalOperator* child : children()) {
+    out += child->TreeString(indent + 1);
+  }
+  return out;
+}
+
+storage::Schema ProjectSchema(const storage::Schema& schema,
+                              const std::vector<std::string>& columns) {
+  std::vector<storage::ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const std::string& name : columns) {
+    auto idx = schema.ColumnIndex(name);
+    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    defs.push_back(schema.column(idx.value()));
+  }
+  return storage::Schema(std::move(defs));
+}
+
+void AppendProjectedRow(const storage::Table& source, storage::Rid rid,
+                        const std::vector<size_t>& column_indexes,
+                        storage::Table* dest) {
+  std::vector<storage::Value> row;
+  row.reserve(column_indexes.size());
+  for (size_t col : column_indexes) row.push_back(source.ValueAt(rid, col));
+  dest->AppendRow(row);
+}
+
+std::vector<size_t> ResolveColumns(const storage::Schema& schema,
+                                   const std::vector<std::string>& columns) {
+  std::vector<size_t> out;
+  out.reserve(columns.size());
+  for (const std::string& name : columns) {
+    auto idx = schema.ColumnIndex(name);
+    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    out.push_back(idx.value());
+  }
+  return out;
+}
+
+storage::Schema ConcatSchemas(const storage::Schema& a,
+                              const storage::Schema& b) {
+  std::vector<storage::ColumnDef> defs = a.columns();
+  defs.insert(defs.end(), b.columns().begin(), b.columns().end());
+  return storage::Schema(std::move(defs));
+}
+
+}  // namespace exec
+}  // namespace robustqo

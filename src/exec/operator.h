@@ -1,0 +1,78 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Physical-operator base. Operators execute for real — they compute the
+// correct relational result — while charging the cost meter for every unit
+// of simulated work. Results are materialized tables (fine at experiment
+// scale, and it keeps operator semantics trivially auditable in tests).
+
+#ifndef ROBUSTQO_EXEC_OPERATOR_H_
+#define ROBUSTQO_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.h"
+#include "expr/expression.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace robustqo {
+namespace exec {
+
+/// Execution environment: the database plus the cost meter that accumulates
+/// this query's simulated execution time.
+struct ExecContext {
+  const storage::Catalog* catalog = nullptr;
+  CostModel cost_model = CostModel::Default();
+  CostMeter meter;
+  /// Rows that entered the topmost aggregation operator (the SPJ result
+  /// size), recorded by the aggregate operators; used for execution
+  /// feedback. UINT64_MAX until an aggregate runs.
+  uint64_t aggregate_input_rows = UINT64_MAX;
+};
+
+/// Base class for physical operators.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Runs the operator (and its subtree), returning the materialized
+  /// result and charging `ctx->meter`.
+  virtual storage::Table Execute(ExecContext* ctx) const = 0;
+
+  /// One-line description ("HashJoin(l_orderkey = o_orderkey)").
+  virtual std::string Describe() const = 0;
+
+  /// Child operators, for plan printing.
+  virtual std::vector<const PhysicalOperator*> children() const { return {}; }
+
+  /// Multi-line indented plan tree.
+  std::string TreeString(int indent = 0) const;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+// ---- Shared helpers for operator implementations ----
+
+/// Schema containing the named columns of `schema` in the given order.
+storage::Schema ProjectSchema(const storage::Schema& schema,
+                              const std::vector<std::string>& columns);
+
+/// Appends row `rid` of `source` to `dest`, restricted to `column_indexes`.
+void AppendProjectedRow(const storage::Table& source, storage::Rid rid,
+                        const std::vector<size_t>& column_indexes,
+                        storage::Table* dest);
+
+/// Resolves column names to indexes in `schema` (aborts on misses).
+std::vector<size_t> ResolveColumns(const storage::Schema& schema,
+                                   const std::vector<std::string>& columns);
+
+/// Concatenation of two schemas (column names must stay unique).
+storage::Schema ConcatSchemas(const storage::Schema& a,
+                              const storage::Schema& b);
+
+}  // namespace exec
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_EXEC_OPERATOR_H_

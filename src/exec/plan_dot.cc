@@ -1,0 +1,45 @@
+#include "exec/plan_dot.h"
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace exec {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Emits the node for `op` and edges to its children; returns its node id.
+int EmitNode(const PhysicalOperator& op, int* counter, std::string* out) {
+  const int id = (*counter)++;
+  *out += StrPrintf("  n%d [shape=box, label=\"%s\"];\n", id,
+                    EscapeLabel(op.Describe()).c_str());
+  for (const PhysicalOperator* child : op.children()) {
+    const int child_id = EmitNode(*child, counter, out);
+    *out += StrPrintf("  n%d -> n%d;\n", id, child_id);
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string PlanToDot(const PhysicalOperator& root,
+                      const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=BT;\n";  // data flows bottom-up, like EXPLAIN trees
+  int counter = 0;
+  EmitNode(root, &counter, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace exec
+}  // namespace robustqo

@@ -1,0 +1,24 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Graphviz export of physical plan trees (EXPLAIN as a picture):
+//   dot -Tsvg plan.dot -o plan.svg
+
+#ifndef ROBUSTQO_EXEC_PLAN_DOT_H_
+#define ROBUSTQO_EXEC_PLAN_DOT_H_
+
+#include <string>
+
+#include "exec/operator.h"
+
+namespace robustqo {
+namespace exec {
+
+/// Renders the operator tree rooted at `root` as a Graphviz digraph.
+/// `graph_name` must be a valid dot identifier.
+std::string PlanToDot(const PhysicalOperator& root,
+                      const std::string& graph_name = "plan");
+
+}  // namespace exec
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_EXEC_PLAN_DOT_H_

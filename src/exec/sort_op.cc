@@ -1,0 +1,55 @@
+#include "exec/sort_op.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace exec {
+
+SortOp::SortOp(OperatorPtr child, std::string column)
+    : child_(std::move(child)), column_(std::move(column)) {}
+
+storage::Table SortOp::Execute(ExecContext* ctx) const {
+  const storage::Table input = child_->Execute(ctx);
+  const uint64_t n = input.num_rows();
+  ctx->meter.ChargeSortWork(ctx->cost_model, n);
+
+  auto key_idx = input.schema().ColumnIndex(column_);
+  RQO_CHECK_MSG(key_idx.ok(), key_idx.status().ToString().c_str());
+  const storage::ColumnVector& key = input.column(key_idx.value());
+  RQO_CHECK_MSG(key.type() != storage::DataType::kString,
+                "sort keys must be numeric-physical");
+
+  std::vector<storage::Rid> order(n);
+  std::iota(order.begin(), order.end(), storage::Rid{0});
+  if (storage::IsIntegerPhysical(key.type())) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](storage::Rid a, storage::Rid b) {
+                       return key.Int64At(a) < key.Int64At(b);
+                     });
+  } else {
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](storage::Rid a, storage::Rid b) {
+                       return key.DoubleAt(a) < key.DoubleAt(b);
+                     });
+  }
+
+  storage::Table out("sort", input.schema());
+  std::vector<size_t> all_cols(input.schema().num_columns());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  for (storage::Rid rid : order) {
+    AppendProjectedRow(input, rid, all_cols, &out);
+  }
+  return out;
+}
+
+std::string SortOp::Describe() const { return "Sort(" + column_ + ")"; }
+
+std::vector<const PhysicalOperator*> SortOp::children() const {
+  return {child_.get()};
+}
+
+}  // namespace exec
+}  // namespace robustqo

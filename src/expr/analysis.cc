@@ -1,0 +1,152 @@
+#include "expr/analysis.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace expr {
+
+using storage::DataType;
+using storage::Value;
+
+namespace {
+
+// Constant folding never touches the table, so a shared empty table works
+// as the evaluation context.
+const storage::Table& DummyTable() {
+  static const storage::Table* table = new storage::Table(
+      "<const>", storage::Schema(std::vector<storage::ColumnDef>{}));
+  return *table;
+}
+
+// If `e` is a bare column reference, returns its name.
+std::optional<std::string> AsBareColumn(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kColumnRef) return std::nullopt;
+  return static_cast<const ColumnRefExpr&>(*e).name();
+}
+
+std::optional<double> AsConstantNumber(const ExprPtr& e) {
+  if (!IsConstant(*e)) return std::nullopt;
+  const Value v = FoldConstant(*e);
+  if (v.type() == DataType::kString) return std::nullopt;
+  return v.NumericValue();
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e) {
+  std::vector<ExprPtr> out;
+  if (e->kind() == ExprKind::kAnd) {
+    for (const auto& child : static_cast<const AndExpr&>(*e).children()) {
+      auto sub = SplitConjuncts(child);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool IsConstant(const Expr& e) {
+  std::set<std::string> cols;
+  e.CollectColumns(&cols);
+  return cols.empty();
+}
+
+Value FoldConstant(const Expr& e) {
+  RQO_CHECK_MSG(IsConstant(e), "FoldConstant on non-constant expression");
+  return e.Evaluate(DummyTable(), 0);
+}
+
+std::optional<ColumnRange> TryExtractColumnRange(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kBetween) {
+    const auto& between = static_cast<const BetweenExpr&>(*e);
+    auto col = AsBareColumn(between.expr());
+    if (!col.has_value()) return std::nullopt;
+    if (between.lo().type() == DataType::kString ||
+        between.hi().type() == DataType::kString) {
+      return std::nullopt;
+    }
+    ColumnRange range;
+    range.column = *col;
+    range.lo = between.lo().NumericValue();
+    range.hi = between.hi().NumericValue();
+    return range;
+  }
+
+  if (e->kind() != ExprKind::kComparison) return std::nullopt;
+  const auto& cmp = static_cast<const ComparisonExpr&>(*e);
+
+  // Normalize to column <op> constant.
+  std::optional<std::string> col = AsBareColumn(cmp.lhs());
+  std::optional<double> constant = AsConstantNumber(cmp.rhs());
+  CompareOp op = cmp.op();
+  if (!col.has_value() || !constant.has_value()) {
+    col = AsBareColumn(cmp.rhs());
+    constant = AsConstantNumber(cmp.lhs());
+    op = FlipOp(cmp.op());
+    if (!col.has_value() || !constant.has_value()) return std::nullopt;
+  }
+
+  ColumnRange range;
+  range.column = *col;
+  switch (op) {
+    case CompareOp::kEq:
+      range.lo = *constant;
+      range.hi = *constant;
+      return range;
+    case CompareOp::kLe:
+      range.hi = *constant;
+      return range;
+    case CompareOp::kGe:
+      range.lo = *constant;
+      return range;
+    case CompareOp::kLt:
+      // Ranges are inclusive; for the integer-physical domains used in the
+      // experiments, x < c is x <= c - 1. For doubles we nudge by the
+      // smallest representable step.
+      range.hi = std::nextafter(*constant, -HUGE_VAL);
+      return range;
+    case CompareOp::kGt:
+      range.lo = std::nextafter(*constant, HUGE_VAL);
+      return range;
+    case CompareOp::kNe:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<ColumnRange> ExtractColumnRanges(const ExprPtr& e,
+                                             std::vector<ExprPtr>* residual) {
+  std::vector<ColumnRange> ranges;
+  for (const auto& conjunct : SplitConjuncts(e)) {
+    auto range = TryExtractColumnRange(conjunct);
+    if (range.has_value()) {
+      ranges.push_back(*range);
+    } else if (residual != nullptr) {
+      residual->push_back(conjunct);
+    }
+  }
+  return ranges;
+}
+
+}  // namespace expr
+}  // namespace robustqo

@@ -1,0 +1,58 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Static analysis over expression trees. Used by:
+//  * the histogram/AVI estimator, which can only handle predicates it can
+//    decompose into per-column ranges;
+//  * the optimizer's access-path selection, which matches sargable conjuncts
+//    against available indexes.
+// The sample-based estimator needs none of this — it just evaluates the
+// predicate — which is exactly the paper's point about generality.
+
+#ifndef ROBUSTQO_EXPR_ANALYSIS_H_
+#define ROBUSTQO_EXPR_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace robustqo {
+namespace expr {
+
+/// A sargable restriction `lo <= column <= hi` (either bound may be open).
+/// Bounds are in the column's numeric domain (dates as day numbers).
+struct ColumnRange {
+  std::string column;
+  std::optional<double> lo;  // inclusive
+  std::optional<double> hi;  // inclusive
+
+  /// True iff both bounds are present and equal (an equality predicate).
+  bool IsPoint() const { return lo.has_value() && hi.has_value() && *lo == *hi; }
+};
+
+/// Flattens nested conjunctions into a list of conjuncts. A non-AND node
+/// yields a single-element list; And({}) yields an empty list.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e);
+
+/// True iff the expression references no columns (it is constant-foldable).
+bool IsConstant(const Expr& e);
+
+/// Evaluates a constant expression (aborts if not constant).
+storage::Value FoldConstant(const Expr& e);
+
+/// If `e` is a sargable single-column restriction — a comparison or BETWEEN
+/// with a bare column on one side and constants elsewhere — returns its
+/// ColumnRange; otherwise nullopt. Equality on strings and <> are not
+/// representable as ranges and yield nullopt.
+std::optional<ColumnRange> TryExtractColumnRange(const ExprPtr& e);
+
+/// Extracts ranges for every sargable conjunct of `e`; conjuncts that are
+/// not sargable are returned in `residual` (if non-null).
+std::vector<ColumnRange> ExtractColumnRanges(
+    const ExprPtr& e, std::vector<ExprPtr>* residual = nullptr);
+
+}  // namespace expr
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_EXPR_ANALYSIS_H_

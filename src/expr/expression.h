@@ -1,0 +1,275 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Expression trees for query predicates: comparisons, BETWEEN, boolean
+// connectives, arithmetic, and substring matching. A key advantage of
+// sampling-based estimation (paper Section 3.2, point 3) is that it works
+// for arbitrary predicates — whatever this tree can evaluate, the estimator
+// can estimate.
+//
+// Expressions are immutable and shared via ExprPtr. Column references are
+// by name; TPC-H-style schemas give every column a globally unique name, so
+// the same predicate evaluates against a base table or a join synopsis.
+
+#ifndef ROBUSTQO_EXPR_EXPRESSION_H_
+#define ROBUSTQO_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace robustqo {
+namespace expr {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Node discriminator.
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kBetween,
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,
+  kStringContains,
+};
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Base class for all expression nodes.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  virtual ExprKind kind() const = 0;
+
+  /// Evaluates this node as a scalar against row `rid` of `table`.
+  /// Boolean-valued nodes return Int64(0/1).
+  virtual storage::Value Evaluate(const storage::Table& table,
+                                  storage::Rid rid) const = 0;
+
+  /// Evaluates this node as a predicate. Scalar nodes are truthy when
+  /// non-zero (numeric) / non-empty (string).
+  virtual bool EvaluateBool(const storage::Table& table,
+                            storage::Rid rid) const;
+
+  /// Adds all referenced column names to `out`.
+  virtual void CollectColumns(std::set<std::string>* out) const = 0;
+
+  /// SQL-ish rendering for debugging and plan explanation.
+  virtual std::string ToString() const = 0;
+};
+
+// ----- Factory functions (the public construction API) -----
+
+/// Column reference by name.
+ExprPtr Col(std::string name);
+
+/// Literal constant.
+ExprPtr Lit(storage::Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr LitDate(int64_t days);
+
+/// lhs <op> rhs.
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+
+/// expr BETWEEN lo AND hi (inclusive).
+ExprPtr Between(ExprPtr e, storage::Value lo, storage::Value hi);
+
+/// Conjunction / disjunction / negation. And({}) is TRUE, Or({}) is FALSE.
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+
+/// lhs <op> rhs arithmetic on numeric values.
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// column LIKE '%needle%' on a string column.
+ExprPtr StringContains(ExprPtr str_expr, std::string needle);
+
+/// Evaluates `predicate` over every row of `table`, returning how many rows
+/// satisfy it. The workhorse of sample-based estimation.
+uint64_t CountSatisfying(const Expr& predicate, const storage::Table& table);
+
+// ----- Concrete node types (exposed for analysis passes) -----
+
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  const std::string& name() const { return name_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(storage::Value v) : value_(std::move(v)) {}
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  const storage::Value& value() const { return value_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  storage::Value value_;
+};
+
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kComparison; }
+  CompareOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr e, storage::Value lo, storage::Value hi)
+      : expr_(std::move(e)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+  ExprKind kind() const override { return ExprKind::kBetween; }
+  const ExprPtr& expr() const { return expr_; }
+  const storage::Value& lo() const { return lo_; }
+  const storage::Value& hi() const { return hi_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr expr_;
+  storage::Value lo_;
+  storage::Value hi_;
+};
+
+class AndExpr final : public Expr {
+ public:
+  explicit AndExpr(std::vector<ExprPtr> children)
+      : children_(std::move(children)) {}
+  ExprKind kind() const override { return ExprKind::kAnd; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+class OrExpr final : public Expr {
+ public:
+  explicit OrExpr(std::vector<ExprPtr> children)
+      : children_(std::move(children)) {}
+  ExprKind kind() const override { return ExprKind::kOr; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+  ExprKind kind() const override { return ExprKind::kNot; }
+  const ExprPtr& child() const { return child_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr child_;
+};
+
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kArithmetic; }
+  ArithOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class StringContainsExpr final : public Expr {
+ public:
+  StringContainsExpr(ExprPtr str_expr, std::string needle)
+      : expr_(std::move(str_expr)), needle_(std::move(needle)) {}
+  ExprKind kind() const override { return ExprKind::kStringContains; }
+  const ExprPtr& expr() const { return expr_; }
+  const std::string& needle() const { return needle_; }
+  storage::Value Evaluate(const storage::Table& table,
+                          storage::Rid rid) const override;
+  bool EvaluateBool(const storage::Table& table,
+                    storage::Rid rid) const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr expr_;
+  std::string needle_;
+};
+
+}  // namespace expr
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_EXPR_EXPRESSION_H_

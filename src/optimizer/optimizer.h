@@ -1,0 +1,112 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Cost-based query optimizer: single-table access-path selection (seq scan,
+// index range scan, index intersection), System-R-style dynamic programming
+// over FK-connected join subsets with hash/merge/indexed-nested-loop
+// methods, and star-specific semijoin strategies. Cardinalities come from a
+// pluggable CardinalityEstimator — the ONLY part of the optimizer that
+// changes between the histogram baseline and the paper's robust estimator.
+// Plan enumeration, cost formulas and search are identical for both, per
+// the paper's integration argument (Section 3.1.1).
+
+#ifndef ROBUSTQO_OPTIMIZER_OPTIMIZER_H_
+#define ROBUSTQO_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.h"
+#include "optimizer/plan.h"
+#include "optimizer/query.h"
+#include "statistics/cardinality_estimator.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace opt {
+
+/// Per-query optimizer knobs. The confidence-threshold hint models the
+/// paper's SQL query hint overriding the system-wide robustness setting
+/// (Section 6.2.5); it only has effect when the estimator is the robust
+/// sample-based one.
+struct OptimizerOptions {
+  std::optional<double> confidence_threshold_hint;
+  bool enable_index_intersection = true;
+  bool enable_hash_join = true;
+  bool enable_merge_join = true;
+  /// Allow explicit Sort operators to feed merge joins whose inputs do not
+  /// arrive in key order.
+  bool enable_sort_for_merge = true;
+  bool enable_index_nested_loop = true;
+  bool enable_star_strategies = true;
+  /// Memoize cardinality estimates within one Optimize() call. Disabling
+  /// reproduces the paper's unmemoized prototype (Section 6.1) for the
+  /// overhead ablation.
+  bool enable_estimate_memo = true;
+};
+
+/// Cost-based SPJ optimizer.
+class Optimizer {
+ public:
+  /// `catalog` and `estimator` must outlive the optimizer.
+  Optimizer(const storage::Catalog* catalog,
+            stats::CardinalityEstimator* estimator,
+            exec::CostModel cost_model = exec::CostModel::Default());
+
+  /// Plans `query`, returning the cheapest plan found.
+  Result<PlannedQuery> Optimize(const QuerySpec& query,
+                                const OptimizerOptions& options = {});
+
+  /// Bookkeeping from the most recent Optimize() call.
+  struct Metrics {
+    size_t estimator_calls = 0;    ///< total cardinality requests issued
+    size_t estimator_misses = 0;   ///< requests that were not cached
+    size_t candidates = 0;         ///< physical plan candidates costed
+  };
+  const Metrics& last_metrics() const { return metrics_; }
+
+  const exec::CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  // -- Per-run state (reset by Optimize) --
+  struct RunState;
+
+  // Estimated output rows of the SPJ subexpression over `subset` (as a
+  // bitmask over query_->tables) with all its predicates applied; when
+  // `predicate_override` is set it replaces the subset's own predicates
+  // (used e.g. to cost INLJ inner lookups before the inner predicate).
+  double EstimateRows(RunState* run, uint32_t subset);
+  double EstimateRowsWithPredicate(RunState* run, uint32_t subset,
+                                   const expr::ExprPtr& predicate,
+                                   const std::string& cache_tag);
+
+  // Access paths for a single table; appends candidates.
+  void AddAccessPaths(RunState* run, size_t table_idx,
+                      std::vector<PlanCandidate>* out);
+
+  // Join candidates combining `left` plans (for subset `s1`) and `right`
+  // plans (for subset `s2`); appends to `out`.
+  void AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
+                         const std::vector<PlanCandidate>& left,
+                         const std::vector<PlanCandidate>& right,
+                         std::vector<PlanCandidate>* out);
+
+  // Star semijoin strategies for the full table set (implemented in
+  // star_strategies.cc); appends to `out`.
+  void AddStarCandidates(RunState* run, std::vector<PlanCandidate>* out);
+
+  // Keeps only the cheapest candidate overall and per distinct sort order.
+  static void PruneCandidates(std::vector<PlanCandidate>* candidates);
+
+  const storage::Catalog* catalog_;
+  stats::CardinalityEstimator* estimator_;
+  exec::CostModel cost_model_;
+  Metrics metrics_;
+};
+
+}  // namespace opt
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,46 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+
+#ifndef ROBUSTQO_OPTIMIZER_PLAN_H_
+#define ROBUSTQO_OPTIMIZER_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+
+namespace robustqo {
+namespace opt {
+
+/// The optimizer's output: an executable physical plan with its predicted
+/// cost and a compact structural label for experiment classification.
+struct PlannedQuery {
+  exec::OperatorPtr root;
+  /// Predicted execution cost (simulated seconds) under the estimator's
+  /// cardinalities.
+  double estimated_cost = 0.0;
+  /// Predicted output rows of the plan root.
+  double estimated_rows = 0.0;
+  /// Compact structure label, e.g. "Agg(HJ(INLJ(part>lineitem),orders))".
+  std::string label;
+  /// Human-readable plan tree.
+  std::string Explain() const { return root->TreeString(); }
+};
+
+/// A candidate plan during enumeration: metadata plus a builder that
+/// constructs the operator tree on demand (candidates are freely copied
+/// during dynamic programming; operator trees are built once at the end).
+struct PlanCandidate {
+  double cost = 0.0;
+  double rows = 0.0;
+  /// Column the output is physically sorted on; empty when unsorted.
+  std::string sort_order;
+  /// Structure label, composed bottom-up.
+  std::string label;
+  std::function<exec::OperatorPtr()> build;
+};
+
+}  // namespace opt
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_OPTIMIZER_PLAN_H_

@@ -1,0 +1,53 @@
+#include "optimizer/query.h"
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace opt {
+
+std::set<std::string> QuerySpec::TableNames() const {
+  std::set<std::string> names;
+  for (const TableRef& ref : tables) names.insert(ref.table);
+  return names;
+}
+
+expr::ExprPtr QuerySpec::CombinedPredicate(
+    const std::set<std::string>& subset) const {
+  std::vector<expr::ExprPtr> conjuncts;
+  for (const TableRef& ref : tables) {
+    if (ref.predicate != nullptr && subset.count(ref.table) > 0) {
+      conjuncts.push_back(ref.predicate);
+    }
+  }
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return expr::And(std::move(conjuncts));
+}
+
+std::string QuerySpec::ToString() const {
+  std::vector<std::string> froms;
+  std::vector<std::string> wheres;
+  for (const TableRef& ref : tables) {
+    froms.push_back(ref.table);
+    if (ref.predicate != nullptr) wheres.push_back(ref.predicate->ToString());
+  }
+  std::string out = "SELECT ";
+  if (aggregates.empty()) {
+    out += select_columns.empty() ? "*" : StrJoin(select_columns, ", ");
+  } else {
+    std::vector<std::string> aggs;
+    for (const auto& a : aggregates) aggs.push_back(a.output_name);
+    out += StrJoin(aggs, ", ");
+  }
+  out += " FROM " + StrJoin(froms, " NATURAL JOIN ");
+  if (!wheres.empty()) out += " WHERE " + StrJoin(wheres, " AND ");
+  if (!group_by.empty()) out += " GROUP BY " + StrJoin(group_by, ", ");
+  if (!order_by.empty()) out += " ORDER BY " + order_by;
+  if (limit > 0) {
+    out += StrPrintf(" LIMIT %llu", static_cast<unsigned long long>(limit));
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace robustqo

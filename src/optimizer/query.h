@@ -1,0 +1,56 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Logical query model: select-project-join blocks over foreign-key joins
+// (the query class the paper's technique covers, Section 3.2), with
+// optional aggregation on top.
+
+#ifndef ROBUSTQO_OPTIMIZER_QUERY_H_
+#define ROBUSTQO_OPTIMIZER_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/agg_ops.h"
+#include "expr/expression.h"
+
+namespace robustqo {
+namespace opt {
+
+/// One table in the FROM list with its local selection predicate.
+struct TableRef {
+  std::string table;
+  expr::ExprPtr predicate;  ///< over this table's columns only; may be null
+};
+
+/// An SPJ(+aggregate) query. Join predicates are implicit: every pair of
+/// tables related by a catalog foreign key is natural-joined on that key.
+struct QuerySpec {
+  std::vector<TableRef> tables;
+
+  /// Scalar or grouped aggregates computed over the join result. Empty
+  /// means the query returns the (projected) join rows themselves.
+  std::vector<exec::AggSpec> aggregates;
+  /// Grouping columns; requires non-empty `aggregates`.
+  std::vector<std::string> group_by;
+  /// Columns to return when there is no aggregate; empty keeps everything.
+  std::vector<std::string> select_columns;
+  /// Final ascending sort on one numeric output column; empty = none.
+  std::string order_by;
+  /// Row cap on the final result; 0 = no limit.
+  uint64_t limit = 0;
+
+  /// Set of table names in the query.
+  std::set<std::string> TableNames() const;
+
+  /// Conjunction of the predicates of the given tables (null if none).
+  expr::ExprPtr CombinedPredicate(const std::set<std::string>& subset) const;
+
+  /// SQL-ish rendering for logs.
+  std::string ToString() const;
+};
+
+}  // namespace opt
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_OPTIMIZER_QUERY_H_

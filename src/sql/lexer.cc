@@ -1,0 +1,133 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kws = new std::set<std::string>{
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT",
+      "BETWEEN", "LIKE", "AS", "SUM", "COUNT", "MIN", "MAX", "AVG",
+      "DATE", "ORDER", "LIMIT", "ASC"};
+  return *kws;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && text == kw;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = input.substr(i, j - i);
+      const std::string upper = ToUpper(token.text);
+      if (Keywords().count(upper) > 0) token.text = upper;
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_float) break;  // second dot terminates
+          is_float = true;
+        }
+        ++j;
+      }
+      const std::string num = input.substr(i, j - i);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::stod(num);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::stoll(num);
+      }
+      token.text = num;
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // '' escape
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrPrintf("unterminated string literal at offset %zu", i));
+      }
+      token.type = TokenType::kString;
+      token.text = value;
+      i = j;
+    } else {
+      // Two-character symbols first.
+      if (i + 1 < n) {
+        const std::string two = input.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>") {
+          token.type = TokenType::kSymbol;
+          token.text = two;
+          tokens.push_back(token);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),*+-/=<>";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(
+            StrPrintf("unexpected character '%c' at offset %zu", c, i));
+      }
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(token);
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace robustqo

@@ -1,0 +1,46 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Tokenizer for the SQL subset the parser understands (see parser.h).
+
+#ifndef ROBUSTQO_SQL_LEXER_H_
+#define ROBUSTQO_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace robustqo {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,  ///< bare name (case-preserved) or keyword (upper-cased)
+  kInteger,
+  kFloat,
+  kString,      ///< '...' with '' escaping
+  kSymbol,      ///< ( ) , * + - / = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< identifier/symbol text; keywords upper-cased
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  ///< byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Splits `input` into tokens. Keywords are recognized case-insensitively
+/// and normalized to upper case; other identifiers keep their case.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_SQL_LEXER_H_

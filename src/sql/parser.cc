@@ -1,0 +1,515 @@
+#include "sql/parser.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "expr/analysis.h"
+#include "expr/expression.h"
+#include "sql/lexer.h"
+#include "storage/date.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace sql {
+
+namespace {
+
+using expr::ExprPtr;
+using storage::Value;
+
+class Parser {
+ public:
+  Parser(const storage::Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(&catalog), tokens_(std::move(tokens)) {}
+
+  Result<opt::QuerySpec> Parse() {
+    RQO_RETURN_NOT_OK(Expect("SELECT"));
+    RQO_RETURN_NOT_OK(ParseSelectList());
+    RQO_RETURN_NOT_OK(Expect("FROM"));
+    RQO_RETURN_NOT_OK(ParseTableList());
+    if (Accept("WHERE")) {
+      Result<ExprPtr> where = ParseBoolExpr();
+      if (!where.ok()) return where.status();
+      RQO_RETURN_NOT_OK(AssignPredicates(where.value()));
+    }
+    if (Accept("GROUP")) {
+      RQO_RETURN_NOT_OK(Expect("BY"));
+      RQO_RETURN_NOT_OK(ParseGroupBy());
+    }
+    if (Accept("ORDER")) {
+      RQO_RETURN_NOT_OK(Expect("BY"));
+      const Token& column = Advance();
+      if (column.type != TokenType::kIdentifier) {
+        return Error("expected column in ORDER BY");
+      }
+      query_.order_by = column.text;
+      Accept("ASC");  // ascending is the only (and default) direction
+    }
+    if (Accept("LIMIT")) {
+      const Token& count = Advance();
+      if (count.type != TokenType::kInteger || count.int_value <= 0) {
+        return Error("expected positive integer after LIMIT");
+      }
+      query_.limit = static_cast<uint64_t>(count.int_value);
+    }
+    if (!Peek().IsEnd()) {
+      return Error("unexpected trailing input");
+    }
+    if (!query_.group_by.empty() && query_.aggregates.empty()) {
+      return Error("GROUP BY requires aggregate functions");
+    }
+    RQO_RETURN_NOT_OK(ValidateOrderBy());
+    return query_;
+  }
+
+ private:
+  struct TokenView {
+    const Token* token;
+    bool IsEnd() const { return token->type == TokenType::kEnd; }
+    bool IsKeyword(const char* kw) const { return token->IsKeyword(kw); }
+    bool IsSymbol(const char* s) const { return token->IsSymbol(s); }
+  };
+
+  TokenView Peek(size_t ahead = 0) const {
+    const size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return TokenView{&tokens_[idx]};
+  }
+
+  // Returns the current token and moves forward; the cursor never walks
+  // past the trailing kEnd sentinel (repeated calls at the end keep
+  // returning it).
+  const Token& Advance() {
+    const size_t idx = std::min(pos_, tokens_.size() - 1);
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return tokens_[idx];
+  }
+
+  bool Accept(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* kw) {
+    if (!Accept(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) {
+      return Error(std::string("expected '") + s + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& at = tokens_[std::min(pos_, tokens_.size() - 1)];
+    return Status::InvalidArgument(
+        StrPrintf("%s at offset %zu (near '%s')", message.c_str(),
+                  at.position, at.text.c_str()));
+  }
+
+  // ---- SELECT list ----
+
+  Status ParseSelectList() {
+    if (AcceptSymbol("*")) return Status::OK();  // all columns
+    do {
+      RQO_RETURN_NOT_OK(ParseSelectItem());
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  static std::optional<exec::AggKind> AggKindFor(const std::string& kw) {
+    if (kw == "SUM") return exec::AggKind::kSum;
+    if (kw == "COUNT") return exec::AggKind::kCount;
+    if (kw == "MIN") return exec::AggKind::kMin;
+    if (kw == "MAX") return exec::AggKind::kMax;
+    if (kw == "AVG") return exec::AggKind::kAvg;
+    return std::nullopt;
+  }
+
+  Status ParseSelectItem() {
+    const Token& token = tokens_[pos_];
+    if (token.type != TokenType::kIdentifier) {
+      return Error("expected column or aggregate");
+    }
+    auto agg_kind = AggKindFor(token.text);
+    if (agg_kind.has_value() && Peek(1).IsSymbol("(")) {
+      pos_ += 2;  // consume name and '('
+      std::string column;
+      if (AcceptSymbol("*")) {
+        if (*agg_kind != exec::AggKind::kCount) {
+          return Error("'*' argument only valid for COUNT");
+        }
+      } else {
+        const Token& col = Advance();
+        if (col.type != TokenType::kIdentifier) {
+          return Error("expected column name in aggregate");
+        }
+        column = col.text;
+      }
+      RQO_RETURN_NOT_OK(ExpectSymbol(")"));
+      std::string output = StrPrintf(
+          "%s_%s", token.text.c_str(), column.empty() ? "all" : column.c_str());
+      if (Accept("AS")) {
+        const Token& alias = Advance();
+        if (alias.type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        output = alias.text;
+      }
+      query_.aggregates.push_back({*agg_kind, column, output});
+      return Status::OK();
+    }
+    // Plain column reference.
+    query_.select_columns.push_back(token.text);
+    ++pos_;
+    if (Accept("AS")) {
+      return Error("column aliases are not supported");
+    }
+    return Status::OK();
+  }
+
+  // ---- FROM / GROUP BY ----
+
+  Status ParseTableList() {
+    do {
+      const Token& token = Advance();
+      if (token.type != TokenType::kIdentifier) {
+        return Error("expected table name");
+      }
+      if (catalog_->GetTable(token.text) == nullptr) {
+        return Status::NotFound("table " + token.text);
+      }
+      query_.tables.push_back({token.text, nullptr});
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy() {
+    do {
+      const Token& token = Advance();
+      if (token.type != TokenType::kIdentifier) {
+        return Error("expected column in GROUP BY");
+      }
+      query_.group_by.push_back(token.text);
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // ---- Expressions ----
+
+  Result<ExprPtr> ParseBoolExpr() {
+    Result<ExprPtr> left = ParseAndExpr();
+    if (!left.ok()) return left;
+    std::vector<ExprPtr> terms{left.value()};
+    while (Accept("OR")) {
+      Result<ExprPtr> next = ParseAndExpr();
+      if (!next.ok()) return next;
+      terms.push_back(next.value());
+    }
+    if (terms.size() == 1) return terms[0];
+    return ExprPtr(expr::Or(terms));
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    Result<ExprPtr> left = ParseNotExpr();
+    if (!left.ok()) return left;
+    std::vector<ExprPtr> terms{left.value()};
+    while (Accept("AND")) {
+      Result<ExprPtr> next = ParseNotExpr();
+      if (!next.ok()) return next;
+      terms.push_back(next.value());
+    }
+    if (terms.size() == 1) return terms[0];
+    return ExprPtr(expr::And(terms));
+  }
+
+  Result<ExprPtr> ParseNotExpr() {
+    if (Accept("NOT")) {
+      Result<ExprPtr> inner = ParseNotExpr();
+      if (!inner.ok()) return inner;
+      return ExprPtr(expr::Not(inner.value()));
+    }
+    return ParsePredicate();
+  }
+
+  // Distinguish "(bool_expr)" from "(value)": after a parenthesized value
+  // a comparison operator follows; after a bool expr it does not. We parse
+  // speculatively by saving the cursor.
+  Result<ExprPtr> ParsePredicate() {
+    if (Peek().IsSymbol("(")) {
+      const size_t saved = pos_;
+      ++pos_;
+      Result<ExprPtr> inner = ParseBoolExpr();
+      if (inner.ok() && Peek().IsSymbol(")")) {
+        ++pos_;
+        // If a comparison follows, the parenthesis wrapped a value after
+        // all; re-parse as a value comparison.
+        if (!PeekIsComparison()) return inner;
+      }
+      pos_ = saved;  // fall through to value comparison
+    }
+    Result<ExprPtr> left = ParseValue();
+    if (!left.ok()) return left;
+
+    if (Accept("BETWEEN")) {
+      Result<ExprPtr> lo = ParseValue();
+      if (!lo.ok()) return lo;
+      RQO_RETURN_NOT_OK(Expect("AND"));
+      Result<ExprPtr> hi = ParseValue();
+      if (!hi.ok()) return hi;
+      Result<Value> lo_v = FoldToValue(lo.value());
+      Result<Value> hi_v = FoldToValue(hi.value());
+      if (!lo_v.ok()) return lo_v.status();
+      if (!hi_v.ok()) return hi_v.status();
+      return ExprPtr(expr::Between(left.value(), lo_v.value(), hi_v.value()));
+    }
+    if (Accept("LIKE")) {
+      const Token& pattern = Advance();
+      if (pattern.type != TokenType::kString) {
+        return Error("expected string pattern after LIKE");
+      }
+      const std::string& p = pattern.text;
+      if (p.size() < 2 || p.front() != '%' || p.back() != '%' ||
+          p.find('%', 1) != p.size() - 1) {
+        return Error("only '%...%' containment patterns are supported");
+      }
+      return ExprPtr(expr::StringContains(left.value(),
+                                          p.substr(1, p.size() - 2)));
+    }
+    static const std::pair<const char*, expr::CompareOp> kOps[] = {
+        {"=", expr::CompareOp::kEq},  {"<>", expr::CompareOp::kNe},
+        {"<=", expr::CompareOp::kLe}, {">=", expr::CompareOp::kGe},
+        {"<", expr::CompareOp::kLt},  {">", expr::CompareOp::kGt},
+    };
+    for (const auto& [symbol, op] : kOps) {
+      if (AcceptSymbol(symbol)) {
+        Result<ExprPtr> right = ParseValue();
+        if (!right.ok()) return right;
+        return ExprPtr(expr::Compare(op, left.value(), right.value()));
+      }
+    }
+    return Error("expected comparison, BETWEEN or LIKE");
+  }
+
+  Result<Value> FoldToValue(const ExprPtr& e) {
+    if (!expr::IsConstant(*e)) {
+      return Error("BETWEEN bounds must be constant expressions");
+    }
+    return expr::FoldConstant(*e);
+  }
+
+  bool PeekIsComparison() const {
+    for (const char* s : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (Peek().IsSymbol(s)) return true;
+    }
+    return Peek().IsKeyword("BETWEEN") || Peek().IsKeyword("LIKE");
+  }
+
+  Result<ExprPtr> ParseValue() {
+    Result<ExprPtr> left = ParseTerm();
+    if (!left.ok()) return left;
+    ExprPtr out = left.value();
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        Result<ExprPtr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        out = expr::Arith(expr::ArithOp::kAdd, out, rhs.value());
+      } else if (AcceptSymbol("-")) {
+        Result<ExprPtr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        out = expr::Arith(expr::ArithOp::kSub, out, rhs.value());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    Result<ExprPtr> left = ParseFactor();
+    if (!left.ok()) return left;
+    ExprPtr out = left.value();
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        Result<ExprPtr> rhs = ParseFactor();
+        if (!rhs.ok()) return rhs;
+        out = expr::Arith(expr::ArithOp::kMul, out, rhs.value());
+      } else if (AcceptSymbol("/")) {
+        Result<ExprPtr> rhs = ParseFactor();
+        if (!rhs.ok()) return rhs;
+        out = expr::Arith(expr::ArithOp::kDiv, out, rhs.value());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (AcceptSymbol("(")) {
+      Result<ExprPtr> inner = ParseValue();
+      if (!inner.ok()) return inner;
+      RQO_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (AcceptSymbol("-")) {
+      Result<ExprPtr> inner = ParseFactor();
+      if (!inner.ok()) return inner;
+      return ExprPtr(
+          expr::Arith(expr::ArithOp::kSub, expr::LitInt(0), inner.value()));
+    }
+    const Token& token = Advance();
+    switch (token.type) {
+      case TokenType::kInteger:
+        return ExprPtr(expr::LitInt(token.int_value));
+      case TokenType::kFloat:
+        return ExprPtr(expr::LitDouble(token.float_value));
+      case TokenType::kString:
+        return ExprPtr(expr::LitString(token.text));
+      case TokenType::kIdentifier: {
+        if (token.text == "DATE") {
+          const Token& lit = Advance();
+          if (lit.type != TokenType::kString) {
+            return Error("expected 'YYYY-MM-DD' after DATE");
+          }
+          Result<int64_t> days = storage::ParseDate(lit.text);
+          if (!days.ok()) return days.status();
+          return ExprPtr(expr::LitDate(days.value()));
+        }
+        return ExprPtr(expr::Col(token.text));
+      }
+      default:
+        --pos_;
+        return Error("expected value");
+    }
+  }
+
+  // ORDER BY must name a column of the final output: an aggregate output
+  // or grouping column for aggregate queries, otherwise a (selected)
+  // table column.
+  Status ValidateOrderBy() {
+    if (query_.order_by.empty()) return Status::OK();
+    const std::string& column = query_.order_by;
+    if (!query_.aggregates.empty()) {
+      for (const auto& agg : query_.aggregates) {
+        if (agg.output_name == column) return Status::OK();
+      }
+      for (const auto& g : query_.group_by) {
+        if (g == column) return Status::OK();
+      }
+      return Status::InvalidArgument(
+          "ORDER BY column " + column +
+          " is not an aggregate output or grouping column");
+    }
+    if (!query_.select_columns.empty()) {
+      for (const auto& s : query_.select_columns) {
+        if (s == column) return Status::OK();
+      }
+      return Status::InvalidArgument("ORDER BY column " + column +
+                                     " is not in the SELECT list");
+    }
+    for (const auto& ref : query_.tables) {
+      const storage::Table* t = catalog_->GetTable(ref.table);
+      if (t != nullptr && t->schema().HasColumn(column)) return Status::OK();
+    }
+    return Status::NotFound("ORDER BY column " + column);
+  }
+
+  // ---- WHERE-clause assignment to tables ----
+
+  // The table (position in query_.tables) owning every column of
+  // `columns`, or nullopt when columns span tables / match nothing.
+  std::optional<size_t> OwnerIndex(const std::set<std::string>& columns) {
+    std::optional<size_t> owner;
+    for (const std::string& column : columns) {
+      std::optional<size_t> this_owner;
+      for (size_t i = 0; i < query_.tables.size(); ++i) {
+        const storage::Table* t =
+            catalog_->GetTable(query_.tables[i].table);
+        if (t != nullptr && t->schema().HasColumn(column)) {
+          this_owner = i;
+          break;
+        }
+      }
+      if (!this_owner.has_value()) return std::nullopt;
+      if (owner.has_value() && *owner != *this_owner) return std::nullopt;
+      owner = this_owner;
+    }
+    return owner;
+  }
+
+  // True iff `conjunct` is an equality restating a declared FK join
+  // between two of the query's tables.
+  bool IsRedundantJoinPredicate(const ExprPtr& conjunct) {
+    if (conjunct->kind() != expr::ExprKind::kComparison) return false;
+    const auto& cmp = static_cast<const expr::ComparisonExpr&>(*conjunct);
+    if (cmp.op() != expr::CompareOp::kEq) return false;
+    if (cmp.lhs()->kind() != expr::ExprKind::kColumnRef ||
+        cmp.rhs()->kind() != expr::ExprKind::kColumnRef) {
+      return false;
+    }
+    const std::string a =
+        static_cast<const expr::ColumnRefExpr&>(*cmp.lhs()).name();
+    const std::string b =
+        static_cast<const expr::ColumnRefExpr&>(*cmp.rhs()).name();
+    for (const auto& fk : catalog_->foreign_keys()) {
+      if ((fk.from_column == a && fk.to_column == b) ||
+          (fk.from_column == b && fk.to_column == a)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status AssignPredicates(const ExprPtr& where) {
+    std::vector<std::vector<ExprPtr>> per_table(query_.tables.size());
+    for (const ExprPtr& conjunct : expr::SplitConjuncts(where)) {
+      std::set<std::string> columns;
+      conjunct->CollectColumns(&columns);
+      auto owner = OwnerIndex(columns);
+      if (owner.has_value()) {
+        per_table[*owner].push_back(conjunct);
+        continue;
+      }
+      if (IsRedundantJoinPredicate(conjunct)) continue;  // implied FK join
+      return Status::Unsupported(
+          "WHERE conjunct spans tables (only single-table predicates and "
+          "foreign-key join conditions are supported): " +
+          conjunct->ToString());
+    }
+    for (size_t i = 0; i < per_table.size(); ++i) {
+      if (per_table[i].empty()) continue;
+      query_.tables[i].predicate = per_table[i].size() == 1
+                                       ? per_table[i][0]
+                                       : expr::And(per_table[i]);
+    }
+    return Status::OK();
+  }
+
+  const storage::Catalog* catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  opt::QuerySpec query_;
+};
+
+}  // namespace
+
+Result<opt::QuerySpec> ParseQuery(const storage::Catalog& catalog,
+                                  const std::string& statement) {
+  Result<std::vector<Token>> tokens = Tokenize(statement);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace robustqo

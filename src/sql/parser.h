@@ -1,0 +1,51 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// SQL front end for the SPJ(+aggregate) query class the optimizer plans
+// (paper Section 3.2). Supported grammar:
+//
+//   query      := SELECT select_list FROM table_list
+//                 [WHERE bool_expr] [GROUP BY column_list]
+//                 [ORDER BY column [ASC]] [LIMIT positive_integer]
+//   select_list:= item (',' item)*
+//   item       := '*' | column [AS name]
+//               | (SUM|COUNT|MIN|MAX|AVG) '(' (column | '*') ')' [AS name]
+//   table_list := table (',' table)*          -- joins are the catalog's
+//                                                foreign keys (natural)
+//   bool_expr  := and_expr (OR and_expr)*
+//   and_expr   := not_expr (AND not_expr)*
+//   not_expr   := [NOT] predicate
+//   predicate  := '(' bool_expr ')'
+//               | value (('='|'<>'|'<'|'<='|'>'|'>=') value
+//                        | BETWEEN value AND value
+//                        | LIKE string)            -- '%s%' containment
+//   value      := term (('+'|'-') term)*
+//   term       := factor (('*'|'/') factor)*
+//   factor     := column | number | string | DATE 'YYYY-MM-DD'
+//               | '(' value ')'
+//
+// WHERE conjuncts must each reference columns of a single table (they
+// become that table's selection predicate); cross-table equality conjuncts
+// that restate a declared foreign key are accepted and dropped (the join
+// is implied). Anything else is rejected with a clear error.
+
+#ifndef ROBUSTQO_SQL_PARSER_H_
+#define ROBUSTQO_SQL_PARSER_H_
+
+#include <string>
+
+#include "optimizer/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace sql {
+
+/// Parses `statement` into a QuerySpec, resolving table/column names
+/// against `catalog`.
+Result<opt::QuerySpec> ParseQuery(const storage::Catalog& catalog,
+                                  const std::string& statement);
+
+}  // namespace sql
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_SQL_PARSER_H_

@@ -1,0 +1,21 @@
+#include "statistics/cardinality_estimator.h"
+
+namespace robustqo {
+namespace stats {
+
+Result<double> CardinalityEstimator::EstimateDistinctValues(
+    const std::string& table, const std::string& column) {
+  return Status::Unsupported("no distinct-value estimate for " + table +
+                             "." + column);
+}
+
+Result<double> CardinalityEstimator::EstimateSelectivity(
+    const CardinalityRequest& request, double root_rows) {
+  if (root_rows <= 0.0) return 0.0;
+  Result<double> rows = EstimateRows(request);
+  if (!rows.ok()) return rows.status();
+  return rows.value() / root_rows;
+}
+
+}  // namespace stats
+}  // namespace robustqo

@@ -1,0 +1,59 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// The cardinality-estimation interface the optimizer calls. Exactly one
+// method matters: given an SPJ subexpression (a set of FK-joined tables plus
+// a conjunctive predicate), estimate the number of result rows. Swapping
+// the implementation — histogram/AVI baseline vs the robust sample-based
+// estimator — is the entire integration surface of the paper's technique
+// (Section 3.1.1: "changes ... can be entirely isolated within the
+// cardinality estimation module").
+
+#ifndef ROBUSTQO_STATISTICS_CARDINALITY_ESTIMATOR_H_
+#define ROBUSTQO_STATISTICS_CARDINALITY_ESTIMATOR_H_
+
+#include <set>
+#include <string>
+
+#include "expr/expression.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace stats {
+
+/// An SPJ subexpression whose result size the optimizer wants.
+struct CardinalityRequest {
+  /// Tables joined in the subexpression (all joins are FK joins implied by
+  /// the catalog's FK graph). A single-table request has one entry.
+  std::set<std::string> tables;
+  /// Conjunction of all selection predicates applying to these tables; may
+  /// be null, meaning TRUE.
+  expr::ExprPtr predicate;
+};
+
+/// Abstract cardinality estimation module.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated number of rows produced by the subexpression.
+  virtual Result<double> EstimateRows(const CardinalityRequest& request) = 0;
+
+  /// Estimated selectivity relative to the expression's root-table
+  /// population (rows / |root|).
+  Result<double> EstimateSelectivity(const CardinalityRequest& request,
+                                     double root_rows);
+
+  /// Estimated number of distinct values of `table.column` (used for
+  /// GROUP BY output sizing, paper Section 3.5). Default: Unsupported;
+  /// callers fall back to a heuristic.
+  virtual Result<double> EstimateDistinctValues(const std::string& table,
+                                                const std::string& column);
+
+  /// Display name for reports ("histogram", "robust-sample@T=0.80", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_CARDINALITY_ESTIMATOR_H_

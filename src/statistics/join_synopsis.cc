@@ -1,0 +1,146 @@
+#include "statistics/join_synopsis.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace stats {
+
+using storage::Catalog;
+using storage::ColumnDef;
+using storage::ForeignKey;
+using storage::Rid;
+using storage::Schema;
+using storage::Table;
+
+namespace {
+
+// PK value -> rid map for integer-physical primary keys.
+std::unordered_map<int64_t, Rid> BuildPkLookup(const Table& table,
+                                               const std::string& pk_column) {
+  const storage::ColumnVector& col = table.column(pk_column);
+  RQO_CHECK_MSG(storage::IsIntegerPhysical(col.type()),
+                "join synopses require integer primary keys");
+  std::unordered_map<int64_t, Rid> map;
+  map.reserve(table.num_rows() * 2);
+  for (Rid rid = 0; rid < table.num_rows(); ++rid) {
+    const bool inserted = map.emplace(col.Int64At(rid), rid).second;
+    RQO_CHECK_MSG(inserted, "duplicate primary key value");
+  }
+  return map;
+}
+
+}  // namespace
+
+JoinSynopsis::JoinSynopsis(const Catalog& catalog,
+                           const std::string& root_table, size_t sample_size,
+                           SamplingMode mode, Rng* rng) {
+  const Table* root = catalog.GetTable(root_table);
+  RQO_CHECK_MSG(root != nullptr, ("no table " + root_table).c_str());
+  root_table_ = root_table;
+  root_row_count_ = root->num_rows();
+  covered_tables_.insert(root_table);
+
+  // BFS over the FK closure; record the join steps in visit order so each
+  // step's source table is already materialized when we chase it.
+  struct JoinStep {
+    ForeignKey fk;
+    const Table* target;
+  };
+  std::vector<JoinStep> steps;
+  std::deque<std::string> frontier{root_table};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const ForeignKey& fk : catalog.ForeignKeysFrom(current)) {
+      if (covered_tables_.count(fk.to_table) > 0) continue;  // acyclic guard
+      const Table* target = catalog.GetTable(fk.to_table);
+      RQO_CHECK(target != nullptr);
+      covered_tables_.insert(fk.to_table);
+      steps.push_back({fk, target});
+      frontier.push_back(fk.to_table);
+    }
+  }
+
+  // Wide schema: root columns then each joined table's columns.
+  std::vector<ColumnDef> wide_columns = root->schema().columns();
+  for (const JoinStep& step : steps) {
+    const auto& cols = step.target->schema().columns();
+    wide_columns.insert(wide_columns.end(), cols.begin(), cols.end());
+  }
+  rows_ = std::make_unique<Table>(root_table + "$synopsis",
+                                  Schema(wide_columns));
+
+  if (root->num_rows() == 0) return;
+
+  // PK lookup per joined table.
+  std::vector<std::unordered_map<int64_t, Rid>> pk_lookups;
+  pk_lookups.reserve(steps.size());
+  for (const JoinStep& step : steps) {
+    pk_lookups.push_back(BuildPkLookup(*step.target, step.fk.to_column));
+  }
+
+  // Sample the root, then chase every FK for each sampled tuple.
+  std::vector<uint64_t> picks;
+  if (mode == SamplingMode::kWithReplacement) {
+    picks = rng->SampleWithReplacement(root->num_rows(), sample_size);
+  } else {
+    const size_t k =
+        std::min<size_t>(sample_size, static_cast<size_t>(root->num_rows()));
+    picks = rng->SampleWithoutReplacement(root->num_rows(), k);
+  }
+
+  rows_->Reserve(picks.size());
+  for (uint64_t root_rid : picks) {
+    std::vector<storage::Value> wide_row = root->RowAt(root_rid);
+    // rid of each already-joined table for this tuple.
+    std::unordered_map<std::string, Rid> resolved{{root_table, root_rid}};
+    for (size_t s = 0; s < steps.size(); ++s) {
+      const JoinStep& step = steps[s];
+      const Table* from =
+          step.fk.from_table == root_table
+              ? root
+              : catalog.GetTable(step.fk.from_table);
+      auto from_rid_it = resolved.find(step.fk.from_table);
+      RQO_CHECK_MSG(from_rid_it != resolved.end(),
+                    "FK source not yet materialized (BFS order violated)");
+      const int64_t fk_value =
+          from->column(step.fk.from_column).Int64At(from_rid_it->second);
+      auto hit = pk_lookups[s].find(fk_value);
+      RQO_CHECK_MSG(hit != pk_lookups[s].end(),
+                    "foreign key integrity violation");
+      const Rid target_rid = hit->second;
+      resolved.emplace(step.fk.to_table, target_rid);
+      std::vector<storage::Value> target_row =
+          step.target->RowAt(target_rid);
+      wide_row.insert(wide_row.end(), target_row.begin(), target_row.end());
+    }
+    rows_->AppendRow(wide_row);
+  }
+}
+
+JoinSynopsis JoinSynopsis::FromSavedRows(
+    std::string root_table, uint64_t root_row_count,
+    std::set<std::string> covered_tables,
+    std::unique_ptr<storage::Table> rows) {
+  RQO_CHECK(rows != nullptr);
+  JoinSynopsis synopsis;
+  synopsis.root_table_ = std::move(root_table);
+  synopsis.root_row_count_ = root_row_count;
+  synopsis.covered_tables_ = std::move(covered_tables);
+  synopsis.rows_ = std::move(rows);
+  return synopsis;
+}
+
+bool JoinSynopsis::Covers(const std::set<std::string>& tables) const {
+  if (tables.count(root_table_) == 0) return false;
+  for (const std::string& t : tables) {
+    if (covered_tables_.count(t) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace stats
+}  // namespace robustqo

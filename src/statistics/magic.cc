@@ -1,0 +1,17 @@
+#include "statistics/magic.h"
+
+namespace robustqo {
+namespace stats {
+
+const math::BetaDistribution& MagicDistribution() {
+  static const math::BetaDistribution* dist =
+      new math::BetaDistribution(0.5, 1.0);
+  return *dist;
+}
+
+double MagicSelectivityAtConfidence(double confidence_threshold) {
+  return MagicDistribution().InverseCdf(confidence_threshold);
+}
+
+}  // namespace stats
+}  // namespace robustqo

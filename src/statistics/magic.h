@@ -1,0 +1,37 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Fallbacks for predicates with no usable statistics (paper Section 3.5):
+// classic "magic number" constants (after Selinger et al. [30]) and the
+// paper's proposed "magic distribution", whose quantile at the confidence
+// threshold varies the magic number with the robustness setting.
+
+#ifndef ROBUSTQO_STATISTICS_MAGIC_H_
+#define ROBUSTQO_STATISTICS_MAGIC_H_
+
+#include "stats_math/beta_distribution.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Selectivity guess for an equality predicate with no statistics.
+inline constexpr double kMagicEqualitySelectivity = 0.1;
+
+/// Selectivity guess for a range predicate with no statistics.
+inline constexpr double kMagicRangeSelectivity = 1.0 / 3.0;
+
+/// Selectivity guess for an arbitrary (opaque) predicate with no statistics.
+inline constexpr double kMagicUnknownSelectivity = 1.0 / 3.0;
+
+/// The "magic distribution": a wide Beta whose mean equals the classic 1/3
+/// range magic number (Beta(1/2, 1) has mean 1/3) but whose quantiles make
+/// the effective magic number respond to the confidence threshold —
+/// conservative settings assume more rows, aggressive settings fewer.
+const math::BetaDistribution& MagicDistribution();
+
+/// Quantile of the magic distribution at `confidence_threshold`.
+double MagicSelectivityAtConfidence(double confidence_threshold);
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_MAGIC_H_

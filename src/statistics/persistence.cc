@@ -1,0 +1,243 @@
+#include "statistics/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "storage/csv.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace stats {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "robustqo-statistics-v1";
+
+std::string SafeName(std::string s) {
+  for (char& c : s) {
+    if (c == '.' || c == '/' || c == '\\') c = '_';
+  }
+  return s;
+}
+
+Result<storage::DataType> TypeFromName(const std::string& name) {
+  if (name == "INT64") return storage::DataType::kInt64;
+  if (name == "DOUBLE") return storage::DataType::kDouble;
+  if (name == "STRING") return storage::DataType::kString;
+  if (name == "DATE") return storage::DataType::kDate;
+  return Status::InvalidArgument("unknown type " + name);
+}
+
+std::string SchemaLine(const storage::Schema& schema) {
+  std::vector<std::string> parts;
+  parts.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) {
+    parts.push_back(col.name + ":" + storage::DataTypeName(col.type));
+  }
+  return StrJoin(parts, ",");
+}
+
+Result<storage::Schema> ParseSchemaLine(const std::string& line) {
+  std::vector<storage::ColumnDef> defs;
+  std::stringstream stream(line);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad schema entry: " + part);
+    }
+    Result<storage::DataType> type = TypeFromName(part.substr(colon + 1));
+    if (!type.ok()) return type.status();
+    defs.push_back({part.substr(0, colon), type.value()});
+  }
+  if (defs.empty()) return Status::InvalidArgument("empty schema line");
+  return storage::Schema(std::move(defs));
+}
+
+Status WriteHistogram(const std::string& key, const EquiDepthHistogram& hist,
+                      const fs::path& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Internal("cannot write " + path.string());
+  // key is "table.column"; split on the first dot.
+  const size_t dot = key.find('.');
+  out << kMagic << " histogram\n";
+  out << "key " << key.substr(0, dot) << " " << key.substr(dot + 1) << "\n";
+  out << "rows " << hist.total_rows() << "\n";
+  out << "data\n";
+  for (const auto& bucket : hist.buckets()) {
+    out << StrPrintf("%.17g %.17g %llu %llu\n", bucket.lo, bucket.hi,
+                     static_cast<unsigned long long>(bucket.row_count),
+                     static_cast<unsigned long long>(bucket.distinct_count));
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+Status WriteTupleEntry(const char* kind, const std::string& table,
+                       uint64_t rows_meta, const std::string& covers_line,
+                       const storage::Table& tuples, const fs::path& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Internal("cannot write " + path.string());
+  out << kMagic << " " << kind << "\n";
+  out << "key " << table << "\n";
+  out << "rows " << rows_meta << "\n";
+  if (!covers_line.empty()) out << "covers " << covers_line << "\n";
+  out << "schema " << SchemaLine(tuples.schema()) << "\n";
+  out << "data\n";
+  storage::CsvOptions options;
+  options.has_header = false;
+  RQO_RETURN_NOT_OK(storage::WriteCsv(tuples, &out, options));
+  return out.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+struct EntryHeader {
+  std::string kind;
+  std::string table;
+  std::string column;  // histograms only
+  uint64_t rows = 0;
+  std::set<std::string> covers;
+  std::string schema_line;
+};
+
+Result<EntryHeader> ReadHeader(std::istream* in, const std::string& file) {
+  EntryHeader header;
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument(file + ": empty file");
+  }
+  std::stringstream magic(line);
+  std::string tag;
+  magic >> tag >> header.kind;
+  if (tag != kMagic) {
+    return Status::InvalidArgument(file + ": bad magic");
+  }
+  while (std::getline(*in, line) && line != "data") {
+    std::stringstream stream(line);
+    std::string field;
+    stream >> field;
+    if (field == "key") {
+      stream >> header.table >> header.column;
+    } else if (field == "rows") {
+      stream >> header.rows;
+    } else if (field == "covers") {
+      std::string rest;
+      stream >> rest;
+      std::stringstream covers(rest);
+      std::string t;
+      while (std::getline(covers, t, ',')) header.covers.insert(t);
+    } else if (field == "schema") {
+      header.schema_line = line.substr(7);
+    } else {
+      return Status::InvalidArgument(file + ": unknown field " + field);
+    }
+  }
+  if (line != "data") {
+    return Status::InvalidArgument(file + ": missing data section");
+  }
+  return header;
+}
+
+Status LoadOneFile(const fs::path& path, StatisticsCatalog* statistics) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path.string());
+  Result<EntryHeader> header = ReadHeader(&in, path.filename().string());
+  if (!header.ok()) return header.status();
+  const EntryHeader& h = header.value();
+
+  if (h.kind == "histogram") {
+    std::vector<HistogramBucket> buckets;
+    HistogramBucket bucket;
+    unsigned long long rows = 0;
+    unsigned long long distinct = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (std::sscanf(line.c_str(), "%lg %lg %llu %llu", &bucket.lo,
+                      &bucket.hi, &rows, &distinct) != 4) {
+        return Status::InvalidArgument(path.string() + ": bad bucket line");
+      }
+      bucket.row_count = rows;
+      bucket.distinct_count = distinct;
+      buckets.push_back(bucket);
+    }
+    statistics->InstallHistogram(
+        h.table, h.column,
+        std::make_unique<EquiDepthHistogram>(EquiDepthHistogram::FromBuckets(
+            h.column, h.rows, std::move(buckets))));
+    return Status::OK();
+  }
+
+  // Tuple-bearing entries (sample / synopsis).
+  Result<storage::Schema> schema = ParseSchemaLine(h.schema_line);
+  if (!schema.ok()) return schema.status();
+  storage::CsvOptions options;
+  options.has_header = false;
+  Result<std::unique_ptr<storage::Table>> tuples = storage::ReadCsv(
+      &in, h.table + "$restored", schema.value(), options);
+  if (!tuples.ok()) return tuples.status();
+
+  if (h.kind == "sample") {
+    statistics->InstallSample(
+        std::make_unique<TableSample>(TableSample::FromSavedRows(
+            h.table, h.rows, std::move(tuples).value())));
+    return Status::OK();
+  }
+  if (h.kind == "synopsis") {
+    statistics->InstallSynopsis(
+        std::make_unique<JoinSynopsis>(JoinSynopsis::FromSavedRows(
+            h.table, h.rows, h.covers, std::move(tuples).value())));
+    return Status::OK();
+  }
+  return Status::InvalidArgument(path.string() + ": unknown kind " + h.kind);
+}
+
+}  // namespace
+
+Status SaveStatistics(const StatisticsCatalog& statistics,
+                      const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return Status::Internal("cannot create " + directory);
+
+  for (const auto& [key, hist] : statistics.AllHistograms()) {
+    RQO_RETURN_NOT_OK(WriteHistogram(
+        key, *hist, fs::path(directory) / ("hist_" + SafeName(key) + ".rqs")));
+  }
+  for (const TableSample* sample : statistics.AllSamples()) {
+    RQO_RETURN_NOT_OK(WriteTupleEntry(
+        "sample", sample->source_table(), sample->source_row_count(), "",
+        sample->rows(),
+        fs::path(directory) /
+            ("sample_" + SafeName(sample->source_table()) + ".rqs")));
+  }
+  for (const JoinSynopsis* synopsis : statistics.AllSynopses()) {
+    std::vector<std::string> covers(synopsis->covered_tables().begin(),
+                                    synopsis->covered_tables().end());
+    RQO_RETURN_NOT_OK(WriteTupleEntry(
+        "synopsis", synopsis->root_table(), synopsis->root_row_count(),
+        StrJoin(covers, ","), synopsis->rows(),
+        fs::path(directory) /
+            ("synopsis_" + SafeName(synopsis->root_table()) + ".rqs")));
+  }
+  return Status::OK();
+}
+
+Status LoadStatistics(const std::string& directory,
+                      StatisticsCatalog* statistics) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound(directory + " is not a directory");
+  }
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".rqs") continue;
+    RQO_RETURN_NOT_OK(LoadOneFile(entry.path(), statistics));
+  }
+  if (ec) return Status::Internal("error scanning " + directory);
+  return Status::OK();
+}
+
+}  // namespace stats
+}  // namespace robustqo

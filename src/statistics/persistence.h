@@ -1,0 +1,44 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Persistence of summary statistics: a real DBMS keeps its statistics in
+// the system catalog across restarts; this module saves and restores every
+// histogram, sample and join synopsis of a StatisticsCatalog to a plain
+// directory of versioned text files (one per entry), so statistics built
+// over a large database need not be recomputed per process.
+//
+// File format (version 1), one entry per file:
+//   robustqo-statistics-v1 <histogram|sample|synopsis>
+//   key <table> [<column>]
+//   rows <total/source/root row count>
+//   [covers <t1>,<t2>,...]                     (synopsis only)
+//   [schema <name>:<TYPE>(,<name>:<TYPE>)*]    (sample/synopsis)
+//   data
+//   ...one line per bucket (lo hi rows distinct) or per CSV tuple...
+
+#ifndef ROBUSTQO_STATISTICS_PERSISTENCE_H_
+#define ROBUSTQO_STATISTICS_PERSISTENCE_H_
+
+#include <string>
+
+#include "statistics/statistics_catalog.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Writes every histogram, sample and synopsis of `statistics` into
+/// `directory` (created if absent). Existing statistics files in the
+/// directory are overwritten.
+Status SaveStatistics(const StatisticsCatalog& statistics,
+                      const std::string& directory);
+
+/// Loads every statistics file from `directory` into `statistics`
+/// (replacing same-keyed entries). Unknown files are ignored; malformed
+/// statistics files fail with InvalidArgument naming the file.
+Status LoadStatistics(const std::string& directory,
+                      StatisticsCatalog* statistics);
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_PERSISTENCE_H_

@@ -1,0 +1,98 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Reservoir sampling for incremental sample maintenance. The paper's
+// precomputation phase runs "periodically whenever a sufficient number of
+// database modifications have occurred" (Section 3.2); a reservoir keeps
+// the sample uniform under inserts *between* rebuilds, and
+// SampleMaintenancePolicy decides when a full rebuild (which also
+// refreshes join synopses) is due.
+
+#ifndef ROBUSTQO_STATISTICS_RESERVOIR_H_
+#define ROBUSTQO_STATISTICS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Algorithm-R reservoir: after observing any stream prefix of length
+/// m >= capacity, the reservoir holds a uniform without-replacement sample
+/// of size `capacity` of that prefix.
+template <typename T>
+class ReservoirSample {
+ public:
+  ReservoirSample(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    RQO_CHECK(capacity > 0);
+    items_.reserve(capacity);
+  }
+
+  /// Observes one stream element.
+  void Add(const T& item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng_.NextBounded(seen_);
+    if (j < capacity_) items_[static_cast<size_t>(j)] = item;
+  }
+
+  /// Elements observed so far.
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<T>& items() const { return items_; }
+
+  void Reset() {
+    items_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> items_;
+  uint64_t seen_ = 0;
+};
+
+/// Decides when summary statistics are stale enough for a rebuild —
+/// the UPDATE STATISTICS trigger heuristic.
+class SampleMaintenancePolicy {
+ public:
+  /// Rebuild once modifications exceed `rebuild_fraction` of the table
+  /// size at the last rebuild (default 20%, a common DBMS heuristic).
+  explicit SampleMaintenancePolicy(double rebuild_fraction = 0.20)
+      : rebuild_fraction_(rebuild_fraction) {}
+
+  /// Records that statistics were (re)built over `table_rows` rows.
+  void RecordRebuild(uint64_t table_rows) {
+    rows_at_rebuild_ = table_rows;
+    modifications_ = 0;
+  }
+
+  /// Records `count` inserted/updated/deleted rows.
+  void RecordModifications(uint64_t count) { modifications_ += count; }
+
+  /// True when a rebuild is due.
+  bool RebuildDue() const {
+    if (rows_at_rebuild_ == 0) return true;  // never built
+    return static_cast<double>(modifications_) >=
+           rebuild_fraction_ * static_cast<double>(rows_at_rebuild_);
+  }
+
+  uint64_t modifications_since_rebuild() const { return modifications_; }
+
+ private:
+  double rebuild_fraction_;
+  uint64_t rows_at_rebuild_ = 0;
+  uint64_t modifications_ = 0;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_RESERVOIR_H_

@@ -1,0 +1,100 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// The paper's contribution: cardinality estimation that (1) evaluates the
+// predicate on a precomputed join synopsis, (2) infers a Beta posterior for
+// the true selectivity by Bayes's rule, and (3) condenses the posterior to
+// the single value cdf^{-1}(T) where T is the user's confidence threshold —
+// the knob trading expected performance against predictability
+// (Sections 3.1-3.4).
+
+#ifndef ROBUSTQO_STATISTICS_ROBUST_SAMPLE_ESTIMATOR_H_
+#define ROBUSTQO_STATISTICS_ROBUST_SAMPLE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "statistics/cardinality_estimator.h"
+#include "statistics/selectivity_posterior.h"
+#include "statistics/statistics_catalog.h"
+
+namespace robustqo {
+namespace stats {
+
+/// System-wide robustness presets (paper Section 6.2.5): query hints can
+/// still override the threshold per query.
+enum class RobustnessLevel {
+  kAggressive,    ///< T = 50%
+  kModerate,      ///< T = 80% — the recommended general-purpose baseline
+  kConservative,  ///< T = 95%
+};
+
+/// Confidence threshold for a robustness preset.
+double ConfidenceThresholdFor(RobustnessLevel level);
+
+/// Configuration of the robust estimator.
+struct RobustEstimatorConfig {
+  /// Percentile of the selectivity posterior reported to the optimizer.
+  double confidence_threshold = 0.80;
+  /// Prior for Bayesian inference (Jeffreys unless otherwise stated).
+  PriorKind prior = PriorKind::kJeffreys;
+  /// When set, overrides `prior` with an arbitrary Beta prior — e.g. one
+  /// fitted from workload feedback (WorkloadPriorBuilder, Section 3.3's
+  /// "prior knowledge about the query workload").
+  std::optional<BetaPrior> custom_prior;
+
+  /// The effective Beta prior.
+  BetaPrior EffectivePrior() const {
+    return custom_prior.value_or(BetaPrior::For(prior));
+  }
+
+  static RobustEstimatorConfig For(RobustnessLevel level);
+};
+
+/// Robust sample-based cardinality estimator.
+class RobustSampleEstimator : public CardinalityEstimator {
+ public:
+  RobustSampleEstimator(const StatisticsCatalog* statistics,
+                        RobustEstimatorConfig config)
+      : statistics_(statistics), config_(config) {}
+
+  /// Estimate = cdf^{-1}(T) of the selectivity posterior, scaled by the
+  /// root table's row count. Fallback chain when no covering synopsis
+  /// exists (Section 3.5): independent per-table samples combined with
+  /// AVI + containment; then the "magic distribution" quantile at T.
+  Result<double> EstimateRows(const CardinalityRequest& request) override;
+
+  /// The full posterior for a request, when a covering synopsis exists.
+  /// This is what a least-expected-cost or crossover analysis would
+  /// consume; EstimateRows is its cdf^{-1}(T) condensation.
+  Result<SelectivityPosterior> EstimatePosterior(
+      const CardinalityRequest& request) const;
+
+  /// The (k, n) sample observation behind EstimatePosterior.
+  struct Observation {
+    uint64_t satisfying = 0;  ///< k
+    uint64_t sample_size = 0;  ///< n
+    uint64_t root_rows = 0;    ///< |root table|
+  };
+  Result<Observation> Observe(const CardinalityRequest& request) const;
+
+  /// Distinct count via the GEE estimator over the table's sample
+  /// (Section 3.5's distinct-values extension).
+  Result<double> EstimateDistinctValues(const std::string& table,
+                                        const std::string& column) override;
+
+  const RobustEstimatorConfig& config() const { return config_; }
+  RobustEstimatorConfig* mutable_config() { return &config_; }
+  void set_confidence_threshold(double t) { config_.confidence_threshold = t; }
+
+  std::string name() const override;
+
+ private:
+  const StatisticsCatalog* statistics_;
+  RobustEstimatorConfig config_;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_ROBUST_SAMPLE_ESTIMATOR_H_

@@ -1,0 +1,46 @@
+#include "statistics/sample.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace stats {
+
+TableSample::TableSample(const storage::Table& table, size_t sample_size,
+                         SamplingMode mode, Rng* rng)
+    : source_table_(table.name()), source_row_count_(table.num_rows()) {
+  RQO_CHECK(rng != nullptr);
+  rows_ = std::make_unique<storage::Table>(table.name() + "$sample",
+                                           table.schema());
+  if (table.num_rows() == 0) return;
+
+  std::vector<uint64_t> picks;
+  if (mode == SamplingMode::kWithReplacement) {
+    picks = rng->SampleWithReplacement(table.num_rows(), sample_size);
+  } else {
+    const size_t k =
+        std::min<size_t>(sample_size, static_cast<size_t>(table.num_rows()));
+    picks = rng->SampleWithoutReplacement(table.num_rows(), k);
+  }
+  rows_->Reserve(picks.size());
+  source_rids_.reserve(picks.size());
+  for (uint64_t rid : picks) {
+    rows_->AppendRow(table.RowAt(rid));
+    source_rids_.push_back(rid);
+  }
+}
+
+TableSample TableSample::FromSavedRows(
+    std::string source_table, uint64_t source_row_count,
+    std::unique_ptr<storage::Table> rows) {
+  RQO_CHECK(rows != nullptr);
+  TableSample sample;
+  sample.source_table_ = std::move(source_table);
+  sample.source_row_count_ = source_row_count;
+  sample.rows_ = std::move(rows);
+  return sample;
+}
+
+}  // namespace stats
+}  // namespace robustqo

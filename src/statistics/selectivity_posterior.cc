@@ -1,0 +1,47 @@
+#include "statistics/selectivity_posterior.h"
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace stats {
+
+BetaPrior BetaPrior::For(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kJeffreys:
+      return {0.5, 0.5};
+    case PriorKind::kUniform:
+      return {1.0, 1.0};
+  }
+  return {0.5, 0.5};
+}
+
+namespace {
+math::BetaDistribution MakePosterior(uint64_t k, uint64_t n, BetaPrior prior) {
+  RQO_CHECK_MSG(k <= n, "k must not exceed n");
+  return math::BetaDistribution(prior.alpha + static_cast<double>(k),
+                                prior.beta + static_cast<double>(n - k));
+}
+}  // namespace
+
+SelectivityPosterior::SelectivityPosterior(uint64_t k, uint64_t n,
+                                           PriorKind prior)
+    : k_(k), n_(n), dist_(MakePosterior(k, n, BetaPrior::For(prior))) {}
+
+SelectivityPosterior::SelectivityPosterior(uint64_t k, uint64_t n,
+                                           BetaPrior prior)
+    : k_(k), n_(n), dist_(MakePosterior(k, n, prior)) {}
+
+double SelectivityPosterior::EstimateAtConfidence(
+    double confidence_threshold) const {
+  RQO_CHECK_MSG(confidence_threshold > 0.0 && confidence_threshold < 1.0,
+                "confidence threshold must be in (0, 1)");
+  return dist_.InverseCdf(confidence_threshold);
+}
+
+double SelectivityPosterior::MaxLikelihoodEstimate() const {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(k_) / static_cast<double>(n_);
+}
+
+}  // namespace stats
+}  // namespace robustqo

@@ -1,0 +1,82 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// The Bayesian selectivity posterior of paper Section 3.3: observing that
+// k of n uniformly sampled tuples satisfy a predicate, the conditional
+// density of the true selectivity p is Beta(k + a0, n - k + b0) where
+// Beta(a0, b0) is the prior — Jeffreys (1/2, 1/2) by default, uniform (1, 1)
+// as the alternative the paper compares against in Figure 4.
+
+#ifndef ROBUSTQO_STATISTICS_SELECTIVITY_POSTERIOR_H_
+#define ROBUSTQO_STATISTICS_SELECTIVITY_POSTERIOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stats_math/beta_distribution.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Prior over selectivity used for Bayesian inference.
+enum class PriorKind {
+  kJeffreys,  ///< Beta(1/2, 1/2) — the non-informative Jeffreys prior.
+  kUniform,   ///< Beta(1, 1) — all selectivities equally likely a priori.
+};
+
+/// Shape parameters of a prior.
+struct BetaPrior {
+  double alpha;
+  double beta;
+
+  static BetaPrior For(PriorKind kind);
+};
+
+/// Posterior distribution for a predicate's selectivity after observing a
+/// random sample.
+class SelectivityPosterior {
+ public:
+  /// Posterior from `k` of `n` sample tuples satisfying the predicate,
+  /// under the given named prior. Requires k <= n. n == 0 reproduces the
+  /// prior itself (no evidence).
+  SelectivityPosterior(uint64_t k, uint64_t n,
+                       PriorKind prior = PriorKind::kJeffreys);
+
+  /// Posterior under an arbitrary Beta(alpha0, beta0) prior, e.g. a
+  /// workload-derived informative prior or the "magic distribution" of
+  /// Section 3.5.
+  SelectivityPosterior(uint64_t k, uint64_t n, BetaPrior prior);
+
+  uint64_t k() const { return k_; }
+  uint64_t n() const { return n_; }
+
+  /// The full posterior Beta distribution.
+  const math::BetaDistribution& distribution() const { return dist_; }
+
+  /// Posterior density at selectivity z.
+  double Pdf(double z) const { return dist_.Pdf(z); }
+
+  /// Pr[p <= z | X].
+  double Cdf(double z) const { return dist_.Cdf(z); }
+
+  /// The paper's robust point estimate: the selectivity s with
+  /// cdf(s) = T, i.e. the optimizer is T-confident the true selectivity
+  /// does not exceed s. `confidence_threshold` in (0, 1).
+  double EstimateAtConfidence(double confidence_threshold) const;
+
+  /// Posterior mean (k + a0) / (n + a0 + b0) — what a non-robust
+  /// expected-value estimator would report.
+  double Mean() const { return dist_.Mean(); }
+
+  /// The classical maximum-likelihood estimate k / n (what [1] uses).
+  double MaxLikelihoodEstimate() const;
+
+ private:
+  uint64_t k_;
+  uint64_t n_;
+  math::BetaDistribution dist_;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_SELECTIVITY_POSTERIOR_H_

@@ -1,0 +1,163 @@
+#include "statistics/statistics_catalog.h"
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace stats {
+
+namespace {
+std::string HistKey(const std::string& table, const std::string& column) {
+  return table + "." + column;
+}
+}  // namespace
+
+void StatisticsCatalog::BuildAllHistograms(size_t buckets) {
+  for (const std::string& name : catalog_->TableNames()) {
+    const storage::Table* table = catalog_->GetTable(name);
+    for (const auto& col : table->schema().columns()) {
+      if (col.type == storage::DataType::kString) continue;
+      histograms_[HistKey(name, col.name)] =
+          std::make_unique<EquiDepthHistogram>(*table, col.name, buckets);
+    }
+  }
+}
+
+Status StatisticsCatalog::BuildHistogram(const std::string& table,
+                                         const std::string& column,
+                                         size_t buckets) {
+  const storage::Table* t = catalog_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (!t->schema().HasColumn(column)) {
+    return Status::NotFound("column " + table + "." + column);
+  }
+  histograms_[HistKey(table, column)] =
+      std::make_unique<EquiDepthHistogram>(*t, column, buckets);
+  return Status::OK();
+}
+
+void StatisticsCatalog::BuildAllSamples(const StatisticsConfig& config) {
+  Rng rng(config.seed);
+  for (const std::string& name : catalog_->TableNames()) {
+    const storage::Table* table = catalog_->GetTable(name);
+    Rng table_rng = rng.Fork();
+    samples_[name] = std::make_unique<TableSample>(
+        *table, config.sample_size, config.sampling_mode, &table_rng);
+    Rng synopsis_rng = rng.Fork();
+    synopses_[name] = std::make_unique<JoinSynopsis>(
+        *catalog_, name, config.sample_size, config.sampling_mode,
+        &synopsis_rng);
+  }
+}
+
+Status StatisticsCatalog::BuildJoinSynopsis(const std::string& root_table,
+                                            const StatisticsConfig& config) {
+  if (catalog_->GetTable(root_table) == nullptr) {
+    return Status::NotFound("table " + root_table);
+  }
+  Rng rng(config.seed);
+  synopses_[root_table] = std::make_unique<JoinSynopsis>(
+      *catalog_, root_table, config.sample_size, config.sampling_mode, &rng);
+  return Status::OK();
+}
+
+void StatisticsCatalog::ClearSamples() {
+  samples_.clear();
+  synopses_.clear();
+}
+
+void StatisticsCatalog::DropSynopsis(const std::string& root_table) {
+  synopses_.erase(root_table);
+  samples_.erase(root_table);
+}
+
+void StatisticsCatalog::ClearHistograms() { histograms_.clear(); }
+
+void StatisticsCatalog::InstallHistogram(
+    const std::string& table, const std::string& column,
+    std::unique_ptr<EquiDepthHistogram> histogram) {
+  histograms_[HistKey(table, column)] = std::move(histogram);
+}
+
+void StatisticsCatalog::InstallSample(std::unique_ptr<TableSample> sample) {
+  RQO_CHECK(sample != nullptr);
+  samples_[sample->source_table()] = std::move(sample);
+}
+
+void StatisticsCatalog::InstallSynopsis(
+    std::unique_ptr<JoinSynopsis> synopsis) {
+  RQO_CHECK(synopsis != nullptr);
+  synopses_[synopsis->root_table()] = std::move(synopsis);
+}
+
+const EquiDepthHistogram* StatisticsCatalog::GetHistogram(
+    const std::string& table, const std::string& column) const {
+  auto it = histograms_.find(HistKey(table, column));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TableSample* StatisticsCatalog::GetSample(
+    const std::string& table) const {
+  auto it = samples_.find(table);
+  return it == samples_.end() ? nullptr : it->second.get();
+}
+
+const JoinSynopsis* StatisticsCatalog::GetSynopsis(
+    const std::string& root_table) const {
+  auto it = synopses_.find(root_table);
+  return it == synopses_.end() ? nullptr : it->second.get();
+}
+
+const JoinSynopsis* StatisticsCatalog::FindCoveringSynopsis(
+    const std::set<std::string>& tables) const {
+  auto root = catalog_->FindRootTable(tables);
+  if (!root.ok()) return nullptr;
+  const JoinSynopsis* synopsis = GetSynopsis(root.value());
+  if (synopsis == nullptr || !synopsis->Covers(tables)) return nullptr;
+  return synopsis;
+}
+
+std::vector<std::pair<std::string, const EquiDepthHistogram*>>
+StatisticsCatalog::AllHistograms() const {
+  std::vector<std::pair<std::string, const EquiDepthHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, hist] : histograms_) {
+    out.emplace_back(key, hist.get());
+  }
+  return out;
+}
+
+std::vector<const TableSample*> StatisticsCatalog::AllSamples() const {
+  std::vector<const TableSample*> out;
+  out.reserve(samples_.size());
+  for (const auto& [key, sample] : samples_) out.push_back(sample.get());
+  return out;
+}
+
+std::vector<const JoinSynopsis*> StatisticsCatalog::AllSynopses() const {
+  std::vector<const JoinSynopsis*> out;
+  out.reserve(synopses_.size());
+  for (const auto& [key, synopsis] : synopses_) {
+    out.push_back(synopsis.get());
+  }
+  return out;
+}
+
+size_t StatisticsCatalog::ApproximateSummaryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, hist] : histograms_) {
+    // value + row counter + distinct counter per bucket (8 + 4 + 4).
+    bytes += hist->num_buckets() * 16;
+  }
+  for (const auto& [key, sample] : samples_) {
+    bytes += static_cast<size_t>(sample->size()) *
+             sample->rows().schema().num_columns() * 8;
+  }
+  for (const auto& [key, synopsis] : synopses_) {
+    bytes += static_cast<size_t>(synopsis->size()) *
+             synopsis->rows().schema().num_columns() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace stats
+}  // namespace robustqo

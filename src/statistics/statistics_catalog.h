@@ -1,0 +1,113 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// StatisticsCatalog: the summary-statistics store a DBMS maintains —
+// per-column histograms, per-table uniform samples, and join synopses. The
+// Build* functions are the UPDATE STATISTICS analogue (paper Section 3.2,
+// precomputation phase).
+
+#ifndef ROBUSTQO_STATISTICS_STATISTICS_CATALOG_H_
+#define ROBUSTQO_STATISTICS_STATISTICS_CATALOG_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "statistics/histogram.h"
+#include "statistics/join_synopsis.h"
+#include "statistics/sample.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Knobs for statistics construction.
+struct StatisticsConfig {
+  /// Tuples per sample / join synopsis (the paper uses 500 by default).
+  size_t sample_size = 500;
+  /// Buckets per histogram (the paper's baseline system uses ~250).
+  size_t histogram_buckets = 250;
+  /// Sampling model; with-replacement matches the Bayesian analysis.
+  SamplingMode sampling_mode = SamplingMode::kWithReplacement;
+  /// Seed for all sample draws; vary to repeat an experiment over
+  /// different random samples (the paper averages over 12-20 draws).
+  uint64_t seed = 42;
+};
+
+/// Owns all summary statistics for one database.
+class StatisticsCatalog {
+ public:
+  explicit StatisticsCatalog(const storage::Catalog* catalog)
+      : catalog_(catalog) {}
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
+
+  const storage::Catalog& catalog() const { return *catalog_; }
+
+  /// Builds a histogram on every numeric column of every table.
+  void BuildAllHistograms(size_t buckets = 250);
+
+  /// Builds a histogram on one column.
+  Status BuildHistogram(const std::string& table, const std::string& column,
+                        size_t buckets = 250);
+
+  /// Builds per-table samples and per-root join synopses for every table,
+  /// using `config`. Rebuilding with a different seed redraws every sample.
+  void BuildAllSamples(const StatisticsConfig& config);
+
+  /// Builds the join synopsis rooted at one table.
+  Status BuildJoinSynopsis(const std::string& root_table,
+                           const StatisticsConfig& config);
+
+  /// Drops every sample and synopsis (e.g. to model the no-statistics
+  /// fallbacks of Section 3.5).
+  void ClearSamples();
+  /// Drops the synopsis/sample rooted at one table.
+  void DropSynopsis(const std::string& root_table);
+  /// Drops all histograms.
+  void ClearHistograms();
+
+  /// Installs externally constructed statistics (used by persistence;
+  /// replaces any existing entry for the same key).
+  void InstallHistogram(const std::string& table, const std::string& column,
+                        std::unique_ptr<EquiDepthHistogram> histogram);
+  void InstallSample(std::unique_ptr<TableSample> sample);
+  void InstallSynopsis(std::unique_ptr<JoinSynopsis> synopsis);
+
+  /// Lookup; nullptr when absent.
+  const EquiDepthHistogram* GetHistogram(const std::string& table,
+                                         const std::string& column) const;
+  const TableSample* GetSample(const std::string& table) const;
+  const JoinSynopsis* GetSynopsis(const std::string& root_table) const;
+
+  /// The synopsis that can answer an SPJ expression over `tables` (rooted
+  /// at the FK-root of the set); nullptr if none was built.
+  const JoinSynopsis* FindCoveringSynopsis(
+      const std::set<std::string>& tables) const;
+
+  /// Total bytes of summary data held, approximated as 8 bytes per numeric
+  /// cell (for the storage-parity discussion of Section 6.1).
+  size_t ApproximateSummaryBytes() const;
+
+  /// Enumeration for persistence/diagnostics. Histogram keys are
+  /// "table.column"; samples/synopses are keyed by table.
+  std::vector<std::pair<std::string, const EquiDepthHistogram*>>
+  AllHistograms() const;
+  std::vector<const TableSample*> AllSamples() const;
+  std::vector<const JoinSynopsis*> AllSynopses() const;
+
+ private:
+  const storage::Catalog* catalog_;
+  std::unordered_map<std::string, std::unique_ptr<EquiDepthHistogram>>
+      histograms_;  // "table.column"
+  std::unordered_map<std::string, std::unique_ptr<TableSample>> samples_;
+  std::unordered_map<std::string, std::unique_ptr<JoinSynopsis>> synopses_;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_STATISTICS_CATALOG_H_

@@ -1,0 +1,36 @@
+#include "statistics/workload_prior.h"
+
+#include <algorithm>
+
+#include "stats_math/descriptive.h"
+
+namespace robustqo {
+namespace stats {
+
+void WorkloadPriorBuilder::Observe(double selectivity) {
+  observations_.push_back(std::clamp(selectivity, 0.0, 1.0));
+}
+
+Result<BetaPrior> WorkloadPriorBuilder::Fit(size_t min_observations) const {
+  if (observations_.size() < min_observations) {
+    return Status::InvalidArgument("too few workload observations");
+  }
+  const double m = math::Mean(observations_);
+  const double v = math::SampleVariance(observations_);
+  // Guard against effectively-constant observations (rounding can leave a
+  // sub-epsilon variance that would explode the moment equations).
+  if (v <= 1e-12 || m <= 0.0 || m >= 1.0) {
+    return Status::InvalidArgument(
+        "degenerate selectivity distribution; keep the Jeffreys prior");
+  }
+  const double common = m * (1.0 - m) / v - 1.0;
+  if (common <= 0.0) {
+    // Variance exceeds the Bernoulli bound; no Beta matches these moments.
+    return Status::InvalidArgument("variance too large for a Beta fit");
+  }
+  auto clamp_shape = [](double x) { return std::clamp(x, 0.05, 1.0e4); };
+  return BetaPrior{clamp_shape(m * common), clamp_shape((1.0 - m) * common)};
+}
+
+}  // namespace stats
+}  // namespace robustqo

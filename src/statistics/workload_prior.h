@@ -1,0 +1,53 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Workload-informed priors (paper Section 3.3: "If we have some prior
+// knowledge about the query workload, we may be able to use that knowledge
+// to estimate f(z)"). Collects the true selectivities of past queries —
+// e.g. from execution feedback — and fits a Beta prior by the method of
+// moments. Feeding that prior into SelectivityPosterior sharpens estimates
+// for workloads whose selectivities cluster (most OLTP-ish workloads hit
+// tiny selectivities, making the fitted prior much more informative than
+// Jeffreys).
+
+#ifndef ROBUSTQO_STATISTICS_WORKLOAD_PRIOR_H_
+#define ROBUSTQO_STATISTICS_WORKLOAD_PRIOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "statistics/selectivity_posterior.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace stats {
+
+/// Accumulates observed query selectivities and fits a Beta prior.
+class WorkloadPriorBuilder {
+ public:
+  /// Records one observed selectivity in [0, 1] (values are clamped).
+  void Observe(double selectivity);
+
+  /// Number of observations so far.
+  size_t count() const { return observations_.size(); }
+
+  /// Method-of-moments Beta fit:
+  ///   m = mean, v = variance,
+  ///   alpha = m * (m (1-m) / v - 1),  beta = (1-m) * (m (1-m) / v - 1).
+  /// Fails with InvalidArgument when fewer than `min_observations`
+  /// selectivities were recorded or the variance is degenerate; shape
+  /// parameters are clamped to [0.05, 10000] for numerical sanity.
+  Result<BetaPrior> Fit(size_t min_observations = 10) const;
+
+  /// The recorded observations (for diagnostics/tests).
+  const std::vector<double>& observations() const { return observations_; }
+
+  void Clear() { observations_.clear(); }
+
+ private:
+  std::vector<double> observations_;
+};
+
+}  // namespace stats
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATISTICS_WORKLOAD_PRIOR_H_

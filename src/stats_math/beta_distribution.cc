@@ -1,0 +1,101 @@
+#include "stats_math/beta_distribution.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats_math/special_functions.h"
+#include "util/macros.h"
+
+namespace robustqo {
+namespace math {
+
+namespace {
+
+// Marsaglia & Tsang (2000) gamma variate, shape >= 0; scale 1.
+double SampleGamma(double shape, Rng* rng) {
+  if (shape < 1.0) {
+    // Boost via Gamma(shape) = Gamma(shape+1) * U^{1/shape}.
+    double u = rng->NextDouble();
+    while (u <= 0.0) u = rng->NextDouble();
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+BetaDistribution::BetaDistribution(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  RQO_CHECK(alpha > 0.0 && beta > 0.0);
+}
+
+double BetaDistribution::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  if (x == 0.0) {
+    if (alpha_ < 1.0) return HUGE_VAL;
+    if (alpha_ == 1.0) return std::exp(-LogBeta(alpha_, beta_));
+    return 0.0;
+  }
+  if (x == 1.0) {
+    if (beta_ < 1.0) return HUGE_VAL;
+    if (beta_ == 1.0) return std::exp(-LogBeta(alpha_, beta_));
+    return 0.0;
+  }
+  return std::exp(LogPdf(x));
+}
+
+double BetaDistribution::LogPdf(double x) const {
+  if (x <= 0.0 || x >= 1.0) return -std::numeric_limits<double>::infinity();
+  return (alpha_ - 1.0) * std::log(x) + (beta_ - 1.0) * std::log1p(-x) -
+         LogBeta(alpha_, beta_);
+}
+
+double BetaDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return RegularizedIncompleteBeta(alpha_, beta_, x);
+}
+
+double BetaDistribution::InverseCdf(double p) const {
+  return InverseRegularizedIncompleteBeta(alpha_, beta_, p);
+}
+
+double BetaDistribution::Mean() const { return alpha_ / (alpha_ + beta_); }
+
+double BetaDistribution::Variance() const {
+  const double s = alpha_ + beta_;
+  return alpha_ * beta_ / (s * s * (s + 1.0));
+}
+
+double BetaDistribution::Mode() const {
+  if (alpha_ > 1.0 && beta_ > 1.0) {
+    return (alpha_ - 1.0) / (alpha_ + beta_ - 2.0);
+  }
+  // Degenerate cases: mass piles at a boundary.
+  return alpha_ >= beta_ ? 1.0 : 0.0;
+}
+
+double BetaDistribution::Sample(Rng* rng) const {
+  const double x = SampleGamma(alpha_, rng);
+  const double y = SampleGamma(beta_, rng);
+  return x / (x + y);
+}
+
+}  // namespace math
+}  // namespace robustqo

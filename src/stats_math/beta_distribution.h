@@ -1,0 +1,59 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Beta(alpha, beta) distribution. This is the posterior family for
+// selectivity inference from a random sample: with a Beta(a0, b0) prior and
+// k of n sample tuples satisfying a predicate, the posterior is
+// Beta(a0 + k, b0 + n - k) (paper Section 3.3).
+
+#ifndef ROBUSTQO_STATS_MATH_BETA_DISTRIBUTION_H_
+#define ROBUSTQO_STATS_MATH_BETA_DISTRIBUTION_H_
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace math {
+
+/// An immutable Beta(alpha, beta) distribution over [0, 1].
+class BetaDistribution {
+ public:
+  /// Requires alpha > 0 and beta > 0.
+  BetaDistribution(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Probability density f(x); 0 outside [0, 1]. At the boundary the density
+  /// may be infinite (alpha < 1 at x=0, beta < 1 at x=1); we return HUGE_VAL.
+  double Pdf(double x) const;
+
+  /// ln f(x); -inf outside (0, 1).
+  double LogPdf(double x) const;
+
+  /// Cumulative distribution F(x) = Pr[X <= x].
+  double Cdf(double x) const;
+
+  /// Quantile function F^{-1}(p) for p in [0, 1].
+  double InverseCdf(double p) const;
+
+  /// E[X] = alpha / (alpha + beta).
+  double Mean() const;
+
+  /// Var[X].
+  double Variance() const;
+
+  /// Mode; defined for alpha, beta > 1 (returns boundary otherwise).
+  double Mode() const;
+
+  /// Draws a variate using the ratio-of-gammas method (two Marsaglia-Tsang
+  /// gamma draws).
+  double Sample(Rng* rng) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace math
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATS_MATH_BETA_DISTRIBUTION_H_

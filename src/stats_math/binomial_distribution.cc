@@ -1,0 +1,56 @@
+#include "stats_math/binomial_distribution.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats_math/special_functions.h"
+#include "util/macros.h"
+
+namespace robustqo {
+namespace math {
+
+BinomialDistribution::BinomialDistribution(int64_t n, double p)
+    : n_(n), p_(p) {
+  RQO_CHECK(n >= 0);
+  RQO_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+double BinomialDistribution::LogPmf(int64_t k) const {
+  if (k < 0 || k > n_) return -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) {
+    return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  if (p_ == 1.0) {
+    return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  const double nd = static_cast<double>(n_);
+  const double kd = static_cast<double>(k);
+  return LogBinomialCoefficient(nd, kd) + kd * std::log(p_) +
+         (nd - kd) * std::log1p(-p_);
+}
+
+double BinomialDistribution::Pmf(int64_t k) const {
+  const double lp = LogPmf(k);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+double BinomialDistribution::Cdf(int64_t k) const {
+  if (k < 0) return 0.0;
+  if (k >= n_) return 1.0;
+  if (p_ == 0.0) return 1.0;
+  if (p_ == 1.0) return 0.0;  // k < n here
+  // Pr[X <= k] = I_{1-p}(n-k, k+1).
+  return RegularizedIncompleteBeta(static_cast<double>(n_ - k),
+                                   static_cast<double>(k + 1), 1.0 - p_);
+}
+
+int64_t BinomialDistribution::Sample(Rng* rng) const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < n_; ++i) {
+    if (rng->NextBernoulli(p_)) ++count;
+  }
+  return count;
+}
+
+}  // namespace math
+}  // namespace robustqo

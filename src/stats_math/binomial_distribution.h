@@ -1,0 +1,52 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Binomial(n, p) distribution. Used by the Section-5 analytical model: the
+// number k of sample tuples satisfying a predicate of true selectivity p is
+// Binomial(n, p)-distributed, and the optimizer's plan choice is a
+// deterministic function of k.
+
+#ifndef ROBUSTQO_STATS_MATH_BINOMIAL_DISTRIBUTION_H_
+#define ROBUSTQO_STATS_MATH_BINOMIAL_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace math {
+
+/// An immutable Binomial(n, p) distribution over {0, 1, ..., n}.
+class BinomialDistribution {
+ public:
+  /// Requires n >= 0 and p in [0, 1].
+  BinomialDistribution(int64_t n, double p);
+
+  int64_t n() const { return n_; }
+  double p() const { return p_; }
+
+  /// Pr[X = k]; 0 outside {0..n}. Computed in log space, stable for large n.
+  double Pmf(int64_t k) const;
+
+  /// ln Pr[X = k]; -inf outside the support.
+  double LogPmf(int64_t k) const;
+
+  /// Pr[X <= k], via the incomplete-beta identity
+  /// Pr[X <= k] = I_{1-p}(n-k, k+1).
+  double Cdf(int64_t k) const;
+
+  double Mean() const { return static_cast<double>(n_) * p_; }
+  double Variance() const { return static_cast<double>(n_) * p_ * (1.0 - p_); }
+
+  /// Draws a variate (inversion for small n·p, otherwise simple counting;
+  /// experiment-scale n here is <= a few thousand so this is fine).
+  int64_t Sample(Rng* rng) const;
+
+ private:
+  int64_t n_;
+  double p_;
+};
+
+}  // namespace math
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STATS_MATH_BINOMIAL_DISTRIBUTION_H_

@@ -1,0 +1,175 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace robustqo {
+namespace storage {
+
+namespace {
+std::string IndexKey(const std::string& table, const std::string& column) {
+  return table + "." + column;
+}
+}  // namespace
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::SetPrimaryKey(const std::string& table,
+                              const std::string& column) {
+  const Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (!t->schema().HasColumn(column)) {
+    return Status::NotFound("column " + table + "." + column);
+  }
+  primary_keys_[table] = column;
+  return Status::OK();
+}
+
+Status Catalog::AddForeignKey(const ForeignKey& fk) {
+  const Table* from = GetTable(fk.from_table);
+  const Table* to = GetTable(fk.to_table);
+  if (from == nullptr) return Status::NotFound("table " + fk.from_table);
+  if (to == nullptr) return Status::NotFound("table " + fk.to_table);
+  if (!from->schema().HasColumn(fk.from_column)) {
+    return Status::NotFound("column " + fk.from_table + "." + fk.from_column);
+  }
+  if (!to->schema().HasColumn(fk.to_column)) {
+    return Status::NotFound("column " + fk.to_table + "." + fk.to_column);
+  }
+  if (PrimaryKeyOf(fk.to_table) != fk.to_column) {
+    return Status::InvalidArgument(
+        "foreign key must reference the primary key of " + fk.to_table);
+  }
+  fks_.push_back(fk);
+  return Status::OK();
+}
+
+Status Catalog::BuildIndex(const std::string& table,
+                           const std::string& column) {
+  const Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (!t->schema().HasColumn(column)) {
+    return Status::NotFound("column " + table + "." + column);
+  }
+  indexes_[IndexKey(table, column)] =
+      std::make_unique<SortedIndex>(*t, column);
+  return Status::OK();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const SortedIndex* Catalog::GetIndex(const std::string& table,
+                                     const std::string& column) const {
+  auto it = indexes_.find(IndexKey(table, column));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+bool Catalog::HasIndex(const std::string& table,
+                       const std::string& column) const {
+  return indexes_.count(IndexKey(table, column)) > 0;
+}
+
+std::string Catalog::PrimaryKeyOf(const std::string& table) const {
+  auto it = primary_keys_.find(table);
+  return it == primary_keys_.end() ? std::string() : it->second;
+}
+
+Status Catalog::SetClusteringColumn(const std::string& table,
+                                    const std::string& column) {
+  const Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (!t->schema().HasColumn(column)) {
+    return Status::NotFound("column " + table + "." + column);
+  }
+  clustering_[table] = column;
+  return Status::OK();
+}
+
+std::string Catalog::ClusteringColumnOf(const std::string& table) const {
+  auto it = clustering_.find(table);
+  return it == clustering_.end() ? std::string() : it->second;
+}
+
+std::vector<ForeignKey> Catalog::ForeignKeysFrom(
+    const std::string& table) const {
+  std::vector<ForeignKey> out;
+  for (const auto& fk : fks_) {
+    if (fk.from_table == table) out.push_back(fk);
+  }
+  return out;
+}
+
+Result<ForeignKey> Catalog::ForeignKeyBetween(const std::string& a,
+                                              const std::string& b) const {
+  for (const auto& fk : fks_) {
+    if ((fk.from_table == a && fk.to_table == b) ||
+        (fk.from_table == b && fk.to_table == a)) {
+      return fk;
+    }
+  }
+  return Status::NotFound("no foreign key between " + a + " and " + b);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::set<std::string> Catalog::ReachableViaForeignKeys(
+    const std::string& table) const {
+  std::set<std::string> reached;
+  std::deque<std::string> frontier{table};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const auto& fk : fks_) {
+      if (fk.from_table == current && reached.insert(fk.to_table).second) {
+        frontier.push_back(fk.to_table);
+      }
+    }
+  }
+  reached.erase(table);
+  return reached;
+}
+
+Result<std::string> Catalog::FindRootTable(
+    const std::set<std::string>& tables) const {
+  if (tables.empty()) return Status::InvalidArgument("empty table set");
+  for (const std::string& name : tables) {
+    if (GetTable(name) == nullptr) return Status::NotFound("table " + name);
+  }
+  for (const std::string& candidate : tables) {
+    std::set<std::string> reach = ReachableViaForeignKeys(candidate);
+    bool covers_all = true;
+    for (const std::string& other : tables) {
+      if (other != candidate && reach.count(other) == 0) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) return candidate;
+  }
+  return Status::NotFound(
+      "table set is not foreign-key-connected under a single root");
+}
+
+}  // namespace storage
+}  // namespace robustqo

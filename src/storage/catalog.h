@@ -1,0 +1,108 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Catalog: owns tables, indexes, and key constraints. The foreign-key graph
+// recorded here drives both join-synopsis construction (statistics) and
+// root-table resolution for SPJ cardinality estimation (paper Section 3.2).
+
+#ifndef ROBUSTQO_STORAGE_CATALOG_H_
+#define ROBUSTQO_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/index.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace storage {
+
+/// A foreign-key constraint: every value of `from_table.from_column` appears
+/// as a value of `to_table.to_column` (which is `to_table`'s primary key).
+struct ForeignKey {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+/// Owns the database: tables, secondary indexes, and constraints.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table; the catalog takes ownership. Fails with
+  /// AlreadyExists on duplicate names.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Declares `column` the primary key of `table`.
+  Status SetPrimaryKey(const std::string& table, const std::string& column);
+
+  /// Declares a foreign key; both endpoints must exist, and the referenced
+  /// column must be the referenced table's primary key.
+  Status AddForeignKey(const ForeignKey& fk);
+
+  /// Builds (or rebuilds) a secondary index on `table.column`.
+  Status BuildIndex(const std::string& table, const std::string& column);
+
+  /// Lookup. GetTable/GetIndex return nullptr when absent.
+  const Table* GetTable(const std::string& name) const;
+  Table* GetMutableTable(const std::string& name);
+  const SortedIndex* GetIndex(const std::string& table,
+                              const std::string& column) const;
+  bool HasIndex(const std::string& table, const std::string& column) const;
+
+  /// Primary key column of `table`; empty if none declared.
+  std::string PrimaryKeyOf(const std::string& table) const;
+
+  /// Declares the physical (clustered) sort order of a table. The merge
+  /// join access path is offered only when both inputs are clustered on
+  /// their join columns.
+  Status SetClusteringColumn(const std::string& table,
+                             const std::string& column);
+
+  /// Clustering column of `table`; empty if the table is a heap.
+  std::string ClusteringColumnOf(const std::string& table) const;
+
+  /// All foreign keys whose `from_table` is `table`.
+  std::vector<ForeignKey> ForeignKeysFrom(const std::string& table) const;
+
+  /// The foreign key joining `a` to `b` in either direction, if declared.
+  Result<ForeignKey> ForeignKeyBetween(const std::string& a,
+                                       const std::string& b) const;
+
+  /// All declared foreign keys.
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// Names of all registered tables (sorted).
+  std::vector<std::string> TableNames() const;
+
+  /// For an SPJ expression over `tables` whose joins are all foreign-key
+  /// joins, returns the root table: the one from which every other table in
+  /// the set is reachable by following FK edges (the table whose primary
+  /// key is not involved in any join of the expression). NotFound if the
+  /// set is not FK-connected under a single root.
+  Result<std::string> FindRootTable(const std::set<std::string>& tables) const;
+
+  /// Tables reachable from `table` by recursively following foreign keys
+  /// (excluding `table` itself).
+  std::set<std::string> ReachableViaForeignKeys(const std::string& table) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::string> primary_keys_;
+  std::unordered_map<std::string, std::string> clustering_;
+  std::vector<ForeignKey> fks_;
+  // "table.column" -> index
+  std::unordered_map<std::string, std::unique_ptr<SortedIndex>> indexes_;
+};
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_CATALOG_H_

@@ -1,0 +1,178 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "storage/date.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace storage {
+
+namespace {
+
+// Splits one CSV line into raw fields, honoring quotes.
+Result<std::vector<std::string>> SplitLine(const std::string& line,
+                                           char delimiter, size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrPrintf("line %zu: unterminated quote", line_no));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type,
+                         size_t line_no, const std::string& column) {
+  auto error = [&](const char* what) {
+    return Status::InvalidArgument(StrPrintf(
+        "line %zu, column %s: %s ('%s')", line_no, column.c_str(), what,
+        field.c_str()));
+  };
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') return error("bad integer");
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') return error("bad number");
+      return Value::Double(v);
+    }
+    case DataType::kDate: {
+      Result<int64_t> days = ParseDate(field);
+      if (!days.ok()) return error("bad date (want YYYY-MM-DD)");
+      return Value::Date(days.value());
+    }
+    case DataType::kString:
+      return Value::String(field);
+  }
+  return error("unknown type");
+}
+
+std::string QuoteIfNeeded(const std::string& field, char delimiter) {
+  if (field.find(delimiter) == std::string::npos &&
+      field.find('"') == std::string::npos &&
+      field.find('\n') == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> ReadCsv(std::istream* input,
+                                       const std::string& table_name,
+                                       const Schema& schema,
+                                       const CsvOptions& options) {
+  auto table = std::make_unique<Table>(table_name, schema);
+  std::string line;
+  size_t line_no = 0;
+  bool skipped_header = !options.has_header;
+  while (std::getline(*input, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields =
+        SplitLine(line, options.delimiter, line_no);
+    if (!fields.ok()) return fields.status();
+    if (fields.value().size() != schema.num_columns()) {
+      return Status::InvalidArgument(StrPrintf(
+          "line %zu: expected %zu fields, got %zu", line_no,
+          schema.num_columns(), fields.value().size()));
+    }
+    std::vector<Value> row;
+    row.reserve(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      Result<Value> value = ParseField(fields.value()[c],
+                                       schema.column(c).type, line_no,
+                                       schema.column(c).name);
+      if (!value.ok()) return value.status();
+      row.push_back(std::move(value).value());
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+Result<std::unique_ptr<Table>> ReadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ReadCsv(&file, table_name, schema, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream* output,
+                const CsvOptions& options) {
+  if (options.has_header) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      if (c > 0) *output << options.delimiter;
+      *output << table.schema().column(c).name;
+    }
+    *output << "\n";
+  }
+  for (Rid rid = 0; rid < table.num_rows(); ++rid) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      if (c > 0) *output << options.delimiter;
+      // Doubles get round-trip precision; everything else renders as it
+      // displays (dates as YYYY-MM-DD, which ParseField reads back).
+      const Value v = table.ValueAt(rid, c);
+      const std::string field =
+          v.type() == DataType::kDouble
+              ? StrPrintf("%.17g", v.AsDouble())
+              : v.ToString();
+      *output << QuoteIfNeeded(field, options.delimiter);
+    }
+    *output << "\n";
+  }
+  if (!output->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,51 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// CSV import/export so users can load their own data. Values are parsed
+// according to a caller-supplied schema: kInt64 as integers, kDouble as
+// floating point, kDate as YYYY-MM-DD, kString verbatim. Quoting: fields
+// may be wrapped in double quotes, with "" as the escape.
+
+#ifndef ROBUSTQO_STORAGE_CSV_H_
+#define ROBUSTQO_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace storage {
+
+/// CSV parsing knobs.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (column headers).
+  bool has_header = true;
+};
+
+/// Parses CSV from `input` into a new table named `table_name` with the
+/// given schema. Fails with InvalidArgument on arity or value errors
+/// (message includes the line number).
+Result<std::unique_ptr<Table>> ReadCsv(std::istream* input,
+                                       const std::string& table_name,
+                                       const Schema& schema,
+                                       const CsvOptions& options = {});
+
+/// Convenience: reads from a file path.
+Result<std::unique_ptr<Table>> ReadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           const CsvOptions& options = {});
+
+/// Writes `table` as CSV (header + rows) to `output`. Strings containing
+/// the delimiter, quotes or newlines are quoted.
+Status WriteCsv(const Table& table, std::ostream* output,
+                const CsvOptions& options = {});
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_CSV_H_

@@ -1,0 +1,57 @@
+#include "storage/date.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace storage {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+int64_t DateToDays(int year, int month, int day) {
+  const int64_t y = year - (month <= 2 ? 1 : 0);
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                // [0,399]
+  const int64_t doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;     // [0,365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0,...]
+  return era * 146097 + doe - 719468;
+}
+
+void DaysToDate(int64_t days, int* year, int* month, int* day) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                             // [0,146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;        // [0,399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);      // [0,365]
+  const int64_t mp = (5 * doy + 2) / 153;                           // [0,11]
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2 ? 1 : 0));
+}
+
+Result<int64_t> ParseDate(const std::string& s) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &year, &month, &day) != 3) {
+    return Status::InvalidArgument("bad date: " + s);
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument("bad date components: " + s);
+  }
+  return DateToDays(year, month, day);
+}
+
+std::string FormatDate(int64_t days) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  DaysToDate(days, &y, &m, &d);
+  return StrPrintf("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,33 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Proleptic-Gregorian date <-> day-number conversion (days since
+// 1970-01-01). TPC-H dates span 1992-1998; the conversions here are exact
+// for all representable dates.
+
+#ifndef ROBUSTQO_STORAGE_DATE_H_
+#define ROBUSTQO_STORAGE_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace robustqo {
+namespace storage {
+
+/// Days since 1970-01-01 for the given calendar date (may be negative).
+int64_t DateToDays(int year, int month, int day);
+
+/// Inverse of DateToDays.
+void DaysToDate(int64_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD". Returns InvalidArgument on malformed input.
+Result<int64_t> ParseDate(const std::string& s);
+
+/// Formats a day number as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_DATE_H_

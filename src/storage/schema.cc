@@ -1,0 +1,39 @@
+#include "storage/schema.h"
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    auto inserted = by_name_.emplace(columns_[i].name, i).second;
+    RQO_CHECK_MSG(inserted, ("duplicate column: " + columns_[i].name).c_str());
+  }
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column named " + name);
+  }
+  return it->second;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,49 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+
+#ifndef ROBUSTQO_STORAGE_SCHEMA_H_
+#define ROBUSTQO_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace storage {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True iff a column with this name exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// "name TYPE, name TYPE, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_SCHEMA_H_

@@ -1,0 +1,124 @@
+#include "storage/table.h"
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace storage {
+
+size_t ColumnVector::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return ints_.size();
+    case DataType::kDouble:
+      return doubles_.size();
+    case DataType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  RQO_DCHECK(IsIntegerPhysical(type_));
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  RQO_DCHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  RQO_DCHECK(type_ == DataType::kString);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      AppendInt64(v.AsInt64());
+      return;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case DataType::kString:
+      AppendString(v.AsString());
+      return;
+  }
+}
+
+Value ColumnVector::ValueAt(Rid rid) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(ints_[rid]);
+    case DataType::kDate:
+      return Value::Date(ints_[rid]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[rid]);
+    case DataType::kString:
+      return Value::String(strings_[rid]);
+  }
+  return Value();
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.reserve(n);
+      return;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      return;
+    case DataType::kString:
+      strings_.reserve(n);
+      return;
+  }
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& col : schema_.columns()) {
+    columns_.push_back(std::make_unique<ColumnVector>(col.type));
+  }
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  RQO_CHECK_MSG(values.size() == schema_.num_columns(),
+                "row arity mismatch");
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i]->Append(values[i]);
+  }
+  ++num_rows_;
+}
+
+const ColumnVector& Table::column(const std::string& name) const {
+  auto idx = schema_.ColumnIndex(name);
+  RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+  return *columns_[idx.value()];
+}
+
+std::vector<Value> Table::RowAt(Rid rid) const {
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (const auto& col : columns_) row.push_back(col->ValueAt(rid));
+  return row;
+}
+
+void Table::FinalizeBulkLoad() {
+  RQO_CHECK(!columns_.empty());
+  const size_t n = columns_[0]->size();
+  for (const auto& col : columns_) {
+    RQO_CHECK_MSG(col->size() == n, "ragged bulk load");
+  }
+  num_rows_ = n;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& col : columns_) col->Reserve(n);
+}
+
+}  // namespace storage
+}  // namespace robustqo

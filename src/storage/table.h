@@ -1,0 +1,98 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// In-memory columnar table. Rows are addressed by RID (row id, 0-based
+// position), which also models the record identifier that nonclustered
+// indexes store. Integer-physical columns (int64/date) and doubles are
+// stored in native arrays; strings in a vector<string>.
+
+#ifndef ROBUSTQO_STORAGE_TABLE_H_
+#define ROBUSTQO_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace storage {
+
+/// Row identifier: position of the row in its table.
+using Rid = uint64_t;
+
+/// A single typed column stored natively.
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void Append(const Value& v);
+
+  /// Unboxed accessors (abort on type mismatch).
+  int64_t Int64At(Rid rid) const { return ints_[rid]; }
+  double DoubleAt(Rid rid) const { return doubles_[rid]; }
+  const std::string& StringAt(Rid rid) const { return strings_[rid]; }
+
+  /// Boxed accessor.
+  Value ValueAt(Rid rid) const;
+
+  void Reserve(size_t n);
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;      // kInt64 / kDate
+  std::vector<double> doubles_;    // kDouble
+  std::vector<std::string> strings_;  // kString
+};
+
+/// A named table with a fixed schema.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Appends a full row; values must match the schema arity and types.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Direct column access for bulk loading / scanning.
+  ColumnVector* mutable_column(size_t i) { return columns_[i].get(); }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+
+  /// Column by name; aborts if absent (use schema().ColumnIndex for the
+  /// checked variant).
+  const ColumnVector& column(const std::string& name) const;
+
+  /// Boxed cell access.
+  Value ValueAt(Rid rid, size_t col) const { return columns_[col]->ValueAt(rid); }
+
+  /// Full boxed row (mostly for tests / small results).
+  std::vector<Value> RowAt(Rid rid) const;
+
+  /// Marks row count after bulk column loading; all columns must have
+  /// exactly `n` entries.
+  void FinalizeBulkLoad();
+
+  void Reserve(size_t n);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<ColumnVector>> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_TABLE_H_

@@ -1,0 +1,87 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "storage/date.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace storage {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const {
+  RQO_CHECK_MSG(std::holds_alternative<int64_t>(payload_),
+                "Value is not integer-typed");
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsDouble() const {
+  RQO_CHECK_MSG(std::holds_alternative<double>(payload_),
+                "Value is not double-typed");
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  RQO_CHECK_MSG(std::holds_alternative<std::string>(payload_),
+                "Value is not string-typed");
+  return std::get<std::string>(payload_);
+}
+
+double Value::NumericValue() const {
+  if (std::holds_alternative<int64_t>(payload_)) {
+    return static_cast<double>(std::get<int64_t>(payload_));
+  }
+  RQO_CHECK_MSG(std::holds_alternative<double>(payload_),
+                "NumericValue on a string");
+  return std::get<double>(payload_);
+}
+
+int Value::Compare(const Value& other) const {
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    RQO_CHECK_MSG(
+        type_ == DataType::kString && other.type_ == DataType::kString,
+        "cannot compare string with non-string");
+    return AsString().compare(other.AsString());
+  }
+  // Numeric comparison: exact for int64-int64, widened otherwise.
+  if (std::holds_alternative<int64_t>(payload_) &&
+      std::holds_alternative<int64_t>(other.payload_)) {
+    const int64_t a = std::get<int64_t>(payload_);
+    const int64_t b = std::get<int64_t>(other.payload_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const double a = NumericValue();
+  const double b = other.NumericValue();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return StrPrintf("%lld", static_cast<long long>(AsInt64()));
+    case DataType::kDouble:
+      return StrPrintf("%g", AsDouble());
+    case DataType::kString:
+      return AsString();
+    case DataType::kDate:
+      return FormatDate(AsInt64());
+  }
+  return "?";
+}
+
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,83 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Runtime value representation. Tables are stored column-wise with native
+// arrays; Value is the boxed form used at expression-evaluation boundaries.
+
+#ifndef ROBUSTQO_STORAGE_VALUE_H_
+#define ROBUSTQO_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace robustqo {
+namespace storage {
+
+/// Column data types. kDate is stored as int64 days since 1970-01-01 and
+/// compares like an integer.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Human-readable type name ("INT64", "DOUBLE", ...).
+const char* DataTypeName(DataType t);
+
+/// True for types whose physical representation is int64 (kInt64, kDate).
+inline bool IsIntegerPhysical(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDate;
+}
+
+/// A single boxed value. Values of kDate type hold the day number in the
+/// int64 alternative.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), payload_(int64_t{0}) {}
+
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+
+  DataType type() const { return type_; }
+
+  /// Accessors; aborts on type mismatch (programmer error).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: int64/date widened to double; aborts for strings.
+  double NumericValue() const;
+
+  /// Three-way comparison. Values must have comparable types: identical
+  /// types, int64<->date, or any numeric pair (int64/date vs double).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+
+  /// Debug/display rendering; dates render as YYYY-MM-DD.
+  std::string ToString() const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), payload_(v) {}
+  Value(DataType type, double v) : type_(type), payload_(v) {}
+  Value(DataType type, std::string v) : type_(type), payload_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> payload_;
+};
+
+}  // namespace storage
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_STORAGE_VALUE_H_

@@ -1,0 +1,293 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/date.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace tpch {
+
+using storage::Catalog;
+using storage::ColumnDef;
+using storage::DataType;
+using storage::DateToDays;
+using storage::Schema;
+using storage::Table;
+
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kPartNouns[] = {"almond", "antique", "aquamarine", "azure",
+                            "beige", "bisque", "black", "blanched", "blue",
+                            "blush", "brown", "burlywood", "burnished"};
+
+uint64_t Scaled(uint64_t base, double sf, uint64_t minimum) {
+  const double scaled = static_cast<double>(base) * sf;
+  return std::max<uint64_t>(minimum, static_cast<uint64_t>(scaled));
+}
+
+void BuildRegion(Catalog* catalog) {
+  auto table = std::make_unique<Table>(
+      "region", Schema({{"r_regionkey", DataType::kInt64},
+                        {"r_name", DataType::kString}}));
+  for (int64_t i = 0; i < 5; ++i) {
+    table->mutable_column(0)->AppendInt64(i);
+    table->mutable_column(1)->AppendString(kRegionNames[i]);
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+void BuildNation(Catalog* catalog, Rng* rng) {
+  auto table = std::make_unique<Table>(
+      "nation", Schema({{"n_nationkey", DataType::kInt64},
+                        {"n_name", DataType::kString},
+                        {"n_regionkey", DataType::kInt64}}));
+  for (int64_t i = 0; i < 25; ++i) {
+    table->mutable_column(0)->AppendInt64(i);
+    table->mutable_column(1)->AppendString(kNationNames[i]);
+    table->mutable_column(2)->AppendInt64(rng->NextInRange(0, 4));
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+void BuildSupplier(Catalog* catalog, uint64_t rows, Rng* rng) {
+  auto table = std::make_unique<Table>(
+      "supplier", Schema({{"s_suppkey", DataType::kInt64},
+                          {"s_name", DataType::kString},
+                          {"s_nationkey", DataType::kInt64},
+                          {"s_acctbal", DataType::kDouble}}));
+  table->Reserve(rows);
+  for (uint64_t i = 1; i <= rows; ++i) {
+    table->mutable_column(0)->AppendInt64(static_cast<int64_t>(i));
+    table->mutable_column(1)->AppendString(
+        StrPrintf("Supplier#%09llu", static_cast<unsigned long long>(i)));
+    table->mutable_column(2)->AppendInt64(rng->NextInRange(0, 24));
+    table->mutable_column(3)->AppendDouble(
+        rng->NextDoubleInRange(-999.99, 9999.99));
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+void BuildCustomer(Catalog* catalog, uint64_t rows, Rng* rng) {
+  auto table = std::make_unique<Table>(
+      "customer", Schema({{"c_custkey", DataType::kInt64},
+                          {"c_name", DataType::kString},
+                          {"c_nationkey", DataType::kInt64},
+                          {"c_acctbal", DataType::kDouble},
+                          {"c_mktsegment", DataType::kString}}));
+  table->Reserve(rows);
+  for (uint64_t i = 1; i <= rows; ++i) {
+    table->mutable_column(0)->AppendInt64(static_cast<int64_t>(i));
+    table->mutable_column(1)->AppendString(
+        StrPrintf("Customer#%09llu", static_cast<unsigned long long>(i)));
+    table->mutable_column(2)->AppendInt64(rng->NextInRange(0, 24));
+    table->mutable_column(3)->AppendDouble(
+        rng->NextDoubleInRange(-999.99, 9999.99));
+    table->mutable_column(4)->AppendString(
+        kSegments[rng->NextBounded(5)]);
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+void BuildPart(Catalog* catalog, uint64_t rows, double corr_window,
+               Rng* rng) {
+  auto table = std::make_unique<Table>(
+      "part", Schema({{"p_partkey", DataType::kInt64},
+                      {"p_name", DataType::kString},
+                      {"p_brand", DataType::kString},
+                      {"p_size", DataType::kInt64},
+                      {"p_retailprice", DataType::kDouble},
+                      {"p_c1", DataType::kDouble},
+                      {"p_c2", DataType::kDouble}}));
+  table->Reserve(rows);
+  for (uint64_t i = 1; i <= rows; ++i) {
+    table->mutable_column(0)->AppendInt64(static_cast<int64_t>(i));
+    table->mutable_column(1)->AppendString(
+        std::string(kPartNouns[rng->NextBounded(13)]) + " " +
+        kPartNouns[rng->NextBounded(13)]);
+    table->mutable_column(2)->AppendString(
+        StrPrintf("Brand#%lld%lld", static_cast<long long>(rng->NextInRange(1, 5)),
+                  static_cast<long long>(rng->NextInRange(1, 5))));
+    table->mutable_column(3)->AppendInt64(rng->NextInRange(1, 50));
+    table->mutable_column(4)->AppendDouble(
+        rng->NextDoubleInRange(900.0, 2100.0));
+    // Experiment-2 correlation: p_c1 uniform on [0,100); p_c2 tracks p_c1
+    // within `corr_window`, wrapping at 100 so its marginal stays uniform.
+    const double c1 = rng->NextDoubleInRange(0.0, 100.0);
+    const double c2 =
+        std::fmod(c1 + rng->NextDoubleInRange(0.0, corr_window), 100.0);
+    table->mutable_column(5)->AppendDouble(c1);
+    table->mutable_column(6)->AppendDouble(c2);
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+// Orders and lineitem are generated together so lineitem can inherit each
+// order's date and arrive clustered by l_orderkey.
+void BuildOrdersAndLineitem(Catalog* catalog, uint64_t num_orders,
+                            uint64_t num_customers, uint64_t num_parts,
+                            uint64_t num_suppliers, Rng* rng) {
+  auto orders = std::make_unique<Table>(
+      "orders", Schema({{"o_orderkey", DataType::kInt64},
+                        {"o_custkey", DataType::kInt64},
+                        {"o_orderdate", DataType::kDate},
+                        {"o_totalprice", DataType::kDouble},
+                        {"o_orderpriority", DataType::kString}}));
+  auto lineitem = std::make_unique<Table>(
+      "lineitem", Schema({{"l_orderkey", DataType::kInt64},
+                          {"l_partkey", DataType::kInt64},
+                          {"l_suppkey", DataType::kInt64},
+                          {"l_linenumber", DataType::kInt64},
+                          {"l_quantity", DataType::kDouble},
+                          {"l_extendedprice", DataType::kDouble},
+                          {"l_discount", DataType::kDouble},
+                          {"l_shipdate", DataType::kDate},
+                          {"l_commitdate", DataType::kDate},
+                          {"l_receiptdate", DataType::kDate}}));
+  orders->Reserve(num_orders);
+  lineitem->Reserve(num_orders * 4);
+
+  const int64_t min_date = MinOrderDate();
+  const int64_t max_date = MaxOrderDate();
+  for (uint64_t o = 1; o <= num_orders; ++o) {
+    const int64_t order_date = rng->NextInRange(min_date, max_date);
+    double total_price = 0.0;
+    const int64_t lines = rng->NextInRange(1, 7);
+    for (int64_t line = 1; line <= lines; ++line) {
+      const double quantity = static_cast<double>(rng->NextInRange(1, 50));
+      const double price = rng->NextDoubleInRange(900.0, 2100.0) * quantity;
+      const double discount = rng->NextDoubleInRange(0.0, 0.10);
+      // The natural TPC-H date correlation: receipt follows ship by 1-30
+      // days. This is the joint structure Experiment 1's histograms miss.
+      const int64_t ship_date = order_date + rng->NextInRange(1, 121);
+      const int64_t commit_date = order_date + rng->NextInRange(30, 90);
+      const int64_t receipt_date = ship_date + rng->NextInRange(1, 30);
+      lineitem->mutable_column(0)->AppendInt64(static_cast<int64_t>(o));
+      lineitem->mutable_column(1)->AppendInt64(
+          rng->NextInRange(1, static_cast<int64_t>(num_parts)));
+      lineitem->mutable_column(2)->AppendInt64(
+          rng->NextInRange(1, static_cast<int64_t>(num_suppliers)));
+      lineitem->mutable_column(3)->AppendInt64(line);
+      lineitem->mutable_column(4)->AppendDouble(quantity);
+      lineitem->mutable_column(5)->AppendDouble(price);
+      lineitem->mutable_column(6)->AppendDouble(discount);
+      lineitem->mutable_column(7)->AppendInt64(ship_date);
+      lineitem->mutable_column(8)->AppendInt64(commit_date);
+      lineitem->mutable_column(9)->AppendInt64(receipt_date);
+      total_price += price * (1.0 - discount);
+    }
+    orders->mutable_column(0)->AppendInt64(static_cast<int64_t>(o));
+    orders->mutable_column(1)->AppendInt64(
+        rng->NextInRange(1, static_cast<int64_t>(num_customers)));
+    orders->mutable_column(2)->AppendInt64(order_date);
+    orders->mutable_column(3)->AppendDouble(total_price);
+    orders->mutable_column(4)->AppendString(
+        kPriorities[rng->NextBounded(5)]);
+  }
+  orders->FinalizeBulkLoad();
+  lineitem->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(orders)).ok());
+  RQO_CHECK(catalog->AddTable(std::move(lineitem)).ok());
+}
+
+}  // namespace
+
+int64_t MinOrderDate() { return DateToDays(1992, 1, 1); }
+int64_t MaxOrderDate() { return DateToDays(1998, 8, 2); }
+
+Status LoadTpch(Catalog* catalog, const TpchConfig& config) {
+  if (catalog->GetTable("lineitem") != nullptr) {
+    return Status::AlreadyExists("TPC-H tables already loaded");
+  }
+  if (config.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  Rng rng(config.seed);
+
+  const uint64_t num_suppliers =
+      Scaled(kSuppliersPerSf, config.scale_factor, 10);
+  const uint64_t num_customers =
+      Scaled(kCustomersPerSf, config.scale_factor, 100);
+  const uint64_t num_parts = Scaled(kPartsPerSf, config.scale_factor, 200);
+  const uint64_t num_orders = Scaled(kOrdersPerSf, config.scale_factor, 1000);
+
+  BuildRegion(catalog);
+  Rng nation_rng = rng.Fork();
+  BuildNation(catalog, &nation_rng);
+  Rng supplier_rng = rng.Fork();
+  BuildSupplier(catalog, num_suppliers, &supplier_rng);
+  Rng customer_rng = rng.Fork();
+  BuildCustomer(catalog, num_customers, &customer_rng);
+  Rng part_rng = rng.Fork();
+  BuildPart(catalog, num_parts, config.part_correlation_window, &part_rng);
+  Rng order_rng = rng.Fork();
+  BuildOrdersAndLineitem(catalog, num_orders, num_customers, num_parts,
+                         num_suppliers, &order_rng);
+
+  // Keys.
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("region", "r_regionkey"));
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("nation", "n_nationkey"));
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("supplier", "s_suppkey"));
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("customer", "c_custkey"));
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("part", "p_partkey"));
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("orders", "o_orderkey"));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"nation", "n_regionkey", "region", "r_regionkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"supplier", "s_nationkey", "nation", "n_nationkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"customer", "c_nationkey", "nation", "n_nationkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"orders", "o_custkey", "customer", "c_custkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"lineitem", "l_orderkey", "orders", "o_orderkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"lineitem", "l_partkey", "part", "p_partkey"}));
+  RQO_RETURN_NOT_OK(catalog->AddForeignKey(
+      {"lineitem", "l_suppkey", "supplier", "s_suppkey"}));
+
+  // Physical design of the experiments: PK clustering plus the secondary
+  // indexes Section 6 describes.
+  RQO_RETURN_NOT_OK(catalog->SetClusteringColumn("lineitem", "l_orderkey"));
+  RQO_RETURN_NOT_OK(catalog->SetClusteringColumn("orders", "o_orderkey"));
+  RQO_RETURN_NOT_OK(catalog->SetClusteringColumn("part", "p_partkey"));
+  RQO_RETURN_NOT_OK(catalog->SetClusteringColumn("customer", "c_custkey"));
+  if (config.build_indexes) {
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("lineitem", "l_shipdate"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("lineitem", "l_receiptdate"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("lineitem", "l_partkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("lineitem", "l_suppkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("lineitem", "l_orderkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("orders", "o_orderkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("orders", "o_custkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("part", "p_partkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("customer", "c_custkey"));
+    RQO_RETURN_NOT_OK(catalog->BuildIndex("supplier", "s_suppkey"));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace robustqo

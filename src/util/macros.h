@@ -1,0 +1,46 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Assertion and convenience macros shared across the library.
+
+#ifndef ROBUSTQO_UTIL_MACROS_H_
+#define ROBUSTQO_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `condition` is false. Used for programmer
+/// errors (violated preconditions); recoverable errors use Status/Result.
+#define RQO_CHECK(condition)                                                \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "RQO_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RQO_CHECK_MSG(condition, msg)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "RQO_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, (msg));                  \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define RQO_DCHECK(condition) RQO_CHECK(condition)
+#else
+#define RQO_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define RQO_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::robustqo::Status _st = (expr);         \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // ROBUSTQO_UTIL_MACROS_H_

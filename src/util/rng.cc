@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace robustqo {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used only to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  RQO_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  RQO_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleInRange(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint64_t> Rng::SampleWithReplacement(uint64_t population,
+                                                 size_t k) {
+  RQO_CHECK(population > 0);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(NextBounded(population));
+  return out;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t population,
+                                                    size_t k) {
+  RQO_CHECK(k <= population);
+  // Floyd's algorithm: k iterations, expected O(k) space.
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = population - k; j < population; ++j) {
+    uint64_t t = NextBounded(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace robustqo

@@ -1,0 +1,127 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Status / Result<T>: RocksDB-style recoverable error handling. Library code
+// never throws for recoverable conditions; it returns Status (or Result<T>
+// when a value is produced). Programmer errors use RQO_CHECK.
+
+#ifndef ROBUSTQO_UTIL_STATUS_H_
+#define ROBUSTQO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace robustqo {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail but returns no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of an operation that produces a T on success.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    RQO_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value; aborts if !ok().
+  const T& value() const& {
+    RQO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    RQO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RQO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_UTIL_STATUS_H_

@@ -1,0 +1,15 @@
+#include "util/stopwatch.h"
+
+namespace robustqo {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+}  // namespace robustqo

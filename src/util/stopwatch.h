@@ -1,0 +1,31 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+
+#ifndef ROBUSTQO_UTIL_STOPWATCH_H_
+#define ROBUSTQO_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace robustqo {
+
+/// Wall-clock stopwatch used to measure real (not simulated) time, e.g. the
+/// Section 6.1 optimization-overhead experiment.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_UTIL_STOPWATCH_H_

@@ -1,0 +1,31 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Small string helpers (GCC 12 lacks std::format, so we wrap snprintf).
+
+#ifndef ROBUSTQO_UTIL_STRING_UTIL_H_
+#define ROBUSTQO_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace robustqo {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// True iff `s` starts with `prefix` / ends with `suffix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// True iff `needle` occurs in `haystack` (SQL LIKE '%needle%').
+bool Contains(const std::string& haystack, const std::string& needle);
+
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,102 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Experiment harness reproducing the paper's Section 6 methodology: sweep a
+// query template's free parameter, optimize at several confidence-threshold
+// settings (plus the histogram baseline), execute the chosen plans, and
+// report per-selectivity average execution time (the "(a)" panels) and the
+// per-setting mean/std-dev tradeoff (the "(b)" panels). Results average
+// over multiple independent statistics samples, as the paper does (12-20).
+//
+// Execution of a chosen plan is deterministic given (plan structure,
+// parameter), so executions are cached — only optimization is repeated per
+// sample draw.
+
+#ifndef ROBUSTQO_WORKLOAD_EXPERIMENT_HARNESS_H_
+#define ROBUSTQO_WORKLOAD_EXPERIMENT_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "optimizer/query.h"
+#include "statistics/statistics_catalog.h"
+
+namespace robustqo {
+namespace workload {
+
+/// One estimator configuration evaluated in the sweep.
+struct EstimatorSetting {
+  std::string label;  ///< e.g. "T=80%", "Histograms"
+  core::EstimatorKind kind = core::EstimatorKind::kRobustSample;
+  /// Confidence threshold for the robust estimator (ignored for histogram).
+  double confidence_threshold = 0.80;
+};
+
+/// The paper's standard settings: T in {5,20,50,80,95}% plus histograms.
+std::vector<EstimatorSetting> PaperSettings();
+
+/// Sweep configuration.
+struct SweepConfig {
+  std::vector<double> params;
+  std::vector<EstimatorSetting> settings = PaperSettings();
+  /// Independent statistics redraws (paper: 12-20).
+  size_t repetitions = 12;
+  stats::StatisticsConfig statistics;  ///< sample size etc.
+  /// Cross-check that every plan chosen for the same parameter computes
+  /// the same first-cell answer (aborts the experiment on a mismatch —
+  /// plan choice must never change results).
+  bool verify_answers = true;
+};
+
+/// Aggregated measurements for one estimator setting.
+struct SettingAggregate {
+  double mean_seconds = 0.0;
+  double std_dev_seconds = 0.0;  ///< population std-dev over all queries
+  /// Tail latency: 95th percentile of execution time — what a user of an
+  /// interactive application actually experiences as "slow queries".
+  double p95_seconds = 0.0;
+  /// How often each plan structure was chosen (label -> count).
+  std::map<std::string, int> plan_counts;
+};
+
+/// Full sweep results.
+struct SweepResult {
+  std::vector<double> params;
+  /// Exact selectivity at each parameter (x-axis of the "(a)" panels).
+  std::vector<double> true_selectivity;
+  /// mean execution seconds [param index][setting label] (the "(a)" data).
+  std::vector<std::map<std::string, double>> mean_by_point;
+  /// Per-setting aggregate over all params and repetitions ("(b)" data).
+  std::map<std::string, SettingAggregate> overall;
+};
+
+/// Runs one experiment scenario end to end.
+class QuerySweepExperiment {
+ public:
+  using QueryFactory = std::function<opt::QuerySpec(double param)>;
+  using SelectivityProbe = std::function<double(double param)>;
+
+  /// `db` must already contain the data (statistics are (re)built here).
+  QuerySweepExperiment(core::Database* db, QueryFactory factory,
+                       SelectivityProbe probe)
+      : db_(db), factory_(std::move(factory)), probe_(std::move(probe)) {}
+
+  SweepResult Run(const SweepConfig& config);
+
+ private:
+  core::Database* db_;
+  QueryFactory factory_;
+  SelectivityProbe probe_;
+};
+
+/// Renders a SweepResult as the paper-style text tables: one
+/// selectivity-vs-time block and one mean/std-dev tradeoff block.
+std::string FormatSweepResult(const SweepResult& result,
+                              const std::string& title);
+
+}  // namespace workload
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_WORKLOAD_EXPERIMENT_HARNESS_H_

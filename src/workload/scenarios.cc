@@ -1,0 +1,149 @@
+#include "workload/scenarios.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "expr/expression.h"
+#include "storage/date.h"
+#include "util/macros.h"
+
+namespace robustqo {
+namespace workload {
+
+using expr::And;
+using expr::Between;
+using expr::Col;
+using expr::Eq;
+using expr::LitInt;
+using storage::Value;
+
+// ---- Experiment 1 ----
+
+SingleTableScenario::SingleTableScenario()
+    : window_start(storage::DateToDays(1997, 7, 1)) {}
+
+opt::QuerySpec SingleTableScenario::MakeQuery(double offset_days) const {
+  const int64_t offset = static_cast<int64_t>(std::llround(offset_days));
+  expr::ExprPtr predicate = And({
+      Between(Col("l_shipdate"), Value::Date(window_start),
+              Value::Date(window_start + window_days - 1)),
+      Between(Col("l_receiptdate"), Value::Date(window_start + offset),
+              Value::Date(window_start + offset + window_days - 1)),
+  });
+  opt::QuerySpec query;
+  query.tables.push_back({"lineitem", predicate});
+  query.aggregates.push_back(
+      {exec::AggKind::kSum, "l_extendedprice", "sum_price"});
+  return query;
+}
+
+double SingleTableScenario::TrueSelectivity(const storage::Catalog& catalog,
+                                            double offset_days) const {
+  const storage::Table* lineitem = catalog.GetTable("lineitem");
+  RQO_CHECK(lineitem != nullptr);
+  const opt::QuerySpec query = MakeQuery(offset_days);
+  const uint64_t count =
+      expr::CountSatisfying(*query.tables[0].predicate, *lineitem);
+  return static_cast<double>(count) /
+         static_cast<double>(lineitem->num_rows());
+}
+
+std::vector<double> SingleTableScenario::DefaultParams() {
+  // Joint selectivity falls roughly linearly in the offset and reaches 0
+  // at window_days + 30 (the receipt lag bound); these offsets cover the
+  // paper's ~0.6% top point down to exactly 0.
+  return {55, 58, 61, 64, 67, 70, 73, 76, 79, 82, 85, 88, 92};
+}
+
+// ---- Experiment 2 ----
+
+opt::QuerySpec ThreeTableJoinScenario::MakeQuery(double offset) const {
+  expr::ExprPtr part_pred = And({
+      Between(Col("p_c1"), Value::Double(band_lo),
+              Value::Double(band_lo + band_width)),
+      Between(Col("p_c2"), Value::Double(band_lo + offset),
+              Value::Double(band_lo + offset + band_width)),
+  });
+  opt::QuerySpec query;
+  query.tables.push_back({"lineitem", nullptr});
+  query.tables.push_back({"orders", nullptr});
+  query.tables.push_back({"part", part_pred});
+  query.aggregates.push_back(
+      {exec::AggKind::kSum, "l_extendedprice", "sum_price"});
+  return query;
+}
+
+double ThreeTableJoinScenario::TrueSelectivity(
+    const storage::Catalog& catalog, double offset) const {
+  const storage::Table* part = catalog.GetTable("part");
+  RQO_CHECK(part != nullptr);
+  const opt::QuerySpec query = MakeQuery(offset);
+  const uint64_t count =
+      expr::CountSatisfying(*query.tables[2].predicate, *part);
+  return static_cast<double>(count) / static_cast<double>(part->num_rows());
+}
+
+std::vector<double> ThreeTableJoinScenario::DefaultParams() {
+  // The p_c2 correlation window is 5 wide, so joint selectivity collapses
+  // over offsets 10..15; finer steps near the tail resolve the low
+  // crossover the paper focuses on.
+  return {10.0, 11.0, 12.0, 12.5, 13.0, 13.25, 13.5,
+          13.75, 14.0, 14.25, 14.5, 14.75, 15.0};
+}
+
+// ---- Experiment 3 ----
+
+opt::QuerySpec StarJoinScenario::MakeQuery(double offset) const {
+  const int64_t d = static_cast<int64_t>(std::llround(offset));
+  const int64_t shifted =
+      (base_value + d) % static_cast<int64_t>(groups);
+  opt::QuerySpec query;
+  query.tables.push_back({"fact", nullptr});
+  query.tables.push_back({"dim1", Eq(Col("d1_attr"), LitInt(base_value))});
+  query.tables.push_back({"dim2", Eq(Col("d2_attr"), LitInt(shifted))});
+  query.tables.push_back({"dim3", Eq(Col("d3_attr"), LitInt(shifted))});
+  query.aggregates.push_back({exec::AggKind::kSum, "f_m1", "sum_m1"});
+  query.aggregates.push_back({exec::AggKind::kAvg, "f_m2", "avg_m2"});
+  return query;
+}
+
+double StarJoinScenario::TrueSelectivity(const storage::Catalog& catalog,
+                                         double offset) const {
+  const storage::Table* fact = catalog.GetTable("fact");
+  RQO_CHECK(fact != nullptr);
+  const opt::QuerySpec query = MakeQuery(offset);
+
+  // Selected-id sets per dimension, then one pass over the fact FKs.
+  std::vector<std::unordered_set<int64_t>> selected(3);
+  const char* dims[3] = {"dim1", "dim2", "dim3"};
+  const char* pks[3] = {"d1_id", "d2_id", "d3_id"};
+  for (int d = 0; d < 3; ++d) {
+    const storage::Table* dim = catalog.GetTable(dims[d]);
+    RQO_CHECK(dim != nullptr);
+    const expr::ExprPtr& pred = query.tables[static_cast<size_t>(d) + 1].predicate;
+    const storage::ColumnVector& ids = dim->column(pks[d]);
+    for (storage::Rid rid = 0; rid < dim->num_rows(); ++rid) {
+      if (pred->EvaluateBool(*dim, rid)) selected[d].insert(ids.Int64At(rid));
+    }
+  }
+  const storage::ColumnVector& f1 = fact->column("f_d1");
+  const storage::ColumnVector& f2 = fact->column("f_d2");
+  const storage::ColumnVector& f3 = fact->column("f_d3");
+  uint64_t joining = 0;
+  for (storage::Rid rid = 0; rid < fact->num_rows(); ++rid) {
+    if (selected[0].count(f1.Int64At(rid)) > 0 &&
+        selected[1].count(f2.Int64At(rid)) > 0 &&
+        selected[2].count(f3.Int64At(rid)) > 0) {
+      ++joining;
+    }
+  }
+  return static_cast<double>(joining) /
+         static_cast<double>(fact->num_rows());
+}
+
+std::vector<double> StarJoinScenario::DefaultParams() {
+  return {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+}
+
+}  // namespace workload
+}  // namespace robustqo

@@ -1,0 +1,103 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// The paper's three experiment scenarios (Section 6.2) as parameterized
+// query templates. Each scenario exposes:
+//   * MakeQuery(param)  — the query at one setting of the free parameter;
+//   * TrueSelectivity() — the exact selectivity at that setting, measured
+//     against the base data (the experiments' x-axis);
+//   * DefaultParams()   — a sweep covering the paper's selectivity range.
+
+#ifndef ROBUSTQO_WORKLOAD_SCENARIOS_H_
+#define ROBUSTQO_WORKLOAD_SCENARIOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/query.h"
+#include "storage/catalog.h"
+
+namespace robustqo {
+namespace workload {
+
+// ---- Experiment 1 (Section 6.2.1): single-table lineitem query ----
+//
+// SELECT SUM(l_extendedprice) FROM lineitem
+// WHERE l_shipdate BETWEEN start AND start+window
+//   AND l_receiptdate BETWEEN start+offset AND start+offset+window
+//
+// The offset steers the overlap between the two (individually
+// constant-selectivity) date ranges: receipt dates trail ship dates by
+// 1-30 days, so the joint selectivity falls from ~2% to 0 as the offset
+// grows, while each marginal never changes.
+
+struct SingleTableScenario {
+  /// Start of the ship-date window (default 1997-07-01).
+  int64_t window_start;
+  /// Window width in days (inclusive range spans window_days days).
+  int64_t window_days = 60;
+
+  SingleTableScenario();
+
+  opt::QuerySpec MakeQuery(double offset_days) const;
+
+  /// Exact fraction of lineitem rows satisfying both predicates.
+  double TrueSelectivity(const storage::Catalog& catalog,
+                         double offset_days) const;
+
+  /// Offsets sweeping the paper's 0 - 0.6% selectivity range.
+  static std::vector<double> DefaultParams();
+};
+
+// ---- Experiment 2 (Section 6.2.2): three-table join ----
+//
+// SELECT SUM(l_extendedprice) FROM lineitem, orders, part
+// WHERE <FK joins> AND p_c1 BETWEEN 50 AND 60
+//   AND p_c2 BETWEEN 50+offset AND 60+offset
+//
+// p_c2 tracks p_c1 within a 5-unit window (injected by the generator), so
+// the joint selectivity of the two part predicates collapses from ~7.5%
+// to 0 as the offset passes the correlation window, marginals constant.
+
+struct ThreeTableJoinScenario {
+  double band_lo = 50.0;
+  double band_width = 10.0;
+
+  opt::QuerySpec MakeQuery(double offset) const;
+
+  /// Exact fraction of part rows satisfying the part predicates.
+  double TrueSelectivity(const storage::Catalog& catalog,
+                         double offset) const;
+
+  /// Offsets covering the paper's 0 - 0.5% part-selectivity range (plus a
+  /// few higher-selectivity points for context).
+  static std::vector<double> DefaultParams();
+};
+
+// ---- Experiment 3 (Section 6.2.3): four-table star join ----
+//
+// SELECT SUM(f_m1), AVG(f_m2) FROM fact, dim1, dim2, dim3
+// WHERE <FK joins> AND d1_attr = v AND d2_attr = (v+offset)%groups
+//   AND d3_attr = (v+offset)%groups
+//
+// Each filter selects exactly one dimension group (10%); the offset picks
+// which groups align, steering the joining fact fraction from ~5% down to
+// ~0.01% while AVI forever answers 0.1%.
+
+struct StarJoinScenario {
+  uint64_t groups = 10;
+  int64_t base_value = 3;  ///< v; any group works
+
+  opt::QuerySpec MakeQuery(double offset) const;
+
+  /// Exact fraction of fact rows joining all three filtered dimensions.
+  double TrueSelectivity(const storage::Catalog& catalog,
+                         double offset) const;
+
+  /// Offsets 0..groups-1 (each is one sweep point).
+  static std::vector<double> DefaultParams();
+};
+
+}  // namespace workload
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,148 @@
+#include "workload/star_schema.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace workload {
+
+using storage::Catalog;
+using storage::ColumnDef;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+
+namespace {
+
+// P(e = t) for t in [0, groups) proportional to decay^t.
+std::vector<double> OffsetWeights(const StarSchemaConfig& config) {
+  std::vector<double> w(config.groups);
+  double total = 0.0;
+  double cur = 1.0;
+  for (uint64_t t = 0; t < config.groups; ++t) {
+    w[t] = cur;
+    total += cur;
+    cur *= config.offset_decay;
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+void BuildDim(Catalog* catalog, uint64_t which,
+              const StarSchemaConfig& config, Rng* rng) {
+  const std::string name =
+      StrPrintf("dim%llu", static_cast<unsigned long long>(which));
+  const std::string prefix =
+      StrPrintf("d%llu", static_cast<unsigned long long>(which));
+  auto table = std::make_unique<Table>(
+      name, Schema({{prefix + "_id", DataType::kInt64},
+                    {prefix + "_attr", DataType::kInt64},
+                    {prefix + "_weight", DataType::kDouble},
+                    {prefix + "_label", DataType::kString}}));
+  const uint64_t per_group = config.dim_rows / config.groups;
+  RQO_CHECK_MSG(per_group * config.groups == config.dim_rows,
+                "dim_rows must be a multiple of groups");
+  for (uint64_t i = 1; i <= config.dim_rows; ++i) {
+    table->mutable_column(0)->AppendInt64(static_cast<int64_t>(i));
+    table->mutable_column(1)->AppendInt64(
+        static_cast<int64_t>((i - 1) / per_group));
+    table->mutable_column(2)->AppendDouble(rng->NextDoubleInRange(0.0, 1.0));
+    table->mutable_column(3)->AppendString(
+        StrPrintf("%s-member-%llu", prefix.c_str(),
+                  static_cast<unsigned long long>(i)));
+  }
+  table->FinalizeBulkLoad();
+  RQO_CHECK(catalog->AddTable(std::move(table)).ok());
+}
+
+}  // namespace
+
+double ExpectedJoinFraction(const StarSchemaConfig& config, uint64_t offset) {
+  RQO_CHECK(offset < config.groups);
+  return OffsetWeights(config)[offset] / static_cast<double>(config.groups);
+}
+
+Status LoadStarSchema(Catalog* catalog, const StarSchemaConfig& config) {
+  if (catalog->GetTable("fact") != nullptr) {
+    return Status::AlreadyExists("star schema already loaded");
+  }
+  if (config.num_dims < 1) {
+    return Status::InvalidArgument("num_dims must be at least 1");
+  }
+  Rng rng(config.seed);
+  for (uint64_t d = 1; d <= config.num_dims; ++d) {
+    Rng dim_rng = rng.Fork();
+    BuildDim(catalog, d, config, &dim_rng);
+  }
+
+  const std::vector<double> weights = OffsetWeights(config);
+  const uint64_t per_group = config.dim_rows / config.groups;
+  std::vector<ColumnDef> fact_columns{{"f_id", DataType::kInt64}};
+  for (uint64_t d = 1; d <= config.num_dims; ++d) {
+    fact_columns.push_back(
+        {StrPrintf("f_d%llu", static_cast<unsigned long long>(d)),
+         DataType::kInt64});
+  }
+  fact_columns.push_back({"f_m1", DataType::kDouble});
+  fact_columns.push_back({"f_m2", DataType::kDouble});
+  auto fact = std::make_unique<Table>("fact", Schema(fact_columns));
+  fact->Reserve(config.fact_rows);
+  Rng fact_rng = rng.Fork();
+  auto id_in_group = [&](uint64_t group) -> int64_t {
+    return static_cast<int64_t>(group * per_group +
+                                fact_rng.NextBounded(per_group) + 1);
+  };
+  for (uint64_t i = 1; i <= config.fact_rows; ++i) {
+    const uint64_t g = fact_rng.NextBounded(config.groups);
+    // Offset drawn from the decaying distribution; the SAME offset applies
+    // to every dimension beyond the first so aligned filters compound
+    // instead of multiplying.
+    double u = fact_rng.NextDouble();
+    uint64_t e = 0;
+    while (e + 1 < config.groups && u >= weights[e]) {
+      u -= weights[e];
+      ++e;
+    }
+    const uint64_t g_rest = (g + e) % config.groups;
+    size_t col = 0;
+    fact->mutable_column(col++)->AppendInt64(static_cast<int64_t>(i));
+    fact->mutable_column(col++)->AppendInt64(id_in_group(g));
+    for (uint64_t d = 2; d <= config.num_dims; ++d) {
+      fact->mutable_column(col++)->AppendInt64(id_in_group(g_rest));
+    }
+    fact->mutable_column(col++)->AppendDouble(
+        fact_rng.NextDoubleInRange(0.0, 1000.0));
+    fact->mutable_column(col)->AppendDouble(
+        fact_rng.NextDoubleInRange(0.0, 10.0));
+  }
+  fact->FinalizeBulkLoad();
+  RQO_RETURN_NOT_OK(catalog->AddTable(std::move(fact)));
+
+  RQO_RETURN_NOT_OK(catalog->SetPrimaryKey("fact", "f_id"));
+  for (uint64_t d = 1; d <= config.num_dims; ++d) {
+    const std::string dim =
+        StrPrintf("dim%llu", static_cast<unsigned long long>(d));
+    const std::string pk =
+        StrPrintf("d%llu_id", static_cast<unsigned long long>(d));
+    const std::string fk =
+        StrPrintf("f_d%llu", static_cast<unsigned long long>(d));
+    RQO_RETURN_NOT_OK(catalog->SetPrimaryKey(dim, pk));
+    RQO_RETURN_NOT_OK(catalog->AddForeignKey({"fact", fk, dim, pk}));
+  }
+  RQO_RETURN_NOT_OK(catalog->SetClusteringColumn("fact", "f_id"));
+  if (config.build_indexes) {
+    for (uint64_t d = 1; d <= config.num_dims; ++d) {
+      RQO_RETURN_NOT_OK(catalog->BuildIndex(
+          "fact", StrPrintf("f_d%llu", static_cast<unsigned long long>(d))));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace robustqo

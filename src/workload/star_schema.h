@@ -1,0 +1,64 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Synthetic data-warehouse star schema (paper Experiment 3, Section 6.2.3):
+// a fact table with foreign keys to three small dimension tables. The fact
+// rows' dimension-group assignments are handcrafted so that, by choosing
+// *which* (always 10%-selective) dimension values a query filters on, the
+// fraction of fact rows that join successfully can be steered across
+// orders of magnitude — while a histogram/AVI estimator always computes
+// 10% x 10% x 10% = 0.1%.
+//
+// Construction: each dimension has `groups` equal-size attribute groups.
+// Each fact row draws a base group g uniformly and an offset e from a
+// geometric-like distribution P(e = t) proportional to decay^t; its three
+// FK targets land in dimension groups (g, g+e, g+e) (mod groups). Filtering
+// the dimensions on attribute values (v, v+d, v+d) therefore selects a
+// fact fraction of P(e = d) / groups — large for d = 0, vanishing for
+// d = groups-1 — with every individual filter still matching exactly
+// 1/groups of its dimension.
+
+#ifndef ROBUSTQO_WORKLOAD_STAR_SCHEMA_H_
+#define ROBUSTQO_WORKLOAD_STAR_SCHEMA_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace workload {
+
+/// Star schema generator knobs.
+struct StarSchemaConfig {
+  /// Fact rows. The paper used 10M; the default keeps the benches fast and
+  /// the plan crossovers (selectivity ratios) identical.
+  uint64_t fact_rows = 200000;
+  /// Number of dimension tables (the paper's Experiment 3 uses 3).
+  uint64_t num_dims = 3;
+  /// Rows per dimension table (the paper used 1000).
+  uint64_t dim_rows = 1000;
+  /// Attribute groups per dimension; each filter selects one group, i.e.
+  /// 1/groups of the dimension (10% for the default 10).
+  uint64_t groups = 10;
+  /// Offset-distribution decay: P(e = t) proportional to decay^t.
+  double offset_decay = 0.5;
+  uint64_t seed = 11;
+  bool build_indexes = true;
+};
+
+/// Expected fraction of fact rows joining when the query filters dimension
+/// groups (v, v+offset, v+offset): P(e = offset) / groups.
+double ExpectedJoinFraction(const StarSchemaConfig& config, uint64_t offset);
+
+/// Generates tables `fact` and `dim1`..`dim<num_dims>` with keys, FKs and
+/// fact FK indexes into `catalog`. Fact columns are `f_id`, `f_d1`..
+/// `f_d<num_dims>`, `f_m1`, `f_m2`; dimension k has `dk_id`, `dk_attr`,
+/// `dk_weight`, `dk_label`. Dimensions 2..num_dims share the fact row's
+/// offset, so aligned filters compound exactly as in the 3-dim case.
+Status LoadStarSchema(storage::Catalog* catalog,
+                      const StarSchemaConfig& config = {});
+
+}  // namespace workload
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_WORKLOAD_STAR_SCHEMA_H_

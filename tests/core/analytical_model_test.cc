@@ -1,0 +1,185 @@
+#include "core/analytical_model.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace core {
+namespace {
+
+TEST(LinearCostPlanTest, CostEvaluation) {
+  LinearCostPlan plan{"p", 5.0, 2.0};
+  EXPECT_EQ(plan.Cost(0), 5.0);
+  EXPECT_EQ(plan.Cost(10), 25.0);
+  EXPECT_EQ(plan.CostAtSelectivity(0.5, 100), 105.0);
+}
+
+TEST(AnalyticalModelTest, PaperCrossoverNearPoint14Percent) {
+  TwoPlanAnalyticalModel model;
+  // Paper Section 5.1: pc = (f1-f2)/((v2-v1)N) ~ 0.14%.
+  EXPECT_NEAR(model.CrossoverSelectivity(), 0.0014, 0.0002);
+}
+
+TEST(AnalyticalModelTest, HighCrossoverParamsNearFivePercent) {
+  TwoPlanAnalyticalModel model(HighCrossoverParams());
+  EXPECT_NEAR(model.CrossoverSelectivity(), 0.052, 0.004);
+}
+
+TEST(AnalyticalModelTest, OptimalCostPicksCheaperPlan) {
+  TwoPlanAnalyticalModel model;
+  const double pc = model.CrossoverSelectivity();
+  const auto& params = model.params();
+  // Below the crossover plan 2 is optimal; above it plan 1.
+  EXPECT_EQ(model.OptimalCost(pc / 10),
+            params.p2.CostAtSelectivity(pc / 10, params.table_rows));
+  EXPECT_EQ(model.OptimalCost(pc * 10),
+            params.p1.CostAtSelectivity(pc * 10, params.table_rows));
+}
+
+TEST(AnalyticalModelTest, EstimateMatchesPosteriorQuantile) {
+  TwoPlanAnalyticalModel model;
+  stats::SelectivityPosterior posterior(10, 100);
+  EXPECT_DOUBLE_EQ(model.EstimateForObservation(10, 100, 0.8),
+                   posterior.EstimateAtConfidence(0.8));
+}
+
+TEST(AnalyticalModelTest, PlanChoiceThresholdMonotoneInK) {
+  TwoPlanAnalyticalModel model;
+  // Once k is large enough to choose plan 1, larger k must stay plan 1.
+  const uint64_t n = 1000;
+  const uint64_t kstar = model.Plan1ThresholdK(n, 0.5);
+  ASSERT_LE(kstar, n);
+  for (uint64_t k = 0; k <= n; k += 50) {
+    EXPECT_EQ(model.PlanChoice(k, n, 0.5), k >= kstar ? 1 : 2);
+  }
+}
+
+TEST(AnalyticalModelTest, HigherThresholdLowersPlan1Bar) {
+  // A higher confidence threshold inflates the selectivity estimate, so
+  // FEWER positive samples are needed before the flat plan looks right.
+  TwoPlanAnalyticalModel model;
+  const uint64_t n = 1000;
+  EXPECT_LE(model.Plan1ThresholdK(n, 0.95), model.Plan1ThresholdK(n, 0.5));
+  EXPECT_LE(model.Plan1ThresholdK(n, 0.5), model.Plan1ThresholdK(n, 0.05));
+}
+
+TEST(AnalyticalModelTest, T95NeverChoosesRiskyPlanAtN1000) {
+  // Paper Section 5.2.1: at T = 95%, even k = 0 of 1000 leaves more than
+  // 5% posterior mass above the crossover, so the optimizer can never be
+  // 95% confident the risky (selectivity-sensitive) plan is safe — it
+  // always picks the flat plan P1, already at k = 0.
+  TwoPlanAnalyticalModel model;
+  EXPECT_EQ(model.PlanChoice(0, 1000, 0.95), 1);
+  EXPECT_EQ(model.Plan1ThresholdK(1000, 0.95), 0u);
+}
+
+TEST(AnalyticalModelTest, ProbabilityPlan1IncreasesWithSelectivity) {
+  TwoPlanAnalyticalModel model;
+  double prev = -1.0;
+  for (double p : {0.0, 0.0005, 0.001, 0.002, 0.005, 0.01}) {
+    const double prob = model.ProbabilityPlan1(p, 1000, 0.5);
+    EXPECT_GE(prob, prev - 1e-12);
+    prev = prob;
+  }
+}
+
+TEST(AnalyticalModelTest, ProbabilityBoundsAndExtremes) {
+  TwoPlanAnalyticalModel model;
+  const double lo = model.ProbabilityPlan1(0.00001, 1000, 0.5);
+  const double hi = model.ProbabilityPlan1(0.01, 1000, 0.5);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(lo, 0.2);
+  EXPECT_GE(hi, 0.95);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(AnalyticalModelTest, ExpectedTimeIsMixtureOfPlanCosts) {
+  TwoPlanAnalyticalModel model;
+  const double p = 0.001;
+  const auto& params = model.params();
+  const double c1 = params.p1.CostAtSelectivity(p, params.table_rows);
+  const double c2 = params.p2.CostAtSelectivity(p, params.table_rows);
+  const double e = model.ExpectedExecutionTime(p, 1000, 0.5);
+  EXPECT_GE(e, std::min(c1, c2) - 1e-9);
+  EXPECT_LE(e, std::max(c1, c2) + 1e-9);
+}
+
+TEST(AnalyticalModelTest, SecondMomentAtLeastMeanSquared) {
+  TwoPlanAnalyticalModel model;
+  for (double p : {0.0002, 0.0014, 0.006}) {
+    const double mean = model.ExpectedExecutionTime(p, 500, 0.8);
+    const double second = model.SecondMomentExecutionTime(p, 500, 0.8);
+    EXPECT_GE(second, mean * mean - 1e-9);
+  }
+}
+
+TEST(AnalyticalModelTest, HighThresholdReducesWorkloadVariance) {
+  // Paper Figure 6: higher confidence thresholds trade mean for variance.
+  TwoPlanAnalyticalModel model;
+  std::vector<double> sels;
+  for (int i = 0; i <= 20; ++i) sels.push_back(i * 0.0005);
+  const auto aggressive = model.SummarizeWorkload(sels, 1000, 0.05);
+  const auto conservative = model.SummarizeWorkload(sels, 1000, 0.95);
+  EXPECT_LT(conservative.std_dev_seconds, aggressive.std_dev_seconds);
+}
+
+TEST(AnalyticalModelTest, ModerateThresholdBeatsExtremesOnMeanTime) {
+  // Paper Section 5.2.1: moderate settings give the lowest expected time.
+  TwoPlanAnalyticalModel model;
+  std::vector<double> sels;
+  for (int i = 0; i <= 20; ++i) sels.push_back(i * 0.0005);
+  const double mean_5 = model.SummarizeWorkload(sels, 1000, 0.05).mean_seconds;
+  const double mean_80 =
+      model.SummarizeWorkload(sels, 1000, 0.80).mean_seconds;
+  const double mean_95 =
+      model.SummarizeWorkload(sels, 1000, 0.95).mean_seconds;
+  EXPECT_LT(mean_80, mean_5);
+  EXPECT_LT(mean_80, mean_95);
+}
+
+TEST(AnalyticalModelTest, LargerSamplesImproveExpectedTime) {
+  // Paper Figure 7/12: among samples large enough to ever choose the risky
+  // plan, bigger is better on both mean and variability. (n = 50 is the
+  // paper's exception: it self-adjusts to always-seq-scan, giving a low
+  // mean but suboptimal very-low-selectivity queries — covered by
+  // TinySampleSelfAdjustsToSafePlan.)
+  TwoPlanAnalyticalModel model;
+  std::vector<double> sels;
+  for (int i = 1; i <= 20; ++i) sels.push_back(i * 0.0005);
+  // Small samples (n <= ~250 here) never choose the risky plan at all.
+  EXPECT_EQ(model.Plan1ThresholdK(100, 0.5), 0u);
+  EXPECT_GT(model.Plan1ThresholdK(500, 0.5), 0u);
+  const double t500 = model.SummarizeWorkload(sels, 500, 0.5).mean_seconds;
+  const double t1000 = model.SummarizeWorkload(sels, 1000, 0.5).mean_seconds;
+  const double t2500 = model.SummarizeWorkload(sels, 2500, 0.5).mean_seconds;
+  EXPECT_LT(t1000, t500);
+  EXPECT_LT(t2500, t1000);
+  const double s500 =
+      model.SummarizeWorkload(sels, 500, 0.5).std_dev_seconds;
+  const double s2500 =
+      model.SummarizeWorkload(sels, 2500, 0.5).std_dev_seconds;
+  EXPECT_LT(s2500, s500);
+}
+
+TEST(AnalyticalModelTest, TinySampleSelfAdjustsToSafePlan) {
+  // Paper Section 6.2.4: with a 50-tuple sample at T = 50%, even k = 0
+  // yields an estimate above the crossover, so the safe plan is always
+  // chosen.
+  TwoPlanAnalyticalModel model;
+  EXPECT_EQ(model.Plan1ThresholdK(50, 0.5), 0u);
+  EXPECT_EQ(model.ProbabilityPlan1(0.0001, 50, 0.5), 1.0);
+}
+
+TEST(AnalyticalModelTest, HighCrossoverInsensitiveToThreshold) {
+  // Paper Figure 8: with the crossover at ~5.2%, expected times barely
+  // depend on the threshold.
+  TwoPlanAnalyticalModel model(HighCrossoverParams());
+  std::vector<double> sels;
+  for (int i = 0; i <= 20; ++i) sels.push_back(i * 0.01);
+  const double m5 = model.SummarizeWorkload(sels, 1000, 0.05).mean_seconds;
+  const double m95 = model.SummarizeWorkload(sels, 1000, 0.95).mean_seconds;
+  EXPECT_NEAR(m5, m95, 0.05 * std::max(m5, m95));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

@@ -1,0 +1,121 @@
+#include "core/cost_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robustqo {
+namespace core {
+namespace {
+
+// The paper's Figures 1-3 setup: two plans, selectivity inferred from a
+// 200-tuple sample with 50 hits (Section 3.1.1).
+class CostDistributionTest : public ::testing::Test {
+ protected:
+  CostDistributionTest()
+      : posterior_(50, 200),
+        // Chosen so plan1 is selectivity-sensitive and plan2 flat, with
+        // costs in the paper's 20-45 range around s ~ 25%.
+        plan1_{"Plan 1", 15.0, 60.0 / 1000.0},
+        plan2_{"Plan 2", 30.0, 6.0 / 1000.0},
+        d1_(posterior_, plan1_, 1000.0),
+        d2_(posterior_, plan2_, 1000.0) {}
+
+  stats::SelectivityPosterior posterior_;
+  LinearCostPlan plan1_;
+  LinearCostPlan plan2_;
+  PlanCostDistribution d1_;
+  PlanCostDistribution d2_;
+};
+
+TEST_F(CostDistributionTest, SelectivityForCostInvertsTheCostFunction) {
+  for (double s : {0.1, 0.25, 0.5}) {
+    const double cost = plan1_.CostAtSelectivity(s, 1000.0);
+    EXPECT_NEAR(d1_.SelectivityForCost(cost), s, 1e-12);
+  }
+  EXPECT_EQ(d1_.SelectivityForCost(-100.0), 0.0);  // clamped
+  EXPECT_EQ(d1_.SelectivityForCost(1e9), 1.0);
+}
+
+TEST_F(CostDistributionTest, CostCdfIsChangeOfVariable) {
+  for (double s : {0.1, 0.25, 0.4}) {
+    const double cost = plan1_.CostAtSelectivity(s, 1000.0);
+    EXPECT_NEAR(d1_.CostCdf(cost), posterior_.Cdf(s), 1e-12);
+  }
+}
+
+TEST_F(CostDistributionTest, CostPdfIntegratesToOne) {
+  const double lo = plan1_.fixed;
+  const double hi = plan1_.CostAtSelectivity(1.0, 1000.0);
+  double integral = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const double c = lo + (hi - lo) * (i + 0.5) / steps;
+    integral += d1_.CostPdf(c) * (hi - lo) / steps;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST_F(CostDistributionTest, FlatPlanHasTighterCostDistribution) {
+  // The paper's Figure 2 observation: uncertainty hits the
+  // selectivity-sensitive plan much harder.
+  const double spread1 = d1_.CostQuantile(0.95) - d1_.CostQuantile(0.05);
+  const double spread2 = d2_.CostQuantile(0.95) - d2_.CostQuantile(0.05);
+  EXPECT_GT(spread1, 5.0 * spread2);
+}
+
+TEST_F(CostDistributionTest, ShortcutEqualsExplicitInversion) {
+  // Section 3.1.1's equivalence claim: inverting the selectivity cdf and
+  // costing once equals inverting the execution-cost cdf.
+  for (double t : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(d1_.CostQuantile(t), d1_.CostQuantileByInversion(t), 1e-6)
+        << "t=" << t;
+    EXPECT_NEAR(d2_.CostQuantile(t), d2_.CostQuantileByInversion(t), 1e-6);
+  }
+}
+
+TEST_F(CostDistributionTest, ExpectedCostExactForLinearPlans) {
+  const double expected =
+      plan1_.fixed + plan1_.per_tuple * 1000.0 * posterior_.Mean();
+  EXPECT_NEAR(d1_.ExpectedCost(), expected, 1e-9);
+}
+
+TEST_F(CostDistributionTest, VarianceScalesWithSlopeSquared) {
+  // Slope ratio is 10x, so variance ratio must be 100x.
+  EXPECT_NEAR(d1_.CostVariance() / d2_.CostVariance(), 100.0, 1e-6);
+}
+
+TEST_F(CostDistributionTest, PreferenceFlipsAtSomeThreshold) {
+  // Figure 3: the aggressive end prefers the risky plan, the conservative
+  // end the flat plan, with a single flip in between.
+  const double lo_diff = d1_.CostQuantile(0.05) - d2_.CostQuantile(0.05);
+  const double hi_diff = d1_.CostQuantile(0.95) - d2_.CostQuantile(0.95);
+  ASSERT_LT(lo_diff, 0.0);
+  ASSERT_GT(hi_diff, 0.0);
+  auto crossover = PreferenceCrossoverThreshold(d1_, d2_);
+  ASSERT_TRUE(crossover.has_value());
+  EXPECT_GT(*crossover, 0.05);
+  EXPECT_LT(*crossover, 0.95);
+  // At the crossover the quantiles agree.
+  EXPECT_NEAR(d1_.CostQuantile(*crossover), d2_.CostQuantile(*crossover),
+              0.01);
+}
+
+TEST_F(CostDistributionTest, NoCrossoverWhenOnePlanDominates) {
+  LinearCostPlan cheap{"cheap", 1.0, 0.001};
+  PlanCostDistribution d_cheap(posterior_, cheap, 1000.0);
+  EXPECT_FALSE(PreferenceCrossoverThreshold(d_cheap, d2_).has_value());
+}
+
+TEST_F(CostDistributionTest, QuantileMonotoneInThreshold) {
+  double prev = 0.0;
+  for (double t = 0.05; t < 1.0; t += 0.05) {
+    const double q = d1_.CostQuantile(t);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

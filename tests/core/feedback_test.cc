@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tpch/tpch_gen.h"
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace core {
+namespace {
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    db_->UpdateStatistics();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(FeedbackTest, DisabledByDefault) {
+  workload::SingleTableScenario scenario;
+  ASSERT_TRUE(db_->Execute(scenario.MakeQuery(70),
+                           EstimatorKind::kRobustSample)
+                  .ok());
+  EXPECT_EQ(db_->feedback().count(), 0u);
+}
+
+TEST_F(FeedbackTest, ExecuteRecordsTrueSelectivity) {
+  db_->EnableFeedback(true);
+  workload::SingleTableScenario scenario;
+  const double offset = 64;
+  auto result =
+      db_->Execute(scenario.MakeQuery(offset), EstimatorKind::kRobustSample);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(db_->feedback().count(), 1u);
+  const double recorded = db_->feedback().observations()[0];
+  const double truth = scenario.TrueSelectivity(*db_->catalog(), offset);
+  EXPECT_NEAR(recorded, truth, 1e-12);
+  EXPECT_EQ(result.value().spj_rows,
+            static_cast<uint64_t>(
+                truth *
+                static_cast<double>(
+                    db_->catalog()->GetTable("lineitem")->num_rows()) +
+                0.5));
+}
+
+TEST_F(FeedbackTest, SpjRowsForAggregateFreeQuery) {
+  db_->EnableFeedback(true);
+  opt::QuerySpec query;
+  query.tables.push_back({"part", nullptr});
+  query.select_columns = {"p_partkey"};
+  auto result = db_->Execute(query, EstimatorKind::kRobustSample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().spj_rows,
+            db_->catalog()->GetTable("part")->num_rows());
+  EXPECT_EQ(db_->feedback().observations()[0], 1.0);
+}
+
+TEST_F(FeedbackTest, JoinFeedbackUsesRootTablePopulation) {
+  db_->EnableFeedback(true);
+  workload::ThreeTableJoinScenario scenario;
+  const double offset = 11.0;
+  ASSERT_TRUE(db_->Execute(scenario.MakeQuery(offset),
+                           EstimatorKind::kRobustSample)
+                  .ok());
+  ASSERT_EQ(db_->feedback().count(), 1u);
+  // Join selectivity relative to lineitem equals the part predicate's
+  // selectivity (uniform FK references).
+  const double part_sel = scenario.TrueSelectivity(*db_->catalog(), offset);
+  EXPECT_NEAR(db_->feedback().observations()[0], part_sel, 0.35 * part_sel);
+}
+
+TEST_F(FeedbackTest, AdoptFeedbackPriorInstallsAndResets) {
+  db_->EnableFeedback(true);
+  workload::SingleTableScenario scenario;
+  for (double offset : workload::SingleTableScenario::DefaultParams()) {
+    ASSERT_TRUE(db_->Execute(scenario.MakeQuery(offset),
+                             EstimatorKind::kRobustSample)
+                    .ok());
+  }
+  auto prior = db_->AdoptFeedbackPrior(5);
+  ASSERT_TRUE(prior.ok()) << prior.status().ToString();
+  ASSERT_TRUE(
+      db_->robust_estimator()->config().custom_prior.has_value());
+  // Workload selectivities are all below ~1%: the fitted prior is heavily
+  // right-weighted (beta >> alpha).
+  EXPECT_GT(prior.value().beta, prior.value().alpha * 10);
+  db_->ResetPrior();
+  EXPECT_FALSE(
+      db_->robust_estimator()->config().custom_prior.has_value());
+}
+
+TEST_F(FeedbackTest, AdoptFailsOnTooFewObservations) {
+  db_->EnableFeedback(true);
+  workload::SingleTableScenario scenario;
+  ASSERT_TRUE(db_->Execute(scenario.MakeQuery(70),
+                           EstimatorKind::kRobustSample)
+                  .ok());
+  EXPECT_FALSE(db_->AdoptFeedbackPrior(10).ok());
+  EXPECT_FALSE(
+      db_->robust_estimator()->config().custom_prior.has_value());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

@@ -1,0 +1,100 @@
+// Cross-validation of the Section-5 closed-form analytical model against
+// brute-force Monte Carlo simulation of the whole estimation pipeline:
+// draw k ~ Binomial(n, p), infer the posterior, apply the threshold rule,
+// pick a plan, pay its true cost. The closed form and the simulation must
+// agree — this pins the algebra behind Figures 5-8.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytical_model.h"
+#include "stats_math/binomial_distribution.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace core {
+namespace {
+
+class MonteCarloParam
+    : public ::testing::TestWithParam<std::tuple<double, double, uint64_t>> {
+};
+
+TEST_P(MonteCarloParam, ClosedFormMatchesSimulation) {
+  const auto [p, threshold, n] = GetParam();
+  TwoPlanAnalyticalModel model;
+  Rng rng(static_cast<uint64_t>(p * 1e7) + n + 1);
+  math::BinomialDistribution binom(static_cast<int64_t>(n), p);
+
+  const int trials = 4000;
+  int plan1_count = 0;
+  double total_time = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t k = static_cast<uint64_t>(binom.Sample(&rng));
+    const int choice = model.PlanChoice(k, n, threshold);
+    if (choice == 1) ++plan1_count;
+    const auto& plan =
+        choice == 1 ? model.params().p1 : model.params().p2;
+    total_time += plan.CostAtSelectivity(p, model.params().table_rows);
+  }
+  const double sim_prob1 = static_cast<double>(plan1_count) / trials;
+  const double sim_time = total_time / trials;
+
+  const double exact_prob1 = model.ProbabilityPlan1(p, n, threshold);
+  const double exact_time = model.ExpectedExecutionTime(p, n, threshold);
+
+  EXPECT_NEAR(sim_prob1, exact_prob1, 0.03)
+      << "p=" << p << " T=" << threshold << " n=" << n;
+  EXPECT_NEAR(sim_time, exact_time,
+              0.05 * std::max(1.0, exact_time))
+      << "p=" << p << " T=" << threshold << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonteCarloParam,
+    ::testing::Values(
+        std::tuple<double, double, uint64_t>{0.0005, 0.50, 1000},
+        std::tuple<double, double, uint64_t>{0.0014, 0.50, 1000},
+        std::tuple<double, double, uint64_t>{0.0030, 0.50, 1000},
+        std::tuple<double, double, uint64_t>{0.0014, 0.05, 1000},
+        std::tuple<double, double, uint64_t>{0.0014, 0.95, 1000},
+        std::tuple<double, double, uint64_t>{0.0020, 0.80, 500},
+        std::tuple<double, double, uint64_t>{0.0020, 0.50, 50}));
+
+TEST(MonteCarloValidation, WorkloadSummaryMatchesSimulation) {
+  TwoPlanAnalyticalModel model;
+  std::vector<double> sels{0.0002, 0.0008, 0.0014, 0.0030, 0.0080};
+  const uint64_t n = 1000;
+  const double threshold = 0.8;
+
+  Rng rng(99);
+  const int trials_per_sel = 3000;
+  std::vector<double> times;
+  times.reserve(sels.size() * trials_per_sel);
+  for (double p : sels) {
+    math::BinomialDistribution binom(static_cast<int64_t>(n), p);
+    for (int t = 0; t < trials_per_sel; ++t) {
+      const uint64_t k = static_cast<uint64_t>(binom.Sample(&rng));
+      const auto& plan = model.PlanChoice(k, n, threshold) == 1
+                             ? model.params().p1
+                             : model.params().p2;
+      times.push_back(plan.CostAtSelectivity(p, model.params().table_rows));
+    }
+  }
+  double mean = 0.0;
+  for (double t : times) mean += t;
+  mean /= static_cast<double>(times.size());
+  double var = 0.0;
+  for (double t : times) var += (t - mean) * (t - mean);
+  var /= static_cast<double>(times.size());
+
+  const auto summary = model.SummarizeWorkload(sels, n, threshold);
+  EXPECT_NEAR(mean, summary.mean_seconds,
+              0.03 * std::max(1.0, summary.mean_seconds));
+  EXPECT_NEAR(std::sqrt(var), summary.std_dev_seconds,
+              0.15 * std::max(0.5, summary.std_dev_seconds));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

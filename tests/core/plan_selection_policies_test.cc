@@ -1,0 +1,137 @@
+#include "core/plan_selection_policies.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robustqo {
+namespace core {
+namespace {
+
+TEST(CostedPlanTest, LinearAndKneeShapes) {
+  CostedPlan linear = LinearPlan("l", 10.0, 100.0);
+  EXPECT_EQ(linear.cost(0.0), 10.0);
+  EXPECT_EQ(linear.cost(0.5), 60.0);
+  CostedPlan knee = KneePlan("k", 5.0, 10.0, 0.2, 1000.0);
+  EXPECT_EQ(knee.cost(0.0), 5.0);
+  EXPECT_NEAR(knee.cost(0.2), 7.0, 1e-12);
+  EXPECT_NEAR(knee.cost(0.3), 7.0 + 100.0, 1e-12);
+  // Continuous at the knee.
+  EXPECT_NEAR(knee.cost(0.2 - 1e-9), knee.cost(0.2 + 1e-9), 1e-5);
+}
+
+TEST(ExpectedCostTest, ExactForLinearPlans) {
+  stats::SelectivityPosterior posterior(50, 200);
+  CostedPlan plan = LinearPlan("p", 3.0, 40.0);
+  const double expected =
+      3.0 + 40.0 * posterior.distribution().Mean();
+  EXPECT_NEAR(ExpectedCost(plan, posterior), expected, 0.01);
+}
+
+TEST(ExpectedCostTest, ConstantPlanIsItsCost) {
+  stats::SelectivityPosterior posterior(10, 100);
+  CostedPlan flat{"flat", [](double) { return 42.0; }};
+  EXPECT_NEAR(ExpectedCost(flat, posterior), 42.0, 0.01);
+}
+
+TEST(ExpectedCostTest, JensenInequalityForConvexCost) {
+  // For convex cost, E[cost(s)] >= cost(E[s]) strictly when var > 0.
+  stats::SelectivityPosterior posterior(20, 100);
+  CostedPlan convex{"sq", [](double s) { return 1000.0 * s * s; }};
+  const double lec = ExpectedCost(convex, posterior);
+  const double classical = convex.cost(posterior.Mean());
+  EXPECT_GT(lec, classical + 0.1);
+}
+
+TEST(PolicyScoreTest, LinearCostsMakeLecEqualClassical) {
+  // With linear costs E[cost] = cost(E[s]): the policies coincide, which
+  // is why the paper's running examples need plan costs that differ in
+  // slope, not curvature, to separate threshold settings.
+  stats::SelectivityPosterior posterior(30, 300);
+  CostedPlan plan = LinearPlan("p", 2.0, 25.0);
+  EXPECT_NEAR(
+      PolicyScore(plan, posterior, SelectionPolicy::kClassicalPointEstimate),
+      PolicyScore(plan, posterior, SelectionPolicy::kLeastExpectedCost),
+      0.01);
+}
+
+TEST(SelectPlanTest, ClassicalAndLecDivergeOnKneePlans) {
+  // Flat plan costs 26 always. Knee plan: cheap below 25% selectivity,
+  // catastrophic above. Posterior mean sits below the knee, so the
+  // classical policy picks the knee plan; LEC sees the upper tail's
+  // blow-up and picks the flat plan.
+  stats::SelectivityPosterior posterior(20, 100);  // mean ~20%
+  std::vector<CostedPlan> plans;
+  plans.push_back(KneePlan("risky", 0.0, 100.0, 0.25, 3000.0));
+  plans.push_back(LinearPlan("flat", 26.0, 0.1));
+  EXPECT_EQ(SelectPlan(plans, posterior,
+                       SelectionPolicy::kClassicalPointEstimate),
+            0u);
+  EXPECT_EQ(SelectPlan(plans, posterior, SelectionPolicy::kLeastExpectedCost),
+            1u);
+}
+
+TEST(SelectPlanTest, ThresholdPolicySweepsFromRiskyToSafe) {
+  stats::SelectivityPosterior posterior(20, 100);
+  std::vector<CostedPlan> plans;
+  plans.push_back(LinearPlan("risky", 0.0, 120.0));  // cheap at low s
+  plans.push_back(LinearPlan("flat", 25.0, 1.0));
+  const size_t low_t = SelectPlan(plans, posterior,
+                                  SelectionPolicy::kConfidenceThreshold,
+                                  0.05);
+  const size_t high_t = SelectPlan(plans, posterior,
+                                   SelectionPolicy::kConfidenceThreshold,
+                                   0.95);
+  EXPECT_EQ(low_t, 0u);
+  EXPECT_EQ(high_t, 1u);
+}
+
+TEST(MinimaxRegretTest, ZeroRegretWhenPlanDominates) {
+  stats::SelectivityPosterior posterior(10, 100);
+  std::vector<CostedPlan> plans{LinearPlan("cheap", 1.0, 1.0),
+                                LinearPlan("dear", 50.0, 1.0)};
+  EXPECT_EQ(MaxRegret(plans, 0, posterior), 0.0);
+  EXPECT_NEAR(MaxRegret(plans, 1, posterior), 49.0, 1e-9);
+  EXPECT_EQ(SelectPlanMinimaxRegret(plans, posterior), 0u);
+}
+
+TEST(MinimaxRegretTest, PrefersHedgeOverGamble) {
+  // Risky plan: brilliant below the crossover, terrible above. Flat plan:
+  // mediocre everywhere. With a posterior straddling the crossover, the
+  // risky plan's worst-case regret is huge; the flat plan's is bounded by
+  // its overpayment at low selectivity.
+  stats::SelectivityPosterior posterior(20, 100);  // mean 20%, sd ~4%
+  std::vector<CostedPlan> plans{
+      LinearPlan("risky", 0.0, 200.0),  // crossover vs flat at 12.5%
+      LinearPlan("flat", 25.0, 1.0),
+  };
+  const double regret_risky = MaxRegret(plans, 0, posterior);
+  const double regret_flat = MaxRegret(plans, 1, posterior);
+  EXPECT_GT(regret_risky, regret_flat);
+  EXPECT_EQ(SelectPlanMinimaxRegret(plans, posterior), 1u);
+  // A tight posterior safely below the crossover flips the choice.
+  stats::SelectivityPosterior tight(50, 2000);  // mean 2.5%
+  EXPECT_EQ(SelectPlanMinimaxRegret(plans, tight), 0u);
+}
+
+TEST(MinimaxRegretTest, NarrowCredibleRegionShrinksRegret) {
+  stats::SelectivityPosterior posterior(20, 100);
+  std::vector<CostedPlan> plans{LinearPlan("risky", 0.0, 200.0),
+                                LinearPlan("flat", 25.0, 1.0)};
+  EXPECT_LE(MaxRegret(plans, 0, posterior, 0.5),
+            MaxRegret(plans, 0, posterior, 0.99));
+}
+
+TEST(SelectPlanTest, SingleCandidateAlwaysSelected) {
+  stats::SelectivityPosterior posterior(1, 10);
+  std::vector<CostedPlan> plans{LinearPlan("only", 1.0, 1.0)};
+  for (auto policy : {SelectionPolicy::kClassicalPointEstimate,
+                      SelectionPolicy::kLeastExpectedCost,
+                      SelectionPolicy::kConfidenceThreshold}) {
+    EXPECT_EQ(SelectPlan(plans, posterior, policy), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

@@ -1,0 +1,82 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_gen.h"
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    stats::StatisticsConfig stats_config;
+    stats_config.seed = 99;
+    db_->UpdateStatistics(stats_config);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* ReportTest::db_ = nullptr;
+
+TEST_F(ReportTest, ReportCoversAllThresholds) {
+  workload::SingleTableScenario scenario;
+  auto report = ThresholdPreferenceReport(db_, scenario.MakeQuery(70));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().size(), 5u);
+  for (const auto& row : report.value()) {
+    EXPECT_FALSE(row.plan_label.empty());
+    EXPECT_GT(row.estimated_cost, 0.0);
+  }
+  // Estimated rows grow with the threshold (cdf-inverse is monotone).
+  for (size_t i = 1; i < report.value().size(); ++i) {
+    EXPECT_GE(report.value()[i].estimated_rows,
+              report.value()[i - 1].estimated_rows - 1e-9);
+  }
+}
+
+TEST_F(ReportTest, FlipVisibleAtLowSelectivity) {
+  // Near-zero true selectivity: aggressive thresholds pick the index
+  // intersection, conservative ones the scan — the report should show one
+  // flip.
+  workload::SingleTableScenario scenario;
+  auto report = ThresholdPreferenceReport(db_, scenario.MakeQuery(92));
+  ASSERT_TRUE(report.ok());
+  const std::string first = report.value().front().plan_label;
+  const std::string last = report.value().back().plan_label;
+  EXPECT_NE(first, last);
+  EXPECT_NE(first.find("IxSect"), std::string::npos) << first;
+  EXPECT_NE(last.find("Seq("), std::string::npos) << last;
+  const std::string text = FormatThresholdReport(report.value());
+  EXPECT_NE(text.find("preference flips"), std::string::npos);
+}
+
+TEST_F(ReportTest, ErrorsPropagate) {
+  opt::QuerySpec bad;
+  bad.tables.push_back({"nope", nullptr});
+  EXPECT_FALSE(ThresholdPreferenceReport(db_, bad).ok());
+}
+
+TEST_F(ReportTest, FormatterAlignsRows) {
+  std::vector<ThresholdPreference> rows = {
+      {0.5, "Agg(Seq(lineitem))", 0.7, 100.0},
+      {0.8, "Agg(Seq(lineitem))", 0.7, 150.0},
+  };
+  const std::string text = FormatThresholdReport(rows);
+  EXPECT_NE(text.find("est cost"), std::string::npos);
+  EXPECT_EQ(text.find("preference flips"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace robustqo

@@ -1,0 +1,121 @@
+#include "exec/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace exec {
+namespace {
+
+TEST(CostModelTest, DefaultsMatchPaperCalibration) {
+  CostModel m = CostModel::Default();
+  // 6M-row sequential scan ~ 35 simulated seconds (Section 5.1's f1).
+  EXPECT_NEAR(m.seq_tuple_cost * 6.0e6, 35.0, 1e-9);
+  // One RID fetch = 3.5 ms (Section 5.1's v2).
+  EXPECT_NEAR(m.random_io_cost, 3.5e-3, 1e-12);
+  // Per-tuple CPU = 3.5 us (Section 5.1's v1).
+  EXPECT_NEAR(m.cpu_tuple_cost, 3.5e-6, 1e-12);
+}
+
+TEST(CostMeterTest, ChargesAccumulate) {
+  CostModel m;
+  CostMeter meter;
+  meter.ChargeSeqTuples(m, 1000);
+  meter.ChargeRandomIo(m, 10);
+  meter.ChargeCpuTuples(m, 100);
+  meter.ChargeOutputTuples(m, 5);
+  EXPECT_EQ(meter.seq_tuples(), 1000u);
+  EXPECT_EQ(meter.random_ios(), 10u);
+  EXPECT_EQ(meter.cpu_tuples(), 100u);
+  EXPECT_EQ(meter.output_tuples(), 5u);
+  const double expected = m.seq_tuple_cost * 1000 + m.random_io_cost * 10 +
+                          m.cpu_tuple_cost * 100 + m.output_tuple_cost * 5;
+  EXPECT_NEAR(meter.total_seconds(), expected, 1e-15);
+}
+
+TEST(CostMeterTest, IndexProbeChargesSeekPlusEntries) {
+  CostModel m;
+  CostMeter meter;
+  meter.ChargeIndexProbe(m, 200);
+  EXPECT_EQ(meter.index_seeks(), 1u);
+  EXPECT_EQ(meter.index_entries(), 200u);
+  EXPECT_NEAR(meter.total_seconds(),
+              m.index_seek_cost + 200 * m.index_entry_cost, 1e-15);
+}
+
+TEST(CostMeterTest, HashJoinCharges) {
+  CostModel m;
+  CostMeter meter;
+  meter.ChargeHashJoin(m, 100, 1000);
+  EXPECT_NEAR(meter.total_seconds(),
+              100 * m.hash_build_cost + 1000 * m.hash_probe_cost, 1e-15);
+}
+
+TEST(CostMeterTest, ResetClearsEverything) {
+  CostModel m;
+  CostMeter meter;
+  meter.ChargeSeqTuples(m, 10);
+  meter.Reset();
+  EXPECT_EQ(meter.total_seconds(), 0.0);
+  EXPECT_EQ(meter.seq_tuples(), 0u);
+}
+
+TEST(CostMeterTest, ToStringMentionsCounters) {
+  CostModel m;
+  CostMeter meter;
+  meter.ChargeSeqTuples(m, 7);
+  EXPECT_NE(meter.ToString().find("seq=7"), std::string::npos);
+}
+
+TEST(CostFormulaTest, SeqScanLinearInRows) {
+  CostModel m;
+  EXPECT_NEAR(SeqScanCost(m, 6.0e6, 0.0), 35.0, 1e-9);
+  EXPECT_GT(SeqScanCost(m, 1000, 100), SeqScanCost(m, 1000, 0));
+}
+
+TEST(CostFormulaTest, IndexIntersectionDominatedByFetches) {
+  CostModel m;
+  const double cheap = IndexIntersectionCost(m, 2, 1000, 10, 10);
+  const double expensive = IndexIntersectionCost(m, 2, 1000, 10000, 10000);
+  EXPECT_GT(expensive, cheap + 30.0);  // 10k random IOs ~ 35s
+}
+
+TEST(CostFormulaTest, CrossoverBetweenScanAndIntersection) {
+  // The paper's central cost structure: at low selectivity the
+  // intersection wins, at high selectivity the scan wins.
+  CostModel m;
+  const double rows = 6.0e6;
+  const double entries = 2 * 0.0364 * rows;  // two ~3.6% marginal ranges
+  auto scan = [&](double sel) { return SeqScanCost(m, rows, sel * rows); };
+  auto ix = [&](double sel) {
+    return IndexIntersectionCost(m, 2, entries, sel * rows, sel * rows);
+  };
+  EXPECT_LT(ix(0.0001), scan(0.0001));
+  EXPECT_GT(ix(0.01), scan(0.01));
+}
+
+TEST(CostFormulaTest, JoinFormulasScaleWithInputs) {
+  CostModel m;
+  EXPECT_GT(HashJoinCost(m, 1000, 10000, 100),
+            HashJoinCost(m, 100, 1000, 100));
+  EXPECT_GT(MergeJoinCost(m, 10000, 10000, 0),
+            MergeJoinCost(m, 100, 100, 0));
+  EXPECT_GT(IndexNestedLoopJoinCost(m, 1000, 1000, 1000, 1000),
+            IndexNestedLoopJoinCost(m, 10, 10, 10, 10));
+}
+
+TEST(CostFormulaTest, InljPaysPerOuterRowSeek) {
+  CostModel m;
+  const double few_outer = IndexNestedLoopJoinCost(m, 10, 0, 0, 0);
+  const double many_outer = IndexNestedLoopJoinCost(m, 10000, 0, 0, 0);
+  EXPECT_NEAR(many_outer - few_outer, m.index_seek_cost * 9990, 1e-9);
+}
+
+TEST(CostFormulaTest, AggregateLinear) {
+  CostModel m;
+  EXPECT_NEAR(AggregateCost(m, 1000, 1),
+              1000 * m.cpu_tuple_cost + m.output_tuple_cost, 1e-15);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace robustqo

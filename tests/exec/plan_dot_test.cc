@@ -1,0 +1,46 @@
+#include "exec/plan_dot.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/agg_ops.h"
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+
+namespace robustqo {
+namespace exec {
+namespace {
+
+TEST(PlanDotTest, SingleNode) {
+  SeqScanOp scan("t", nullptr);
+  const std::string dot = PlanToDot(scan);
+  EXPECT_NE(dot.find("digraph plan {"), std::string::npos);
+  EXPECT_NE(dot.find("SeqScan(t)"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);  // no edges
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(PlanDotTest, TreeWithEdgesAndEscaping) {
+  auto build = std::make_unique<SeqScanOp>(
+      "orders", expr::Eq(expr::Col("o_status"), expr::LitString("\"F\"")));
+  auto probe = std::make_unique<SeqScanOp>("items", nullptr);
+  auto join = std::make_unique<HashJoinOp>(std::move(build), std::move(probe),
+                                           "o_id", "i_oid");
+  ScalarAggregateOp agg(std::move(join), {{AggKind::kCount, "", "n"}});
+  const std::string dot = PlanToDot(agg, "g1");
+  EXPECT_NE(dot.find("digraph g1 {"), std::string::npos);
+  // 4 nodes, 3 edges.
+  size_t edges = 0;
+  for (size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 3u);
+  // Quotes in the predicate are escaped.
+  EXPECT_NE(dot.find("\\\"F\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace robustqo

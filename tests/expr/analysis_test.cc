@@ -1,0 +1,135 @@
+#include "expr/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace expr {
+namespace {
+
+using storage::Value;
+
+TEST(SplitConjunctsTest, FlattensNestedAnds) {
+  auto e = And({Eq(Col("a"), LitInt(1)),
+                And({Eq(Col("b"), LitInt(2)), Eq(Col("c"), LitInt(3))})});
+  EXPECT_EQ(SplitConjuncts(e).size(), 3u);
+}
+
+TEST(SplitConjunctsTest, NonAndIsSingleton) {
+  EXPECT_EQ(SplitConjuncts(Eq(Col("a"), LitInt(1))).size(), 1u);
+  EXPECT_EQ(SplitConjuncts(Or({Eq(Col("a"), LitInt(1))})).size(), 1u);
+}
+
+TEST(SplitConjunctsTest, EmptyAnd) {
+  EXPECT_TRUE(SplitConjuncts(And({})).empty());
+}
+
+TEST(ConstantFoldingTest, DetectsConstants) {
+  EXPECT_TRUE(IsConstant(*LitInt(5)));
+  EXPECT_TRUE(IsConstant(*Arith(ArithOp::kAdd, LitInt(2), LitInt(3))));
+  EXPECT_FALSE(IsConstant(*Col("a")));
+  EXPECT_FALSE(IsConstant(*Arith(ArithOp::kAdd, Col("a"), LitInt(3))));
+}
+
+TEST(ConstantFoldingTest, FoldsArithmetic) {
+  EXPECT_EQ(FoldConstant(*Arith(ArithOp::kAdd, LitInt(2), LitInt(3))).AsInt64(),
+            5);
+  EXPECT_EQ(
+      FoldConstant(*Arith(ArithOp::kMul, LitDouble(2.0), LitDouble(3.5)))
+          .AsDouble(),
+      7.0);
+  // Date + days stays a date (the Experiment-1 template's '+?' shift).
+  storage::Value v =
+      FoldConstant(*Arith(ArithOp::kAdd, LitDate(100), LitInt(30)));
+  EXPECT_EQ(v.type(), storage::DataType::kDate);
+  EXPECT_EQ(v.AsInt64(), 130);
+}
+
+TEST(ColumnRangeTest, ComparisonOperators) {
+  auto le = TryExtractColumnRange(Le(Col("a"), LitInt(10)));
+  ASSERT_TRUE(le.has_value());
+  EXPECT_EQ(le->column, "a");
+  EXPECT_FALSE(le->lo.has_value());
+  EXPECT_EQ(*le->hi, 10.0);
+
+  auto ge = TryExtractColumnRange(Ge(Col("a"), LitInt(3)));
+  ASSERT_TRUE(ge.has_value());
+  EXPECT_EQ(*ge->lo, 3.0);
+  EXPECT_FALSE(ge->hi.has_value());
+
+  auto eq = TryExtractColumnRange(Eq(Col("a"), LitInt(7)));
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_TRUE(eq->IsPoint());
+  EXPECT_EQ(*eq->lo, 7.0);
+}
+
+TEST(ColumnRangeTest, StrictInequalitiesNudgeBounds) {
+  auto lt = TryExtractColumnRange(Lt(Col("a"), LitInt(10)));
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_LT(*lt->hi, 10.0);
+  EXPECT_GT(*lt->hi, 9.0);
+  auto gt = TryExtractColumnRange(Gt(Col("a"), LitInt(10)));
+  ASSERT_TRUE(gt.has_value());
+  EXPECT_GT(*gt->lo, 10.0);
+  EXPECT_LT(*gt->lo, 11.0);
+}
+
+TEST(ColumnRangeTest, FlippedOperandOrder) {
+  // 10 >= a  is  a <= 10.
+  auto r = TryExtractColumnRange(Ge(LitInt(10), Col("a")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->column, "a");
+  EXPECT_EQ(*r->hi, 10.0);
+  EXPECT_FALSE(r->lo.has_value());
+}
+
+TEST(ColumnRangeTest, BetweenExtraction) {
+  auto r = TryExtractColumnRange(
+      Between(Col("d"), Value::Date(100), Value::Date(200)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->column, "d");
+  EXPECT_EQ(*r->lo, 100.0);
+  EXPECT_EQ(*r->hi, 200.0);
+  EXPECT_FALSE(r->IsPoint());
+}
+
+TEST(ColumnRangeTest, ConstantFoldedBound) {
+  // a <= 100 + 30 is sargable after folding.
+  auto r = TryExtractColumnRange(
+      Le(Col("a"), Arith(ArithOp::kAdd, LitInt(100), LitInt(30))));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r->hi, 130.0);
+}
+
+TEST(ColumnRangeTest, NonSargableShapes) {
+  EXPECT_FALSE(TryExtractColumnRange(Ne(Col("a"), LitInt(1))).has_value());
+  EXPECT_FALSE(
+      TryExtractColumnRange(Eq(Col("a"), Col("b"))).has_value());
+  EXPECT_FALSE(
+      TryExtractColumnRange(Eq(Col("s"), LitString("x"))).has_value());
+  EXPECT_FALSE(TryExtractColumnRange(
+                   Or({Eq(Col("a"), LitInt(1)), Eq(Col("a"), LitInt(2))}))
+                   .has_value());
+  // Arithmetic on the column side is not a bare column.
+  EXPECT_FALSE(TryExtractColumnRange(
+                   Le(Arith(ArithOp::kAdd, Col("a"), LitInt(1)), LitInt(5)))
+                   .has_value());
+}
+
+TEST(ExtractColumnRangesTest, SplitsSargableAndResidual) {
+  auto e = And({Between(Col("a"), Value::Int64(1), Value::Int64(5)),
+                StringContains(Col("s"), "x"), Ge(Col("b"), LitDouble(0.5))});
+  std::vector<ExprPtr> residual;
+  auto ranges = ExtractColumnRanges(e, &residual);
+  EXPECT_EQ(ranges.size(), 2u);
+  ASSERT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual[0]->kind(), ExprKind::kStringContains);
+}
+
+TEST(ExtractColumnRangesTest, NullSafeOnNoResidualSink) {
+  auto e = And({Eq(Col("a"), LitInt(1)), StringContains(Col("s"), "x")});
+  EXPECT_EQ(ExtractColumnRanges(e).size(), 1u);
+}
+
+}  // namespace
+}  // namespace expr
+}  // namespace robustqo

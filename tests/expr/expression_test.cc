@@ -1,0 +1,184 @@
+#include "expr/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace robustqo {
+namespace expr {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest()
+      : table_("t", Schema({{"a", DataType::kInt64},
+                            {"b", DataType::kDouble},
+                            {"s", DataType::kString},
+                            {"d", DataType::kDate}})) {
+    table_.AppendRow({Value::Int64(10), Value::Double(1.5),
+                      Value::String("hello world"), Value::Date(100)});
+    table_.AppendRow({Value::Int64(20), Value::Double(2.5),
+                      Value::String("goodbye"), Value::Date(200)});
+    table_.AppendRow({Value::Int64(30), Value::Double(-1.0),
+                      Value::String(""), Value::Date(300)});
+  }
+
+  bool Eval(const ExprPtr& e, storage::Rid rid) {
+    return e->EvaluateBool(table_, rid);
+  }
+
+  Table table_;
+};
+
+TEST_F(ExpressionTest, ColumnRefReadsCell) {
+  EXPECT_EQ(Col("a")->Evaluate(table_, 1).AsInt64(), 20);
+  EXPECT_EQ(Col("s")->Evaluate(table_, 0).AsString(), "hello world");
+}
+
+TEST_F(ExpressionTest, LiteralIgnoresRow) {
+  EXPECT_EQ(LitInt(7)->Evaluate(table_, 2).AsInt64(), 7);
+  EXPECT_EQ(LitDouble(0.5)->Evaluate(table_, 0).AsDouble(), 0.5);
+  EXPECT_EQ(LitDate(42)->Evaluate(table_, 0).type(), DataType::kDate);
+}
+
+TEST_F(ExpressionTest, ComparisonOperators) {
+  EXPECT_TRUE(Eval(Eq(Col("a"), LitInt(10)), 0));
+  EXPECT_FALSE(Eval(Eq(Col("a"), LitInt(10)), 1));
+  EXPECT_TRUE(Eval(Ne(Col("a"), LitInt(10)), 1));
+  EXPECT_TRUE(Eval(Lt(Col("a"), LitInt(15)), 0));
+  EXPECT_TRUE(Eval(Le(Col("a"), LitInt(10)), 0));
+  EXPECT_TRUE(Eval(Gt(Col("a"), LitInt(25)), 2));
+  EXPECT_TRUE(Eval(Ge(Col("a"), LitInt(30)), 2));
+  EXPECT_FALSE(Eval(Gt(Col("a"), LitInt(30)), 2));
+}
+
+TEST_F(ExpressionTest, ComparisonAcrossNumericTypes) {
+  EXPECT_TRUE(Eval(Gt(Col("b"), LitInt(1)), 0));       // 1.5 > 1
+  EXPECT_TRUE(Eval(Lt(Col("a"), LitDouble(10.5)), 0));  // 10 < 10.5
+  EXPECT_TRUE(Eval(Eq(Col("d"), LitInt(100)), 0));      // date vs int
+}
+
+TEST_F(ExpressionTest, StringComparison) {
+  EXPECT_TRUE(Eval(Eq(Col("s"), LitString("goodbye")), 1));
+  EXPECT_TRUE(Eval(Lt(Col("s"), LitString("zzz")), 0));
+}
+
+TEST_F(ExpressionTest, BetweenInclusive) {
+  auto e = Between(Col("a"), Value::Int64(10), Value::Int64(20));
+  EXPECT_TRUE(Eval(e, 0));
+  EXPECT_TRUE(Eval(e, 1));
+  EXPECT_FALSE(Eval(e, 2));
+}
+
+TEST_F(ExpressionTest, BetweenOnDates) {
+  auto e = Between(Col("d"), Value::Date(150), Value::Date(250));
+  EXPECT_FALSE(Eval(e, 0));
+  EXPECT_TRUE(Eval(e, 1));
+  EXPECT_FALSE(Eval(e, 2));
+}
+
+TEST_F(ExpressionTest, BooleanConnectives) {
+  auto both = And({Gt(Col("a"), LitInt(5)), Lt(Col("a"), LitInt(15))});
+  EXPECT_TRUE(Eval(both, 0));
+  EXPECT_FALSE(Eval(both, 1));
+  auto either = Or({Eq(Col("a"), LitInt(10)), Eq(Col("a"), LitInt(20))});
+  EXPECT_TRUE(Eval(either, 0));
+  EXPECT_TRUE(Eval(either, 1));
+  EXPECT_FALSE(Eval(either, 2));
+  EXPECT_TRUE(Eval(Not(Eq(Col("a"), LitInt(99))), 0));
+}
+
+TEST_F(ExpressionTest, EmptyConnectives) {
+  EXPECT_TRUE(Eval(And({}), 0));
+  EXPECT_FALSE(Eval(Or({}), 0));
+}
+
+TEST_F(ExpressionTest, NestedConnectives) {
+  auto e = And({Or({Eq(Col("a"), LitInt(10)), Eq(Col("a"), LitInt(30))}),
+                Not(Eq(Col("s"), LitString("")))});
+  EXPECT_TRUE(Eval(e, 0));
+  EXPECT_FALSE(Eval(e, 1));  // Or fails
+  EXPECT_FALSE(Eval(e, 2));  // Not fails
+}
+
+TEST_F(ExpressionTest, ArithmeticInteger) {
+  EXPECT_EQ(Arith(ArithOp::kAdd, Col("a"), LitInt(5))
+                ->Evaluate(table_, 0)
+                .AsInt64(),
+            15);
+  EXPECT_EQ(Arith(ArithOp::kSub, Col("a"), LitInt(5))
+                ->Evaluate(table_, 1)
+                .AsInt64(),
+            15);
+  EXPECT_EQ(Arith(ArithOp::kMul, Col("a"), LitInt(3))
+                ->Evaluate(table_, 0)
+                .AsInt64(),
+            30);
+}
+
+TEST_F(ExpressionTest, ArithmeticDivisionWidens) {
+  storage::Value v =
+      Arith(ArithOp::kDiv, Col("a"), LitInt(4))->Evaluate(table_, 0);
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST_F(ExpressionTest, DatePlusIntStaysDate) {
+  storage::Value v =
+      Arith(ArithOp::kAdd, Col("d"), LitInt(30))->Evaluate(table_, 0);
+  EXPECT_EQ(v.type(), DataType::kDate);
+  EXPECT_EQ(v.AsInt64(), 130);
+}
+
+TEST_F(ExpressionTest, ArithmeticInPredicate) {
+  // a + 5 > b * 10  ->  15 > 15 false for row 0.
+  auto e = Gt(Arith(ArithOp::kAdd, Col("a"), LitInt(5)),
+              Arith(ArithOp::kMul, Col("b"), LitInt(10)));
+  EXPECT_FALSE(Eval(e, 0));
+  EXPECT_FALSE(Eval(e, 1));  // 25 > 25 false
+  EXPECT_TRUE(Eval(e, 2));   // 35 > -10
+}
+
+TEST_F(ExpressionTest, StringContains) {
+  EXPECT_TRUE(Eval(StringContains(Col("s"), "lo wo"), 0));
+  EXPECT_FALSE(Eval(StringContains(Col("s"), "lo wo"), 1));
+  EXPECT_TRUE(Eval(StringContains(Col("s"), ""), 2));
+}
+
+TEST_F(ExpressionTest, TruthinessOfScalars) {
+  EXPECT_TRUE(LitInt(1)->EvaluateBool(table_, 0));
+  EXPECT_FALSE(LitInt(0)->EvaluateBool(table_, 0));
+  EXPECT_FALSE(LitString("")->EvaluateBool(table_, 0));
+  EXPECT_TRUE(LitString("x")->EvaluateBool(table_, 0));
+}
+
+TEST_F(ExpressionTest, CollectColumns) {
+  std::set<std::string> cols;
+  And({Gt(Col("a"), LitInt(1)), StringContains(Col("s"), "x"),
+       Between(Col("d"), Value::Date(0), Value::Date(9))})
+      ->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "s", "d"}));
+}
+
+TEST_F(ExpressionTest, ToStringRendering) {
+  EXPECT_EQ(Eq(Col("a"), LitInt(5))->ToString(), "(a = 5)");
+  EXPECT_EQ(And({})->ToString(), "TRUE");
+  EXPECT_EQ(Or({})->ToString(), "FALSE");
+  EXPECT_EQ(Not(Lt(Col("a"), LitInt(3)))->ToString(), "(NOT (a < 3))");
+  EXPECT_EQ(StringContains(Col("s"), "ab")->ToString(), "(s LIKE '%ab%')");
+}
+
+TEST_F(ExpressionTest, CountSatisfying) {
+  EXPECT_EQ(CountSatisfying(*Gt(Col("a"), LitInt(15)), table_), 2u);
+  EXPECT_EQ(CountSatisfying(*And({}), table_), 3u);
+  EXPECT_EQ(CountSatisfying(*Or({}), table_), 0u);
+}
+
+}  // namespace
+}  // namespace expr
+}  // namespace robustqo

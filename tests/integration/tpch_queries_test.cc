@@ -1,0 +1,111 @@
+// A broader workload: TPC-H-inspired queries (adapted to the generated
+// schema subset) running through the SQL front end under both estimation
+// modules. Verifies the full pipeline on query shapes beyond the paper's
+// three experiment templates, and that the two estimators always agree on
+// answers even when they disagree on plans.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tpch/tpch_gen.h"
+
+namespace robustqo {
+namespace {
+
+const char* kQueries[] = {
+    // Q1-style: big scan + grouped aggregation.
+    "SELECT COUNT(*) AS n, SUM(l_extendedprice) AS revenue, "
+    "AVG(l_discount) AS avg_disc FROM lineitem "
+    "WHERE l_shipdate <= DATE '1998-08-01' GROUP BY l_suppkey",
+    // Q3-style: customer-orders-lineitem chain with date bounds.
+    "SELECT SUM(l_extendedprice) AS revenue FROM customer, orders, lineitem "
+    "WHERE c_acctbal >= 0 AND o_orderdate < DATE '1995-03-15' "
+    "AND l_shipdate > DATE '1995-03-15'",
+    // Q5-style: five-table chain down to region.
+    "SELECT COUNT(*) AS n FROM region, nation, customer, orders, lineitem "
+    "WHERE r_regionkey = 2 "
+    "AND o_orderdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'",
+    // Q6-style: the classic selective-scan aggregate.
+    "SELECT SUM(l_extendedprice) AS revenue FROM lineitem "
+    "WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31' "
+    "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+    // Q14-ish: lineitem-part join with a part filter.
+    "SELECT SUM(l_extendedprice) AS promo FROM lineitem, part "
+    "WHERE p_size BETWEEN 1 AND 15 "
+    "AND l_shipdate BETWEEN DATE '1995-09-01' AND DATE '1995-09-30'",
+    // Supplier rollup.
+    "SELECT COUNT(*) AS n FROM supplier, lineitem "
+    "WHERE s_acctbal > 0 GROUP BY l_suppkey",
+};
+
+class TpchQueriesTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    db_->UpdateStatistics();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static core::Database* db_;
+};
+
+core::Database* TpchQueriesTest::db_ = nullptr;
+
+TEST_P(TpchQueriesTest, ParsesPlansExecutesAndAgreesAcrossEstimators) {
+  const std::string sql = GetParam();
+  auto robust = db_->ExecuteSql(sql, core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(robust.ok()) << sql << "\n" << robust.status().ToString();
+  auto hist = db_->ExecuteSql(sql, core::EstimatorKind::kHistogram);
+  ASSERT_TRUE(hist.ok()) << sql << "\n" << hist.status().ToString();
+
+  const storage::Table& a = robust.value().rows;
+  const storage::Table& b = hist.value().rows;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << sql;
+  ASSERT_EQ(a.schema().num_columns(), b.schema().num_columns());
+  for (storage::Rid r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema().num_columns(); ++c) {
+      const storage::Value va = a.ValueAt(r, c);
+      const storage::Value vb = b.ValueAt(r, c);
+      if (va.type() == storage::DataType::kDouble) {
+        EXPECT_NEAR(va.AsDouble(), vb.AsDouble(),
+                    1e-6 * std::max(1.0, std::abs(va.AsDouble())))
+            << sql << " row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(va.ToString(), vb.ToString())
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+  EXPECT_GT(robust.value().simulated_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AdaptedTpch, TpchQueriesTest,
+                         ::testing::ValuesIn(kQueries));
+
+TEST_F(TpchQueriesTest, ThresholdSweepNeverChangesAnswers) {
+  const std::string sql = kQueries[3];  // Q6-style
+  double reference = 0.0;
+  bool first = true;
+  for (double t : {0.05, 0.35, 0.65, 0.95}) {
+    opt::OptimizerOptions options;
+    options.confidence_threshold_hint = t;
+    auto result =
+        db_->ExecuteSql(sql, core::EstimatorKind::kRobustSample, options);
+    ASSERT_TRUE(result.ok());
+    const double revenue = result.value().rows.ValueAt(0, 0).AsDouble();
+    if (first) {
+      reference = revenue;
+      first = false;
+    } else {
+      EXPECT_NEAR(revenue, reference, 1e-6 * std::max(1.0, reference));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robustqo

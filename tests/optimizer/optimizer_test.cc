@@ -1,0 +1,425 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/database.h"
+#include "exec/operator.h"
+#include "tpch/tpch_gen.h"
+#include "workload/scenarios.h"
+#include "workload/star_schema.h"
+
+namespace robustqo {
+namespace opt {
+namespace {
+
+// Shared tiny TPC-H database with statistics.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    stats::StatisticsConfig stats_config;
+    stats_config.sample_size = 500;
+    db_->UpdateStatistics(stats_config);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static core::Database* db_;
+};
+
+core::Database* OptimizerTest::db_ = nullptr;
+
+TEST_F(OptimizerTest, RejectsEmptyQuery) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  EXPECT_FALSE(optimizer.Optimize(query).ok());
+}
+
+TEST_F(OptimizerTest, RejectsUnknownTable) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"nope", nullptr});
+  EXPECT_EQ(optimizer.Optimize(query).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OptimizerTest, RejectsDisconnectedJoin) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"part", nullptr});
+  query.tables.push_back({"customer", nullptr});
+  EXPECT_FALSE(optimizer.Optimize(query).ok());
+}
+
+TEST_F(OptimizerTest, SingleTableNoPredicateUsesSeqScan) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"lineitem", nullptr});
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().label, "Seq(lineitem)");
+}
+
+TEST_F(OptimizerTest, PlanExecutesAndAggregates) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"orders", nullptr});
+  query.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.ValueAt(0, 0).AsInt64(),
+            static_cast<int64_t>(
+                db_->catalog()->GetTable("orders")->num_rows()));
+}
+
+TEST_F(OptimizerTest, GroupByPlanExecutes) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"orders", nullptr});
+  query.group_by = {"o_custkey"};
+  query.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  EXPECT_GT(out.num_rows(), 1u);
+  EXPECT_TRUE(out.schema().HasColumn("o_custkey"));
+}
+
+TEST_F(OptimizerTest, SelectColumnsProjectsOutput) {
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  QuerySpec query;
+  query.tables.push_back({"part", nullptr});
+  query.select_columns = {"p_partkey", "p_size"};
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  EXPECT_EQ(out.schema().num_columns(), 2u);
+}
+
+TEST_F(OptimizerTest, ThresholdHintSwingsAccessPathChoice) {
+  // At a very low true selectivity, the aggressive threshold should pick
+  // the index-intersection plan while the conservative one stays with the
+  // sequential scan (paper Figure 5's mechanism).
+  workload::SingleTableScenario scenario;
+  QuerySpec query = scenario.MakeQuery(91);  // near-zero selectivity
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  OptimizerOptions aggressive;
+  aggressive.confidence_threshold_hint = 0.05;
+  auto risky = optimizer.Optimize(query, aggressive);
+  ASSERT_TRUE(risky.ok());
+  EXPECT_NE(risky.value().label.find("IxSect"), std::string::npos)
+      << risky.value().label;
+  OptimizerOptions conservative;
+  conservative.confidence_threshold_hint = 0.95;
+  auto safe = optimizer.Optimize(query, conservative);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_NE(safe.value().label.find("Seq("), std::string::npos)
+      << safe.value().label;
+}
+
+TEST_F(OptimizerTest, ThresholdHintIsRestoredAfterOptimize) {
+  const double before = db_->robust_estimator()->config().confidence_threshold;
+  workload::SingleTableScenario scenario;
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  OptimizerOptions options;
+  options.confidence_threshold_hint = 0.0123;
+  ASSERT_TRUE(optimizer.Optimize(scenario.MakeQuery(70), options).ok());
+  EXPECT_EQ(db_->robust_estimator()->config().confidence_threshold, before);
+}
+
+TEST_F(OptimizerTest, DisablingIndexIntersectionRemovesCandidate) {
+  workload::SingleTableScenario scenario;
+  QuerySpec query = scenario.MakeQuery(91);
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  OptimizerOptions options;
+  options.confidence_threshold_hint = 0.05;  // would pick IxSect
+  options.enable_index_intersection = false;
+  auto plan = optimizer.Optimize(query, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().label.find("IxSect"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, ThreeWayJoinProducesCorrectResult) {
+  workload::ThreeTableJoinScenario scenario;
+  QuerySpec query = scenario.MakeQuery(11.0);
+  Optimizer optimizer(db_->catalog(), db_->histogram_estimator());
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok());
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  ASSERT_EQ(out.num_rows(), 1u);
+
+  // Reference: count lineitems whose part satisfies the predicate.
+  const storage::Table* lineitem = db_->catalog()->GetTable("lineitem");
+  const storage::Table* part = db_->catalog()->GetTable("part");
+  std::set<int64_t> good_parts;
+  const auto& pred = query.tables[2].predicate;
+  for (storage::Rid r = 0; r < part->num_rows(); ++r) {
+    if (pred->EvaluateBool(*part, r)) {
+      good_parts.insert(part->column("p_partkey").Int64At(r));
+    }
+  }
+  double expected = 0.0;
+  for (storage::Rid r = 0; r < lineitem->num_rows(); ++r) {
+    if (good_parts.count(lineitem->column("l_partkey").Int64At(r)) > 0) {
+      expected += lineitem->column("l_extendedprice").DoubleAt(r);
+    }
+  }
+  EXPECT_NEAR(out.ValueAt(0, 0).AsDouble(), expected,
+              1e-6 * std::max(1.0, expected));
+}
+
+TEST_F(OptimizerTest, JoinPlanResultIndependentOfEstimator) {
+  // Different estimators may choose different plans, but every plan must
+  // compute the same answer.
+  workload::ThreeTableJoinScenario scenario;
+  QuerySpec query = scenario.MakeQuery(13.0);
+  double reference = 0.0;
+  bool first = true;
+  for (auto* estimator :
+       {static_cast<stats::CardinalityEstimator*>(db_->histogram_estimator()),
+        static_cast<stats::CardinalityEstimator*>(db_->robust_estimator())}) {
+    Optimizer optimizer(db_->catalog(), estimator);
+    for (double hint : {0.05, 0.95}) {
+      OptimizerOptions options;
+      options.confidence_threshold_hint = hint;
+      auto plan = optimizer.Optimize(query, options);
+      ASSERT_TRUE(plan.ok());
+      exec::ExecContext ctx;
+      ctx.catalog = db_->catalog();
+      storage::Table out = plan.value().root->Execute(&ctx);
+      const double answer = out.ValueAt(0, 0).AsDouble();
+      if (first) {
+        reference = answer;
+        first = false;
+      } else {
+        EXPECT_NEAR(answer, reference, 1e-6 * std::max(1.0, reference));
+      }
+    }
+  }
+}
+
+TEST_F(OptimizerTest, MetricsPopulated) {
+  workload::SingleTableScenario scenario;
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  ASSERT_TRUE(optimizer.Optimize(scenario.MakeQuery(70)).ok());
+  const Optimizer::Metrics& m = optimizer.last_metrics();
+  EXPECT_GT(m.estimator_calls, 0u);
+  EXPECT_GT(m.candidates, 2u);  // seq scan + 2 index scans + intersection
+  EXPECT_LE(m.estimator_misses, m.estimator_calls);
+}
+
+TEST_F(OptimizerTest, EstimationCacheDeduplicates) {
+  workload::ThreeTableJoinScenario scenario;
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  ASSERT_TRUE(optimizer.Optimize(scenario.MakeQuery(12.0)).ok());
+  const Optimizer::Metrics& m = optimizer.last_metrics();
+  EXPECT_LT(m.estimator_misses, m.estimator_calls);
+}
+
+TEST_F(OptimizerTest, ExplainRendersTree) {
+  workload::SingleTableScenario scenario;
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  auto plan = optimizer.Optimize(scenario.MakeQuery(70));
+  ASSERT_TRUE(plan.ok());
+  const std::string tree = plan.value().Explain();
+  EXPECT_NE(tree.find("ScalarAggregate"), std::string::npos);
+  EXPECT_NE(tree.find("\n"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, SortEnabledMergeJoinWhenHashAndInljDisabled) {
+  // Force the enumerator away from hash joins and INLJ: it must still find
+  // a plan, using merge joins with explicit sorts where inputs are not
+  // clustered on the join key.
+  workload::ThreeTableJoinScenario scenario;
+  QuerySpec query = scenario.MakeQuery(12.0);
+  Optimizer optimizer(db_->catalog(), db_->histogram_estimator());
+  OptimizerOptions options;
+  options.enable_hash_join = false;
+  options.enable_index_nested_loop = false;
+  auto plan = optimizer.Optimize(query, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().label.find("MJ("), std::string::npos)
+      << plan.value().label;
+  // The part side is not clustered on p_partkey output order after
+  // filtering? (it is — part is clustered by its PK). At least one sort
+  // appears somewhere in the label for the unclustered side orderings.
+  // Execute and verify the answer matches the unrestricted plan's.
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table restricted = plan.value().root->Execute(&ctx);
+  auto free_plan = optimizer.Optimize(query);
+  ASSERT_TRUE(free_plan.ok());
+  exec::ExecContext ctx2;
+  ctx2.catalog = db_->catalog();
+  storage::Table free = free_plan.value().root->Execute(&ctx2);
+  EXPECT_NEAR(restricted.ValueAt(0, 0).AsDouble(),
+              free.ValueAt(0, 0).AsDouble(), 1e-6);
+}
+
+TEST_F(OptimizerTest, DisablingEverythingButSeqAndMergeStillPlans) {
+  QuerySpec query;
+  query.tables.push_back({"lineitem", nullptr});
+  query.tables.push_back({"part", nullptr});
+  query.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+  Optimizer optimizer(db_->catalog(), db_->histogram_estimator());
+  OptimizerOptions options;
+  options.enable_hash_join = false;
+  options.enable_index_nested_loop = false;
+  options.enable_index_intersection = false;
+  auto plan = optimizer.Optimize(query, options);
+  ASSERT_TRUE(plan.ok());
+  // lineitem |x| part joins on l_partkey/p_partkey; lineitem is clustered
+  // on l_orderkey, so its side needs an explicit sort.
+  EXPECT_NE(plan.value().label.find("Sort("), std::string::npos)
+      << plan.value().label;
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  EXPECT_EQ(out.ValueAt(0, 0).AsInt64(),
+            static_cast<int64_t>(
+                db_->catalog()->GetTable("lineitem")->num_rows()));
+}
+
+TEST_F(OptimizerTest, GroupByUsesDistinctEstimates) {
+  // Grouping orders by o_custkey: both estimators should size the output
+  // near the customer count rather than the 1000-row fallback heuristic.
+  QuerySpec query;
+  query.tables.push_back({"orders", nullptr});
+  query.group_by = {"o_custkey"};
+  query.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+  const double customers = static_cast<double>(
+      db_->catalog()->GetTable("customer")->num_rows());
+  for (auto* estimator :
+       {static_cast<stats::CardinalityEstimator*>(db_->histogram_estimator()),
+        static_cast<stats::CardinalityEstimator*>(db_->robust_estimator())}) {
+    Optimizer optimizer(db_->catalog(), estimator);
+    auto plan = optimizer.Optimize(query);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GT(plan.value().estimated_rows, customers * 0.3)
+        << estimator->name();
+    EXPECT_LT(plan.value().estimated_rows, customers * 3.0)
+        << estimator->name();
+  }
+}
+
+TEST_F(OptimizerTest, FiveTableChainPlansAndExecutes) {
+  // lineitem -> orders -> customer -> nation -> region: a 5-deep FK chain
+  // exercises the subset DP well beyond the paper's experiments.
+  QuerySpec query;
+  query.tables.push_back({"lineitem", nullptr});
+  query.tables.push_back({"orders", nullptr});
+  query.tables.push_back({"customer", nullptr});
+  query.tables.push_back(
+      {"nation", expr::Le(expr::Col("n_nationkey"), expr::LitInt(11))});
+  query.tables.push_back(
+      {"region", expr::Le(expr::Col("r_regionkey"), expr::LitInt(2))});
+  query.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+
+  Optimizer optimizer(db_->catalog(), db_->robust_estimator());
+  auto plan = optimizer.Optimize(query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  ASSERT_EQ(out.num_rows(), 1u);
+
+  // Reference: walk the chain by hand.
+  const storage::Catalog& cat = *db_->catalog();
+  const storage::Table* nation = cat.GetTable("nation");
+  const storage::Table* customer = cat.GetTable("customer");
+  const storage::Table* orders = cat.GetTable("orders");
+  const storage::Table* lineitem = cat.GetTable("lineitem");
+  std::set<int64_t> good_nations;
+  for (storage::Rid r = 0; r < nation->num_rows(); ++r) {
+    if (nation->column("n_nationkey").Int64At(r) <= 11 &&
+        nation->column("n_regionkey").Int64At(r) <= 2) {
+      good_nations.insert(nation->column("n_nationkey").Int64At(r));
+    }
+  }
+  std::set<int64_t> good_customers;
+  for (storage::Rid r = 0; r < customer->num_rows(); ++r) {
+    if (good_nations.count(customer->column("c_nationkey").Int64At(r))) {
+      good_customers.insert(customer->column("c_custkey").Int64At(r));
+    }
+  }
+  std::set<int64_t> good_orders;
+  for (storage::Rid r = 0; r < orders->num_rows(); ++r) {
+    if (good_customers.count(orders->column("o_custkey").Int64At(r))) {
+      good_orders.insert(orders->column("o_orderkey").Int64At(r));
+    }
+  }
+  int64_t expected = 0;
+  for (storage::Rid r = 0; r < lineitem->num_rows(); ++r) {
+    if (good_orders.count(lineitem->column("l_orderkey").Int64At(r))) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(out.ValueAt(0, 0).AsInt64(), expected);
+}
+
+TEST_F(OptimizerTest, FourDimensionStarEnumeratesSemijoinShapes) {
+  // Star strategies must generalize beyond the paper's 3 dimensions: with
+  // 4 dims and misaligned (empty-intersection) filters, some semijoin or
+  // hybrid plan should win under an exact-ish low estimate.
+  core::Database star_db;
+  workload::StarSchemaConfig config;
+  config.fact_rows = 20000;
+  config.dim_rows = 100;
+  config.num_dims = 4;
+  ASSERT_TRUE(workload::LoadStarSchema(star_db.catalog(), config).ok());
+  star_db.UpdateStatistics();
+
+  QuerySpec query;
+  query.tables.push_back({"fact", nullptr});
+  for (int d = 1; d <= 4; ++d) {
+    const std::string attr = "d" + std::to_string(d) + "_attr";
+    // dim1 filters group 0; the rest filter group 9: nearly no fact row
+    // aligns (offset 9 has ~0.01% weight).
+    query.tables.push_back(
+        {"dim" + std::to_string(d),
+         expr::Eq(expr::Col(attr), expr::LitInt(d == 1 ? 0 : 9))});
+  }
+  query.aggregates.push_back({exec::AggKind::kSum, "f_m1", "s"});
+
+  Optimizer optimizer(star_db.catalog(), star_db.robust_estimator());
+  OptimizerOptions options;
+  options.confidence_threshold_hint = 0.5;
+  auto plan = optimizer.Optimize(query, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().label.find("Star("), std::string::npos)
+      << plan.value().label;
+  // The plan executes and produces one row.
+  exec::ExecContext ctx;
+  ctx.catalog = star_db.catalog();
+  storage::Table out = plan.value().root->Execute(&ctx);
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+TEST_F(OptimizerTest, QueryToStringRendersSql) {
+  workload::ThreeTableJoinScenario scenario;
+  const std::string sql = scenario.MakeQuery(12.0).ToString();
+  EXPECT_NE(sql.find("FROM lineitem"), std::string::npos);
+  EXPECT_NE(sql.find("NATURAL JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace robustqo

@@ -1,0 +1,79 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& input) {
+  Result<std::vector<Token>> r = Tokenize(input);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsUppercasedIdentifiersPreserved) {
+  auto tokens = MustTokenize("select L_ShipDate from lineitem");
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "L_ShipDate");  // not a keyword: case kept
+  EXPECT_EQ(tokens[2].text, "FROM");
+  EXPECT_EQ(tokens[3].text, "lineitem");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = MustTokenize("42 3.75 0.5");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.75);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.5);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = MustTokenize("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, SymbolsIncludingTwoChar) {
+  auto tokens = MustTokenize("( ) , * + - / = < > <= >= <>");
+  const char* expected[] = {"(", ")", ",", "*", "+", "-", "/",
+                            "=", "<", ">", "<=", ">=", "<>"};
+  for (size_t i = 0; i < 13; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+    EXPECT_EQ(tokens[i].text, expected[i]);
+  }
+}
+
+TEST(LexerTest, SymbolsWithoutSpaces) {
+  auto tokens = MustTokenize("a<=5");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[2].int_value, 5);
+}
+
+TEST(LexerTest, UnknownCharacterRejected) {
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = MustTokenize("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace robustqo

@@ -1,0 +1,259 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "expr/analysis.h"
+#include "storage/date.h"
+#include "tpch/tpch_gen.h"
+
+namespace robustqo {
+namespace sql {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    db_->UpdateStatistics();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  opt::QuerySpec MustParse(const std::string& sql) {
+    Result<opt::QuerySpec> r = ParseQuery(*db_->catalog(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.value() : opt::QuerySpec{};
+  }
+
+  Status ParseError(const std::string& sql) {
+    Result<opt::QuerySpec> r = ParseQuery(*db_->catalog(), sql);
+    EXPECT_FALSE(r.ok()) << sql << " unexpectedly parsed";
+    return r.status();
+  }
+
+  static core::Database* db_;
+};
+
+core::Database* ParserTest::db_ = nullptr;
+
+TEST_F(ParserTest, MinimalSelectStar) {
+  opt::QuerySpec q = MustParse("SELECT * FROM part");
+  ASSERT_EQ(q.tables.size(), 1u);
+  EXPECT_EQ(q.tables[0].table, "part");
+  EXPECT_TRUE(q.aggregates.empty());
+  EXPECT_TRUE(q.select_columns.empty());
+}
+
+TEST_F(ParserTest, SelectColumns) {
+  opt::QuerySpec q = MustParse("SELECT p_partkey, p_size FROM part");
+  EXPECT_EQ(q.select_columns,
+            (std::vector<std::string>{"p_partkey", "p_size"}));
+}
+
+TEST_F(ParserTest, Aggregates) {
+  opt::QuerySpec q = MustParse(
+      "SELECT SUM(l_extendedprice) AS revenue, COUNT(*), MIN(l_quantity) "
+      "FROM lineitem");
+  ASSERT_EQ(q.aggregates.size(), 3u);
+  EXPECT_EQ(q.aggregates[0].kind, exec::AggKind::kSum);
+  EXPECT_EQ(q.aggregates[0].column, "l_extendedprice");
+  EXPECT_EQ(q.aggregates[0].output_name, "revenue");
+  EXPECT_EQ(q.aggregates[1].kind, exec::AggKind::kCount);
+  EXPECT_TRUE(q.aggregates[1].column.empty());
+  EXPECT_EQ(q.aggregates[2].kind, exec::AggKind::kMin);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  opt::QuerySpec q =
+      MustParse("select count(*) from lineitem where l_quantity < 5");
+  EXPECT_EQ(q.aggregates.size(), 1u);
+  EXPECT_NE(q.tables[0].predicate, nullptr);
+}
+
+TEST_F(ParserTest, WherePredicatesAssignedToTables) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM lineitem, orders, part "
+      "WHERE p_size >= 10 AND l_quantity < 20");
+  ASSERT_EQ(q.tables.size(), 3u);
+  EXPECT_NE(q.tables[0].predicate, nullptr);  // lineitem: l_quantity
+  EXPECT_EQ(q.tables[1].predicate, nullptr);  // orders: none
+  EXPECT_NE(q.tables[2].predicate, nullptr);  // part: p_size
+}
+
+TEST_F(ParserTest, BetweenWithDates) {
+  opt::QuerySpec q = MustParse(
+      "SELECT SUM(l_extendedprice) FROM lineitem WHERE "
+      "l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-08-29'");
+  const std::string rendered = q.tables[0].predicate->ToString();
+  EXPECT_NE(rendered.find("1997-07-01"), std::string::npos);
+  EXPECT_NE(rendered.find("BETWEEN"), std::string::npos);
+}
+
+TEST_F(ParserTest, BetweenWithDateArithmetic) {
+  // The Experiment-1 template's "date + offset" bounds.
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM lineitem WHERE "
+      "l_receiptdate BETWEEN DATE '1997-07-01' + 30 AND "
+      "DATE '1997-08-29' + 30");
+  auto range = expr::TryExtractColumnRange(q.tables[0].predicate);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->column, "l_receiptdate");
+  EXPECT_EQ(*range->lo,
+            static_cast<double>(storage::DateToDays(1997, 7, 31)));
+}
+
+TEST_F(ParserTest, BooleanStructure) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM part WHERE "
+      "(p_size < 10 OR p_size > 40) AND NOT p_retailprice < 1000");
+  const std::string s = q.tables[0].predicate->ToString();
+  EXPECT_NE(s.find("OR"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+}
+
+TEST_F(ParserTest, LikeContainment) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM part WHERE p_name LIKE '%azure%'");
+  EXPECT_NE(q.tables[0].predicate->ToString().find("LIKE '%azure%'"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, ArithmeticInPredicates) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM lineitem WHERE "
+      "l_extendedprice * (1 - l_discount) > 1000");
+  EXPECT_NE(q.tables[0].predicate, nullptr);
+}
+
+TEST_F(ParserTest, RedundantFkJoinPredicateDropped) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_quantity < 10");
+  // The join condition is implied; only the selection remains.
+  EXPECT_NE(q.tables[0].predicate, nullptr);
+  EXPECT_EQ(q.tables[0].predicate->ToString().find("o_orderkey"),
+            std::string::npos);
+  EXPECT_EQ(q.tables[1].predicate, nullptr);
+}
+
+TEST_F(ParserTest, GroupBy) {
+  opt::QuerySpec q = MustParse(
+      "SELECT COUNT(*) FROM orders GROUP BY o_custkey");
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"o_custkey"}));
+}
+
+TEST_F(ParserTest, OrderByAndLimit) {
+  opt::QuerySpec q = MustParse(
+      "SELECT p_partkey, p_size FROM part ORDER BY p_size LIMIT 10");
+  EXPECT_EQ(q.order_by, "p_size");
+  EXPECT_EQ(q.limit, 10u);
+  opt::QuerySpec asc = MustParse(
+      "SELECT COUNT(*) AS n FROM orders GROUP BY o_custkey ORDER BY n ASC");
+  EXPECT_EQ(asc.order_by, "n");
+  EXPECT_EQ(asc.limit, 0u);
+}
+
+TEST_F(ParserTest, OrderByValidation) {
+  // Aggregate query: ORDER BY must target an output.
+  EXPECT_FALSE(ParseQuery(*db_->catalog(),
+                          "SELECT COUNT(*) AS n FROM orders "
+                          "GROUP BY o_custkey ORDER BY o_totalprice")
+                   .ok());
+  // Projection query: ORDER BY must be selected.
+  EXPECT_FALSE(ParseQuery(*db_->catalog(),
+                          "SELECT p_partkey FROM part ORDER BY p_size")
+                   .ok());
+  // LIMIT must be a positive integer.
+  EXPECT_FALSE(
+      ParseQuery(*db_->catalog(), "SELECT * FROM part LIMIT 0").ok());
+  EXPECT_FALSE(
+      ParseQuery(*db_->catalog(), "SELECT * FROM part LIMIT x").ok());
+}
+
+TEST_F(ParserTest, OrderByLimitExecutesEndToEnd) {
+  auto result = db_->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM orders GROUP BY o_custkey "
+      "ORDER BY n LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const storage::Table& rows = result.value().rows;
+  ASSERT_EQ(rows.num_rows(), 5u);
+  // Ascending by count.
+  int64_t prev = INT64_MIN;
+  for (storage::Rid r = 0; r < rows.num_rows(); ++r) {
+    const int64_t n = rows.column("n").Int64At(r);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+  EXPECT_NE(result.value().plan_label.find("Limit5(Sort("),
+            std::string::npos)
+      << result.value().plan_label;
+}
+
+TEST_F(ParserTest, LimitWithoutOrderTruncates) {
+  auto result = db_->ExecuteSql("SELECT p_partkey FROM part LIMIT 7");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.num_rows(), 7u);
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_EQ(ParseError("SELECT * FROM nope").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ParseQuery(*db_->catalog(), "FROM lineitem").ok());
+  EXPECT_FALSE(
+      ParseQuery(*db_->catalog(), "SELECT * FROM lineitem WHERE").ok());
+  EXPECT_FALSE(ParseQuery(*db_->catalog(),
+                          "SELECT * FROM lineitem GROUP BY l_quantity")
+                   .ok());  // GROUP BY without aggregates
+  EXPECT_FALSE(ParseQuery(*db_->catalog(),
+                          "SELECT SUM(*) FROM lineitem")
+                   .ok());  // '*' only for COUNT
+  // Cross-table non-join predicate rejected.
+  EXPECT_EQ(ParseError("SELECT COUNT(*) FROM lineitem, part "
+                       "WHERE l_quantity = p_size")
+                .code(),
+            StatusCode::kUnsupported);
+  // LIKE patterns other than containment rejected.
+  EXPECT_FALSE(ParseQuery(*db_->catalog(),
+                          "SELECT COUNT(*) FROM part WHERE p_name LIKE 'a%'")
+                   .ok());
+  // Trailing garbage rejected.
+  EXPECT_FALSE(
+      ParseQuery(*db_->catalog(), "SELECT * FROM part extra").ok());
+}
+
+TEST_F(ParserTest, EndToEndSqlExecution) {
+  // The whole pipeline: SQL -> QuerySpec -> plan -> execute; the paper's
+  // Experiment-1 query written as SQL.
+  auto result = db_->ExecuteSql(
+      "SELECT SUM(l_extendedprice) FROM lineitem WHERE "
+      "l_shipdate BETWEEN DATE '1997-07-01' AND DATE '1997-08-29' AND "
+      "l_receiptdate BETWEEN DATE '1997-07-31' AND DATE '1997-09-28'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.num_rows(), 1u);
+  EXPECT_GT(result.value().simulated_seconds, 0.0);
+}
+
+TEST_F(ParserTest, SqlJoinMatchesProgrammaticQuery) {
+  auto via_sql = db_->ExecuteSql(
+      "SELECT COUNT(*) FROM lineitem, orders WHERE o_totalprice > 100000");
+  ASSERT_TRUE(via_sql.ok()) << via_sql.status().ToString();
+
+  opt::QuerySpec q;
+  q.tables.push_back({"lineitem", nullptr});
+  q.tables.push_back({"orders", expr::Gt(expr::Col("o_totalprice"),
+                                         expr::LitDouble(100000.0))});
+  q.aggregates.push_back({exec::AggKind::kCount, "", "n"});
+  auto programmatic = db_->Execute(q, core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(programmatic.ok());
+  EXPECT_EQ(via_sql.value().rows.ValueAt(0, 0).AsInt64(),
+            programmatic.value().rows.ValueAt(0, 0).AsInt64());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace robustqo

@@ -1,0 +1,146 @@
+#include "statistics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace stats {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+Table UniformTable(int n, int64_t lo, int64_t hi, uint64_t seed) {
+  Table t("t", Schema({{"x", DataType::kInt64}}));
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    t.AppendRow({Value::Int64(rng.NextInRange(lo, hi))});
+  }
+  return t;
+}
+
+TEST(HistogramTest, BucketInvariants) {
+  Table t = UniformTable(10000, 0, 999, 1);
+  EquiDepthHistogram hist(t, "x", 250);
+  EXPECT_LE(hist.num_buckets(), 260u);  // ~250, duplicates may stretch a bit
+  uint64_t total = 0;
+  double prev_hi = -1e300;
+  for (const auto& b : hist.buckets()) {
+    EXPECT_LE(b.lo, b.hi);
+    EXPECT_GT(b.lo, prev_hi);  // buckets are disjoint and ordered
+    EXPECT_GE(b.row_count, 1u);
+    EXPECT_GE(b.distinct_count, 1u);
+    EXPECT_LE(b.distinct_count, b.row_count);
+    prev_hi = b.hi;
+    total += b.row_count;
+  }
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(HistogramTest, FullRangeSelectivityIsOne) {
+  Table t = UniformTable(5000, -100, 100, 2);
+  EquiDepthHistogram hist(t, "x");
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(std::nullopt, std::nullopt), 1.0,
+              1e-12);
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(-100, 100), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyRangeSelectivityIsZero) {
+  Table t = UniformTable(1000, 0, 99, 3);
+  EquiDepthHistogram hist(t, "x");
+  EXPECT_EQ(hist.EstimateRangeSelectivity(200, 300), 0.0);
+  EXPECT_EQ(hist.EstimateRangeSelectivity(50, 40), 0.0);
+}
+
+TEST(HistogramTest, RangeAccuracyOnUniformData) {
+  Table t = UniformTable(100000, 0, 9999, 4);
+  EquiDepthHistogram hist(t, "x", 250);
+  // [2500, 4999] covers ~25% of a uniform domain.
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(2500, 4999), 0.25, 0.01);
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(std::nullopt, 999), 0.10, 0.01);
+}
+
+TEST(HistogramTest, RangeEstimateMonotoneInWidth) {
+  Table t = UniformTable(20000, 0, 999, 5);
+  EquiDepthHistogram hist(t, "x");
+  double prev = 0.0;
+  for (int hi = 0; hi <= 999; hi += 37) {
+    const double sel = hist.EstimateRangeSelectivity(0, hi);
+    EXPECT_GE(sel, prev - 1e-12);
+    prev = sel;
+  }
+}
+
+TEST(HistogramTest, EqualityOnSkewedData) {
+  // 900 copies of 1, 100 distinct values 1000..1099.
+  Table t("t", Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 900; ++i) t.AppendRow({Value::Int64(1)});
+  for (int i = 0; i < 100; ++i) t.AppendRow({Value::Int64(1000 + i)});
+  EquiDepthHistogram hist(t, "x", 50);
+  // The heavy value sits alone in its bucket(s): frequency ~90%.
+  EXPECT_NEAR(hist.EstimateEqualSelectivity(1), 0.9, 0.02);
+  EXPECT_EQ(hist.EstimateEqualSelectivity(5000), 0.0);
+}
+
+TEST(HistogramTest, DuplicatesNeverStraddleBuckets) {
+  Table t("t", Schema({{"x", DataType::kInt64}}));
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    t.AppendRow({Value::Int64(rng.NextInRange(0, 49))});  // heavy duplication
+  }
+  EquiDepthHistogram hist(t, "x", 250);
+  // With only 50 distinct values, each bucket holds >= 1 full value run.
+  EXPECT_LE(hist.num_buckets(), 50u);
+  EXPECT_EQ(hist.TotalDistinct(), 50u);
+}
+
+TEST(HistogramTest, SingleValueColumn) {
+  Table t("t", Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 100; ++i) t.AppendRow({Value::Int64(42)});
+  EquiDepthHistogram hist(t, "x");
+  EXPECT_EQ(hist.num_buckets(), 1u);
+  EXPECT_NEAR(hist.EstimateEqualSelectivity(42), 1.0, 1e-12);
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(42, 42), 1.0, 1e-12);
+  EXPECT_EQ(hist.EstimateRangeSelectivity(43, 50), 0.0);
+}
+
+TEST(HistogramTest, EmptyTable) {
+  Table t("t", Schema({{"x", DataType::kInt64}}));
+  EquiDepthHistogram hist(t, "x");
+  EXPECT_EQ(hist.num_buckets(), 0u);
+  EXPECT_EQ(hist.EstimateRangeSelectivity(0, 10), 0.0);
+  EXPECT_EQ(hist.EstimateEqualSelectivity(0), 0.0);
+}
+
+TEST(HistogramTest, DoubleColumn) {
+  Table t("t", Schema({{"x", DataType::kDouble}}));
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    t.AppendRow({Value::Double(rng.NextDouble())});
+  }
+  EquiDepthHistogram hist(t, "x");
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(0.25, 0.75), 0.5, 0.02);
+}
+
+TEST(HistogramTest, FewBucketsStillSane) {
+  Table t = UniformTable(10000, 0, 999, 8);
+  EquiDepthHistogram hist(t, "x", 4);
+  EXPECT_LE(hist.num_buckets(), 5u);
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(0, 499), 0.5, 0.05);
+}
+
+TEST(HistogramTest, PartialBucketInterpolation) {
+  // One bucket [0, 99] with 1000 uniform rows; a half-window should
+  // interpolate to ~50%.
+  Table t = UniformTable(1000, 0, 99, 9);
+  EquiDepthHistogram hist(t, "x", 1);
+  EXPECT_EQ(hist.num_buckets(), 1u);
+  EXPECT_NEAR(hist.EstimateRangeSelectivity(0, 49), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace robustqo

@@ -1,0 +1,39 @@
+#include "statistics/magic.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace stats {
+namespace {
+
+TEST(MagicTest, ConstantsInSaneRanges) {
+  EXPECT_GT(kMagicEqualitySelectivity, 0.0);
+  EXPECT_LT(kMagicEqualitySelectivity, 1.0);
+  EXPECT_NEAR(kMagicRangeSelectivity, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(kMagicUnknownSelectivity, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MagicTest, DistributionMeanMatchesRangeMagicNumber) {
+  EXPECT_NEAR(MagicDistribution().Mean(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MagicTest, QuantileRespondsToThreshold) {
+  // The point of the "magic distribution" (Section 3.5): the effective
+  // magic number grows with the confidence threshold.
+  const double aggressive = MagicSelectivityAtConfidence(0.05);
+  const double moderate = MagicSelectivityAtConfidence(0.50);
+  const double conservative = MagicSelectivityAtConfidence(0.95);
+  EXPECT_LT(aggressive, moderate);
+  EXPECT_LT(moderate, conservative);
+  EXPECT_GT(aggressive, 0.0);
+  EXPECT_LT(conservative, 1.0);
+}
+
+TEST(MagicTest, MedianBelowMean) {
+  // Beta(1/2, 1) is right-skewed: median < mean.
+  EXPECT_LT(MagicSelectivityAtConfidence(0.5), MagicDistribution().Mean());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace robustqo

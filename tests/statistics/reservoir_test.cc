@@ -1,0 +1,80 @@
+#include "statistics/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace robustqo {
+namespace stats {
+namespace {
+
+TEST(ReservoirTest, FillsToCapacityFirst) {
+  ReservoirSample<int> reservoir(10, 1);
+  for (int i = 0; i < 7; ++i) reservoir.Add(i);
+  EXPECT_EQ(reservoir.items().size(), 7u);
+  EXPECT_EQ(reservoir.seen(), 7u);
+  // The first `capacity` items are kept verbatim.
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(reservoir.items()[i], i);
+}
+
+TEST(ReservoirTest, CapacityNeverExceeded) {
+  ReservoirSample<int> reservoir(10, 2);
+  for (int i = 0; i < 1000; ++i) reservoir.Add(i);
+  EXPECT_EQ(reservoir.items().size(), 10u);
+  EXPECT_EQ(reservoir.seen(), 1000u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Every stream element must appear with probability capacity/stream_len.
+  const int capacity = 20;
+  const int stream_len = 200;
+  const int trials = 3000;
+  std::vector<int> inclusion(stream_len, 0);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSample<int> reservoir(capacity, 1000 + t);
+    for (int i = 0; i < stream_len; ++i) reservoir.Add(i);
+    for (int kept : reservoir.items()) ++inclusion[kept];
+  }
+  const double expected = static_cast<double>(capacity) / stream_len * trials;
+  for (int i = 0; i < stream_len; ++i) {
+    EXPECT_NEAR(inclusion[i], expected, expected * 0.25) << "element " << i;
+  }
+}
+
+TEST(ReservoirTest, ResetClears) {
+  ReservoirSample<int> reservoir(5, 3);
+  for (int i = 0; i < 100; ++i) reservoir.Add(i);
+  reservoir.Reset();
+  EXPECT_EQ(reservoir.seen(), 0u);
+  EXPECT_TRUE(reservoir.items().empty());
+}
+
+TEST(MaintenancePolicyTest, FreshPolicyWantsBuild) {
+  SampleMaintenancePolicy policy;
+  EXPECT_TRUE(policy.RebuildDue());
+}
+
+TEST(MaintenancePolicyTest, TriggersAtFraction) {
+  SampleMaintenancePolicy policy(0.20);
+  policy.RecordRebuild(1000);
+  EXPECT_FALSE(policy.RebuildDue());
+  policy.RecordModifications(150);
+  EXPECT_FALSE(policy.RebuildDue());
+  policy.RecordModifications(50);  // total 200 = 20% of 1000
+  EXPECT_TRUE(policy.RebuildDue());
+  EXPECT_EQ(policy.modifications_since_rebuild(), 200u);
+}
+
+TEST(MaintenancePolicyTest, RebuildResetsCounter) {
+  SampleMaintenancePolicy policy(0.10);
+  policy.RecordRebuild(100);
+  policy.RecordModifications(10);
+  EXPECT_TRUE(policy.RebuildDue());
+  policy.RecordRebuild(110);
+  EXPECT_FALSE(policy.RebuildDue());
+  EXPECT_EQ(policy.modifications_since_rebuild(), 0u);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace robustqo

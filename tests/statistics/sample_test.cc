@@ -1,0 +1,95 @@
+#include "statistics/sample.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace robustqo {
+namespace stats {
+namespace {
+
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+Table SequentialTable(int n) {
+  Table t("base", Schema({{"id", DataType::kInt64}}));
+  for (int i = 0; i < n; ++i) t.AppendRow({Value::Int64(i)});
+  return t;
+}
+
+TEST(TableSampleTest, SizeAndMetadata) {
+  Table t = SequentialTable(1000);
+  Rng rng(1);
+  TableSample sample(t, 200, SamplingMode::kWithReplacement, &rng);
+  EXPECT_EQ(sample.size(), 200u);
+  EXPECT_EQ(sample.source_table(), "base");
+  EXPECT_EQ(sample.source_row_count(), 1000u);
+  EXPECT_EQ(sample.rows().schema().num_columns(), 1u);
+  EXPECT_EQ(sample.source_rids().size(), 200u);
+}
+
+TEST(TableSampleTest, SampledValuesComeFromSource) {
+  Table t = SequentialTable(100);
+  Rng rng(2);
+  TableSample sample(t, 500, SamplingMode::kWithReplacement, &rng);
+  for (storage::Rid r = 0; r < sample.size(); ++r) {
+    const int64_t v = sample.rows().ValueAt(r, 0).AsInt64();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    EXPECT_EQ(static_cast<int64_t>(sample.source_rids()[r]), v);
+  }
+}
+
+TEST(TableSampleTest, WithoutReplacementDistinct) {
+  Table t = SequentialTable(500);
+  Rng rng(3);
+  TableSample sample(t, 200, SamplingMode::kWithoutReplacement, &rng);
+  std::set<storage::Rid> rids(sample.source_rids().begin(),
+                              sample.source_rids().end());
+  EXPECT_EQ(rids.size(), 200u);
+}
+
+TEST(TableSampleTest, WithoutReplacementCappedAtTableSize) {
+  Table t = SequentialTable(50);
+  Rng rng(4);
+  TableSample sample(t, 500, SamplingMode::kWithoutReplacement, &rng);
+  EXPECT_EQ(sample.size(), 50u);
+}
+
+TEST(TableSampleTest, WithReplacementCanExceedTableSize) {
+  Table t = SequentialTable(50);
+  Rng rng(5);
+  TableSample sample(t, 500, SamplingMode::kWithReplacement, &rng);
+  EXPECT_EQ(sample.size(), 500u);
+}
+
+TEST(TableSampleTest, EmptySource) {
+  Table t = SequentialTable(0);
+  Rng rng(6);
+  TableSample sample(t, 100, SamplingMode::kWithReplacement, &rng);
+  EXPECT_EQ(sample.size(), 0u);
+}
+
+TEST(TableSampleTest, UniformityAcrossSource) {
+  Table t = SequentialTable(10);
+  Rng rng(7);
+  TableSample sample(t, 100000, SamplingMode::kWithReplacement, &rng);
+  std::vector<int> counts(10, 0);
+  for (storage::Rid r : sample.source_rids()) ++counts[r];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(TableSampleTest, DifferentSeedsDifferentSamples) {
+  Table t = SequentialTable(10000);
+  Rng rng_a(8);
+  Rng rng_b(9);
+  TableSample a(t, 100, SamplingMode::kWithReplacement, &rng_a);
+  TableSample b(t, 100, SamplingMode::kWithReplacement, &rng_b);
+  EXPECT_NE(a.source_rids(), b.source_rids());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace robustqo

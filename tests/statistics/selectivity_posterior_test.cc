@@ -1,0 +1,160 @@
+#include "statistics/selectivity_posterior.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stats_math/binomial_distribution.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace stats {
+namespace {
+
+TEST(PriorTest, NamedPriors) {
+  BetaPrior jeffreys = BetaPrior::For(PriorKind::kJeffreys);
+  EXPECT_EQ(jeffreys.alpha, 0.5);
+  EXPECT_EQ(jeffreys.beta, 0.5);
+  BetaPrior uniform = BetaPrior::For(PriorKind::kUniform);
+  EXPECT_EQ(uniform.alpha, 1.0);
+  EXPECT_EQ(uniform.beta, 1.0);
+}
+
+TEST(SelectivityPosteriorTest, PosteriorShapeParameters) {
+  SelectivityPosterior p(10, 100, PriorKind::kJeffreys);
+  EXPECT_EQ(p.distribution().alpha(), 10.5);
+  EXPECT_EQ(p.distribution().beta(), 90.5);
+  SelectivityPosterior u(10, 100, PriorKind::kUniform);
+  EXPECT_EQ(u.distribution().alpha(), 11.0);
+  EXPECT_EQ(u.distribution().beta(), 91.0);
+}
+
+TEST(SelectivityPosteriorTest, NoEvidenceReproducesPrior) {
+  SelectivityPosterior p(0, 0, PriorKind::kJeffreys);
+  EXPECT_EQ(p.distribution().alpha(), 0.5);
+  EXPECT_EQ(p.distribution().beta(), 0.5);
+  // The Jeffreys prior is symmetric: median 0.5.
+  EXPECT_NEAR(p.EstimateAtConfidence(0.5), 0.5, 1e-9);
+}
+
+TEST(SelectivityPosteriorTest, PaperSection34Example) {
+  // 10 of 100 sample tuples satisfy the predicate; T = 20/50/80% yield
+  // estimates of ~7.8% / ~10.1% / ~12.8% (paper Section 3.4).
+  SelectivityPosterior p(10, 100);
+  EXPECT_NEAR(p.EstimateAtConfidence(0.20), 0.078, 0.002);
+  EXPECT_NEAR(p.EstimateAtConfidence(0.50), 0.101, 0.002);
+  EXPECT_NEAR(p.EstimateAtConfidence(0.80), 0.128, 0.002);
+}
+
+TEST(SelectivityPosteriorTest, EstimateMonotoneInThreshold) {
+  SelectivityPosterior p(5, 500);
+  double prev = 0.0;
+  for (double t : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+    const double est = p.EstimateAtConfidence(t);
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(SelectivityPosteriorTest, EstimateMonotoneInK) {
+  double prev = -1.0;
+  for (uint64_t k : {0, 1, 5, 20, 100, 400, 500}) {
+    SelectivityPosterior p(k, 500);
+    const double est = p.EstimateAtConfidence(0.8);
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+TEST(SelectivityPosteriorTest, LargerSampleTightens) {
+  // Same observed fraction, bigger n: the 5%-95% interval shrinks
+  // (paper Figure 4: "sample size matters").
+  SelectivityPosterior small(10, 100);
+  SelectivityPosterior large(50, 500);
+  const double small_width =
+      small.EstimateAtConfidence(0.95) - small.EstimateAtConfidence(0.05);
+  const double large_width =
+      large.EstimateAtConfidence(0.95) - large.EstimateAtConfidence(0.05);
+  EXPECT_LT(large_width, small_width * 0.6);
+}
+
+TEST(SelectivityPosteriorTest, PriorBarelyMatters) {
+  // Paper Figure 4: "prior doesn't [matter]" — uniform vs Jeffreys agree
+  // closely already at n = 100.
+  SelectivityPosterior jeffreys(10, 100, PriorKind::kJeffreys);
+  SelectivityPosterior uniform(10, 100, PriorKind::kUniform);
+  for (double t : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(jeffreys.EstimateAtConfidence(t),
+                uniform.EstimateAtConfidence(t), 0.01);
+  }
+}
+
+TEST(SelectivityPosteriorTest, MeanAndMle) {
+  SelectivityPosterior p(10, 100, PriorKind::kJeffreys);
+  EXPECT_NEAR(p.Mean(), 10.5 / 101.0, 1e-12);
+  EXPECT_EQ(p.MaxLikelihoodEstimate(), 0.1);
+  SelectivityPosterior empty(0, 0);
+  EXPECT_EQ(empty.MaxLikelihoodEstimate(), 0.0);
+}
+
+TEST(SelectivityPosteriorTest, ZeroHitsStillLeaveUpperMass) {
+  // Even k = 0 leaves real probability of non-trivial selectivity — the
+  // basis of the "self-adjusting" behaviour with tiny samples
+  // (Section 6.2.4): at n = 50, the median estimate stays above typical
+  // crossover selectivities.
+  SelectivityPosterior tiny(0, 50);
+  EXPECT_GT(tiny.EstimateAtConfidence(0.50), 0.004);
+  SelectivityPosterior big(0, 1000);
+  EXPECT_LT(big.EstimateAtConfidence(0.50), 0.0005);
+}
+
+TEST(SelectivityPosteriorTest, CustomPrior) {
+  SelectivityPosterior p(3, 10, BetaPrior{2.0, 8.0});
+  EXPECT_EQ(p.distribution().alpha(), 5.0);
+  EXPECT_EQ(p.distribution().beta(), 15.0);
+}
+
+TEST(SelectivityPosteriorTest, CdfQuantileRoundTrip) {
+  SelectivityPosterior p(42, 500);
+  for (double t : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(p.Cdf(p.EstimateAtConfidence(t)), t, 1e-9);
+  }
+}
+
+// Bayesian calibration property: if the true selectivity is drawn from the
+// prior and k ~ Binomial(n, p), then the credible interval
+// [cdf^{-1}(lo), cdf^{-1}(hi)] contains p with probability hi - lo.
+using CalibParam = std::tuple<uint64_t, double, double>;  // n, lo, hi
+class PosteriorCalibration : public ::testing::TestWithParam<CalibParam> {};
+
+TEST_P(PosteriorCalibration, CredibleIntervalCoverage) {
+  const auto [n, lo, hi] = GetParam();
+  Rng rng(1234 + n);
+  math::BetaDistribution prior(1.0, 1.0);  // draw truths from uniform
+  int covered = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const double p = prior.Sample(&rng);
+    const int64_t k = math::BinomialDistribution(
+                          static_cast<int64_t>(n), p)
+                          .Sample(&rng);
+    SelectivityPosterior posterior(static_cast<uint64_t>(k), n,
+                                   PriorKind::kUniform);
+    const double a = posterior.EstimateAtConfidence(lo);
+    const double b = posterior.EstimateAtConfidence(hi);
+    if (p >= a && p <= b) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_NEAR(coverage, hi - lo, 0.03)
+      << "n=" << n << " interval=[" << lo << "," << hi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoverageGrid, PosteriorCalibration,
+    ::testing::Values(CalibParam{50, 0.05, 0.95}, CalibParam{200, 0.05, 0.95},
+                      CalibParam{500, 0.10, 0.90}, CalibParam{500, 0.25, 0.75},
+                      CalibParam{1000, 0.05, 0.95}));
+
+}  // namespace
+}  // namespace stats
+}  // namespace robustqo

@@ -1,0 +1,100 @@
+#include "stats_math/beta_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace math {
+namespace {
+
+TEST(BetaDistributionTest, MeanAndVariance) {
+  BetaDistribution d(2.0, 3.0);
+  EXPECT_NEAR(d.Mean(), 0.4, 1e-12);
+  EXPECT_NEAR(d.Variance(), 2.0 * 3.0 / (25.0 * 6.0), 1e-12);
+}
+
+TEST(BetaDistributionTest, UniformSpecialCase) {
+  BetaDistribution d(1.0, 1.0);
+  EXPECT_NEAR(d.Pdf(0.3), 1.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(0.3), 0.3, 1e-12);
+  EXPECT_NEAR(d.InverseCdf(0.7), 0.7, 1e-9);
+}
+
+TEST(BetaDistributionTest, PdfIntegratesToOne) {
+  BetaDistribution d(3.5, 7.0);
+  double integral = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) / steps;
+    integral += d.Pdf(x) / steps;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(BetaDistributionTest, PdfMatchesNumericalCdfDerivative) {
+  BetaDistribution d(5.0, 12.0);
+  for (double x : {0.1, 0.25, 0.5, 0.75}) {
+    const double h = 1e-6;
+    const double numeric = (d.Cdf(x + h) - d.Cdf(x - h)) / (2 * h);
+    EXPECT_NEAR(d.Pdf(x), numeric, 1e-4 * std::max(1.0, d.Pdf(x)));
+  }
+}
+
+TEST(BetaDistributionTest, BoundaryPdfBehaviour) {
+  EXPECT_EQ(BetaDistribution(2.0, 2.0).Pdf(0.0), 0.0);
+  EXPECT_EQ(BetaDistribution(2.0, 2.0).Pdf(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(BetaDistribution(0.5, 0.5).Pdf(0.0)));
+  EXPECT_TRUE(std::isinf(BetaDistribution(0.5, 0.5).Pdf(1.0)));
+  EXPECT_EQ(BetaDistribution(2.0, 2.0).Pdf(-0.1), 0.0);
+  EXPECT_EQ(BetaDistribution(2.0, 2.0).Pdf(1.1), 0.0);
+}
+
+TEST(BetaDistributionTest, ModeInteriorForShapesAboveOne) {
+  BetaDistribution d(3.0, 5.0);
+  EXPECT_NEAR(d.Mode(), 2.0 / 6.0, 1e-12);
+  // The pdf is maximized at the mode.
+  const double at_mode = d.Pdf(d.Mode());
+  EXPECT_GT(at_mode, d.Pdf(d.Mode() + 0.05));
+  EXPECT_GT(at_mode, d.Pdf(d.Mode() - 0.05));
+}
+
+TEST(BetaDistributionTest, SampleMomentsMatch) {
+  BetaDistribution d(10.5, 90.5);
+  Rng rng(99);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = d.Sample(&rng);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, d.Mean(), 0.002);
+  EXPECT_NEAR(sq / n - mean * mean, d.Variance(), 0.0005);
+}
+
+TEST(BetaDistributionTest, SampleWithSubUnitShape) {
+  BetaDistribution d(0.5, 0.5);
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += d.Sample(&rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(BetaDistributionTest, CdfInverseCdfConsistency) {
+  BetaDistribution d(50.5, 450.5);
+  for (double p : {0.05, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(d.Cdf(d.InverseCdf(p)), p, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace robustqo

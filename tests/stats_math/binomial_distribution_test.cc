@@ -1,0 +1,91 @@
+#include "stats_math/binomial_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace math {
+namespace {
+
+TEST(BinomialTest, PmfSmallCase) {
+  BinomialDistribution d(4, 0.5);
+  EXPECT_NEAR(d.Pmf(0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(d.Pmf(1), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(d.Pmf(2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(d.Pmf(4), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  BinomialDistribution d(100, 0.13);
+  double sum = 0.0;
+  for (int64_t k = 0; k <= 100; ++k) sum += d.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(BinomialTest, PmfOutsideSupportIsZero) {
+  BinomialDistribution d(10, 0.4);
+  EXPECT_EQ(d.Pmf(-1), 0.0);
+  EXPECT_EQ(d.Pmf(11), 0.0);
+}
+
+TEST(BinomialTest, DegenerateProbabilities) {
+  BinomialDistribution zero(10, 0.0);
+  EXPECT_EQ(zero.Pmf(0), 1.0);
+  EXPECT_EQ(zero.Pmf(1), 0.0);
+  EXPECT_EQ(zero.Cdf(0), 1.0);
+  BinomialDistribution one(10, 1.0);
+  EXPECT_EQ(one.Pmf(10), 1.0);
+  EXPECT_EQ(one.Pmf(9), 0.0);
+  EXPECT_EQ(one.Cdf(9), 0.0);
+  EXPECT_EQ(one.Cdf(10), 1.0);
+}
+
+TEST(BinomialTest, CdfMatchesPmfPrefixSums) {
+  BinomialDistribution d(60, 0.07);
+  double run = 0.0;
+  for (int64_t k = 0; k <= 60; ++k) {
+    run += d.Pmf(k);
+    EXPECT_NEAR(d.Cdf(k), run, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(BinomialTest, CdfBoundaries) {
+  BinomialDistribution d(10, 0.3);
+  EXPECT_EQ(d.Cdf(-1), 0.0);
+  EXPECT_EQ(d.Cdf(10), 1.0);
+  EXPECT_EQ(d.Cdf(100), 1.0);
+}
+
+TEST(BinomialTest, MeanAndVariance) {
+  BinomialDistribution d(1000, 0.002);
+  EXPECT_NEAR(d.Mean(), 2.0, 1e-12);
+  EXPECT_NEAR(d.Variance(), 1000 * 0.002 * 0.998, 1e-12);
+}
+
+TEST(BinomialTest, LargeNStability) {
+  // The Section-5 model uses n up to 2500; log-space evaluation must not
+  // underflow to garbage.
+  BinomialDistribution d(2500, 0.0014);
+  double sum = 0.0;
+  for (int64_t k = 0; k <= 30; ++k) sum += d.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(d.Pmf(3), 0.0);
+}
+
+TEST(BinomialTest, SampleMeanConverges) {
+  BinomialDistribution d(50, 0.2);
+  Rng rng(3);
+  double total = 0.0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(d.Sample(&rng));
+  }
+  EXPECT_NEAR(total / trials, 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace robustqo

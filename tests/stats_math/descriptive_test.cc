@@ -1,0 +1,55 @@
+#include "stats_math/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robustqo {
+namespace math {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Mean({7}), 7.0);
+}
+
+TEST(DescriptiveTest, PopulationVsSampleVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(PopulationVariance(xs), 4.0, 1e-12);
+  EXPECT_NEAR(SampleVariance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(PopulationStdDev(xs), 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, VarianceDegenerateCases) {
+  EXPECT_EQ(PopulationVariance({}), 0.0);
+  EXPECT_EQ(SampleVariance({5.0}), 0.0);
+  EXPECT_EQ(PopulationVariance({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_EQ(Percentile(xs, 1.0), 40.0);
+  EXPECT_NEAR(Percentile(xs, 0.5), 25.0, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 1.0 / 3.0), 20.0, 1e-9);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  EXPECT_NEAR(Percentile({40, 10, 30, 20}, 0.5), 25.0, 1e-12);
+}
+
+TEST(DescriptiveTest, SummaryFields) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.p25, 2.0);
+  EXPECT_EQ(s.p75, 4.0);
+  EXPECT_NEAR(s.std_dev, std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace robustqo

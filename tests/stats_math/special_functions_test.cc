@@ -1,0 +1,134 @@
+#include "stats_math/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace robustqo {
+namespace math {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(LogBetaTest, SymmetryAndKnownValues) {
+  EXPECT_NEAR(LogBeta(2.0, 3.0), LogBeta(3.0, 2.0), 1e-14);
+  // B(1,1) = 1, B(2,3) = 1/12.
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-10);
+  // Jeffreys prior normalizer: B(1/2, 1/2) = pi.
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-10);
+}
+
+TEST(LogBinomialCoefficientTest, SmallCases) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(50, 25),
+              std::log(126410606437752.0), 1e-8);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.73, 0.99}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormForIntegerParams) {
+  // I_x(2,1) = x^2, I_x(1,2) = 1-(1-x)^2 = 2x - x^2.
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, x), x * x, 1e-12);
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 2.0, x), 2 * x - x * x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.05, 0.3, 0.6, 0.95}) {
+    for (double a : {0.5, 2.0, 10.5}) {
+      for (double b : {0.5, 3.0, 40.0}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const double v = RegularizedIncompleteBeta(3.5, 7.5, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaTest, MedianOfSymmetricIsHalf) {
+  EXPECT_NEAR(RegularizedIncompleteBeta(4.0, 4.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.5, 0.5, 0.5), 0.5, 1e-12);
+}
+
+// Property sweep: the inverse is a true inverse across a parameter grid,
+// including the large shape values of posterior distributions on big
+// samples.
+using InvBetaParam = std::tuple<double, double>;
+class InverseBetaRoundtrip : public ::testing::TestWithParam<InvBetaParam> {};
+
+TEST_P(InverseBetaRoundtrip, CdfOfInverseIsIdentity) {
+  const auto [a, b] = GetParam();
+  for (double p : {0.001, 0.01, 0.05, 0.2, 0.5, 0.8, 0.95, 0.99, 0.999}) {
+    const double x = InverseRegularizedIncompleteBeta(a, b, p);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x), p, 1e-9)
+        << "a=" << a << " b=" << b << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, InverseBetaRoundtrip,
+    ::testing::Values(InvBetaParam{0.5, 0.5}, InvBetaParam{0.5, 500.5},
+                      InvBetaParam{1.0, 1.0}, InvBetaParam{1.5, 99.5},
+                      InvBetaParam{10.5, 90.5}, InvBetaParam{50.5, 450.5},
+                      InvBetaParam{2500.0, 2500.0}, InvBetaParam{3.0, 1.0},
+                      InvBetaParam{1.0, 2500.0}, InvBetaParam{0.5, 2.5}));
+
+TEST(InverseBetaTest, DegenerateProbabilities) {
+  EXPECT_EQ(InverseRegularizedIncompleteBeta(2.0, 5.0, 0.0), 0.0);
+  EXPECT_EQ(InverseRegularizedIncompleteBeta(2.0, 5.0, 1.0), 1.0);
+}
+
+TEST(InverseBetaTest, MonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double x = InverseRegularizedIncompleteBeta(10.5, 990.5, p);
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+}
+
+TEST(InverseBetaTest, PaperExampleQuantiles) {
+  // Paper Section 3.4: 10 of 100 sample tuples satisfy the predicate;
+  // posterior Beta(10.5, 90.5). Confidence thresholds 20%/50%/80% give
+  // estimates ~7.8% / ~10.1% / ~12.8%.
+  const double a = 10.5;
+  const double b = 90.5;
+  EXPECT_NEAR(InverseRegularizedIncompleteBeta(a, b, 0.20), 0.078, 0.002);
+  EXPECT_NEAR(InverseRegularizedIncompleteBeta(a, b, 0.50), 0.101, 0.002);
+  EXPECT_NEAR(InverseRegularizedIncompleteBeta(a, b, 0.80), 0.128, 0.002);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace robustqo

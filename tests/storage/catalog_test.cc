@@ -1,0 +1,184 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace robustqo {
+namespace storage {
+namespace {
+
+std::unique_ptr<Table> MakeTable(const std::string& name,
+                                 std::vector<ColumnDef> cols) {
+  return std::make_unique<Table>(name, Schema(std::move(cols)));
+}
+
+// A small FK chain: lineitem -> orders -> customer, lineitem -> part.
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .AddTable(MakeTable("customer",
+                                        {{"c_custkey", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable(MakeTable("orders",
+                                        {{"o_orderkey", DataType::kInt64},
+                                         {"o_custkey", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable(MakeTable("part",
+                                        {{"p_partkey", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable(MakeTable("lineitem",
+                                        {{"l_orderkey", DataType::kInt64},
+                                         {"l_partkey", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(catalog_.SetPrimaryKey("customer", "c_custkey").ok());
+    ASSERT_TRUE(catalog_.SetPrimaryKey("orders", "o_orderkey").ok());
+    ASSERT_TRUE(catalog_.SetPrimaryKey("part", "p_partkey").ok());
+    ASSERT_TRUE(
+        catalog_
+            .AddForeignKey({"orders", "o_custkey", "customer", "c_custkey"})
+            .ok());
+    ASSERT_TRUE(
+        catalog_
+            .AddForeignKey({"lineitem", "l_orderkey", "orders", "o_orderkey"})
+            .ok());
+    ASSERT_TRUE(
+        catalog_
+            .AddForeignKey({"lineitem", "l_partkey", "part", "p_partkey"})
+            .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  Status s = catalog_.AddTable(MakeTable("part", {{"x", DataType::kInt64}}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetTable) {
+  EXPECT_NE(catalog_.GetTable("orders"), nullptr);
+  EXPECT_EQ(catalog_.GetTable("nope"), nullptr);
+  EXPECT_NE(catalog_.GetMutableTable("orders"), nullptr);
+}
+
+TEST_F(CatalogTest, PrimaryKeys) {
+  EXPECT_EQ(catalog_.PrimaryKeyOf("orders"), "o_orderkey");
+  EXPECT_EQ(catalog_.PrimaryKeyOf("lineitem"), "");
+}
+
+TEST_F(CatalogTest, PrimaryKeyValidation) {
+  EXPECT_EQ(catalog_.SetPrimaryKey("nope", "x").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_.SetPrimaryKey("orders", "missing").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ForeignKeyMustReferencePrimaryKey) {
+  Status s =
+      catalog_.AddForeignKey({"lineitem", "l_orderkey", "orders", "o_custkey"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, ForeignKeysFrom) {
+  auto fks = catalog_.ForeignKeysFrom("lineitem");
+  EXPECT_EQ(fks.size(), 2u);
+  EXPECT_TRUE(catalog_.ForeignKeysFrom("customer").empty());
+}
+
+TEST_F(CatalogTest, ForeignKeyBetween) {
+  auto fk = catalog_.ForeignKeyBetween("orders", "lineitem");
+  ASSERT_TRUE(fk.ok());
+  EXPECT_EQ(fk.value().from_table, "lineitem");
+  EXPECT_FALSE(catalog_.ForeignKeyBetween("part", "orders").ok());
+}
+
+TEST_F(CatalogTest, ReachableClosure) {
+  auto reach = catalog_.ReachableViaForeignKeys("lineitem");
+  EXPECT_EQ(reach.size(), 3u);
+  EXPECT_TRUE(reach.count("orders"));
+  EXPECT_TRUE(reach.count("customer"));
+  EXPECT_TRUE(reach.count("part"));
+  EXPECT_TRUE(catalog_.ReachableViaForeignKeys("customer").empty());
+}
+
+TEST_F(CatalogTest, FindRootTableSingle) {
+  auto root = catalog_.FindRootTable({"orders"});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), "orders");
+}
+
+TEST_F(CatalogTest, FindRootTableChain) {
+  auto root = catalog_.FindRootTable({"lineitem", "orders", "part"});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), "lineitem");
+  auto root2 = catalog_.FindRootTable({"orders", "customer"});
+  ASSERT_TRUE(root2.ok());
+  EXPECT_EQ(root2.value(), "orders");
+}
+
+TEST_F(CatalogTest, FindRootTableDisconnected) {
+  EXPECT_FALSE(catalog_.FindRootTable({"part", "customer"}).ok());
+}
+
+TEST_F(CatalogTest, IndexLifecycle) {
+  EXPECT_FALSE(catalog_.HasIndex("orders", "o_custkey"));
+  ASSERT_TRUE(catalog_.BuildIndex("orders", "o_custkey").ok());
+  EXPECT_TRUE(catalog_.HasIndex("orders", "o_custkey"));
+  EXPECT_NE(catalog_.GetIndex("orders", "o_custkey"), nullptr);
+  EXPECT_EQ(catalog_.GetIndex("orders", "o_orderkey"), nullptr);
+  EXPECT_EQ(catalog_.BuildIndex("nope", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog_.BuildIndex("orders", "missing").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ClusteringColumns) {
+  EXPECT_EQ(catalog_.ClusteringColumnOf("orders"), "");
+  ASSERT_TRUE(catalog_.SetClusteringColumn("orders", "o_orderkey").ok());
+  EXPECT_EQ(catalog_.ClusteringColumnOf("orders"), "o_orderkey");
+  EXPECT_EQ(catalog_.SetClusteringColumn("orders", "missing").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, FkCyclesDoNotHangTraversals) {
+  // Declare a back-edge customer -> orders (legal: o_orderkey is the PK),
+  // creating a cycle orders <-> customer. Traversals must terminate.
+  auto cust = catalog_.GetMutableTable("customer");
+  (void)cust;
+  // Add a fake FK column to customer.
+  Catalog cyclic;
+  auto a = std::make_unique<Table>(
+      "a", Schema(std::vector<ColumnDef>{{"a_id", DataType::kInt64},
+                                         {"a_b", DataType::kInt64}}));
+  auto b = std::make_unique<Table>(
+      "b", Schema(std::vector<ColumnDef>{{"b_id", DataType::kInt64},
+                                         {"b_a", DataType::kInt64}}));
+  ASSERT_TRUE(cyclic.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(cyclic.AddTable(std::move(b)).ok());
+  ASSERT_TRUE(cyclic.SetPrimaryKey("a", "a_id").ok());
+  ASSERT_TRUE(cyclic.SetPrimaryKey("b", "b_id").ok());
+  ASSERT_TRUE(cyclic.AddForeignKey({"a", "a_b", "b", "b_id"}).ok());
+  ASSERT_TRUE(cyclic.AddForeignKey({"b", "b_a", "a", "a_id"}).ok());
+  auto reach_a = cyclic.ReachableViaForeignKeys("a");
+  EXPECT_EQ(reach_a, (std::set<std::string>{"b"}));
+  auto reach_b = cyclic.ReachableViaForeignKeys("b");
+  EXPECT_EQ(reach_b, (std::set<std::string>{"a"}));
+  // Either table covers the pair; FindRootTable picks one deterministically.
+  auto root = cyclic.FindRootTable({"a", "b"});
+  ASSERT_TRUE(root.ok());
+}
+
+TEST_F(CatalogTest, TableNamesSorted) {
+  auto names = catalog_.TableNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.front(), "customer");
+  EXPECT_EQ(names.back(), "part");
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace robustqo

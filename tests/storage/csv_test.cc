@@ -1,0 +1,113 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "storage/date.h"
+
+namespace robustqo {
+namespace storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"ship", DataType::kDate}});
+}
+
+TEST(CsvReadTest, BasicRoundValues) {
+  std::istringstream input(
+      "id,price,name,ship\n"
+      "1,9.50,widget,1997-07-01\n"
+      "2,-3.25,gadget,1998-01-15\n");
+  auto table = ReadCsv(&input, "t", TestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const Table& t = *table.value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(t.ValueAt(1, 1).AsDouble(), -3.25);
+  EXPECT_EQ(t.ValueAt(0, 2).AsString(), "widget");
+  EXPECT_EQ(t.ValueAt(1, 3).AsInt64(), DateToDays(1998, 1, 15));
+}
+
+TEST(CsvReadTest, NoHeaderOption) {
+  std::istringstream input("7,1.0,x,1997-01-01\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsv(&input, "t", TestSchema(), options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, QuotedFieldsAndEscapes) {
+  std::istringstream input(
+      "id,price,name,ship\n"
+      "1,2.0,\"a,b\",1997-01-01\n"
+      "2,3.0,\"say \"\"hi\"\"\",1997-01-02\n");
+  auto table = ReadCsv(&input, "t", TestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->ValueAt(0, 2).AsString(), "a,b");
+  EXPECT_EQ(table.value()->ValueAt(1, 2).AsString(), "say \"hi\"");
+}
+
+TEST(CsvReadTest, WindowsLineEndingsAndBlankLines) {
+  std::istringstream input("id,price,name,ship\r\n1,2.0,x,1997-01-01\r\n\n");
+  auto table = ReadCsv(&input, "t", TestSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, ErrorsIncludeLineNumbers) {
+  std::istringstream arity("id,price,name,ship\n1,2.0,x\n");
+  Status s1 = ReadCsv(&arity, "t", TestSchema()).status();
+  EXPECT_NE(s1.message().find("line 2"), std::string::npos);
+
+  std::istringstream bad_int("id,price,name,ship\nxx,2.0,x,1997-01-01\n");
+  Status s2 = ReadCsv(&bad_int, "t", TestSchema()).status();
+  EXPECT_NE(s2.message().find("bad integer"), std::string::npos);
+
+  std::istringstream bad_date("id,price,name,ship\n1,2.0,x,not-a-date\n");
+  EXPECT_FALSE(ReadCsv(&bad_date, "t", TestSchema()).ok());
+
+  std::istringstream unterminated("id,price,name,ship\n1,2.0,\"x,1997-01-01\n");
+  EXPECT_FALSE(ReadCsv(&unterminated, "t", TestSchema()).ok());
+}
+
+TEST(CsvReadTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/file.csv", "t", TestSchema())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Table original("t", TestSchema());
+  original.AppendRow({Value::Int64(1), Value::Double(2.5),
+                      Value::String("a,\"b\""), Value::Date(10000)});
+  original.AppendRow({Value::Int64(-2), Value::Double(0.125),
+                      Value::String("plain"), Value::Date(0)});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, &out).ok());
+
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, "t2", TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& t = *loaded.value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(t.ValueAt(0, 2).AsString(), "a,\"b\"");
+  EXPECT_EQ(t.ValueAt(1, 3).AsInt64(), 0);
+}
+
+TEST(CsvWriteTest, HeaderMatchesSchema) {
+  Table t("t", TestSchema());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(t, &out).ok());
+  EXPECT_EQ(out.str(), "id,price,name,ship\n");
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace robustqo

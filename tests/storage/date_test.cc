@@ -1,0 +1,70 @@
+#include "storage/date.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace storage {
+namespace {
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(DateToDays(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DateToDays(1970, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1969, 12, 31), -1);
+  EXPECT_EQ(DateToDays(2000, 1, 1), 10957);
+  EXPECT_EQ(DateToDays(1992, 1, 1), 8035);   // TPC-H min order date
+  EXPECT_EQ(DateToDays(1998, 8, 2), 10440);  // TPC-H max order date
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_EQ(DateToDays(2000, 2, 29) - DateToDays(2000, 2, 28), 1);
+  EXPECT_EQ(DateToDays(2000, 3, 1) - DateToDays(2000, 2, 29), 1);
+  // 1900 was not a leap year.
+  EXPECT_EQ(DateToDays(1900, 3, 1) - DateToDays(1900, 2, 28), 1);
+}
+
+TEST(DateTest, RoundTripAcrossRange) {
+  for (int64_t days = DateToDays(1990, 1, 1); days <= DateToDays(2005, 1, 1);
+       days += 13) {
+    int y = 0;
+    int m = 0;
+    int d = 0;
+    DaysToDate(days, &y, &m, &d);
+    EXPECT_EQ(DateToDays(y, m, d), days);
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 12);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 31);
+  }
+}
+
+TEST(DateTest, ParseValid) {
+  Result<int64_t> r = ParseDate("1997-07-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), DateToDays(1997, 7, 1));
+}
+
+TEST(DateTest, ParseInvalid) {
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("1997-13-01").ok());
+  EXPECT_FALSE(ParseDate("1997-00-10").ok());
+  EXPECT_FALSE(ParseDate("1997-01-42").ok());
+}
+
+TEST(DateTest, FormatRendering) {
+  EXPECT_EQ(FormatDate(DateToDays(1997, 7, 1)), "1997-07-01");
+  EXPECT_EQ(FormatDate(0), "1970-01-01");
+  EXPECT_EQ(FormatDate(DateToDays(2000, 12, 31)), "2000-12-31");
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  for (const char* s : {"1992-01-01", "1995-06-17", "1998-08-02"}) {
+    Result<int64_t> r = ParseDate(s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(FormatDate(r.value()), s);
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace robustqo

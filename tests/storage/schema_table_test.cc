@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace robustqo {
+namespace storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"ship", DataType::kDate}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  ASSERT_TRUE(s.ColumnIndex("price").ok());
+  EXPECT_EQ(s.ColumnIndex("price").value(), 1u);
+  EXPECT_TRUE(s.HasColumn("ship"));
+  EXPECT_FALSE(s.HasColumn("nope"));
+  EXPECT_FALSE(s.ColumnIndex("nope").ok());
+}
+
+TEST(SchemaTest, ColumnMetadata) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.column(0).name, "id");
+  EXPECT_EQ(s.column(3).type, DataType::kDate);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "id INT64, price DOUBLE, name STRING, ship DATE");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s(std::vector<ColumnDef>{});
+  EXPECT_EQ(s.num_columns(), 0u);
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  Table t("test", TestSchema());
+  t.AppendRow({Value::Int64(1), Value::Double(9.5), Value::String("a"),
+               Value::Date(100)});
+  t.AppendRow({Value::Int64(2), Value::Double(8.5), Value::String("b"),
+               Value::Date(200)});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(t.ValueAt(1, 1).AsDouble(), 8.5);
+  EXPECT_EQ(t.ValueAt(1, 2).AsString(), "b");
+  EXPECT_EQ(t.ValueAt(0, 3).type(), DataType::kDate);
+}
+
+TEST(TableTest, RowAtReturnsFullRow) {
+  Table t("test", TestSchema());
+  t.AppendRow({Value::Int64(7), Value::Double(1.0), Value::String("x"),
+               Value::Date(5)});
+  std::vector<Value> row = t.RowAt(0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].AsInt64(), 7);
+  EXPECT_EQ(row[3].AsInt64(), 5);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t("test", TestSchema());
+  t.AppendRow({Value::Int64(3), Value::Double(2.0), Value::String("y"),
+               Value::Date(9)});
+  EXPECT_EQ(t.column("id").Int64At(0), 3);
+  EXPECT_EQ(t.column("price").DoubleAt(0), 2.0);
+  EXPECT_EQ(t.column("name").StringAt(0), "y");
+}
+
+TEST(TableTest, BulkLoadThroughColumns) {
+  Table t("bulk", Schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}}));
+  for (int i = 0; i < 100; ++i) {
+    t.mutable_column(0)->AppendInt64(i);
+    t.mutable_column(1)->AppendDouble(i * 0.5);
+  }
+  t.FinalizeBulkLoad();
+  EXPECT_EQ(t.num_rows(), 100u);
+  EXPECT_EQ(t.column(0).Int64At(99), 99);
+  EXPECT_EQ(t.column(1).DoubleAt(50), 25.0);
+}
+
+TEST(ColumnVectorTest, TypedAppendAndBoxedRead) {
+  ColumnVector c(DataType::kDate);
+  c.AppendInt64(12345);
+  EXPECT_EQ(c.size(), 1u);
+  Value v = c.ValueAt(0);
+  EXPECT_EQ(v.type(), DataType::kDate);
+  EXPECT_EQ(v.AsInt64(), 12345);
+}
+
+TEST(ColumnVectorTest, BoxedAppend) {
+  ColumnVector c(DataType::kString);
+  c.Append(Value::String("hello"));
+  EXPECT_EQ(c.StringAt(0), "hello");
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,94 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace storage {
+namespace {
+
+TEST(ValueTest, ConstructionAndAccessors) {
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Date(10000).AsInt64(), 10000);
+  EXPECT_EQ(Value::Int64(42).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Date(1).type(), DataType::kDate);
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, NumericValueWidens) {
+  EXPECT_EQ(Value::Int64(3).NumericValue(), 3.0);
+  EXPECT_EQ(Value::Date(100).NumericValue(), 100.0);
+  EXPECT_EQ(Value::Double(0.5).NumericValue(), 0.5);
+}
+
+TEST(ValueTest, IntegerComparison) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(5).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(3)), 0);
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_TRUE(Value::Int64(2) < Value::Double(2.5));
+  EXPECT_TRUE(Value::Double(2.5) > Value::Int64(2));
+  EXPECT_TRUE(Value::Int64(2) == Value::Double(2.0));
+  EXPECT_TRUE(Value::Date(100) == Value::Int64(100));
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^62 and 2^62+1 are indistinguishable as doubles; the integer path
+  // must keep them apart.
+  const int64_t big = int64_t{1} << 62;
+  EXPECT_TRUE(Value::Int64(big) < Value::Int64(big + 1));
+  EXPECT_FALSE(Value::Int64(big) == Value::Int64(big + 1));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_TRUE(Value::String("apple") < Value::String("banana"));
+  EXPECT_TRUE(Value::String("b") == Value::String("b"));
+  EXPECT_TRUE(Value::String("c") != Value::String("b"));
+}
+
+TEST(ValueTest, RelationalOperators) {
+  EXPECT_TRUE(Value::Int64(1) <= Value::Int64(1));
+  EXPECT_TRUE(Value::Int64(1) >= Value::Int64(1));
+  EXPECT_TRUE(Value::Int64(1) != Value::Int64(2));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("xyz").ToString(), "xyz");
+  EXPECT_EQ(Value::Date(0).ToString(), "1970-01-01");
+}
+
+TEST(ValueDeathTest, TypeMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ (void)Value::String("x").AsInt64(); }, "integer");
+  EXPECT_DEATH({ (void)Value::Int64(1).AsString(); }, "string");
+  EXPECT_DEATH({ (void)Value::String("x").NumericValue(); }, "string");
+  EXPECT_DEATH({ (void)Value::String("a").Compare(Value::Int64(1)); },
+               "compare");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+  EXPECT_STREQ(DataTypeName(DataType::kDate), "DATE");
+}
+
+TEST(DataTypeTest, IntegerPhysical) {
+  EXPECT_TRUE(IsIntegerPhysical(DataType::kInt64));
+  EXPECT_TRUE(IsIntegerPhysical(DataType::kDate));
+  EXPECT_FALSE(IsIntegerPhysical(DataType::kDouble));
+  EXPECT_FALSE(IsIntegerPhysical(DataType::kString));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace robustqo

@@ -1,0 +1,169 @@
+#include "tpch/tpch_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "storage/date.h"
+
+namespace robustqo {
+namespace tpch {
+namespace {
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new storage::Catalog();
+    TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(LoadTpch(catalog_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+};
+
+storage::Catalog* TpchGenTest::catalog_ = nullptr;
+
+TEST_F(TpchGenTest, AllTablesPresentWithScaledSizes) {
+  EXPECT_EQ(catalog_->GetTable("region")->num_rows(), 5u);
+  EXPECT_EQ(catalog_->GetTable("nation")->num_rows(), 25u);
+  EXPECT_EQ(catalog_->GetTable("supplier")->num_rows(), 100u);
+  EXPECT_EQ(catalog_->GetTable("customer")->num_rows(), 1500u);
+  EXPECT_EQ(catalog_->GetTable("part")->num_rows(), 2000u);
+  EXPECT_EQ(catalog_->GetTable("orders")->num_rows(), 15000u);
+  // lineitem averages ~4 lines per order.
+  const uint64_t lines = catalog_->GetTable("lineitem")->num_rows();
+  EXPECT_GT(lines, 50000u);
+  EXPECT_LT(lines, 70000u);
+}
+
+TEST_F(TpchGenTest, RejectsDoubleLoadAndBadScale) {
+  EXPECT_EQ(LoadTpch(catalog_, {}).code(), StatusCode::kAlreadyExists);
+  storage::Catalog fresh;
+  TpchConfig bad;
+  bad.scale_factor = 0.0;
+  EXPECT_EQ(LoadTpch(&fresh, bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TpchGenTest, PrimaryKeysAreDense) {
+  const storage::Table* orders = catalog_->GetTable("orders");
+  std::unordered_set<int64_t> keys;
+  for (storage::Rid r = 0; r < orders->num_rows(); ++r) {
+    keys.insert(orders->column("o_orderkey").Int64At(r));
+  }
+  EXPECT_EQ(keys.size(), orders->num_rows());
+}
+
+TEST_F(TpchGenTest, ForeignKeyIntegrity) {
+  const storage::Table* lineitem = catalog_->GetTable("lineitem");
+  const int64_t num_orders =
+      static_cast<int64_t>(catalog_->GetTable("orders")->num_rows());
+  const int64_t num_parts =
+      static_cast<int64_t>(catalog_->GetTable("part")->num_rows());
+  for (storage::Rid r = 0; r < lineitem->num_rows(); r += 97) {
+    const int64_t okey = lineitem->column("l_orderkey").Int64At(r);
+    EXPECT_GE(okey, 1);
+    EXPECT_LE(okey, num_orders);
+    const int64_t pkey = lineitem->column("l_partkey").Int64At(r);
+    EXPECT_GE(pkey, 1);
+    EXPECT_LE(pkey, num_parts);
+  }
+}
+
+TEST_F(TpchGenTest, LineitemClusteredByOrderKey) {
+  const storage::Table* lineitem = catalog_->GetTable("lineitem");
+  int64_t prev = 0;
+  for (storage::Rid r = 0; r < lineitem->num_rows(); ++r) {
+    const int64_t okey = lineitem->column("l_orderkey").Int64At(r);
+    EXPECT_GE(okey, prev);
+    prev = okey;
+  }
+  EXPECT_EQ(catalog_->ClusteringColumnOf("lineitem"), "l_orderkey");
+}
+
+TEST_F(TpchGenTest, DateCorrelationStructure) {
+  // Receipt follows ship by 1-30 days; ship follows order by 1-121.
+  const storage::Table* lineitem = catalog_->GetTable("lineitem");
+  for (storage::Rid r = 0; r < lineitem->num_rows(); r += 131) {
+    const int64_t ship = lineitem->column("l_shipdate").Int64At(r);
+    const int64_t receipt = lineitem->column("l_receiptdate").Int64At(r);
+    EXPECT_GE(receipt - ship, 1);
+    EXPECT_LE(receipt - ship, 30);
+    EXPECT_GE(ship, MinOrderDate() + 1);
+    EXPECT_LE(ship, MaxOrderDate() + 121);
+  }
+}
+
+TEST_F(TpchGenTest, PartCorrelationWindowHolds) {
+  // p_c2 = (p_c1 + U[0, window]) mod 100 with window = 5.
+  const storage::Table* part = catalog_->GetTable("part");
+  for (storage::Rid r = 0; r < part->num_rows(); ++r) {
+    const double c1 = part->column("p_c1").DoubleAt(r);
+    const double c2 = part->column("p_c2").DoubleAt(r);
+    EXPECT_GE(c1, 0.0);
+    EXPECT_LT(c1, 100.0);
+    double delta = c2 - c1;
+    if (delta < 0) delta += 100.0;
+    EXPECT_LE(delta, 5.0 + 1e-9);
+  }
+}
+
+TEST_F(TpchGenTest, MarginalDatesSpreadAcrossYears) {
+  // Order dates cover the 1992-1998 range roughly uniformly.
+  const storage::Table* orders = catalog_->GetTable("orders");
+  std::set<int> years;
+  for (storage::Rid r = 0; r < orders->num_rows(); r += 59) {
+    int y = 0;
+    int m = 0;
+    int d = 0;
+    storage::DaysToDate(orders->column("o_orderdate").Int64At(r), &y, &m, &d);
+    years.insert(y);
+  }
+  EXPECT_GE(years.size(), 7u);
+}
+
+TEST_F(TpchGenTest, PhysicalDesignApplied) {
+  EXPECT_TRUE(catalog_->HasIndex("lineitem", "l_shipdate"));
+  EXPECT_TRUE(catalog_->HasIndex("lineitem", "l_receiptdate"));
+  EXPECT_TRUE(catalog_->HasIndex("lineitem", "l_partkey"));
+  EXPECT_TRUE(catalog_->HasIndex("orders", "o_orderkey"));
+  EXPECT_EQ(catalog_->PrimaryKeyOf("part"), "p_partkey");
+  auto root = catalog_->FindRootTable({"lineitem", "orders", "part"});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), "lineitem");
+}
+
+TEST_F(TpchGenTest, DeterministicAcrossRuns) {
+  storage::Catalog a;
+  storage::Catalog b;
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  ASSERT_TRUE(LoadTpch(&a, config).ok());
+  ASSERT_TRUE(LoadTpch(&b, config).ok());
+  const storage::Table* la = a.GetTable("lineitem");
+  const storage::Table* lb = b.GetTable("lineitem");
+  ASSERT_EQ(la->num_rows(), lb->num_rows());
+  for (storage::Rid r = 0; r < la->num_rows(); r += 101) {
+    EXPECT_EQ(la->column("l_shipdate").Int64At(r),
+              lb->column("l_shipdate").Int64At(r));
+    EXPECT_EQ(la->column("l_partkey").Int64At(r),
+              lb->column("l_partkey").Int64At(r));
+  }
+}
+
+TEST_F(TpchGenTest, NoIndexOption) {
+  storage::Catalog fresh;
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  config.build_indexes = false;
+  ASSERT_TRUE(LoadTpch(&fresh, config).ok());
+  EXPECT_FALSE(fresh.HasIndex("lineitem", "l_shipdate"));
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace robustqo

@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing row").message(), "missing row");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STRNE(StatusCodeName(StatusCode::kNotFound),
+               StatusCodeName(StatusCode::kInternal));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_DEATH({ (void)r.value(); }, "NotFound");
+}
+
+TEST(ResultDeathTest, OkStatusPayloadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ Result<int> r{Status::OK()}; }, "without a value");
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "d";
+  EXPECT_EQ(r.value(), "abcd");
+}
+
+}  // namespace
+}  // namespace robustqo

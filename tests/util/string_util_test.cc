@@ -1,0 +1,47 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace {
+
+TEST(StrPrintfTest, FormatsBasicTypes) {
+  EXPECT_EQ(StrPrintf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(StrPrintfTest, EmptyFormat) { EXPECT_EQ(StrPrintf("%s", ""), ""); }
+
+TEST(StrPrintfTest, LongOutput) {
+  std::string long_arg(5000, 'a');
+  std::string out = StrPrintf("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrJoinTest, SingleAndEmpty) {
+  EXPECT_EQ(StrJoin({"only"}, "-"), "only");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("lineitem", "line"));
+  EXPECT_FALSE(StartsWith("line", "lineitem"));
+  EXPECT_TRUE(EndsWith("lineitem", "item"));
+  EXPECT_FALSE(EndsWith("item", "lineitem"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ContainsTest, Basics) {
+  EXPECT_TRUE(Contains("hello world", "lo wo"));
+  EXPECT_FALSE(Contains("hello", "world"));
+  EXPECT_TRUE(Contains("abc", ""));
+}
+
+}  // namespace
+}  // namespace robustqo

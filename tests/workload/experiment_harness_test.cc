@@ -1,0 +1,120 @@
+#include "workload/experiment_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_gen.h"
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace workload {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static core::Database* db_;
+};
+
+core::Database* HarnessTest::db_ = nullptr;
+
+TEST_F(HarnessTest, PaperSettingsListThresholdsAndBaseline) {
+  auto settings = PaperSettings();
+  ASSERT_EQ(settings.size(), 6u);
+  EXPECT_EQ(settings[0].label, "T=5%");
+  EXPECT_EQ(settings[5].kind, core::EstimatorKind::kHistogram);
+}
+
+TEST_F(HarnessTest, SweepProducesCompleteResult) {
+  SingleTableScenario scenario;
+  QuerySweepExperiment experiment(
+      db_,
+      [&](double p) { return scenario.MakeQuery(p); },
+      [&](double p) { return scenario.TrueSelectivity(*db_->catalog(), p); });
+  SweepConfig config;
+  config.params = {60, 75, 92};
+  config.repetitions = 3;
+  config.settings = {
+      {"T=50%", core::EstimatorKind::kRobustSample, 0.50},
+      {"Histograms", core::EstimatorKind::kHistogram, 0.0},
+  };
+  SweepResult result = experiment.Run(config);
+
+  ASSERT_EQ(result.params.size(), 3u);
+  ASSERT_EQ(result.true_selectivity.size(), 3u);
+  EXPECT_GT(result.true_selectivity[0], result.true_selectivity[2]);
+  ASSERT_EQ(result.mean_by_point.size(), 3u);
+  for (const auto& point : result.mean_by_point) {
+    ASSERT_EQ(point.size(), 2u);
+    for (const auto& [label, seconds] : point) {
+      EXPECT_GT(seconds, 0.0) << label;
+    }
+  }
+  ASSERT_EQ(result.overall.size(), 2u);
+  for (const auto& [label, agg] : result.overall) {
+    EXPECT_GT(agg.mean_seconds, 0.0);
+    EXPECT_GE(agg.std_dev_seconds, 0.0);
+    // p95 is a valid upper-tail statistic: at least the mean minus a
+    // std-dev, never negative.
+    EXPECT_GT(agg.p95_seconds, 0.0);
+    EXPECT_GE(agg.p95_seconds + 1e-12,
+              agg.mean_seconds - agg.std_dev_seconds);
+    EXPECT_FALSE(agg.plan_counts.empty());
+  }
+}
+
+TEST_F(HarnessTest, HistogramSettingIsDeterministicAcrossReps) {
+  SingleTableScenario scenario;
+  QuerySweepExperiment experiment(
+      db_,
+      [&](double p) { return scenario.MakeQuery(p); },
+      [&](double p) { return scenario.TrueSelectivity(*db_->catalog(), p); });
+  SweepConfig config;
+  config.params = {70};
+  config.repetitions = 4;
+  config.settings = {{"Histograms", core::EstimatorKind::kHistogram, 0.0}};
+  SweepResult result = experiment.Run(config);
+  // One deterministic plan, evaluated once.
+  int total_plans = 0;
+  for (const auto& [plan, count] :
+       result.overall.at("Histograms").plan_counts) {
+    total_plans += count;
+  }
+  EXPECT_EQ(total_plans, 1);
+  EXPECT_EQ(result.overall.at("Histograms").std_dev_seconds, 0.0);
+}
+
+TEST_F(HarnessTest, FormatterRendersBothPanels) {
+  SingleTableScenario scenario;
+  QuerySweepExperiment experiment(
+      db_,
+      [&](double p) { return scenario.MakeQuery(p); },
+      [&](double p) { return scenario.TrueSelectivity(*db_->catalog(), p); });
+  SweepConfig config;
+  config.params = {70, 92};
+  config.repetitions = 2;
+  config.settings = {
+      {"T=80%", core::EstimatorKind::kRobustSample, 0.80},
+      {"Histograms", core::EstimatorKind::kHistogram, 0.0},
+  };
+  const std::string text =
+      FormatSweepResult(experiment.Run(config), "Experiment X");
+  EXPECT_NE(text.find("Experiment X"), std::string::npos);
+  EXPECT_NE(text.find("selectivity vs average execution time"),
+            std::string::npos);
+  EXPECT_NE(text.find("performance vs predictability"), std::string::npos);
+  EXPECT_NE(text.find("T=80%"), std::string::npos);
+  EXPECT_NE(text.find("Histograms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace robustqo

@@ -1,0 +1,152 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/analysis.h"
+#include "tpch/tpch_gen.h"
+#include "workload/star_schema.h"
+
+namespace robustqo {
+namespace workload {
+namespace {
+
+class ScenariosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new storage::Catalog();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.01;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+};
+
+storage::Catalog* ScenariosTest::catalog_ = nullptr;
+
+TEST_F(ScenariosTest, Exp1QueryShape) {
+  SingleTableScenario scenario;
+  opt::QuerySpec query = scenario.MakeQuery(60);
+  ASSERT_EQ(query.tables.size(), 1u);
+  EXPECT_EQ(query.tables[0].table, "lineitem");
+  ASSERT_EQ(query.aggregates.size(), 1u);
+  EXPECT_EQ(query.aggregates[0].column, "l_extendedprice");
+  std::set<std::string> cols;
+  query.tables[0].predicate->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"l_shipdate", "l_receiptdate"}));
+}
+
+TEST_F(ScenariosTest, Exp1SelectivityDecreasesWithOffset) {
+  SingleTableScenario scenario;
+  double prev = 1.0;
+  for (double offset : {40.0, 60.0, 75.0, 92.0}) {
+    const double sel = scenario.TrueSelectivity(*catalog_, offset);
+    EXPECT_LE(sel, prev + 1e-6);
+    prev = sel;
+  }
+  // Beyond window + max receipt lag the overlap is empty.
+  EXPECT_EQ(scenario.TrueSelectivity(*catalog_, 95), 0.0);
+}
+
+TEST_F(ScenariosTest, Exp1DefaultParamsCoverPaperRange) {
+  SingleTableScenario scenario;
+  const auto params = SingleTableScenario::DefaultParams();
+  ASSERT_GE(params.size(), 10u);
+  const double max_sel = scenario.TrueSelectivity(*catalog_, params.front());
+  const double min_sel = scenario.TrueSelectivity(*catalog_, params.back());
+  EXPECT_GT(max_sel, 0.004);   // > 0.4%
+  EXPECT_LT(max_sel, 0.012);   // but near the paper's 0.6% scale
+  EXPECT_LT(min_sel, 0.0002);  // tail reaches ~0
+}
+
+TEST_F(ScenariosTest, Exp1MarginalsConstantAcrossOffsets) {
+  // The free parameter must not change what 1-D histograms see: each
+  // marginal predicate keeps constant selectivity.
+  const storage::Table* lineitem = catalog_->GetTable("lineitem");
+  SingleTableScenario scenario;
+  double first_marginal = -1.0;
+  for (double offset : {55.0, 70.0, 92.0}) {
+    opt::QuerySpec query = scenario.MakeQuery(offset);
+    auto conjuncts = expr::SplitConjuncts(query.tables[0].predicate);
+    ASSERT_EQ(conjuncts.size(), 2u);
+    const double receipt_sel =
+        static_cast<double>(expr::CountSatisfying(*conjuncts[1], *lineitem)) /
+        static_cast<double>(lineitem->num_rows());
+    if (first_marginal < 0) {
+      first_marginal = receipt_sel;
+    } else {
+      EXPECT_NEAR(receipt_sel, first_marginal, 0.1 * first_marginal);
+    }
+  }
+}
+
+TEST_F(ScenariosTest, Exp2QueryShape) {
+  ThreeTableJoinScenario scenario;
+  opt::QuerySpec query = scenario.MakeQuery(12.0);
+  ASSERT_EQ(query.tables.size(), 3u);
+  EXPECT_EQ(query.tables[0].table, "lineitem");
+  EXPECT_EQ(query.tables[1].table, "orders");
+  EXPECT_EQ(query.tables[2].table, "part");
+  EXPECT_EQ(query.tables[0].predicate, nullptr);
+  EXPECT_NE(query.tables[2].predicate, nullptr);
+}
+
+TEST_F(ScenariosTest, Exp2SelectivityCollapsesPastCorrelationWindow) {
+  ThreeTableJoinScenario scenario;
+  const double at_zero = scenario.TrueSelectivity(*catalog_, 0.0);
+  const double at_ten = scenario.TrueSelectivity(*catalog_, 10.0);
+  const double at_fifteen = scenario.TrueSelectivity(*catalog_, 15.0);
+  EXPECT_NEAR(at_zero, 0.075, 0.02);
+  EXPECT_NEAR(at_ten, 0.025, 0.012);
+  EXPECT_LT(at_fifteen, 0.002);
+}
+
+TEST_F(ScenariosTest, Exp2MarginalsConstant) {
+  // Both p_c1 and p_c2 bands select ~10% regardless of the offset.
+  const storage::Table* part = catalog_->GetTable("part");
+  ThreeTableJoinScenario scenario;
+  for (double offset : {0.0, 8.0, 14.0}) {
+    opt::QuerySpec query = scenario.MakeQuery(offset);
+    auto conjuncts = expr::SplitConjuncts(query.tables[2].predicate);
+    ASSERT_EQ(conjuncts.size(), 2u);
+    for (const auto& conjunct : conjuncts) {
+      const double sel =
+          static_cast<double>(expr::CountSatisfying(*conjunct, *part)) /
+          static_cast<double>(part->num_rows());
+      EXPECT_NEAR(sel, 0.10, 0.025) << conjunct->ToString();
+    }
+  }
+}
+
+TEST_F(ScenariosTest, Exp3QueryShapeAndSweep) {
+  storage::Catalog star;
+  StarSchemaConfig config;
+  config.fact_rows = 20000;
+  config.dim_rows = 100;
+  ASSERT_TRUE(LoadStarSchema(&star, config).ok());
+  StarJoinScenario scenario;
+  opt::QuerySpec query = scenario.MakeQuery(2);
+  ASSERT_EQ(query.tables.size(), 4u);
+  EXPECT_EQ(query.tables[0].table, "fact");
+  EXPECT_EQ(query.aggregates.size(), 2u);
+  // Selectivity decays with offset.
+  const double s0 = scenario.TrueSelectivity(star, 0);
+  const double s3 = scenario.TrueSelectivity(star, 3);
+  const double s9 = scenario.TrueSelectivity(star, 9);
+  EXPECT_GT(s0, s3);
+  EXPECT_GT(s3, s9);
+  EXPECT_EQ(StarJoinScenario::DefaultParams().size(), 10u);
+}
+
+TEST_F(ScenariosTest, DefaultParamListsNonEmpty) {
+  EXPECT_FALSE(SingleTableScenario::DefaultParams().empty());
+  EXPECT_FALSE(ThreeTableJoinScenario::DefaultParams().empty());
+  EXPECT_FALSE(StarJoinScenario::DefaultParams().empty());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace robustqo

@@ -1,0 +1,158 @@
+#include "workload/star_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace workload {
+namespace {
+
+class StarSchemaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new storage::Catalog();
+    StarSchemaConfig config;
+    config.fact_rows = 50000;
+    config.dim_rows = 1000;
+    ASSERT_TRUE(LoadStarSchema(catalog_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static storage::Catalog* catalog_;
+};
+
+storage::Catalog* StarSchemaTest::catalog_ = nullptr;
+
+TEST_F(StarSchemaTest, TablesAndSizes) {
+  EXPECT_EQ(catalog_->GetTable("fact")->num_rows(), 50000u);
+  for (const char* dim : {"dim1", "dim2", "dim3"}) {
+    EXPECT_EQ(catalog_->GetTable(dim)->num_rows(), 1000u);
+  }
+}
+
+TEST_F(StarSchemaTest, RejectsDoubleLoad) {
+  EXPECT_EQ(LoadStarSchema(catalog_, {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StarSchemaTest, KeysAndIndexes) {
+  EXPECT_EQ(catalog_->PrimaryKeyOf("fact"), "f_id");
+  EXPECT_EQ(catalog_->PrimaryKeyOf("dim2"), "d2_id");
+  for (const char* fk : {"f_d1", "f_d2", "f_d3"}) {
+    EXPECT_TRUE(catalog_->HasIndex("fact", fk));
+  }
+  auto root =
+      catalog_->FindRootTable({"fact", "dim1", "dim2", "dim3"});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), "fact");
+}
+
+TEST_F(StarSchemaTest, DimFiltersSelectExactlyOneGroup) {
+  const storage::Table* dim = catalog_->GetTable("dim1");
+  uint64_t count = 0;
+  for (storage::Rid r = 0; r < dim->num_rows(); ++r) {
+    if (dim->column("d1_attr").Int64At(r) == 4) ++count;
+  }
+  EXPECT_EQ(count, 100u);  // exactly 10% of 1000
+}
+
+TEST_F(StarSchemaTest, FkValuesLandInDeclaredGroups) {
+  // Every f_d1 value must reference a dim1 row; groups are contiguous id
+  // blocks of 100.
+  const storage::Table* fact = catalog_->GetTable("fact");
+  for (storage::Rid r = 0; r < fact->num_rows(); r += 173) {
+    const int64_t id = fact->column("f_d1").Int64At(r);
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 1000);
+  }
+}
+
+TEST_F(StarSchemaTest, ExpectedJoinFractionDecaysGeometrically) {
+  StarSchemaConfig config;
+  double prev = 1.0;
+  for (uint64_t offset = 0; offset < config.groups; ++offset) {
+    const double f = ExpectedJoinFraction(config, offset);
+    EXPECT_LT(f, prev);
+    EXPECT_GT(f, 0.0);
+    if (offset > 0) {
+      EXPECT_NEAR(f, prev * config.offset_decay, 1e-12);
+    }
+    prev = f;
+  }
+  // Offset 0 with decay 0.5 and 10 groups: ~5% of fact rows join.
+  EXPECT_NEAR(ExpectedJoinFraction(config, 0), 0.05, 0.001);
+}
+
+TEST_F(StarSchemaTest, MeasuredJoinFractionTracksExpectation) {
+  StarSchemaConfig config;  // defaults used by the loaded schema
+  StarJoinScenario scenario;
+  for (uint64_t offset : {0u, 1u, 3u}) {
+    const double expected = ExpectedJoinFraction(config, offset);
+    const double measured = scenario.TrueSelectivity(
+        *catalog_, static_cast<double>(offset));
+    EXPECT_NEAR(measured, expected, expected * 0.25 + 0.0005)
+        << "offset=" << offset;
+  }
+}
+
+TEST_F(StarSchemaTest, MarginalFkDistributionUniformAcrossGroups) {
+  // Even though offsets correlate dims 2/3 with dim 1, each FK's marginal
+  // hits every group equally — the property that fools AVI.
+  const storage::Table* fact = catalog_->GetTable("fact");
+  std::vector<uint64_t> counts(10, 0);
+  for (storage::Rid r = 0; r < fact->num_rows(); ++r) {
+    const int64_t id = fact->column("f_d2").Int64At(r);
+    ++counts[static_cast<size_t>((id - 1) / 100)];
+  }
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 5000.0, 350.0);
+  }
+}
+
+TEST(StarSchemaConfigTest, GeneralizedDimensionCount) {
+  for (uint64_t dims : {2u, 4u, 5u}) {
+    storage::Catalog catalog;
+    StarSchemaConfig config;
+    config.fact_rows = 5000;
+    config.dim_rows = 100;
+    config.num_dims = dims;
+    ASSERT_TRUE(LoadStarSchema(&catalog, config).ok()) << dims;
+    const storage::Table* fact = catalog.GetTable("fact");
+    ASSERT_NE(fact, nullptr);
+    EXPECT_EQ(fact->schema().num_columns(), dims + 3);  // id + FKs + 2 measures
+    for (uint64_t d = 1; d <= dims; ++d) {
+      const std::string dim = "dim" + std::to_string(d);
+      EXPECT_NE(catalog.GetTable(dim), nullptr);
+      EXPECT_TRUE(catalog.HasIndex("fact", "f_d" + std::to_string(d)));
+    }
+    std::set<std::string> tables{"fact"};
+    for (uint64_t d = 1; d <= dims; ++d) {
+      tables.insert("dim" + std::to_string(d));
+    }
+    auto root = catalog.FindRootTable(tables);
+    ASSERT_TRUE(root.ok());
+    EXPECT_EQ(root.value(), "fact");
+  }
+}
+
+TEST(StarSchemaConfigTest, ZeroDimsRejected) {
+  storage::Catalog catalog;
+  StarSchemaConfig config;
+  config.num_dims = 0;
+  EXPECT_EQ(LoadStarSchema(&catalog, config).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StarSchemaTest, DimRowsMustDivideIntoGroups) {
+  storage::Catalog fresh;
+  StarSchemaConfig bad;
+  bad.dim_rows = 1001;  // not divisible by 10 groups
+  EXPECT_DEATH(
+      { (void)LoadStarSchema(&fresh, bad); }, "multiple of groups");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace robustqo
