@@ -6,6 +6,12 @@
 //   .dot <sql>                      Graphviz digraph of the chosen plan
 //   .tables                         list tables
 //   .quit                           exit
+// Statements:
+//   EXPLAIN ANALYZE <sql>           plan + execute; per-operator estimated
+//                                   vs. actual rows, q-error, costs, and the
+//                                   estimator's per-predicate evidence
+//   EXPLAIN ANALYZE JSON <sql>      same report as deterministic JSON
+//   EXPLAIN ANALYZE DOT <sql>       same report as a Graphviz digraph
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
@@ -14,6 +20,7 @@
 #include <string>
 
 #include "core/database.h"
+#include "core/explain_analyze.h"
 #include "core/report.h"
 #include "exec/plan_dot.h"
 #include "tpch/tpch_gen.h"
@@ -107,6 +114,40 @@ int main() {
         continue;
       }
       std::printf("%s", core::FormatThresholdReport(report.value()).c_str());
+      continue;
+    }
+    if (StartsWith(line, "EXPLAIN ANALYZE ") ||
+        StartsWith(line, "explain analyze ")) {
+      std::string rest = line.substr(16);
+      enum { kText, kJson, kDot } format = kText;
+      if (StartsWith(rest, "JSON ") || StartsWith(rest, "json ")) {
+        format = kJson;
+        rest = rest.substr(5);
+      } else if (StartsWith(rest, "DOT ") || StartsWith(rest, "dot ")) {
+        format = kDot;
+        rest = rest.substr(4);
+      }
+      auto query = db.ParseSql(rest);
+      if (!query.ok()) {
+        std::printf("error: %s\n", query.status().ToString().c_str());
+        continue;
+      }
+      auto analyzed = core::ExplainAnalyze(&db, query.value(), kind);
+      if (!analyzed.ok()) {
+        std::printf("error: %s\n", analyzed.status().ToString().c_str());
+        continue;
+      }
+      switch (format) {
+        case kText:
+          std::printf("%s", analyzed.value().ToText().c_str());
+          break;
+        case kJson:
+          std::printf("%s\n", analyzed.value().ToJson().c_str());
+          break;
+        case kDot:
+          std::printf("%s", analyzed.value().ToDot().c_str());
+          break;
+      }
       continue;
     }
     if (StartsWith(line, ".dot ")) {

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include "obs/obs.h"
 #include "sql/parser.h"
 #include "statistics/persistence.h"
 #include "util/macros.h"
@@ -78,14 +79,32 @@ Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
       break;
   }
   last_used_ = optimizer;
+#if ROBUSTQO_OBS_ENABLED
+  // Database-level sinks act as defaults; explicit per-call sinks win.
+  opt::OptimizerOptions effective = options;
+  if (effective.tracer == nullptr) effective.tracer = tracer_;
+  if (effective.metrics == nullptr) effective.metrics = metrics_;
+  RQO_IF_OBS(effective.metrics) {
+    effective.metrics->GetCounter("db.queries_planned")->Increment();
+  }
+  return optimizer->Optimize(query, effective);
+#else
   return optimizer->Optimize(query, options);
+#endif
 }
 
 ExecutionResult Database::ExecutePlan(const opt::PlannedQuery& plan) {
   exec::ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.cost_model = cost_model_;
-  storage::Table rows = plan.root->Execute(&ctx);
+#if ROBUSTQO_OBS_ENABLED
+  ctx.tracer = tracer_;
+  ctx.metrics = metrics_;
+  RQO_IF_OBS(metrics_) {
+    metrics_->GetCounter("db.queries_executed")->Increment();
+  }
+#endif
+  storage::Table rows = plan.root->Run(&ctx);
   const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
                                 ? ctx.aggregate_input_rows
                                 : rows.num_rows();

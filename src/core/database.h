@@ -12,6 +12,8 @@
 #include <string>
 
 #include "exec/operator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "statistics/histogram_estimator.h"
 #include "statistics/robust_sample_estimator.h"
@@ -105,6 +107,19 @@ class Database {
   /// Metrics from the most recent Plan()/Execute() optimization.
   const opt::Optimizer::Metrics& last_optimizer_metrics() const;
 
+  // ---- Observability sinks (borrowed, nullable) ----
+
+  /// Attaches a tracer: every subsequent Plan() records optimizer and
+  /// estimator decisions; every ExecutePlan() records per-operator spans.
+  /// Pass nullptr to detach. The tracer must outlive its attachment.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry for query/estimate/executor counters.
+  /// Pass nullptr to detach. The registry must outlive its attachment.
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   // ---- Execution feedback (paper Section 3.3's workload knowledge) ----
 
   /// When enabled, every Execute() records the query's true SPJ
@@ -140,6 +155,8 @@ class Database {
   std::unique_ptr<opt::Optimizer> histogram_optimizer_;
   std::unique_ptr<opt::Optimizer> robust_optimizer_;
   opt::Optimizer* last_used_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   bool feedback_enabled_ = false;
   stats::WorkloadPriorBuilder feedback_;
 };

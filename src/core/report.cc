@@ -1,5 +1,7 @@
 #include "core/report.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace robustqo {
@@ -36,6 +38,22 @@ std::string FormatThresholdReport(
                      flipped ? "   <-- preference flips" : "");
   }
   return out;
+}
+
+double QError(double estimated, double actual) {
+  const double e = std::max(estimated, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+QErrorSummary SummarizeQErrors(std::vector<double> q_errors) {
+  QErrorSummary summary;
+  if (q_errors.empty()) return summary;
+  std::sort(q_errors.begin(), q_errors.end());
+  summary.count = q_errors.size();
+  summary.max_q = q_errors.back();
+  summary.median_q = q_errors[(q_errors.size() - 1) / 2];
+  return summary;
 }
 
 }  // namespace core

@@ -38,6 +38,25 @@ Result<std::vector<ThresholdPreference>> ThresholdPreferenceReport(
 std::string FormatThresholdReport(
     const std::vector<ThresholdPreference>& report);
 
+// ---- Cardinality-estimation accuracy (q-error) ----
+
+/// The q-error of an estimate against the true value: the multiplicative
+/// factor by which the estimate is off, symmetric in direction and always
+/// >= 1. Both sides are floored at one row so empty results don't blow up
+/// the ratio.
+double QError(double estimated, double actual);
+
+/// Distribution summary of per-query q-errors.
+struct QErrorSummary {
+  size_t count = 0;
+  double max_q = 0.0;
+  double median_q = 0.0;
+};
+
+/// Max and median of `q_errors` (empty input -> zeroed summary). Median of
+/// an even count is the lower-middle element, keeping it an observed value.
+QErrorSummary SummarizeQErrors(std::vector<double> q_errors);
+
 }  // namespace core
 }  // namespace robustqo
 

@@ -132,7 +132,7 @@ FilterOp::FilterOp(OperatorPtr child, expr::ExprPtr predicate)
 }
 
 Table FilterOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Execute(ctx);
+  const Table input = child_->Run(ctx);
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
   Table out("filter", input.schema());
   std::vector<size_t> all_cols(input.schema().num_columns());
@@ -160,7 +160,7 @@ LimitOp::LimitOp(OperatorPtr child, uint64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
 Table LimitOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Execute(ctx);
+  const Table input = child_->Run(ctx);
   Table out("limit", input.schema());
   std::vector<size_t> all_cols(input.schema().num_columns());
   for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
@@ -186,7 +186,7 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<std::string> columns)
     : child_(std::move(child)), columns_(std::move(columns)) {}
 
 Table ProjectOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Execute(ctx);
+  const Table input = child_->Run(ctx);
   Table out("project", ProjectSchema(input.schema(), columns_));
   const std::vector<size_t> col_idx = ResolveColumns(input.schema(), columns_);
   for (Rid rid = 0; rid < input.num_rows(); ++rid) {
@@ -213,7 +213,7 @@ ScalarAggregateOp::ScalarAggregateOp(OperatorPtr child,
 }
 
 Table ScalarAggregateOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Execute(ctx);
+  const Table input = child_->Run(ctx);
   ctx->aggregate_input_rows = input.num_rows();
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
   const std::vector<size_t> agg_cols = AggInputColumns(input.schema(), aggs_);
@@ -252,7 +252,7 @@ GroupByAggregateOp::GroupByAggregateOp(OperatorPtr child,
 }
 
 Table GroupByAggregateOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Execute(ctx);
+  const Table input = child_->Run(ctx);
   ctx->aggregate_input_rows = input.num_rows();
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
   const std::vector<size_t> group_idx =

@@ -85,8 +85,8 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
       output_columns_(std::move(output_columns)) {}
 
 Table HashJoinOp::Execute(ExecContext* ctx) const {
-  const Table build_rows = build_->Execute(ctx);
-  const Table probe_rows = probe_->Execute(ctx);
+  const Table build_rows = build_->Run(ctx);
+  const Table probe_rows = probe_->Run(ctx);
   const size_t build_key_idx = MustResolve(build_rows.schema(), build_key_);
   const size_t probe_key_idx = MustResolve(probe_rows.schema(), probe_key_);
 
@@ -134,8 +134,8 @@ MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
       output_columns_(std::move(output_columns)) {}
 
 Table MergeJoinOp::Execute(ExecContext* ctx) const {
-  const Table left_rows = left_->Execute(ctx);
-  const Table right_rows = right_->Execute(ctx);
+  const Table left_rows = left_->Run(ctx);
+  const Table right_rows = right_->Run(ctx);
   const size_t lk = MustResolve(left_rows.schema(), left_key_);
   const size_t rk = MustResolve(right_rows.schema(), right_key_);
 
@@ -202,7 +202,7 @@ IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
       output_columns_(std::move(output_columns)) {}
 
 Table IndexNestedLoopJoinOp::Execute(ExecContext* ctx) const {
-  const Table outer_rows = outer_->Execute(ctx);
+  const Table outer_rows = outer_->Run(ctx);
   const Table* inner = ctx->catalog->GetTable(inner_table_);
   RQO_CHECK_MSG(inner != nullptr, ("no table " + inner_table_).c_str());
   const storage::SortedIndex* index =

@@ -5,6 +5,30 @@
 namespace robustqo {
 namespace exec {
 
+storage::Table PhysicalOperator::Run(ExecContext* ctx) const {
+#if ROBUSTQO_OBS_ENABLED
+  if (ctx->tracer != nullptr || ctx->metrics != nullptr) {
+    const double cost_before = ctx->meter.total_seconds();
+    uint64_t span = 0;
+    if (ctx->tracer != nullptr) {
+      span = ctx->tracer->BeginSpan("exec", Describe());
+    }
+    storage::Table out = Execute(ctx);
+    const double cost = ctx->meter.total_seconds() - cost_before;
+    if (ctx->tracer != nullptr) {
+      ctx->tracer->EndSpan(span, {{"rows_out", obs::AttrU64(out.num_rows())},
+                                  {"cost_seconds", obs::AttrF(cost)}});
+    }
+    if (ctx->metrics != nullptr) {
+      ctx->metrics->GetCounter("exec.operators_run")->Increment();
+      ctx->metrics->GetCounter("exec.rows_out")->Increment(out.num_rows());
+    }
+    return out;
+  }
+#endif
+  return Execute(ctx);
+}
+
 std::string PhysicalOperator::TreeString(int indent) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += Describe();

@@ -14,6 +14,8 @@
 
 #include "exec/cost_model.h"
 #include "expr/expression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
@@ -30,6 +32,11 @@ struct ExecContext {
   /// size), recorded by the aggregate operators; used for execution
   /// feedback. UINT64_MAX until an aggregate runs.
   uint64_t aggregate_input_rows = UINT64_MAX;
+  /// Observability sinks (borrowed, nullable). When `tracer` is set, Run()
+  /// emits one "exec" span per operator with its actual output rows and
+  /// simulated cost — the raw material of EXPLAIN ANALYZE.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Base class for physical operators.
@@ -41,6 +48,13 @@ class PhysicalOperator {
   /// result and charging `ctx->meter`.
   virtual storage::Table Execute(ExecContext* ctx) const = 0;
 
+  /// Instrumented entry point: Execute() wrapped in an "exec" trace span
+  /// recording actual output rows and the simulated cost charged by the
+  /// subtree. All internal operator-to-child calls (and Database) go
+  /// through Run so the span tree mirrors the plan tree; with tracing
+  /// compiled out or no sink attached this is exactly Execute().
+  storage::Table Run(ExecContext* ctx) const;
+
   /// One-line description ("HashJoin(l_orderkey = o_orderkey)").
   virtual std::string Describe() const = 0;
 
@@ -49,6 +63,17 @@ class PhysicalOperator {
 
   /// Multi-line indented plan tree.
   std::string TreeString(int indent = 0) const;
+
+  /// Planner annotation: the optimizer's estimated output rows for this
+  /// operator, set once after plan construction (-1 = not annotated).
+  /// EXPLAIN ANALYZE compares it against the traced actual rows.
+  double planner_estimated_rows() const { return planner_estimated_rows_; }
+  void set_planner_estimated_rows(double rows) {
+    planner_estimated_rows_ = rows;
+  }
+
+ private:
+  double planner_estimated_rows_ = -1.0;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

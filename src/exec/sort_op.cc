@@ -12,7 +12,7 @@ SortOp::SortOp(OperatorPtr child, std::string column)
     : child_(std::move(child)), column_(std::move(column)) {}
 
 storage::Table SortOp::Execute(ExecContext* ctx) const {
-  const storage::Table input = child_->Execute(ctx);
+  const storage::Table input = child_->Run(ctx);
   const uint64_t n = input.num_rows();
   ctx->meter.ChargeSortWork(ctx->cost_model, n);
 

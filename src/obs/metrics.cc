@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace obs {
+
+namespace {
+
+// Fixed-precision double used in JSON so snapshots are stable and short.
+std::string JsonNumber(double value) { return StrPrintf("%.9g", value); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  RQO_CHECK_MSG(!upper_bounds_.empty(), "histogram needs >= 1 bucket bound");
+  RQO_CHECK_MSG(
+      std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) &&
+          std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+              upper_bounds_.end(),
+      "histogram bounds must be strictly increasing");
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  counts_[static_cast<size_t>(it - upper_bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrPrintf("%s\"%s\":%llu", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrPrintf("%s\"%s\":%s", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     JsonNumber(g->value()).c_str());
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::vector<std::string> bounds;
+    for (double b : h->upper_bounds()) bounds.push_back(JsonNumber(b));
+    std::vector<std::string> counts;
+    for (uint64_t c : h->bucket_counts()) {
+      counts.push_back(StrPrintf("%llu", static_cast<unsigned long long>(c)));
+    }
+    out += StrPrintf(
+        "%s\"%s\":{\"count\":%llu,\"sum\":%s,\"bounds\":[%s],\"counts\":[%s]}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h->count()),
+        JsonNumber(h->sum()).c_str(), StrJoin(bounds, ",").c_str(),
+        StrJoin(counts, ",").c_str());
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return &registry;
+}
+
+}  // namespace obs
+}  // namespace robustqo

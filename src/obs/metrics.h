@@ -1,0 +1,113 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Metrics registry: named counters, gauges and fixed-bucket histograms,
+// snapshot-able to deterministic JSON. Two scopes are conventional:
+// MetricsRegistry::Global() for process-wide totals, and short-lived
+// per-query registries (EXPLAIN ANALYZE creates one per statement).
+//
+// Hot-path discipline: look the metric pointer up ONCE per scope (query,
+// Optimize() run, ...) and increment through the pointer — Get* does a map
+// lookup; Increment/Set/Observe are a handful of instructions. Instances
+// are not thread-safe; give each worker its own registry and merge
+// snapshots (the planned sharding model) rather than sharing one.
+
+#ifndef ROBUSTQO_OBS_METRICS_H_
+#define ROBUSTQO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace robustqo {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: observations are counted into the first bucket
+/// whose upper bound is >= the value; one implicit overflow bucket catches
+/// the rest. Bounds are fixed at registration — no allocation on Observe.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Inclusive bucket upper bounds (the overflow bucket is implicit).
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (last=overflow).
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Name -> metric registry. Metric pointers are stable for the registry's
+/// lifetime (safe to cache across calls).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, registering it on first use. A histogram's
+  /// bounds are taken from the first registration; later calls ignore
+  /// `upper_bounds`.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds);
+
+  /// Zeroes every metric, keeping registrations (and cached pointers)
+  /// valid.
+  void Reset();
+
+  /// Deterministic JSON snapshot: metrics sorted by name, values formatted
+  /// with fixed precision. Byte-identical across runs that recorded the
+  /// same values.
+  std::string ToJson() const;
+
+  /// Process-wide registry for system totals.
+  static MetricsRegistry* Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_OBS_METRICS_H_

@@ -1,0 +1,30 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Compile-time gate for the observability layer. Instrumentation call
+// sites are wrapped in RQO_IF_OBS(sink) so that a -DROBUSTQO_OBS=OFF build
+// (ROBUSTQO_OBS_ENABLED=0) compiles them into an `if constexpr (false)`
+// branch: the code still type-checks in both configurations, but the
+// disabled build emits no instructions for it — bench numbers stay honest.
+//
+// The obs classes themselves (MetricsRegistry, Tracer) are NOT gated; they
+// always work when called directly. Only the hot-path hooks inside the
+// optimizer, estimators and executor disappear in a disabled build.
+
+#ifndef ROBUSTQO_OBS_OBS_H_
+#define ROBUSTQO_OBS_OBS_H_
+
+#ifndef ROBUSTQO_OBS_ENABLED
+#define ROBUSTQO_OBS_ENABLED 1
+#endif
+
+/// Guards an instrumentation block on a nullable sink pointer. Enabled
+/// build: `if (sink != nullptr) { ... }` — the runtime opt-out. Disabled
+/// build: `if constexpr (false) { ... }` — the block is type-checked but
+/// produces no code, so attribute formatting etc. is never evaluated.
+#if ROBUSTQO_OBS_ENABLED
+#define RQO_IF_OBS(sink) if ((sink) != nullptr)
+#else
+#define RQO_IF_OBS(sink) if constexpr (false)
+#endif
+
+#endif  // ROBUSTQO_OBS_OBS_H_

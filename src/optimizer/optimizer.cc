@@ -10,6 +10,7 @@
 #include "exec/scan_ops.h"
 #include "exec/sort_op.h"
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "optimizer/run_state.h"
 #include "statistics/magic.h"
 #include "statistics/robust_sample_estimator.h"
@@ -83,10 +84,14 @@ double Optimizer::EstimateRowsWithPredicate(RunState* run, uint32_t subset,
                                             const expr::ExprPtr& predicate,
                                             const std::string& cache_tag) {
   ++metrics_.estimator_calls;
+  RQO_IF_OBS(run->metric_estimates) run->metric_estimates->Increment();
   const std::string key = SubsetKey(subset) + "|" + cache_tag;
   if (run->options.enable_estimate_memo) {
     auto it = run->estimate_cache.find(key);
-    if (it != run->estimate_cache.end()) return it->second;
+    if (it != run->estimate_cache.end()) {
+      RQO_IF_OBS(run->metric_cache_hits) run->metric_cache_hits->Increment();
+      return it->second;
+    }
   }
   ++metrics_.estimator_misses;
 
@@ -112,6 +117,16 @@ double Optimizer::EstimateRowsWithPredicate(RunState* run, uint32_t subset,
       }
     }
     value = base * sel;
+  }
+  RQO_IF_OBS(run->options.tracer) {
+    std::vector<std::string> names(request.tables.begin(),
+                                   request.tables.end());
+    run->options.tracer->Event(
+        "optimizer", "estimate",
+        {{"tables", StrJoin(names, ",")},
+         {"tag", cache_tag},
+         {"fallback", rows.ok() ? "false" : "true"},
+         {"est_rows", obs::AttrF(value)}});
   }
   run->estimate_cache.emplace(key, value);
   return value;
@@ -145,8 +160,10 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
     const std::string cluster = catalog_->ClusteringColumnOf(name);
     cand.sort_order = in_projection(cluster) ? cluster : "";
     cand.label = "Seq(" + name + ")";
-    cand.build = [name, predicate, columns]() -> OperatorPtr {
-      return std::make_unique<exec::SeqScanOp>(name, predicate, columns);
+    cand.build = [name, predicate, columns, est_rows]() -> OperatorPtr {
+      auto op = std::make_unique<exec::SeqScanOp>(name, predicate, columns);
+      op->set_planner_estimated_rows(est_rows);
+      return op;
     };
     out->push_back(std::move(cand));
     ++metrics_.candidates;
@@ -170,9 +187,12 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
     cand.sort_order = in_projection(s.range.column) ? s.range.column : "";
     cand.label = "Ix(" + name + "." + s.range.column + ")";
     exec::IndexRange range{s.range.column, s.range.lo, s.range.hi};
-    cand.build = [name, range, predicate, columns]() -> OperatorPtr {
-      return std::make_unique<exec::IndexRangeScanOp>(name, range, predicate,
-                                                      columns);
+    cand.build = [name, range, predicate, columns,
+                  est_rows]() -> OperatorPtr {
+      auto op = std::make_unique<exec::IndexRangeScanOp>(name, range,
+                                                         predicate, columns);
+      op->set_planner_estimated_rows(est_rows);
+      return op;
     };
     out->push_back(std::move(cand));
     ++metrics_.candidates;
@@ -216,9 +236,12 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
       cand.sort_order = "";
       cand.label =
           "IxSect(" + name + ":" + StrJoin(range_cols, "&") + ")";
-      cand.build = [name, ranges, predicate, columns]() -> OperatorPtr {
-        return std::make_unique<exec::IndexIntersectionOp>(
+      cand.build = [name, ranges, predicate, columns,
+                    est_rows]() -> OperatorPtr {
+        auto op = std::make_unique<exec::IndexIntersectionOp>(
             name, ranges, predicate, columns);
+        op->set_planner_estimated_rows(est_rows);
+        return op;
       };
       out->push_back(std::move(cand));
       ++metrics_.candidates;
@@ -256,8 +279,11 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
         cand.label = "HJ(" + l.label + "," + r.label + ")";
         auto lb = l.build;
         auto rb = r.build;
-        cand.build = [lb, rb, key1, key2]() -> OperatorPtr {
-          return std::make_unique<exec::HashJoinOp>(lb(), rb(), key1, key2);
+        cand.build = [lb, rb, key1, key2, out_rows]() -> OperatorPtr {
+          auto op =
+              std::make_unique<exec::HashJoinOp>(lb(), rb(), key1, key2);
+          op->set_planner_estimated_rows(out_rows);
+          return op;
         };
         out->push_back(std::move(cand));
         ++metrics_.candidates;
@@ -271,8 +297,11 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
         cand.label = "HJ(" + r.label + "," + l.label + ")";
         auto lb = l.build;
         auto rb = r.build;
-        cand.build = [lb, rb, key1, key2]() -> OperatorPtr {
-          return std::make_unique<exec::HashJoinOp>(rb(), lb(), key2, key1);
+        cand.build = [lb, rb, key1, key2, out_rows]() -> OperatorPtr {
+          auto op =
+              std::make_unique<exec::HashJoinOp>(rb(), lb(), key2, key1);
+          op->set_planner_estimated_rows(out_rows);
+          return op;
         };
         out->push_back(std::move(cand));
         ++metrics_.candidates;
@@ -303,20 +332,26 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
           cand.label = "MJ(" + l_label + "," + r_label + ")";
           auto lb = l.build;
           auto rb = r.build;
-          cand.build = [lb, rb, key1, key2, l_sorted,
-                        r_sorted]() -> OperatorPtr {
+          const double l_rows = l.rows;
+          const double r_rows = r.rows;
+          cand.build = [lb, rb, key1, key2, l_sorted, r_sorted, out_rows,
+                        l_rows, r_rows]() -> OperatorPtr {
             OperatorPtr left_op = lb();
             OperatorPtr right_op = rb();
             if (!l_sorted) {
               left_op =
                   std::make_unique<exec::SortOp>(std::move(left_op), key1);
+              left_op->set_planner_estimated_rows(l_rows);
             }
             if (!r_sorted) {
               right_op =
                   std::make_unique<exec::SortOp>(std::move(right_op), key2);
+              right_op->set_planner_estimated_rows(r_rows);
             }
-            return std::make_unique<exec::MergeJoinOp>(
+            auto op = std::make_unique<exec::MergeJoinOp>(
                 std::move(left_op), std::move(right_op), key1, key2);
+            op->set_planner_estimated_rows(out_rows);
+            return op;
           };
           out->push_back(std::move(cand));
           ++metrics_.candidates;
@@ -369,10 +404,12 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
         auto ob = outer.build;
         const std::string outer_key = o.outer_key;
         const std::string inner_key = o.inner_key;
-        cand.build = [ob, outer_key, inner_name, inner_key,
-                      inner_pred]() -> OperatorPtr {
-          return std::make_unique<exec::IndexNestedLoopJoinOp>(
+        cand.build = [ob, outer_key, inner_name, inner_key, inner_pred,
+                      out_rows]() -> OperatorPtr {
+          auto op = std::make_unique<exec::IndexNestedLoopJoinOp>(
               ob(), outer_key, inner_name, inner_key, inner_pred);
+          op->set_planner_estimated_rows(out_rows);
+          return op;
         };
         out->push_back(std::move(cand));
         ++metrics_.candidates;
@@ -420,6 +457,27 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
   RunState run;
   run.query = &query;
   run.options = options;
+#if ROBUSTQO_OBS_ENABLED
+  if (options.metrics != nullptr) {
+    run.metric_estimates =
+        options.metrics->GetCounter("optimizer.estimate_calls");
+    run.metric_cache_hits =
+        options.metrics->GetCounter("optimizer.estimate_cache_hits");
+    run.metric_candidates = options.metrics->GetCounter("optimizer.candidates");
+  }
+  // Scope the estimator's trace sink to this run so estimation events nest
+  // under the optimize span (restored on every return path).
+  struct EstimatorTracerScope {
+    stats::CardinalityEstimator* estimator;
+    obs::Tracer* saved;
+    ~EstimatorTracerScope() { estimator->set_tracer(saved); }
+  } estimator_tracer_scope{estimator_, estimator_->tracer()};
+  if (options.tracer != nullptr) estimator_->set_tracer(options.tracer);
+  obs::SpanGuard optimize_span(
+      options.tracer, "optimizer", "optimize",
+      {{"tables", obs::AttrU64(query.tables.size())},
+       {"estimator", estimator_->name()}});
+#endif
   const size_t n = query.tables.size();
   for (const TableRef& ref : query.tables) {
     const storage::Table* table = catalog_->GetTable(ref.table);
@@ -467,7 +525,18 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
   for (size_t i = 0; i < n; ++i) {
     std::vector<PlanCandidate> cands;
     AddAccessPaths(&run, i, &cands);
+    const size_t considered = cands.size();
     PruneCandidates(&cands);
+    RQO_IF_OBS(run.options.tracer) {
+      run.options.tracer->Event(
+          "optimizer", "prune",
+          {{"tables", run.tables[i]->name()},
+           {"considered", obs::AttrU64(considered)},
+           {"kept", obs::AttrU64(cands.size())},
+           {"best", cands.empty() ? "" : cands.front().label},
+           {"best_cost",
+            obs::AttrF(cands.empty() ? 0.0 : cands.front().cost)}});
+    }
     plans[1u << i] = std::move(cands);
   }
   const uint32_t full = (n >= 32) ? 0xffffffffu : ((1u << n) - 1);
@@ -488,7 +557,20 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
       AddStarCandidates(&run, &cands);
     }
     if (!cands.empty()) {
+      const size_t considered = cands.size();
       PruneCandidates(&cands);
+      RQO_IF_OBS(run.options.tracer) {
+        const std::set<std::string> subset_names = run.SubsetNames(subset);
+        std::vector<std::string> names(subset_names.begin(),
+                                       subset_names.end());
+        run.options.tracer->Event(
+            "optimizer", "prune",
+            {{"tables", StrJoin(names, ",")},
+             {"considered", obs::AttrU64(considered)},
+             {"kept", obs::AttrU64(cands.size())},
+             {"best", cands.front().label},
+             {"best_cost", obs::AttrF(cands.front().cost)}});
+      }
       plans[subset] = std::move(cands);
     }
   }
@@ -503,6 +585,7 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
   // Aggregation / final projection on top.
   PlannedQuery planned;
   planned.estimated_rows = best.rows;
+  planned.estimated_spj_rows = best.rows;
   planned.estimated_cost = best.cost;
   OperatorPtr root = best.build();
   std::string label = best.label;
@@ -513,6 +596,7 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
       planned.estimated_rows = 1.0;
       root = std::make_unique<exec::ScalarAggregateOp>(std::move(root),
                                                        query.aggregates);
+      root->set_planner_estimated_rows(planned.estimated_rows);
     } else {
       // GROUP BY output size: product of per-column distinct-value
       // estimates (Section 3.5 extension), capped by the input rows;
@@ -541,6 +625,7 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
       planned.estimated_rows = groups;
       root = std::make_unique<exec::GroupByAggregateOp>(
           std::move(root), query.group_by, query.aggregates);
+      root->set_planner_estimated_rows(planned.estimated_rows);
     }
     label = "Agg(" + label + ")";
   } else if (!query.select_columns.empty()) {
@@ -548,12 +633,14 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
         cost_model_.output_tuple_cost * planned.estimated_rows;
     root = std::make_unique<exec::ProjectOp>(std::move(root),
                                              query.select_columns);
+    root->set_planner_estimated_rows(planned.estimated_rows);
   }
   // Final ORDER BY / LIMIT decoration.
   if (!query.order_by.empty()) {
     planned.estimated_cost +=
         exec::SortCost(cost_model_, planned.estimated_rows);
     root = std::make_unique<exec::SortOp>(std::move(root), query.order_by);
+    root->set_planner_estimated_rows(planned.estimated_rows);
     label = "Sort(" + label + ")";
   }
   if (query.limit > 0) {
@@ -562,12 +649,28 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
     planned.estimated_cost +=
         cost_model_.output_tuple_cost * planned.estimated_rows;
     root = std::make_unique<exec::LimitOp>(std::move(root), query.limit);
+    root->set_planner_estimated_rows(planned.estimated_rows);
     label = StrPrintf("Limit%llu(%s)",
                       static_cast<unsigned long long>(query.limit),
                       label.c_str());
   }
   planned.root = std::move(root);
   planned.label = std::move(label);
+#if ROBUSTQO_OBS_ENABLED
+  RQO_IF_OBS(run.metric_candidates) {
+    run.metric_candidates->Increment(metrics_.candidates);
+  }
+  if (options.tracer != nullptr) {
+    optimize_span.Attr("candidates", obs::AttrU64(metrics_.candidates));
+    optimize_span.Attr("estimator_calls",
+                       obs::AttrU64(metrics_.estimator_calls));
+    optimize_span.Attr("estimator_misses",
+                       obs::AttrU64(metrics_.estimator_misses));
+    optimize_span.Attr("chosen_label", planned.label);
+    optimize_span.Attr("chosen_cost", obs::AttrF(planned.estimated_cost));
+    optimize_span.Attr("chosen_rows", obs::AttrF(planned.estimated_rows));
+  }
+#endif
   return planned;
 }
 

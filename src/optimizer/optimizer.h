@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "exec/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan.h"
 #include "optimizer/query.h"
 #include "statistics/cardinality_estimator.h"
@@ -45,6 +47,12 @@ struct OptimizerOptions {
   /// reproduces the paper's unmemoized prototype (Section 6.1) for the
   /// overhead ablation.
   bool enable_estimate_memo = true;
+  /// Observability sinks (borrowed, nullable). With a tracer attached the
+  /// optimizer records an "optimize" span covering every cardinality
+  /// estimate (subset, cache hit/miss, value) and per-subset pruning
+  /// decisions; metrics get estimate/cache/candidate counters.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Cost-based SPJ optimizer.

@@ -21,6 +21,10 @@ struct PlannedQuery {
   double estimated_cost = 0.0;
   /// Predicted output rows of the plan root.
   double estimated_rows = 0.0;
+  /// Predicted rows of the SPJ core (before aggregation / grouping /
+  /// LIMIT decoration). This is the quantity the cardinality estimator
+  /// actually produced, so q-error is measured against it.
+  double estimated_spj_rows = 0.0;
   /// Compact structure label, e.g. "Agg(HJ(INLJ(part>lineitem),orders))".
   std::string label;
   /// Human-readable plan tree.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 
 namespace robustqo {
@@ -38,6 +39,12 @@ struct Optimizer::RunState {
 
   /// Cardinality cache: "<subset>|<tag-or-predicate>" -> rows.
   std::map<std::string, double> estimate_cache;
+
+  /// Metric pointers resolved once per Optimize() run (null when no
+  /// registry is attached); incremented on the estimate hot path.
+  obs::Counter* metric_estimates = nullptr;
+  obs::Counter* metric_cache_hits = nullptr;
+  obs::Counter* metric_candidates = nullptr;
 
   /// Table names for a subset bitmask.
   std::set<std::string> SubsetNames(uint32_t subset) const {

@@ -110,10 +110,12 @@ void Optimizer::AddStarCandidates(RunState* run,
     const std::vector<std::string> fact_cols =
         run->needed_columns[fact_idx];
     auto semis_copy = semis;
-    std::function<OperatorPtr()> build = [fact, semis_copy,
-                                          fact_cols]() -> OperatorPtr {
-      return std::make_unique<exec::StarSemiJoinOp>(fact, semis_copy,
-                                                    fact_cols);
+    std::function<OperatorPtr()> build = [fact, semis_copy, fact_cols,
+                                          survivors]() -> OperatorPtr {
+      auto op = std::make_unique<exec::StarSemiJoinOp>(fact, semis_copy,
+                                                       fact_cols);
+      op->set_planner_estimated_rows(survivors);
+      return op;
     };
     double rows = survivors;
 
@@ -137,12 +139,15 @@ void Optimizer::AddStarCandidates(RunState* run,
       const std::string build_key = dim.fk.to_column;
       const std::string probe_key = dim.fk.from_column;
       auto prev = build;
-      build = [prev, dim_name, dim_pred, dim_cols, build_key,
-               probe_key]() -> OperatorPtr {
+      build = [prev, dim_name, dim_pred, dim_cols, build_key, probe_key,
+               selected_dims, next_rows]() -> OperatorPtr {
         auto dim_scan =
             std::make_unique<exec::SeqScanOp>(dim_name, dim_pred, dim_cols);
-        return std::make_unique<exec::HashJoinOp>(
+        dim_scan->set_planner_estimated_rows(selected_dims);
+        auto op = std::make_unique<exec::HashJoinOp>(
             std::move(dim_scan), prev(), build_key, probe_key);
+        op->set_planner_estimated_rows(next_rows);
+        return op;
       };
       label = "HJ(Seq(" + dim_name + ")," + label + ")";
       rows = next_rows;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "expr/expression.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace robustqo {
@@ -51,6 +52,15 @@ class CardinalityEstimator {
 
   /// Display name for reports ("histogram", "robust-sample@T=0.80", ...).
   virtual std::string name() const = 0;
+
+  /// Optional structured-trace sink (borrowed, nullable). Implementations
+  /// emit one "estimator" event per estimate — sample k/n, posterior
+  /// parameters, fallback path — when a tracer is attached.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+ protected:
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace stats

@@ -3,7 +3,9 @@
 #include <optional>
 
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "statistics/magic.h"
+#include "util/string_util.h"
 
 namespace robustqo {
 namespace stats {
@@ -89,10 +91,30 @@ Result<double> HistogramEstimator::EstimateRows(
   // AVI across conjuncts; the containment assumption makes each FK join
   // cardinality-preserving on the root side, so per-table selectivities
   // simply multiply into the root row count.
-  for (const auto& conjunct : expr::SplitConjuncts(request.predicate)) {
+  const auto conjuncts = expr::SplitConjuncts(request.predicate);
+  for (const auto& conjunct : conjuncts) {
     auto owner = OwnerTable(catalog, request.tables, *conjunct);
     const std::string table_for_stats = owner.value_or(root.value());
-    rows *= ConjunctSelectivity(*statistics_, table_for_stats, conjunct);
+    const double sel =
+        ConjunctSelectivity(*statistics_, table_for_stats, conjunct);
+    rows *= sel;
+    RQO_IF_OBS(tracer_) {
+      tracer_->Event("estimator", "histogram",
+                     {{"tables", table_for_stats},
+                      {"predicate", conjunct->ToString()},
+                      {"source", "histogram-avi"},
+                      {"selectivity", obs::AttrF(sel)}});
+    }
+  }
+  RQO_IF_OBS(tracer_) {
+    std::vector<std::string> names(request.tables.begin(),
+                                   request.tables.end());
+    tracer_->Event("estimator", "histogram",
+                   {{"tables", StrJoin(names, ",")},
+                    {"predicate", request.predicate->ToString()},
+                    {"source", "histogram-avi"},
+                    {"conjuncts", obs::AttrU64(conjuncts.size())},
+                    {"est_rows", obs::AttrF(rows)}});
   }
   return rows;
 }

@@ -3,12 +3,22 @@
 #include <optional>
 
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "statistics/distinct_estimator.h"
 #include "statistics/magic.h"
 #include "util/string_util.h"
 
 namespace robustqo {
 namespace stats {
+
+namespace {
+
+std::string JoinTableNames(const std::set<std::string>& tables) {
+  std::vector<std::string> names(tables.begin(), tables.end());
+  return StrJoin(names, ",");
+}
+
+}  // namespace
 
 double ConfidenceThresholdFor(RobustnessLevel level) {
   switch (level) {
@@ -65,10 +75,30 @@ Result<double> RobustSampleEstimator::EstimateRows(
   Result<Observation> obs = Observe(request);
   if (obs.ok()) {
     if (request.predicate == nullptr) return root_rows;
+    const BetaPrior prior = config_.EffectivePrior();
     SelectivityPosterior posterior(obs.value().satisfying,
-                                   obs.value().sample_size, config_.EffectivePrior());
-    return posterior.EstimateAtConfidence(config_.confidence_threshold) *
-           root_rows;
+                                   obs.value().sample_size, prior);
+    const double selectivity =
+        posterior.EstimateAtConfidence(config_.confidence_threshold);
+    RQO_IF_OBS(tracer_) {
+      tracer_->Event(
+          "estimator", "robust",
+          {{"tables", JoinTableNames(request.tables)},
+           {"predicate", request.predicate->ToString()},
+           {"source", "synopsis"},
+           {"k", robustqo::obs::AttrU64(obs.value().satisfying)},
+           {"n", robustqo::obs::AttrU64(obs.value().sample_size)},
+           {"posterior_alpha", robustqo::obs::AttrF(
+                static_cast<double>(obs.value().satisfying) + prior.alpha)},
+           {"posterior_beta",
+            robustqo::obs::AttrF(static_cast<double>(obs.value().sample_size -
+                                                     obs.value().satisfying) +
+                                 prior.beta)},
+           {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
+           {"selectivity", robustqo::obs::AttrF(selectivity)},
+           {"est_rows", robustqo::obs::AttrF(selectivity * root_rows)}});
+    }
+    return selectivity * root_rows;
   }
 
   // Fallback 1 (Section 3.5): independent per-table samples + AVI +
@@ -102,15 +132,53 @@ Result<double> RobustSampleEstimator::EstimateRows(
         selectivity *=
             MagicSelectivityAtConfidence(config_.confidence_threshold);
       }
+      RQO_IF_OBS(tracer_) {
+        tracer_->Event(
+            "estimator", "robust",
+            {{"tables", table},
+             {"source", "magic"},
+             {"conjuncts", robustqo::obs::AttrU64(mine.size())},
+             {"threshold",
+              robustqo::obs::AttrF(config_.confidence_threshold)}});
+      }
       continue;
     }
     expr::ExprPtr table_pred = expr::And(std::move(mine));
     const uint64_t k = expr::CountSatisfying(*table_pred, sample->rows());
-    SelectivityPosterior posterior(k, sample->size(), config_.EffectivePrior());
-    selectivity *=
+    const BetaPrior prior = config_.EffectivePrior();
+    SelectivityPosterior posterior(k, sample->size(), prior);
+    const double factor =
         posterior.EstimateAtConfidence(config_.confidence_threshold);
+    selectivity *= factor;
+    RQO_IF_OBS(tracer_) {
+      tracer_->Event(
+          "estimator", "robust",
+          {{"tables", table},
+           {"predicate", table_pred->ToString()},
+           {"source", "table-sample"},
+           {"k", robustqo::obs::AttrU64(k)},
+           {"n", robustqo::obs::AttrU64(sample->size())},
+           {"posterior_alpha",
+            robustqo::obs::AttrF(static_cast<double>(k) + prior.alpha)},
+           {"posterior_beta",
+            robustqo::obs::AttrF(static_cast<double>(sample->size() - k) +
+                                 prior.beta)},
+           {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
+           {"selectivity", robustqo::obs::AttrF(factor)}});
+    }
   }
   (void)any_sample_missing;
+  RQO_IF_OBS(tracer_) {
+    tracer_->Event("estimator", "robust",
+                   {{"tables", JoinTableNames(request.tables)},
+                    {"predicate", request.predicate->ToString()},
+                    {"source", "independence"},
+                    {"threshold",
+                     robustqo::obs::AttrF(config_.confidence_threshold)},
+                    {"selectivity", robustqo::obs::AttrF(selectivity)},
+                    {"est_rows",
+                     robustqo::obs::AttrF(selectivity * root_rows)}});
+  }
   return selectivity * root_rows;
 }
 

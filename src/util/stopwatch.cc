@@ -2,14 +2,39 @@
 
 namespace robustqo {
 
-void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+uint64_t MonotonicClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const MonotonicClock* MonotonicClock::Instance() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+Stopwatch::Stopwatch(const Clock* clock)
+    : clock_(clock != nullptr ? clock : MonotonicClock::Instance()) {
+  Restart();
+}
+
+void Stopwatch::Restart() {
+  start_nanos_ = clock_->NowNanos();
+  lap_nanos_ = start_nanos_;
+}
 
 double Stopwatch::ElapsedSeconds() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start_)
-      .count();
+  return static_cast<double>(clock_->NowNanos() - start_nanos_) * 1e-9;
 }
 
 double Stopwatch::ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+double Stopwatch::Lap() {
+  const uint64_t now = clock_->NowNanos();
+  const double seconds = static_cast<double>(now - lap_nanos_) * 1e-9;
+  lap_nanos_ = now;
+  return seconds;
+}
 
 }  // namespace robustqo

@@ -4,16 +4,61 @@
 #define ROBUSTQO_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace robustqo {
 
-/// Wall-clock stopwatch used to measure real (not simulated) time, e.g. the
-/// Section 6.1 optimization-overhead experiment.
+/// Time source abstraction so real time can be replaced in tests (and in
+/// deterministic trace snapshots) by a manually advanced clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed epoch. Must never decrease
+  /// between calls on the same instance.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// The default time source: std::chrono::steady_clock, which the standard
+/// guarantees to be monotonic (time_since_epoch never decreases), so
+/// elapsed measurements are immune to wall-clock adjustments.
+class MonotonicClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override;
+
+  /// Shared process-wide instance.
+  static const MonotonicClock* Instance();
+
+  /// Compile-time confirmation of the monotonicity guarantee.
+  static constexpr bool kIsMonotonic = std::chrono::steady_clock::is_steady;
+  static_assert(kIsMonotonic, "steady_clock must be monotonic");
+};
+
+/// Test clock advanced explicitly; NowNanos returns whatever was set.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  uint64_t NowNanos() const override { return now_nanos_; }
+  void AdvanceNanos(uint64_t delta) { now_nanos_ += delta; }
+  void AdvanceSeconds(double seconds) {
+    now_nanos_ += static_cast<uint64_t>(seconds * 1e9);
+  }
+
+ private:
+  uint64_t now_nanos_;
+};
+
+/// Stopwatch over a monotonic (or injected) clock, used to measure real
+/// (not simulated) time, e.g. the Section 6.1 optimization-overhead
+/// experiment and the tracer's wall-time column.
 class Stopwatch {
  public:
-  Stopwatch() { Restart(); }
+  /// `clock` must outlive the stopwatch; nullptr means the process-wide
+  /// monotonic clock.
+  explicit Stopwatch(const Clock* clock = nullptr);
 
-  /// Resets the start point to now.
+  /// Resets both the start point and the lap point to now.
   void Restart();
 
   /// Seconds elapsed since construction or the last Restart().
@@ -22,8 +67,14 @@ class Stopwatch {
   /// Microseconds elapsed since construction or the last Restart().
   double ElapsedMicros() const;
 
+  /// Seconds since the previous Lap() (or Restart()/construction), and
+  /// advances the lap point — split timing without touching the start.
+  double Lap();
+
  private:
-  std::chrono::steady_clock::time_point start_;
+  const Clock* clock_;
+  uint64_t start_nanos_ = 0;
+  uint64_t lap_nanos_ = 0;
 };
 
 }  // namespace robustqo

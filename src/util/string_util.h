@@ -26,6 +26,10 @@ bool EndsWith(const std::string& s, const std::string& suffix);
 /// True iff `needle` occurs in `haystack` (SQL LIKE '%needle%').
 bool Contains(const std::string& haystack, const std::string& needle);
 
+/// Escapes `s` for inclusion inside a double-quoted JSON string (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
 }  // namespace robustqo
 
 #endif  // ROBUSTQO_UTIL_STRING_UTIL_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/report.h"
+#include "obs/obs.h"
 #include "stats_math/descriptive.h"
 #include "util/macros.h"
 #include "util/string_util.h"
@@ -33,17 +35,36 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
   // Histograms depend only on the data — build once.
   db_->statistics()->BuildAllHistograms(config.statistics.histogram_buckets);
 
-  // Deterministic execution cache: (plan label, param index) -> seconds.
-  std::map<std::string, double> exec_cache;
+  obs::Counter* metric_plans = nullptr;
+  obs::Counter* metric_execs = nullptr;
+  obs::Counter* metric_cache_hits = nullptr;
+  RQO_IF_OBS(config.metrics) {
+    metric_plans = config.metrics->GetCounter("harness.plans");
+    metric_execs = config.metrics->GetCounter("harness.executions");
+    metric_cache_hits = config.metrics->GetCounter("harness.exec_cache_hits");
+  }
+
+  // Deterministic execution cache: (plan label, param index) -> result.
+  // Plans with the same structure and parameter execute identically, so
+  // both the simulated time and the SPJ result size are cacheable.
+  struct CachedRun {
+    double seconds = 0.0;
+    uint64_t spj_rows = 0;
+  };
+  std::map<std::string, CachedRun> exec_cache;
   // First-cell answer per parameter, for cross-plan verification.
   std::map<size_t, double> answers;
   auto execute_cached = [&](const opt::PlannedQuery& plan,
-                            size_t param_idx) -> double {
+                            size_t param_idx) -> CachedRun {
     const std::string key =
         plan.label + "#" + StrPrintf("%zu", param_idx);
     auto it = exec_cache.find(key);
-    if (it != exec_cache.end()) return it->second;
+    if (it != exec_cache.end()) {
+      RQO_IF_OBS(metric_cache_hits) metric_cache_hits->Increment();
+      return it->second;
+    }
     core::ExecutionResult run = db_->ExecutePlan(plan);
+    RQO_IF_OBS(metric_execs) metric_execs->Increment();
     if (config.verify_answers && run.rows.num_rows() > 0) {
       const double answer = run.rows.ValueAt(0, 0).NumericValue();
       auto [ans_it, inserted] = answers.emplace(param_idx, answer);
@@ -52,8 +73,9 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
                           1e-6 * std::max(1.0, std::abs(answer)),
           ("plan " + plan.label + " changed the query answer").c_str());
     }
-    exec_cache.emplace(key, run.simulated_seconds);
-    return run.simulated_seconds;
+    const CachedRun cached{run.simulated_seconds, run.spj_rows};
+    exec_cache.emplace(key, cached);
+    return cached;
   };
 
   // times[setting][param] -> samples across repetitions.
@@ -62,6 +84,8 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
     times[s.label].resize(config.params.size());
   }
   std::map<std::string, std::map<std::string, int>> plan_counts;
+  // Per-setting SPJ-cardinality q-errors across all (param, rep) plans.
+  std::map<std::string, std::vector<double>> q_errors;
 
   for (size_t rep = 0; rep < config.repetitions; ++rep) {
     stats::StatisticsConfig stat_cfg = config.statistics;
@@ -82,8 +106,12 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
         Result<opt::PlannedQuery> plan = db_->Plan(query, setting.kind,
                                                    options);
         RQO_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
-        const double seconds = execute_cached(plan.value(), pi);
-        times[setting.label][pi].push_back(seconds);
+        RQO_IF_OBS(metric_plans) metric_plans->Increment();
+        const CachedRun run = execute_cached(plan.value(), pi);
+        times[setting.label][pi].push_back(run.seconds);
+        q_errors[setting.label].push_back(
+            core::QError(plan.value().estimated_spj_rows,
+                         static_cast<double>(run.spj_rows)));
         ++plan_counts[setting.label][plan.value().label];
       }
     }
@@ -109,6 +137,10 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
     agg.mean_seconds = math::Mean(all);
     agg.std_dev_seconds = math::PopulationStdDev(all);
     agg.p95_seconds = math::Percentile(all, 0.95);
+    const core::QErrorSummary q =
+        core::SummarizeQErrors(q_errors[setting.label]);
+    agg.max_q_error = q.max_q;
+    agg.median_q_error = q.median_q;
     agg.plan_counts = plan_counts[setting.label];
     result.overall[setting.label] = agg;
   }
@@ -150,16 +182,18 @@ std::string FormatSweepResult(const SweepResult& result,
     out += "\n";
   }
   out += "\n-- (b) performance vs predictability --\n";
-  out += StrPrintf("%-12s %14s %14s %12s  %s\n", "setting", "avg time (s)",
-                   "std dev (s)", "p95 (s)", "plans chosen");
+  out += StrPrintf("%-12s %14s %14s %12s %9s %9s  %s\n", "setting",
+                   "avg time (s)", "std dev (s)", "p95 (s)", "maxQ", "medQ",
+                   "plans chosen");
   for (const auto& l : ordered) {
     const SettingAggregate& agg = result.overall.at(l);
     std::vector<std::string> plans;
     for (const auto& [plan, count] : agg.plan_counts) {
       plans.push_back(StrPrintf("%s x%d", plan.c_str(), count));
     }
-    out += StrPrintf("%-12s %14.3f %14.3f %12.3f  %s\n", l.c_str(),
-                     agg.mean_seconds, agg.std_dev_seconds, agg.p95_seconds,
+    out += StrPrintf("%-12s %14.3f %14.3f %12.3f %9.2f %9.2f  %s\n",
+                     l.c_str(), agg.mean_seconds, agg.std_dev_seconds,
+                     agg.p95_seconds, agg.max_q_error, agg.median_q_error,
                      StrJoin(plans, "; ").c_str());
   }
   return out;

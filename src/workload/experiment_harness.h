@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/metrics.h"
 #include "optimizer/query.h"
 #include "statistics/statistics_catalog.h"
 
@@ -48,6 +49,10 @@ struct SweepConfig {
   /// the same first-cell answer (aborts the experiment on a mismatch —
   /// plan choice must never change results).
   bool verify_answers = true;
+  /// Optional metrics sink (borrowed, nullable): attached to the database
+  /// for the duration of the sweep, accumulating plan/execution/cache
+  /// counters alongside the optimizer's own counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated measurements for one estimator setting.
@@ -57,6 +62,12 @@ struct SettingAggregate {
   /// Tail latency: 95th percentile of execution time — what a user of an
   /// interactive application actually experiences as "slow queries".
   double p95_seconds = 0.0;
+  /// Cardinality accuracy over all (param, repetition) plans: q-error of
+  /// the estimated vs. actual SPJ result size. The robust estimator's
+  /// deliberate overestimation shows up here as a higher median but a
+  /// tamer maximum than the histogram baseline on adverse data.
+  double max_q_error = 0.0;
+  double median_q_error = 0.0;
   /// How often each plan structure was chosen (label -> count).
   std::map<std::string, int> plan_counts;
 };

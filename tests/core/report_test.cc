@@ -77,6 +77,41 @@ TEST_F(ReportTest, FormatterAlignsRows) {
   EXPECT_EQ(text.find("preference flips"), std::string::npos);
 }
 
+TEST(QErrorTest, SymmetricAndAtLeastOne) {
+  EXPECT_DOUBLE_EQ(QError(100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(200.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(100.0, 200.0), 2.0);  // symmetric in direction
+  EXPECT_DOUBLE_EQ(QError(10.0, 1000.0), 100.0);
+}
+
+TEST(QErrorTest, FloorsAtOneRow) {
+  // Empty results must not blow the ratio up: both sides floor at 1 row.
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(50.0, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 50.0), 50.0);
+}
+
+TEST(QErrorSummaryTest, MaxAndMedian) {
+  const QErrorSummary s = SummarizeQErrors({4.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.max_q, 4.0);
+  EXPECT_DOUBLE_EQ(s.median_q, 2.0);
+}
+
+TEST(QErrorSummaryTest, EvenCountTakesLowerMiddle) {
+  const QErrorSummary s = SummarizeQErrors({1.0, 2.0, 3.0, 100.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.median_q, 2.0);
+}
+
+TEST(QErrorSummaryTest, EmptyInputIsZeroed) {
+  const QErrorSummary s = SummarizeQErrors({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max_q, 0.0);
+  EXPECT_DOUBLE_EQ(s.median_q, 0.0);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace robustqo

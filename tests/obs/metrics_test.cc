@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ObservationsLandInInclusiveBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (bounds are inclusive)
+  h.Observe(2.0);    // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(1e6);    // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 2.0 + 100.0 + 1e6);
+}
+
+TEST(HistogramTest, ResetKeepsBounds) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  ASSERT_EQ(h.upper_bounds().size(), 2u);
+  for (uint64_t c : h.bucket_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(MetricsRegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(registry.GetCounter("x")->value(), 1u);
+  // Distinct names get distinct metrics.
+  EXPECT_NE(registry.GetCounter("y"), a);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedAtFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0});
+  Histogram* again = registry.GetHistogram("lat", {99.0});
+  EXPECT_EQ(h, again);
+  ASSERT_EQ(h->upper_bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h->upper_bounds()[1], 2.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  c->Increment(5);
+  g->Set(2.0);
+  h->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // The same pointers keep working after Reset.
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndDeterministic) {
+  auto populate = [](MetricsRegistry* r) {
+    // Register in non-alphabetical order; JSON must sort by name.
+    r->GetCounter("zeta")->Increment(2);
+    r->GetCounter("alpha")->Increment(1);
+    r->GetGauge("mid")->Set(0.5);
+    r->GetHistogram("hist", {1.0, 10.0})->Observe(3.0);
+  };
+  MetricsRegistry a;
+  MetricsRegistry b;
+  populate(&a);
+  populate(&b);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  const std::string json = a.ToJson();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace robustqo

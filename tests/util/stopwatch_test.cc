@@ -1,0 +1,74 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace {
+
+TEST(MonotonicClockTest, IsCompileTimeMonotonic) {
+  static_assert(MonotonicClock::kIsMonotonic);
+}
+
+TEST(MonotonicClockTest, NeverDecreases) {
+  const MonotonicClock* clock = MonotonicClock::Instance();
+  uint64_t prev = clock->NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = clock->NowNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ManualClockTest, AdvancesOnlyWhenTold) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100u);
+  EXPECT_EQ(clock.NowNanos(), 100u);
+  clock.AdvanceNanos(50);
+  EXPECT_EQ(clock.NowNanos(), 150u);
+  clock.AdvanceSeconds(2.0);
+  EXPECT_EQ(clock.NowNanos(), 150u + 2'000'000'000u);
+}
+
+TEST(StopwatchTest, ElapsedTracksInjectedClock) {
+  ManualClock clock;
+  Stopwatch watch(&clock);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.AdvanceSeconds(1.5);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMicros(), 1.5e6);
+  watch.Restart();
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.AdvanceSeconds(0.25);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.25);
+}
+
+TEST(StopwatchTest, LapMeasuresSplitsWithoutMovingStart) {
+  ManualClock clock;
+  Stopwatch watch(&clock);
+  clock.AdvanceSeconds(1.0);
+  EXPECT_DOUBLE_EQ(watch.Lap(), 1.0);
+  clock.AdvanceSeconds(2.0);
+  EXPECT_DOUBLE_EQ(watch.Lap(), 2.0);
+  // Laps consumed 3 s but the start point is untouched.
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 3.0);
+  // A lap with no time passed is zero.
+  EXPECT_DOUBLE_EQ(watch.Lap(), 0.0);
+}
+
+TEST(StopwatchTest, RestartResetsLapPoint) {
+  ManualClock clock;
+  Stopwatch watch(&clock);
+  clock.AdvanceSeconds(5.0);
+  watch.Restart();
+  clock.AdvanceSeconds(1.0);
+  EXPECT_DOUBLE_EQ(watch.Lap(), 1.0);
+}
+
+TEST(StopwatchTest, RealClockElapsedIsNonNegative) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.Lap(), 0.0);
+}
+
+}  // namespace
+}  // namespace robustqo
