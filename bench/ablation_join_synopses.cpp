@@ -85,14 +85,6 @@ int main() {
         db.robust_estimator()->EstimateRows(request).value_or(-1);
     // (b) drop the synopsis so the estimator falls back to independent
     // per-table samples + AVI + containment.
-    auto saved = db.statistics()->GetSynopsis("lineitem");
-    (void)saved;
-    db.statistics()->DropSynopsis("lineitem");
-    // The drop also removed lineitem's own sample; rebuild samples and
-    // re-drop only the synopsis to leave per-table samples intact.
-    db.UpdateStatistics(stats_config);
-    // Simulate "no lineitem synopsis" by asking with a predicate that the
-    // fallback handles: remove it via a fresh statistics pass.
     db.statistics()->DropSynopsis("lineitem");
     stats::RobustEstimatorConfig cfg;
     cfg.confidence_threshold = 0.50;

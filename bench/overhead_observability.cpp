@@ -55,7 +55,7 @@ int main() {
   auto plan_and_execute = [&] {
     auto plan = db.Plan(query, core::EstimatorKind::kRobustSample);
     if (!plan.ok()) std::abort();
-    core::ExecutionResult result = db.ExecutePlan(plan.value());
+    core::ExecutionResult result = db.ExecutePlan(plan.value()).value();
     if (result.rows.num_rows() == 0 && result.spj_rows == 0) {
       // Keep the optimizer honest; never expected at this parameter.
       std::abort();

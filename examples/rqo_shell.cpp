@@ -5,6 +5,7 @@
 //   .explain <sql>                  threshold-preference report for a query
 //   .dot <sql>                      Graphviz digraph of the chosen plan
 //   .tables                         list tables
+//   .faults                         list armed fault sites + known sites
 //   .quit                           exit
 // Statements:
 //   EXPLAIN ANALYZE <sql>           plan + execute; per-operator estimated
@@ -12,12 +13,24 @@
 //                                   estimator's per-predicate evidence
 //   EXPLAIN ANALYZE JSON <sql>      same report as deterministic JSON
 //   EXPLAIN ANALYZE DOT <sql>       same report as a Graphviz digraph
+//   SET FAULT SEED <n>              reseed the fault injector
+//   SET FAULT <site> ALWAYS         arm a fault site (see .faults)
+//   SET FAULT <site> P=<0..1>       ... fire with seeded probability
+//   SET FAULT <site> FIRST=<n>      ... fire on the first n probes
+//   SET FAULT <site> NTH=<n>        ... fire on exactly the n-th probe
+//   SET FAULT <site> OFF            disarm one site (OFF alone: all)
+//   SET MEMORY_LIMIT <bytes>        per-query governor budgets; 0 = off
+//   SET ROW_LIMIT <rows>
+//   SET TIME_LIMIT <seconds>
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "core/explain_analyze.h"
@@ -54,6 +67,86 @@ void PrintResult(const core::ExecutionResult& result) {
   }
 }
 
+// Handles "SET FAULT ..." and "SET <LIMIT> ..." statements; returns false
+// when `line` is not a SET statement.
+bool HandleSet(core::Database* db, const std::string& line) {
+  std::vector<std::string> tokens = SplitString(line, ' ');
+  tokens.erase(std::remove(tokens.begin(), tokens.end(), std::string()),
+               tokens.end());
+  if (tokens.size() < 2 || ToUpper(tokens[0]) != "SET") return false;
+  const std::string verb = ToUpper(tokens[1]);
+
+  if (verb == "FAULT") {
+    if (tokens.size() == 3 && ToUpper(tokens[2]) == "OFF") {
+      db->fault_injector()->DisarmAll();
+      std::printf("all fault sites disarmed\n");
+      return true;
+    }
+    if (tokens.size() != 4) {
+      std::printf("usage: SET FAULT <site>|SEED ALWAYS|OFF|P=|FIRST=|NTH=\n");
+      return true;
+    }
+    if (ToUpper(tokens[2]) == "SEED") {
+      db->fault_injector()->Reseed(std::strtoull(tokens[3].c_str(), nullptr, 10));
+      std::printf("fault seed: %llu\n",
+                  static_cast<unsigned long long>(db->fault_injector()->seed()));
+      return true;
+    }
+    const std::string& site = tokens[2];
+    const std::string arg = ToUpper(tokens[3]);
+    if (arg == "OFF") {
+      db->fault_injector()->Disarm(site);
+      std::printf("disarmed %s\n", site.c_str());
+      return true;
+    }
+    fault::FaultSpec spec;
+    if (arg == "ALWAYS") {
+      spec = fault::FaultSpec::Always();
+    } else if (StartsWith(arg, "P=")) {
+      spec = fault::FaultSpec::Probability(std::atof(arg.substr(2).c_str()));
+    } else if (StartsWith(arg, "FIRST=")) {
+      spec = fault::FaultSpec::FirstN(
+          std::strtoull(arg.substr(6).c_str(), nullptr, 10));
+    } else if (StartsWith(arg, "NTH=")) {
+      spec = fault::FaultSpec::OnNth(
+          std::strtoull(arg.substr(4).c_str(), nullptr, 10));
+    } else {
+      std::printf("unknown fault mode: %s\n", tokens[3].c_str());
+      return true;
+    }
+    // The alloc site models an out-of-memory, not a transient read.
+    if (site == fault::sites::kOperatorAlloc) {
+      spec.code = StatusCode::kResourceExhausted;
+    }
+    db->fault_injector()->Arm(site, spec);
+    std::printf("armed %s %s\n", site.c_str(), spec.ToString().c_str());
+    return true;
+  }
+
+  if (verb == "MEMORY_LIMIT" || verb == "ROW_LIMIT" || verb == "TIME_LIMIT") {
+    if (tokens.size() != 3) {
+      std::printf("usage: SET %s <n>   (0 = unlimited)\n", verb.c_str());
+      return true;
+    }
+    fault::GovernorLimits limits = db->governor_limits();
+    if (verb == "MEMORY_LIMIT") {
+      limits.memory_limit_bytes =
+          std::strtoull(tokens[2].c_str(), nullptr, 10);
+    } else if (verb == "ROW_LIMIT") {
+      limits.row_limit = std::strtoull(tokens[2].c_str(), nullptr, 10);
+    } else {
+      limits.time_limit_seconds = std::atof(tokens[2].c_str());
+    }
+    db->SetGovernorLimits(limits);
+    std::printf("governor: memory=%llu bytes, rows=%llu, time=%.3f s\n",
+                static_cast<unsigned long long>(limits.memory_limit_bytes),
+                static_cast<unsigned long long>(limits.row_limit),
+                limits.time_limit_seconds);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main() {
@@ -76,6 +169,18 @@ int main() {
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ".quit" || line == ".exit") break;
+    if (line == ".faults") {
+      const std::string armed = db.fault_injector()->DescribeArmed();
+      std::printf("armed (seed %llu):\n%s",
+                  static_cast<unsigned long long>(db.fault_injector()->seed()),
+                  armed.empty() ? "  (none)\n" : armed.c_str());
+      std::printf("known sites:\n");
+      for (const std::string& site : fault::KnownFaultSites()) {
+        std::printf("  %s\n", site.c_str());
+      }
+      continue;
+    }
+    if (HandleSet(&db, line)) continue;
     if (line == ".tables") {
       for (const auto& name : db.catalog()->TableNames()) {
         std::printf("  %-10s %10llu rows\n", name.c_str(),

@@ -19,6 +19,7 @@ Database::Database() {
   robust_optimizer_ = std::make_unique<opt::Optimizer>(
       &catalog_, robust_estimator_.get(), cost_model_);
   last_used_ = robust_optimizer_.get();
+  statistics_->SetFaultInjector(&fault_);
 }
 
 void Database::UpdateStatistics(const stats::StatisticsConfig& config) {
@@ -93,10 +94,13 @@ Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
 #endif
 }
 
-ExecutionResult Database::ExecutePlan(const opt::PlannedQuery& plan) {
+Result<ExecutionResult> Database::ExecutePlan(const opt::PlannedQuery& plan) {
   exec::ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.cost_model = cost_model_;
+  fault::QueryGovernor governor(governor_limits_);
+  ctx.governor = &governor;
+  ctx.fault = &fault_;
 #if ROBUSTQO_OBS_ENABLED
   ctx.tracer = tracer_;
   ctx.metrics = metrics_;
@@ -104,17 +108,26 @@ ExecutionResult Database::ExecutePlan(const opt::PlannedQuery& plan) {
     metrics_->GetCounter("db.queries_executed")->Increment();
   }
 #endif
-  storage::Table rows = plan.root->Run(&ctx);
+  Result<storage::Table> rows = plan.root->Run(&ctx);
+#if ROBUSTQO_OBS_ENABLED
+  governor.PublishMetrics(metrics_);
+  RQO_IF_OBS(metrics_) {
+    if (!rows.ok()) metrics_->GetCounter("db.queries_failed")->Increment();
+  }
+#endif
+  if (!rows.ok()) return rows.status();
   const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
                                 ? ctx.aggregate_input_rows
-                                : rows.num_rows();
-  ExecutionResult result{std::move(rows),
+                                : rows.value().num_rows();
+  ExecutionResult result{std::move(rows).value(),
                          ctx.meter.total_seconds(),
                          ctx.meter,
                          spj_rows,
                          plan.estimated_cost,
                          plan.label,
-                         plan.Explain()};
+                         plan.Explain(),
+                         governor.peak_memory_bytes(),
+                         governor.rows_charged()};
   return result;
 }
 
@@ -123,7 +136,9 @@ Result<ExecutionResult> Database::Execute(const opt::QuerySpec& query,
                                           const opt::OptimizerOptions& options) {
   Result<opt::PlannedQuery> plan = Plan(query, kind, options);
   if (!plan.ok()) return plan.status();
-  ExecutionResult result = ExecutePlan(plan.value());
+  Result<ExecutionResult> exec_result = ExecutePlan(plan.value());
+  if (!exec_result.ok()) return exec_result.status();
+  ExecutionResult result = std::move(exec_result).value();
   if (feedback_enabled_) {
     auto root = catalog_.FindRootTable(query.TableNames());
     if (root.ok()) {

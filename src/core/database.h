@@ -12,6 +12,8 @@
 #include <string>
 
 #include "exec/operator.h"
+#include "fault/fault_injector.h"
+#include "fault/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
@@ -48,6 +50,10 @@ struct ExecutionResult {
   std::string plan_label;
   /// Printable plan tree.
   std::string plan_tree;
+  /// Governor accounting for this query: peak workspace + materialized
+  /// bytes and total rows charged (0 when executed without a governor).
+  uint64_t peak_memory_bytes = 0;
+  uint64_t rows_charged = 0;
 };
 
 /// An in-memory database with both estimation stacks configured.
@@ -101,8 +107,12 @@ class Database {
                                   EstimatorKind kind,
                                   const opt::OptimizerOptions& options = {});
 
-  /// Executes an already-built plan.
-  ExecutionResult ExecutePlan(const opt::PlannedQuery& plan);
+  /// Executes an already-built plan under a fresh per-query governor
+  /// (configured via SetGovernorLimits) with the database's fault injector
+  /// armed. Fails with a typed Status on governor trips
+  /// (kResourceExhausted), cancellation (kCancelled) or injected faults —
+  /// the process never crashes on a resource-limited or faulty query.
+  Result<ExecutionResult> ExecutePlan(const opt::PlannedQuery& plan);
 
   /// Metrics from the most recent Plan()/Execute() optimization.
   const opt::Optimizer::Metrics& last_optimizer_metrics() const;
@@ -112,13 +122,36 @@ class Database {
   /// Attaches a tracer: every subsequent Plan() records optimizer and
   /// estimator decisions; every ExecutePlan() records per-operator spans.
   /// Pass nullptr to detach. The tracer must outlive its attachment.
-  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void SetTracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    fault_.set_tracer(tracer);
+  }
   obs::Tracer* tracer() const { return tracer_; }
 
   /// Attaches a metrics registry for query/estimate/executor counters.
   /// Pass nullptr to detach. The registry must outlive its attachment.
-  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void SetMetrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    fault_.set_metrics(metrics);
+  }
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // ---- Robustness: fault injection and per-query resource limits ----
+
+  /// The database's fault injector. Statistics reads probe its
+  /// sample/synopsis sites and every ExecutePlan() probes the operator
+  /// sites; arm/disarm/reseed through this handle (tests, chaos harness,
+  /// the shell's SET FAULT).
+  fault::FaultInjector* fault_injector() { return &fault_; }
+
+  /// Per-query budgets applied to every subsequent ExecutePlan(). Limits
+  /// of 0 mean unlimited (the default).
+  void SetGovernorLimits(const fault::GovernorLimits& limits) {
+    governor_limits_ = limits;
+  }
+  const fault::GovernorLimits& governor_limits() const {
+    return governor_limits_;
+  }
 
   // ---- Execution feedback (paper Section 3.3's workload knowledge) ----
 
@@ -157,6 +190,8 @@ class Database {
   opt::Optimizer* last_used_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  fault::FaultInjector fault_;
+  fault::GovernorLimits governor_limits_;
   bool feedback_enabled_ = false;
   stats::WorkloadPriorBuilder feedback_;
 };

@@ -125,7 +125,8 @@ std::vector<PredicateReport> CollectPredicateReports(
   std::vector<PredicateReport> out;
   std::map<std::string, bool> seen;
   for (const obs::TraceEvent& e : events) {
-    if (e.kind != obs::TraceKind::kEvent || e.category != "estimator") {
+    if (e.kind != obs::TraceKind::kEvent || e.category != "estimator" ||
+        e.name == "degraded") {  // tier fallbacks render separately
       continue;
     }
     PredicateReport report;
@@ -149,16 +150,43 @@ std::vector<PredicateReport> CollectPredicateReports(
   return out;
 }
 
+std::vector<DegradationReport> CollectDegradations(
+    const std::vector<obs::TraceEvent>& events) {
+  std::vector<DegradationReport> out;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::TraceKind::kEvent || e.category != "estimator" ||
+        e.name != "degraded") {
+      continue;
+    }
+    DegradationReport report;
+    report.tier_from = AttrString(e.attrs, "tier_from");
+    report.tier_to = AttrString(e.attrs, "tier_to");
+    report.reason = AttrString(e.attrs, "reason");
+    report.tables = AttrString(e.attrs, "tables");
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
 std::string AnalyzedPlan::ToText() const {
   std::string out = "EXPLAIN ANALYZE\n";
   out += StrPrintf("plan:      %s\n", plan_label.c_str());
   out += StrPrintf("estimator: %s\n", estimator_name.c_str());
+  if (!execution_error.empty()) {
+    out += StrPrintf("error:     %s\n", execution_error.c_str());
+  }
   out += StrPrintf("cost:      estimated %.4f s, actual %.4f s\n",
                    estimated_cost, actual_cost_seconds);
   out += StrPrintf(
       "SPJ rows:  estimated %.1f, actual %llu   (q-error %.2f)\n",
       estimated_spj_rows, static_cast<unsigned long long>(actual_spj_rows),
       spj_q_error);
+  if (peak_memory_bytes > 0 || rows_charged > 0) {
+    out += StrPrintf(
+        "governor:  peak memory %llu bytes, %llu rows charged\n",
+        static_cast<unsigned long long>(peak_memory_bytes),
+        static_cast<unsigned long long>(rows_charged));
+  }
   out += StrPrintf(
       "optimizer: %zu candidates costed, %zu estimates (%zu uncached)\n",
       optimizer_metrics.candidates, optimizer_metrics.estimator_calls,
@@ -208,6 +236,13 @@ std::string AnalyzedPlan::ToText() const {
       }
       if (!p.predicate.empty()) out += " :: " + p.predicate;
       out += "\n";
+    }
+  }
+  if (!degradations.empty()) {
+    out += "estimator degradations:\n";
+    for (const DegradationReport& d : degradations) {
+      out += StrPrintf("  %s -> %s (%s) {%s}\n", d.tier_from.c_str(),
+                       d.tier_to.c_str(), d.reason.c_str(), d.tables.c_str());
     }
   }
   return out;
@@ -261,6 +296,11 @@ std::string AnalyzedPlan::ToJson() const {
          StrPrintf("%llu", static_cast<unsigned long long>(actual_spj_rows));
   out += ",\"spj_q_error\":" + JsonNumber(spj_q_error);
   out += std::string(",\"instrumented\":") + (instrumented ? "true" : "false");
+  out += ",\"execution_error\":\"" + JsonEscape(execution_error) + "\"";
+  out += ",\"peak_memory_bytes\":" +
+         StrPrintf("%llu", static_cast<unsigned long long>(peak_memory_bytes));
+  out += ",\"rows_charged\":" +
+         StrPrintf("%llu", static_cast<unsigned long long>(rows_charged));
   out += StrPrintf(
       ",\"optimizer\":{\"candidates\":%zu,\"estimator_calls\":%zu,"
       "\"estimator_misses\":%zu}",
@@ -308,6 +348,15 @@ std::string AnalyzedPlan::ToJson() const {
     }
     out += "}";
   }
+  out += "],\"degradations\":[";
+  for (size_t i = 0; i < degradations.size(); ++i) {
+    const DegradationReport& d = degradations[i];
+    if (i > 0) out += ",";
+    out += "{\"tier_from\":\"" + JsonEscape(d.tier_from) + "\"";
+    out += ",\"tier_to\":\"" + JsonEscape(d.tier_to) + "\"";
+    out += ",\"reason\":\"" + JsonEscape(d.reason) + "\"";
+    out += ",\"tables\":\"" + JsonEscape(d.tables) + "\"}";
+  }
   out += "]}";
   return out;
 }
@@ -328,20 +377,31 @@ Result<AnalyzedPlan> ExplainAnalyze(Database* db, const opt::QuerySpec& query,
 
   AnalyzedPlan out;
   out.predicates = CollectPredicateReports(tracer.events());
+  out.degradations = CollectDegradations(tracer.events());
   out.optimizer_metrics = db->last_optimizer_metrics();
   tracer.Clear();
 
-  ExecutionResult result = db->ExecutePlan(plan.value());
   out.plan_label = plan.value().label;
   out.estimator_name = db->estimator(kind)->name();
   out.estimated_cost = plan.value().estimated_cost;
-  out.actual_cost_seconds = result.simulated_seconds;
   out.estimated_rows = plan.value().estimated_rows;
-  out.actual_rows = result.rows.num_rows();
   out.estimated_spj_rows = plan.value().estimated_spj_rows;
-  out.actual_spj_rows = result.spj_rows;
-  out.spj_q_error = QError(out.estimated_spj_rows,
-                           static_cast<double>(out.actual_spj_rows));
+
+  // Execution failures (governor trips, cancellation, injected faults) do
+  // not abort the report: the plan, predicate evidence and whatever
+  // operators completed before the failure are still worth showing.
+  Result<ExecutionResult> result = db->ExecutePlan(plan.value());
+  if (result.ok()) {
+    out.actual_cost_seconds = result.value().simulated_seconds;
+    out.actual_rows = result.value().rows.num_rows();
+    out.actual_spj_rows = result.value().spj_rows;
+    out.spj_q_error = QError(out.estimated_spj_rows,
+                             static_cast<double>(out.actual_spj_rows));
+    out.peak_memory_bytes = result.value().peak_memory_bytes;
+    out.rows_charged = result.value().rows_charged;
+  } else {
+    out.execution_error = result.status().ToString();
+  }
   out.operators = AnnotatePlan(*plan.value().root, tracer.events());
   out.instrumented =
       !out.operators.empty() && out.operators.front().executed;

@@ -58,6 +58,16 @@ struct PredicateReport {
   double estimated_rows = -1.0;       ///< -1 = not reported
 };
 
+/// One estimator degradation recorded while planning: an evidence tier
+/// that was missing or unreadable and the tier the estimator fell back to
+/// (see docs/ROBUSTNESS.md for the cascade).
+struct DegradationReport {
+  std::string tier_from;  ///< "synopsis", "table-sample", "histogram-avi"
+  std::string tier_to;    ///< next tier down
+  std::string reason;     ///< "missing" or "unavailable" (injected/transient)
+  std::string tables;     ///< affected table (set) — comma-joined
+};
+
 /// The merged result of planning + executing one query under a tracer.
 struct AnalyzedPlan {
   std::string plan_label;
@@ -73,8 +83,18 @@ struct AnalyzedPlan {
   double spj_q_error = 0.0;
   /// True when exec tracing produced spans (OBS build with sinks live).
   bool instrumented = false;
+  /// Non-empty when execution failed (governor trip, cancellation or an
+  /// injected fault): the typed Status rendered as "<Code>: <message>".
+  /// The plan tree and any operators that ran before the failure are
+  /// still reported.
+  std::string execution_error;
+  /// Governor accounting for the run (0 when unlimited and untouched).
+  uint64_t peak_memory_bytes = 0;
+  uint64_t rows_charged = 0;
   std::vector<OperatorReport> operators;    ///< pre-order, root first
   std::vector<PredicateReport> predicates;  ///< planning order, deduplicated
+  /// Estimator degradations hit while planning, in occurrence order.
+  std::vector<DegradationReport> degradations;
   opt::Optimizer::Metrics optimizer_metrics;
 
   /// Aligned text table (the shell's EXPLAIN ANALYZE output).
@@ -95,6 +115,10 @@ std::vector<OperatorReport> AnnotatePlan(
 /// Extracts per-predicate estimation detail from "estimator" events,
 /// deduplicated by (tables, predicate, source) keeping first occurrence.
 std::vector<PredicateReport> CollectPredicateReports(
+    const std::vector<obs::TraceEvent>& events);
+
+/// Extracts the estimator's tier-fallback decisions from "degraded" events.
+std::vector<DegradationReport> CollectDegradations(
     const std::vector<obs::TraceEvent>& events);
 
 /// Plans and executes `query` with a scratch tracer temporarily attached

@@ -66,13 +66,13 @@ struct AggState {
   }
 };
 
-storage::Schema AggOutputSchema(const std::vector<std::string>& group_names,
-                                const storage::Schema& input,
-                                const std::vector<AggSpec>& aggs) {
+Result<storage::Schema> AggOutputSchema(
+    const std::vector<std::string>& group_names, const storage::Schema& input,
+    const std::vector<AggSpec>& aggs) {
   std::vector<storage::ColumnDef> defs;
   for (const std::string& g : group_names) {
     auto idx = input.ColumnIndex(g);
-    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    if (!idx.ok()) return idx.status();
     defs.push_back(input.column(idx.value()));
   }
   for (const AggSpec& agg : aggs) {
@@ -84,8 +84,8 @@ storage::Schema AggOutputSchema(const std::vector<std::string>& group_names,
 }
 
 // Column index for each aggregate's input (SIZE_MAX for COUNT(*)).
-std::vector<size_t> AggInputColumns(const storage::Schema& input,
-                                    const std::vector<AggSpec>& aggs) {
+Result<std::vector<size_t>> AggInputColumns(const storage::Schema& input,
+                                            const std::vector<AggSpec>& aggs) {
   std::vector<size_t> cols;
   cols.reserve(aggs.size());
   for (const AggSpec& agg : aggs) {
@@ -94,7 +94,7 @@ std::vector<size_t> AggInputColumns(const storage::Schema& input,
       continue;
     }
     auto idx = input.ColumnIndex(agg.column);
-    RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
+    if (!idx.ok()) return idx.status();
     cols.push_back(idx.value());
   }
   return cols;
@@ -131,15 +131,17 @@ FilterOp::FilterOp(OperatorPtr child, expr::ExprPtr predicate)
   RQO_CHECK(predicate_ != nullptr);
 }
 
-Table FilterOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Run(ctx);
+Result<Table> FilterOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
   Table out("filter", input.schema());
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   std::vector<size_t> all_cols(input.schema().num_columns());
   for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
   for (Rid rid = 0; rid < input.num_rows(); ++rid) {
     if (predicate_->EvaluateBool(input, rid)) {
       AppendProjectedRow(input, rid, all_cols, &out);
+      RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
     }
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
@@ -159,14 +161,16 @@ std::vector<const PhysicalOperator*> FilterOp::children() const {
 LimitOp::LimitOp(OperatorPtr child, uint64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
-Table LimitOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Run(ctx);
+Result<Table> LimitOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
   Table out("limit", input.schema());
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   std::vector<size_t> all_cols(input.schema().num_columns());
   for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
   const uint64_t n = std::min(input.num_rows(), limit_);
   for (Rid rid = 0; rid < n; ++rid) {
     AppendProjectedRow(input, rid, all_cols, &out);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
   return out;
@@ -185,12 +189,17 @@ std::vector<const PhysicalOperator*> LimitOp::children() const {
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<std::string> columns)
     : child_(std::move(child)), columns_(std::move(columns)) {}
 
-Table ProjectOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Run(ctx);
-  Table out("project", ProjectSchema(input.schema(), columns_));
-  const std::vector<size_t> col_idx = ResolveColumns(input.schema(), columns_);
+Result<Table> ProjectOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       ProjectSchema(input.schema(), columns_));
+  Table out("project", std::move(schema));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                       ResolveColumns(input.schema(), columns_));
   for (Rid rid = 0; rid < input.num_rows(); ++rid) {
     AppendProjectedRow(input, rid, col_idx, &out);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
   return out;
@@ -212,22 +221,27 @@ ScalarAggregateOp::ScalarAggregateOp(OperatorPtr child,
   RQO_CHECK(!aggs_.empty());
 }
 
-Table ScalarAggregateOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Run(ctx);
+Result<Table> ScalarAggregateOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
   ctx->aggregate_input_rows = input.num_rows();
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
-  const std::vector<size_t> agg_cols = AggInputColumns(input.schema(), aggs_);
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> agg_cols,
+                       AggInputColumns(input.schema(), aggs_));
   std::vector<AggState> states(aggs_.size());
   for (Rid rid = 0; rid < input.num_rows(); ++rid) {
     UpdateStates(input, rid, agg_cols, &states);
   }
-  Table out("aggregate", AggOutputSchema({}, input.schema(), aggs_));
+  RQO_RETURN_NOT_OK(ctx->CheckPoint());
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       AggOutputSchema({}, input.schema(), aggs_));
+  Table out("aggregate", std::move(schema));
   std::vector<Value> row;
   row.reserve(aggs_.size());
   for (size_t a = 0; a < aggs_.size(); ++a) {
     row.push_back(states[a].Finalize(aggs_[a].kind));
   }
   out.AppendRow(row);
+  RQO_RETURN_NOT_OK(ctx->Tick(1, ApproximateRowBytes(out.schema())));
   ctx->meter.ChargeOutputTuples(ctx->cost_model, 1);
   return out;
 }
@@ -251,20 +265,28 @@ GroupByAggregateOp::GroupByAggregateOp(OperatorPtr child,
   RQO_CHECK(!group_columns_.empty());
 }
 
-Table GroupByAggregateOp::Execute(ExecContext* ctx) const {
-  const Table input = child_->Run(ctx);
+Result<Table> GroupByAggregateOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
   ctx->aggregate_input_rows = input.num_rows();
   ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
-  const std::vector<size_t> group_idx =
-      ResolveColumns(input.schema(), group_columns_);
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> group_idx,
+                       ResolveColumns(input.schema(), group_columns_));
   for (size_t g : group_idx) {
-    RQO_CHECK_MSG(
-        storage::IsIntegerPhysical(input.schema().column(g).type),
-        "group-by keys must be integer-physical");
+    if (!storage::IsIntegerPhysical(input.schema().column(g).type)) {
+      return Status::InvalidArgument(
+          "group-by key " + input.schema().column(g).name +
+          " must be integer-physical");
+    }
   }
-  const std::vector<size_t> agg_cols = AggInputColumns(input.schema(), aggs_);
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> agg_cols,
+                       AggInputColumns(input.schema(), aggs_));
 
-  // Ordered map keeps output deterministic (sorted by group key).
+  // Ordered map keeps output deterministic (sorted by group key). The group
+  // table is transient workspace, charged per inserted group and released
+  // when the operator finishes.
+  fault::MemoryReservation workspace(ctx->governor);
+  const uint64_t group_bytes =
+      (group_idx.size() + aggs_.size() * 4 + 4) * sizeof(int64_t);
   std::map<std::vector<int64_t>, std::vector<AggState>> groups;
   for (Rid rid = 0; rid < input.num_rows(); ++rid) {
     std::vector<int64_t> key;
@@ -274,10 +296,16 @@ Table GroupByAggregateOp::Execute(ExecContext* ctx) const {
     }
     auto [it, inserted] =
         groups.try_emplace(std::move(key), aggs_.size(), AggState());
+    if (inserted) RQO_RETURN_NOT_OK(workspace.Grow(group_bytes));
     UpdateStates(input, rid, agg_cols, &it->second);
   }
+  RQO_RETURN_NOT_OK(ctx->CheckPoint());
 
-  Table out("groupby", AggOutputSchema(group_columns_, input.schema(), aggs_));
+  RQO_ASSIGN_OR_RETURN(
+      storage::Schema schema,
+      AggOutputSchema(group_columns_, input.schema(), aggs_));
+  Table out("groupby", std::move(schema));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   for (const auto& [key, states] : groups) {
     std::vector<Value> row;
     row.reserve(key.size() + aggs_.size());
@@ -290,6 +318,7 @@ Table GroupByAggregateOp::Execute(ExecContext* ctx) const {
       row.push_back(states[a].Finalize(aggs_[a].kind));
     }
     out.AppendRow(row);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
   return out;

@@ -17,7 +17,7 @@ namespace exec {
 class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(OperatorPtr child, expr::ExprPtr predicate);
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -31,7 +31,7 @@ class FilterOp final : public PhysicalOperator {
 class LimitOp final : public PhysicalOperator {
  public:
   LimitOp(OperatorPtr child, uint64_t limit);
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -44,7 +44,7 @@ class LimitOp final : public PhysicalOperator {
 class ProjectOp final : public PhysicalOperator {
  public:
   ProjectOp(OperatorPtr child, std::vector<std::string> columns);
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -68,7 +68,7 @@ struct AggSpec {
 class ScalarAggregateOp final : public PhysicalOperator {
  public:
   ScalarAggregateOp(OperatorPtr child, std::vector<AggSpec> aggs);
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -82,7 +82,7 @@ class GroupByAggregateOp final : public PhysicalOperator {
  public:
   GroupByAggregateOp(OperatorPtr child, std::vector<std::string> group_columns,
                      std::vector<AggSpec> aggs);
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 

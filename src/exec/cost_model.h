@@ -67,6 +67,10 @@ class CostMeter {
   /// matching the SortCost formula exactly.
   void ChargeSortWork(const CostModel& m, uint64_t rows);
 
+  /// Charges raw simulated seconds outside the per-tuple formulas (used by
+  /// the fault injector's clock-stall site).
+  void ChargePenaltySeconds(double seconds) { total_seconds_ += seconds; }
+
   /// Total simulated seconds so far.
   double total_seconds() const { return total_seconds_; }
 

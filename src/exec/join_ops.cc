@@ -21,21 +21,15 @@ int64_t KeyAt(const Table& table, size_t idx, Rid rid) {
   return col.Int64At(rid);
 }
 
-size_t MustResolve(const storage::Schema& schema, const std::string& name) {
-  auto idx = schema.ColumnIndex(name);
-  RQO_CHECK_MSG(idx.ok(), idx.status().ToString().c_str());
-  return idx.value();
-}
-
 // Output plumbing for binary joins: maps each requested output column to
 // (which input, column index there).
 struct JoinOutput {
   storage::Schema schema;
   std::vector<std::pair<int, size_t>> sources;  // {0=left/build, 1=right}
 
-  static JoinOutput Plan(const storage::Schema& left,
-                         const storage::Schema& right,
-                         const std::vector<std::string>& requested) {
+  static Result<JoinOutput> Plan(const storage::Schema& left,
+                                 const storage::Schema& right,
+                                 const std::vector<std::string>& requested) {
     JoinOutput out;
     std::vector<storage::ColumnDef> defs;
     auto add = [&](const storage::Schema& schema, int side, size_t i) {
@@ -52,7 +46,9 @@ struct JoinOutput {
           add(left, 0, li.value());
           continue;
         }
-        add(right, 1, MustResolve(right, name));
+        auto ri = right.ColumnIndex(name);
+        if (!ri.ok()) return ri.status();
+        add(right, 1, ri.value());
       }
     }
     out.schema = storage::Schema(std::move(defs));
@@ -84,29 +80,39 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
       probe_key_(std::move(probe_key)),
       output_columns_(std::move(output_columns)) {}
 
-Table HashJoinOp::Execute(ExecContext* ctx) const {
-  const Table build_rows = build_->Run(ctx);
-  const Table probe_rows = probe_->Run(ctx);
-  const size_t build_key_idx = MustResolve(build_rows.schema(), build_key_);
-  const size_t probe_key_idx = MustResolve(probe_rows.schema(), probe_key_);
+Result<Table> HashJoinOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table build_rows, build_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(const Table probe_rows, probe_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(const size_t build_key_idx,
+                       build_rows.schema().ColumnIndex(build_key_));
+  RQO_ASSIGN_OR_RETURN(const size_t probe_key_idx,
+                       probe_rows.schema().ColumnIndex(probe_key_));
 
   ctx->meter.ChargeHashJoin(ctx->cost_model, build_rows.num_rows(),
                             probe_rows.num_rows());
 
+  // Hash-table workspace: key + rid + bucket overhead per build entry.
+  fault::MemoryReservation workspace(ctx->governor);
+  RQO_RETURN_NOT_OK(workspace.Grow(build_rows.num_rows() * 24));
   std::unordered_multimap<int64_t, Rid> hash_table;
   hash_table.reserve(build_rows.num_rows() * 2);
   for (Rid rid = 0; rid < build_rows.num_rows(); ++rid) {
     hash_table.emplace(KeyAt(build_rows, build_key_idx, rid), rid);
   }
+  RQO_RETURN_NOT_OK(ctx->CheckPoint());
 
-  const JoinOutput plan = JoinOutput::Plan(
-      build_rows.schema(), probe_rows.schema(), output_columns_);
+  RQO_ASSIGN_OR_RETURN(
+      const JoinOutput plan,
+      JoinOutput::Plan(build_rows.schema(), probe_rows.schema(),
+                       output_columns_));
   Table out("hashjoin", plan.schema);
+  const uint64_t row_bytes = ApproximateRowBytes(plan.schema);
   for (Rid prid = 0; prid < probe_rows.num_rows(); ++prid) {
     const int64_t key = KeyAt(probe_rows, probe_key_idx, prid);
     auto [begin, end] = hash_table.equal_range(key);
     for (auto it = begin; it != end; ++it) {
       plan.AppendJoined(build_rows, it->second, probe_rows, prid, &out);
+      RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
     }
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
@@ -133,19 +139,23 @@ MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
       right_key_(std::move(right_key)),
       output_columns_(std::move(output_columns)) {}
 
-Table MergeJoinOp::Execute(ExecContext* ctx) const {
-  const Table left_rows = left_->Run(ctx);
-  const Table right_rows = right_->Run(ctx);
-  const size_t lk = MustResolve(left_rows.schema(), left_key_);
-  const size_t rk = MustResolve(right_rows.schema(), right_key_);
+Result<Table> MergeJoinOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table left_rows, left_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(const Table right_rows, right_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(const size_t lk,
+                       left_rows.schema().ColumnIndex(left_key_));
+  RQO_ASSIGN_OR_RETURN(const size_t rk,
+                       right_rows.schema().ColumnIndex(right_key_));
 
   ctx->meter.ChargeCpuTuples(
       ctx->cost_model, left_rows.num_rows() + right_rows.num_rows());
 
-  const JoinOutput plan = JoinOutput::Plan(left_rows.schema(),
-                                           right_rows.schema(),
-                                           output_columns_);
+  RQO_ASSIGN_OR_RETURN(
+      const JoinOutput plan,
+      JoinOutput::Plan(left_rows.schema(), right_rows.schema(),
+                       output_columns_));
   Table out("mergejoin", plan.schema);
+  const uint64_t row_bytes = ApproximateRowBytes(plan.schema);
 
   Rid li = 0;
   Rid ri = 0;
@@ -169,6 +179,7 @@ Table MergeJoinOp::Execute(ExecContext* ctx) const {
       for (Rid a = li; a < lend; ++a) {
         for (Rid b = ri; b < rend; ++b) {
           plan.AppendJoined(left_rows, a, right_rows, b, &out);
+          RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
         }
       }
       li = lend;
@@ -201,20 +212,21 @@ IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
       inner_residual_(std::move(inner_residual)),
       output_columns_(std::move(output_columns)) {}
 
-Table IndexNestedLoopJoinOp::Execute(ExecContext* ctx) const {
-  const Table outer_rows = outer_->Run(ctx);
-  const Table* inner = ctx->catalog->GetTable(inner_table_);
-  RQO_CHECK_MSG(inner != nullptr, ("no table " + inner_table_).c_str());
-  const storage::SortedIndex* index =
-      ctx->catalog->GetIndex(inner_table_, inner_index_column_);
-  RQO_CHECK_MSG(
-      index != nullptr,
-      ("no index on " + inner_table_ + "." + inner_index_column_).c_str());
-  const size_t ok = MustResolve(outer_rows.schema(), outer_key_);
+Result<Table> IndexNestedLoopJoinOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table outer_rows, outer_->Run(ctx));
+  RQO_ASSIGN_OR_RETURN(const Table* inner, LookupTable(*ctx, inner_table_));
+  RQO_ASSIGN_OR_RETURN(
+      const storage::SortedIndex* index,
+      LookupIndex(*ctx, inner_table_, inner_index_column_));
+  RQO_ASSIGN_OR_RETURN(const size_t ok,
+                       outer_rows.schema().ColumnIndex(outer_key_));
 
-  const JoinOutput plan = JoinOutput::Plan(outer_rows.schema(),
-                                           inner->schema(), output_columns_);
+  RQO_ASSIGN_OR_RETURN(
+      const JoinOutput plan,
+      JoinOutput::Plan(outer_rows.schema(), inner->schema(),
+                       output_columns_));
   Table out("inlj", plan.schema);
+  const uint64_t row_bytes = ApproximateRowBytes(plan.schema);
 
   for (Rid orid = 0; orid < outer_rows.num_rows(); ++orid) {
     const int64_t key = KeyAt(outer_rows, ok, orid);
@@ -227,6 +239,7 @@ Table IndexNestedLoopJoinOp::Execute(ExecContext* ctx) const {
       if (inner_residual_ == nullptr ||
           inner_residual_->EvaluateBool(*inner, irid)) {
         plan.AppendJoined(outer_rows, orid, *inner, irid, &out);
+        RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
       }
     }
   }

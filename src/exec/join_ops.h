@@ -25,7 +25,7 @@ class HashJoinOp final : public PhysicalOperator {
              std::string probe_key,
              std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -45,7 +45,7 @@ class MergeJoinOp final : public PhysicalOperator {
               std::string right_key,
               std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 
@@ -68,7 +68,7 @@ class IndexNestedLoopJoinOp final : public PhysicalOperator {
                         expr::ExprPtr inner_residual = nullptr,
                         std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 

@@ -4,6 +4,11 @@
 // correct relational result — while charging the cost meter for every unit
 // of simulated work. Results are materialized tables (fine at experiment
 // scale, and it keeps operator semantics trivially auditable in tests).
+//
+// Execution is fallible by design: Execute() returns Result<Table> and
+// operators cooperate with the per-query governor (memory/row/time budgets,
+// cancellation) and the fault injector inside their loops, so a tripped
+// budget or injected fault surfaces as a typed Status — never a crash.
 
 #ifndef ROBUSTQO_EXEC_OPERATOR_H_
 #define ROBUSTQO_EXEC_OPERATOR_H_
@@ -14,10 +19,13 @@
 
 #include "exec/cost_model.h"
 #include "expr/expression.h"
+#include "fault/fault_injector.h"
+#include "fault/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
+#include "util/status.h"
 
 namespace robustqo {
 namespace exec {
@@ -37,6 +45,24 @@ struct ExecContext {
   /// simulated cost — the raw material of EXPLAIN ANALYZE.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-query resource governor (borrowed, nullable = unlimited).
+  /// Operators account materialized rows/bytes and poll cancellation and
+  /// the simulated-time budget through Tick()/CheckPoint().
+  fault::QueryGovernor* governor = nullptr;
+  /// Fault injector (borrowed, nullable = no faults). Run() probes the
+  /// operator-alloc and clock-stall sites.
+  fault::FaultInjector* fault = nullptr;
+
+  /// Cooperative checkpoint: cancellation plus the simulated-time budget.
+  Status CheckPoint();
+
+  /// Accounts `rows` materialized rows and `bytes` materialized bytes
+  /// against the governor, checkpointing every few hundred rows so a
+  /// runaway loop is caught promptly without paying per-row overhead.
+  Status Tick(uint64_t rows, uint64_t bytes);
+
+ private:
+  uint64_t rows_since_checkpoint_ = 0;
 };
 
 /// Base class for physical operators.
@@ -45,15 +71,18 @@ class PhysicalOperator {
   virtual ~PhysicalOperator() = default;
 
   /// Runs the operator (and its subtree), returning the materialized
-  /// result and charging `ctx->meter`.
-  virtual storage::Table Execute(ExecContext* ctx) const = 0;
+  /// result and charging `ctx->meter`. Fails with a typed Status on
+  /// malformed plans (kNotFound/kInvalidArgument), governor trips
+  /// (kResourceExhausted/kCancelled) or injected faults.
+  virtual Result<storage::Table> Execute(ExecContext* ctx) const = 0;
 
   /// Instrumented entry point: Execute() wrapped in an "exec" trace span
   /// recording actual output rows and the simulated cost charged by the
   /// subtree. All internal operator-to-child calls (and Database) go
   /// through Run so the span tree mirrors the plan tree; with tracing
-  /// compiled out or no sink attached this is exactly Execute().
-  storage::Table Run(ExecContext* ctx) const;
+  /// compiled out or no sink attached this is exactly Execute() plus the
+  /// fault-site probes.
+  Result<storage::Table> Run(ExecContext* ctx) const;
 
   /// One-line description ("HashJoin(l_orderkey = o_orderkey)").
   virtual std::string Describe() const = 0;
@@ -80,22 +109,35 @@ using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 
 // ---- Shared helpers for operator implementations ----
 
+/// Approximate in-memory bytes of one row of `schema` (8 bytes per cell,
+/// matching the statistics catalog's summary-size approximation).
+uint64_t ApproximateRowBytes(const storage::Schema& schema);
+
 /// Schema containing the named columns of `schema` in the given order.
-storage::Schema ProjectSchema(const storage::Schema& schema,
-                              const std::vector<std::string>& columns);
+Result<storage::Schema> ProjectSchema(const storage::Schema& schema,
+                                      const std::vector<std::string>& columns);
 
 /// Appends row `rid` of `source` to `dest`, restricted to `column_indexes`.
 void AppendProjectedRow(const storage::Table& source, storage::Rid rid,
                         const std::vector<size_t>& column_indexes,
                         storage::Table* dest);
 
-/// Resolves column names to indexes in `schema` (aborts on misses).
-std::vector<size_t> ResolveColumns(const storage::Schema& schema,
-                                   const std::vector<std::string>& columns);
+/// Resolves column names to indexes in `schema`.
+Result<std::vector<size_t>> ResolveColumns(
+    const storage::Schema& schema, const std::vector<std::string>& columns);
 
 /// Concatenation of two schemas (column names must stay unique).
 storage::Schema ConcatSchemas(const storage::Schema& a,
                               const storage::Schema& b);
+
+/// The catalog table named `table`, or kNotFound.
+Result<const storage::Table*> LookupTable(const ExecContext& ctx,
+                                          const std::string& table);
+
+/// The sorted index on `table`.`column`, or kNotFound.
+Result<const storage::SortedIndex*> LookupIndex(const ExecContext& ctx,
+                                                const std::string& table,
+                                                const std::string& column);
 
 }  // namespace exec
 }  // namespace robustqo

@@ -35,19 +35,23 @@ SeqScanOp::SeqScanOp(std::string table, expr::ExprPtr predicate,
       predicate_(std::move(predicate)),
       output_columns_(std::move(output_columns)) {}
 
-Table SeqScanOp::Execute(ExecContext* ctx) const {
-  const Table* source = ctx->catalog->GetTable(table_);
-  RQO_CHECK_MSG(source != nullptr, ("no table " + table_).c_str());
+Result<Table> SeqScanOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table* source, LookupTable(*ctx, table_));
   const std::vector<std::string> cols =
       EffectiveColumns(source->schema(), output_columns_);
-  Table out(table_ + "$scan", ProjectSchema(source->schema(), cols));
-  const std::vector<size_t> col_idx = ResolveColumns(source->schema(), cols);
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       ProjectSchema(source->schema(), cols));
+  Table out(table_ + "$scan", std::move(schema));
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                       ResolveColumns(source->schema(), cols));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
 
   const uint64_t n = source->num_rows();
   ctx->meter.ChargeSeqTuples(ctx->cost_model, n);
   for (Rid rid = 0; rid < n; ++rid) {
     if (predicate_ == nullptr || predicate_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
+      RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
     }
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
@@ -70,13 +74,10 @@ IndexRangeScanOp::IndexRangeScanOp(std::string table, IndexRange range,
       residual_(std::move(residual_predicate)),
       output_columns_(std::move(output_columns)) {}
 
-Table IndexRangeScanOp::Execute(ExecContext* ctx) const {
-  const Table* source = ctx->catalog->GetTable(table_);
-  RQO_CHECK_MSG(source != nullptr, ("no table " + table_).c_str());
-  const storage::SortedIndex* index =
-      ctx->catalog->GetIndex(table_, range_.column);
-  RQO_CHECK_MSG(index != nullptr,
-                ("no index on " + table_ + "." + range_.column).c_str());
+Result<Table> IndexRangeScanOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table* source, LookupTable(*ctx, table_));
+  RQO_ASSIGN_OR_RETURN(const storage::SortedIndex* index,
+                       LookupIndex(*ctx, table_, range_.column));
 
   uint64_t entries = 0;
   std::vector<Rid> rids = index->RangeLookup(range_.lo, range_.hi, &entries);
@@ -85,11 +86,16 @@ Table IndexRangeScanOp::Execute(ExecContext* ctx) const {
 
   const std::vector<std::string> cols =
       EffectiveColumns(source->schema(), output_columns_);
-  Table out(table_ + "$ixscan", ProjectSchema(source->schema(), cols));
-  const std::vector<size_t> col_idx = ResolveColumns(source->schema(), cols);
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       ProjectSchema(source->schema(), cols));
+  Table out(table_ + "$ixscan", std::move(schema));
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                       ResolveColumns(source->schema(), cols));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   for (Rid rid : rids) {
     if (residual_ == nullptr || residual_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
+      RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
     }
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
@@ -114,26 +120,27 @@ IndexIntersectionOp::IndexIntersectionOp(
                 "index intersection needs at least two indexes");
 }
 
-Table IndexIntersectionOp::Execute(ExecContext* ctx) const {
-  const Table* source = ctx->catalog->GetTable(table_);
-  RQO_CHECK_MSG(source != nullptr, ("no table " + table_).c_str());
+Result<Table> IndexIntersectionOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table* source, LookupTable(*ctx, table_));
 
   uint64_t entries_total = 0;
   std::vector<std::vector<Rid>> rid_lists;
   rid_lists.reserve(ranges_.size());
+  fault::MemoryReservation rid_workspace(ctx->governor);
   for (const IndexRange& range : ranges_) {
-    const storage::SortedIndex* index =
-        ctx->catalog->GetIndex(table_, range.column);
-    RQO_CHECK_MSG(index != nullptr,
-                  ("no index on " + table_ + "." + range.column).c_str());
+    RQO_ASSIGN_OR_RETURN(const storage::SortedIndex* index,
+                         LookupIndex(*ctx, table_, range.column));
     uint64_t entries = 0;
     rid_lists.push_back(index->RangeLookup(range.lo, range.hi, &entries));
+    RQO_RETURN_NOT_OK(
+        rid_workspace.Grow(rid_lists.back().size() * sizeof(Rid)));
     ctx->meter.ChargeIndexProbe(ctx->cost_model, entries);
     entries_total += entries;
   }
   // RID-list intersection (sort + progressive set_intersection); charged as
   // CPU work proportional to the combined list lengths.
   ctx->meter.ChargeCpuTuples(ctx->cost_model, entries_total);
+  RQO_RETURN_NOT_OK(ctx->CheckPoint());
   for (auto& list : rid_lists) std::sort(list.begin(), list.end());
   std::vector<Rid> survivors = std::move(rid_lists[0]);
   for (size_t i = 1; i < rid_lists.size(); ++i) {
@@ -147,11 +154,16 @@ Table IndexIntersectionOp::Execute(ExecContext* ctx) const {
 
   const std::vector<std::string> cols =
       EffectiveColumns(source->schema(), output_columns_);
-  Table out(table_ + "$ixintersect", ProjectSchema(source->schema(), cols));
-  const std::vector<size_t> col_idx = ResolveColumns(source->schema(), cols);
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       ProjectSchema(source->schema(), cols));
+  Table out(table_ + "$ixintersect", std::move(schema));
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                       ResolveColumns(source->schema(), cols));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   for (Rid rid : survivors) {
     if (residual_ == nullptr || residual_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
+      RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
     }
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());

@@ -25,7 +25,7 @@ class SeqScanOp final : public PhysicalOperator {
   SeqScanOp(std::string table, expr::ExprPtr predicate,
             std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -49,7 +49,7 @@ class IndexRangeScanOp final : public PhysicalOperator {
                    expr::ExprPtr residual_predicate,
                    std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -67,7 +67,7 @@ class IndexIntersectionOp final : public PhysicalOperator {
                       expr::ExprPtr residual_predicate,
                       std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
 
  private:

@@ -11,17 +11,22 @@ namespace exec {
 SortOp::SortOp(OperatorPtr child, std::string column)
     : child_(std::move(child)), column_(std::move(column)) {}
 
-storage::Table SortOp::Execute(ExecContext* ctx) const {
-  const storage::Table input = child_->Run(ctx);
+Result<storage::Table> SortOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const storage::Table input, child_->Run(ctx));
   const uint64_t n = input.num_rows();
   ctx->meter.ChargeSortWork(ctx->cost_model, n);
 
-  auto key_idx = input.schema().ColumnIndex(column_);
-  RQO_CHECK_MSG(key_idx.ok(), key_idx.status().ToString().c_str());
-  const storage::ColumnVector& key = input.column(key_idx.value());
-  RQO_CHECK_MSG(key.type() != storage::DataType::kString,
-                "sort keys must be numeric-physical");
+  RQO_ASSIGN_OR_RETURN(const size_t key_idx,
+                       input.schema().ColumnIndex(column_));
+  const storage::ColumnVector& key = input.column(key_idx);
+  if (key.type() == storage::DataType::kString) {
+    return Status::InvalidArgument("sort key " + column_ +
+                                   " must be numeric-physical");
+  }
 
+  // Order vector is transient sort workspace.
+  fault::MemoryReservation workspace(ctx->governor);
+  RQO_RETURN_NOT_OK(workspace.Grow(n * sizeof(storage::Rid)));
   std::vector<storage::Rid> order(n);
   std::iota(order.begin(), order.end(), storage::Rid{0});
   if (storage::IsIntegerPhysical(key.type())) {
@@ -35,12 +40,15 @@ storage::Table SortOp::Execute(ExecContext* ctx) const {
                        return key.DoubleAt(a) < key.DoubleAt(b);
                      });
   }
+  RQO_RETURN_NOT_OK(ctx->CheckPoint());
 
   storage::Table out("sort", input.schema());
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   std::vector<size_t> all_cols(input.schema().num_columns());
   for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
   for (storage::Rid rid : order) {
     AppendProjectedRow(input, rid, all_cols, &out);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
   }
   return out;
 }

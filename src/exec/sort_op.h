@@ -20,7 +20,7 @@ class SortOp final : public PhysicalOperator {
  public:
   SortOp(OperatorPtr child, std::string column);
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
   std::vector<const PhysicalOperator*> children() const override;
 

@@ -20,24 +20,23 @@ StarSemiJoinOp::StarSemiJoinOp(std::string fact_table,
   RQO_CHECK_MSG(!dims_.empty(), "star semijoin needs at least one dimension");
 }
 
-Table StarSemiJoinOp::Execute(ExecContext* ctx) const {
-  const Table* fact = ctx->catalog->GetTable(fact_table_);
-  RQO_CHECK_MSG(fact != nullptr, ("no table " + fact_table_).c_str());
+Result<Table> StarSemiJoinOp::Execute(ExecContext* ctx) const {
+  RQO_ASSIGN_OR_RETURN(const Table* fact, LookupTable(*ctx, fact_table_));
 
   // Phase 1: per-dimension semijoin — find qualifying fact RIDs via the FK
-  // index, one probe per selected dimension key.
+  // index, one probe per selected dimension key. The RID sets are transient
+  // workspace held until the intersection phase.
+  fault::MemoryReservation workspace(ctx->governor);
   std::vector<std::vector<Rid>> rid_sets;
   rid_sets.reserve(dims_.size());
   for (const DimSemiJoin& dim : dims_) {
-    const Table* dim_table = ctx->catalog->GetTable(dim.dim_table);
-    RQO_CHECK_MSG(dim_table != nullptr, ("no table " + dim.dim_table).c_str());
-    const storage::SortedIndex* fk_index =
-        ctx->catalog->GetIndex(fact_table_, dim.fact_fk_column);
-    RQO_CHECK_MSG(fk_index != nullptr,
-                  ("no index on " + fact_table_ + "." + dim.fact_fk_column)
-                      .c_str());
-    auto pk_idx = dim_table->schema().ColumnIndex(dim.dim_pk_column);
-    RQO_CHECK_MSG(pk_idx.ok(), pk_idx.status().ToString().c_str());
+    RQO_ASSIGN_OR_RETURN(const Table* dim_table,
+                         LookupTable(*ctx, dim.dim_table));
+    RQO_ASSIGN_OR_RETURN(
+        const storage::SortedIndex* fk_index,
+        LookupIndex(*ctx, fact_table_, dim.fact_fk_column));
+    RQO_ASSIGN_OR_RETURN(const size_t pk_idx,
+                         dim_table->schema().ColumnIndex(dim.dim_pk_column));
 
     ctx->meter.ChargeSeqTuples(ctx->cost_model, dim_table->num_rows());
     std::vector<Rid> fact_rids;
@@ -47,8 +46,7 @@ Table StarSemiJoinOp::Execute(ExecContext* ctx) const {
           !dim.dim_predicate->EvaluateBool(*dim_table, drid)) {
         continue;
       }
-      const int64_t pk =
-          dim_table->column(pk_idx.value()).Int64At(drid);
+      const int64_t pk = dim_table->column(pk_idx).Int64At(drid);
       uint64_t entries = 0;
       std::vector<Rid> matches =
           fk_index->EqualLookup(static_cast<double>(pk), &entries);
@@ -58,6 +56,8 @@ Table StarSemiJoinOp::Execute(ExecContext* ctx) const {
     }
     // RID-set bookkeeping (sorting for the intersection phase).
     ctx->meter.ChargeCpuTuples(ctx->cost_model, entries_this_dim);
+    RQO_RETURN_NOT_OK(workspace.Grow(fact_rids.size() * sizeof(Rid)));
+    RQO_RETURN_NOT_OK(ctx->CheckPoint());
     std::sort(fact_rids.begin(), fact_rids.end());
     rid_sets.push_back(std::move(fact_rids));
   }
@@ -78,10 +78,15 @@ Table StarSemiJoinOp::Execute(ExecContext* ctx) const {
   if (cols.empty()) {
     for (const auto& c : fact->schema().columns()) cols.push_back(c.name);
   }
-  Table out(fact_table_ + "$starsemi", ProjectSchema(fact->schema(), cols));
-  const std::vector<size_t> col_idx = ResolveColumns(fact->schema(), cols);
+  RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                       ProjectSchema(fact->schema(), cols));
+  Table out(fact_table_ + "$starsemi", std::move(schema));
+  const uint64_t row_bytes = ApproximateRowBytes(out.schema());
+  RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                       ResolveColumns(fact->schema(), cols));
   for (Rid rid : survivors) {
     AppendProjectedRow(*fact, rid, col_idx, &out);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
   }
   ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
   return out;

@@ -32,7 +32,7 @@ class StarSemiJoinOp final : public PhysicalOperator {
   StarSemiJoinOp(std::string fact_table, std::vector<DimSemiJoin> dims,
                  std::vector<std::string> output_columns = {});
 
-  storage::Table Execute(ExecContext* ctx) const override;
+  Result<storage::Table> Execute(ExecContext* ctx) const override;
   std::string Describe() const override;
 
  private:

@@ -465,14 +465,21 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
         options.metrics->GetCounter("optimizer.estimate_cache_hits");
     run.metric_candidates = options.metrics->GetCounter("optimizer.candidates");
   }
-  // Scope the estimator's trace sink to this run so estimation events nest
-  // under the optimize span (restored on every return path).
-  struct EstimatorTracerScope {
+  // Scope the estimator's trace/metrics sinks to this run so estimation
+  // events nest under the optimize span and degradations are counted
+  // (restored on every return path).
+  struct EstimatorSinkScope {
     stats::CardinalityEstimator* estimator;
-    obs::Tracer* saved;
-    ~EstimatorTracerScope() { estimator->set_tracer(saved); }
-  } estimator_tracer_scope{estimator_, estimator_->tracer()};
+    obs::Tracer* saved_tracer;
+    obs::MetricsRegistry* saved_metrics;
+    ~EstimatorSinkScope() {
+      estimator->set_tracer(saved_tracer);
+      estimator->set_metrics(saved_metrics);
+    }
+  } estimator_sink_scope{estimator_, estimator_->tracer(),
+                         estimator_->metrics()};
   if (options.tracer != nullptr) estimator_->set_tracer(options.tracer);
+  if (options.metrics != nullptr) estimator_->set_metrics(options.metrics);
   obs::SpanGuard optimize_span(
       options.tracer, "optimizer", "optimize",
       {{"tables", obs::AttrU64(query.tables.size())},

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "expr/expression.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -59,8 +60,14 @@ class CardinalityEstimator {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Optional metrics sink (borrowed, nullable). Implementations count
+  /// degradations ("estimator.degraded.*") and retries here.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  protected:
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace stats

@@ -18,6 +18,24 @@ std::string JoinTableNames(const std::set<std::string>& tables) {
   return StrJoin(names, ",");
 }
 
+// Whether at least one conjunct of `pred` is backed by a real histogram on
+// `table` — the evidence bar for the tier-3 fallback. (The histogram
+// estimator itself never fails: it papers over missing histograms with
+// magic constants, which is exactly what tier 4 must replace with the wide
+// posterior.)
+bool HasHistogramEvidence(const StatisticsCatalog& statistics,
+                          const std::string& table,
+                          const expr::ExprPtr& pred) {
+  for (const auto& conjunct : expr::SplitConjuncts(pred)) {
+    auto range = expr::TryExtractColumnRange(conjunct);
+    if (range.has_value() &&
+        statistics.GetHistogram(table, range->column) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 double ConfidenceThresholdFor(RobustnessLevel level) {
@@ -38,20 +56,46 @@ RobustEstimatorConfig RobustEstimatorConfig::For(RobustnessLevel level) {
   return config;
 }
 
+void RobustSampleEstimator::RecordDegradation(const char* tier_from,
+                                              const char* tier_to,
+                                              const char* reason,
+                                              const std::string& scope,
+                                              const char* counter) const {
+  RQO_IF_OBS(metrics_) { metrics_->GetCounter(counter)->Increment(); }
+  RQO_IF_OBS(tracer_) {
+    tracer_->Event("estimator", "degraded",
+                   {{"tier_from", tier_from},
+                    {"tier_to", tier_to},
+                    {"reason", reason},
+                    {"tables", scope}});
+  }
+}
+
+double RobustSampleEstimator::DefaultWideSelectivity() const {
+  const double s0 = kMagicUnknownSelectivity;
+  const double n_eq = config_.default_equivalent_n;
+  // Prior-only posterior (no evidence): Beta(s0*n_eq, (1-s0)*n_eq) has mean
+  // s0 but the weight of only ~n_eq observations, so the quantile at T
+  // spreads far from the mean — conservative settings assume many rows.
+  SelectivityPosterior wide(0, 0, BetaPrior{s0 * n_eq, (1.0 - s0) * n_eq});
+  return wide.EstimateAtConfidence(config_.confidence_threshold);
+}
+
 Result<RobustSampleEstimator::Observation> RobustSampleEstimator::Observe(
     const CardinalityRequest& request) const {
-  const JoinSynopsis* synopsis =
-      statistics_->FindCoveringSynopsis(request.tables);
-  if (synopsis == nullptr) {
-    return Status::NotFound("no covering join synopsis");
-  }
+  Result<const JoinSynopsis*> synopsis = fault::RetryWithBackoff(
+      config_.retry,
+      [&] { return statistics_->TryFindCoveringSynopsis(request.tables); },
+      nullptr, metrics_);
+  if (!synopsis.ok()) return synopsis.status();
   Observation obs;
-  obs.sample_size = synopsis->size();
-  obs.root_rows = synopsis->root_row_count();
+  obs.sample_size = synopsis.value()->size();
+  obs.root_rows = synopsis.value()->root_row_count();
   obs.satisfying =
       request.predicate == nullptr
-          ? synopsis->size()
-          : expr::CountSatisfying(*request.predicate, synopsis->rows());
+          ? synopsis.value()->size()
+          : expr::CountSatisfying(*request.predicate,
+                                  synopsis.value()->rows());
   return obs;
 }
 
@@ -70,11 +114,12 @@ Result<double> RobustSampleEstimator::EstimateRows(
   if (!root.ok()) return root.status();
   const double root_rows =
       static_cast<double>(catalog.GetTable(root.value())->num_rows());
+  if (request.predicate == nullptr) return root_rows;
 
-  // Primary path: a covering join synopsis.
+  // Tier 1: a covering join synopsis (transient read failures retried with
+  // deterministic backoff inside Observe).
   Result<Observation> obs = Observe(request);
   if (obs.ok()) {
-    if (request.predicate == nullptr) return root_rows;
     const BetaPrior prior = config_.EffectivePrior();
     SelectivityPosterior posterior(obs.value().satisfying,
                                    obs.value().sample_size, prior);
@@ -100,13 +145,22 @@ Result<double> RobustSampleEstimator::EstimateRows(
     }
     return selectivity * root_rows;
   }
+  const bool synopsis_unavailable =
+      obs.status().code() == StatusCode::kUnavailable;
+  RecordDegradation("synopsis", "table-sample",
+                    synopsis_unavailable ? "unavailable" : "missing",
+                    JoinTableNames(request.tables),
+                    synopsis_unavailable
+                        ? "estimator.degraded.synopsis_unavailable"
+                        : "estimator.degraded.synopsis_miss");
 
-  // Fallback 1 (Section 3.5): independent per-table samples + AVI +
+  // Tier 2 (Section 3.5): independent per-table samples + AVI +
   // containment. Each table's predicate slice is estimated robustly from
   // that table's own sample; cross-table independence is then assumed.
-  if (request.predicate == nullptr) return root_rows;
+  // Tables whose sample is missing or unreadable degrade further on their
+  // own: histogram/AVI baseline (tier 3), then the default-wide posterior
+  // (tier 4).
   double selectivity = 1.0;
-  bool any_sample_missing = false;
   for (const std::string& table : request.tables) {
     const storage::Table* t = catalog.GetTable(table);
     std::vector<expr::ExprPtr> mine;
@@ -123,51 +177,90 @@ Result<double> RobustSampleEstimator::EstimateRows(
       if (all_mine) mine.push_back(conjunct);
     }
     if (mine.empty()) continue;
-    const TableSample* sample = statistics_->GetSample(table);
-    if (sample == nullptr) {
-      any_sample_missing = true;
-      // Fallback 2: magic distribution, quantile at the same threshold, one
-      // factor per stat-less conjunct.
-      for (size_t i = 0; i < mine.size(); ++i) {
-        selectivity *=
-            MagicSelectivityAtConfidence(config_.confidence_threshold);
-      }
+    const size_t num_conjuncts = mine.size();
+    expr::ExprPtr table_pred = expr::And(std::move(mine));
+
+    Result<const TableSample*> sample = fault::RetryWithBackoff(
+        config_.retry, [&] { return statistics_->TryGetSample(table); },
+        nullptr, metrics_);
+    if (sample.ok()) {
+      const uint64_t k =
+          expr::CountSatisfying(*table_pred, sample.value()->rows());
+      const BetaPrior prior = config_.EffectivePrior();
+      SelectivityPosterior posterior(k, sample.value()->size(), prior);
+      const double factor =
+          posterior.EstimateAtConfidence(config_.confidence_threshold);
+      selectivity *= factor;
       RQO_IF_OBS(tracer_) {
         tracer_->Event(
             "estimator", "robust",
             {{"tables", table},
-             {"source", "magic"},
-             {"conjuncts", robustqo::obs::AttrU64(mine.size())},
-             {"threshold",
-              robustqo::obs::AttrF(config_.confidence_threshold)}});
+             {"predicate", table_pred->ToString()},
+             {"source", "table-sample"},
+             {"k", robustqo::obs::AttrU64(k)},
+             {"n", robustqo::obs::AttrU64(sample.value()->size())},
+             {"posterior_alpha",
+              robustqo::obs::AttrF(static_cast<double>(k) + prior.alpha)},
+             {"posterior_beta",
+              robustqo::obs::AttrF(
+                  static_cast<double>(sample.value()->size() - k) +
+                  prior.beta)},
+             {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
+             {"selectivity", robustqo::obs::AttrF(factor)}});
       }
       continue;
     }
-    expr::ExprPtr table_pred = expr::And(std::move(mine));
-    const uint64_t k = expr::CountSatisfying(*table_pred, sample->rows());
-    const BetaPrior prior = config_.EffectivePrior();
-    SelectivityPosterior posterior(k, sample->size(), prior);
-    const double factor =
-        posterior.EstimateAtConfidence(config_.confidence_threshold);
-    selectivity *= factor;
+    const bool sample_unavailable =
+        sample.status().code() == StatusCode::kUnavailable;
+    RQO_IF_OBS(metrics_) {
+      metrics_
+          ->GetCounter(sample_unavailable
+                           ? "estimator.degraded.sample_unavailable"
+                           : "estimator.degraded.sample_miss")
+          ->Increment();
+    }
+
+    // Tier 3: the histogram/AVI baseline over the same statistics store
+    // (only when a real histogram backs at least one conjunct — the
+    // histogram estimator itself silently substitutes magic constants).
+    if (HasHistogramEvidence(*statistics_, table, table_pred)) {
+      Result<double> hist_factor =
+          histogram_fallback_.EstimateTableSelectivity(table, table_pred);
+      if (hist_factor.ok()) {
+        selectivity *= hist_factor.value();
+        RecordDegradation("table-sample", "histogram-avi",
+                          sample_unavailable ? "unavailable" : "missing",
+                          table, "estimator.degraded.to_histogram");
+        RQO_IF_OBS(tracer_) {
+          tracer_->Event(
+              "estimator", "robust",
+              {{"tables", table},
+               {"predicate", table_pred->ToString()},
+               {"source", "histogram-avi"},
+               {"threshold",
+                robustqo::obs::AttrF(config_.confidence_threshold)},
+               {"selectivity", robustqo::obs::AttrF(hist_factor.value())}});
+        }
+        continue;
+      }
+    }
+
+    // Tier 4: default selectivity from the wide prior-only posterior, one
+    // factor per stat-less conjunct.
+    const double wide = DefaultWideSelectivity();
+    for (size_t i = 0; i < num_conjuncts; ++i) selectivity *= wide;
+    RecordDegradation("histogram-avi", "default-wide", "missing", table,
+                      "estimator.degraded.to_default");
     RQO_IF_OBS(tracer_) {
       tracer_->Event(
           "estimator", "robust",
           {{"tables", table},
-           {"predicate", table_pred->ToString()},
-           {"source", "table-sample"},
-           {"k", robustqo::obs::AttrU64(k)},
-           {"n", robustqo::obs::AttrU64(sample->size())},
-           {"posterior_alpha",
-            robustqo::obs::AttrF(static_cast<double>(k) + prior.alpha)},
-           {"posterior_beta",
-            robustqo::obs::AttrF(static_cast<double>(sample->size() - k) +
-                                 prior.beta)},
+           {"source", "default-wide"},
+           {"conjuncts", robustqo::obs::AttrU64(num_conjuncts)},
            {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
-           {"selectivity", robustqo::obs::AttrF(factor)}});
+           {"selectivity", robustqo::obs::AttrF(wide)}});
     }
   }
-  (void)any_sample_missing;
   RQO_IF_OBS(tracer_) {
     tracer_->Event("estimator", "robust",
                    {{"tables", JoinTableNames(request.tables)},
@@ -184,16 +277,16 @@ Result<double> RobustSampleEstimator::EstimateRows(
 
 Result<double> RobustSampleEstimator::EstimateDistinctValues(
     const std::string& table, const std::string& column) {
-  const TableSample* sample = statistics_->GetSample(table);
-  if (sample == nullptr) {
-    return Status::NotFound("no sample for " + table);
-  }
+  Result<const TableSample*> sample = fault::RetryWithBackoff(
+      config_.retry, [&] { return statistics_->TryGetSample(table); },
+      nullptr, metrics_);
+  if (!sample.ok()) return sample.status();
   Result<SampleFrequencyProfile> profile =
-      ProfileSampleColumn(*sample, column);
+      ProfileSampleColumn(*sample.value(), column);
   if (!profile.ok()) return profile.status();
   // With-replacement draws can repeat rows; the population the profile
   // scales to is still the base table size.
-  return EstimateDistinct(profile.value(), sample->source_row_count(),
+  return EstimateDistinct(profile.value(), sample.value()->source_row_count(),
                           DistinctMethod::kGee);
 }
 

@@ -14,7 +14,9 @@
 #include <optional>
 #include <string>
 
+#include "fault/retry.h"
 #include "statistics/cardinality_estimator.h"
+#include "statistics/histogram_estimator.h"
 #include "statistics/selectivity_posterior.h"
 #include "statistics/statistics_catalog.h"
 
@@ -42,6 +44,14 @@ struct RobustEstimatorConfig {
   /// fitted from workload feedback (WorkloadPriorBuilder, Section 3.3's
   /// "prior knowledge about the query workload").
   std::optional<BetaPrior> custom_prior;
+  /// Retry schedule for transient statistics-store reads (synopsis/sample
+  /// lookups that fail with kUnavailable).
+  fault::RetryPolicy retry;
+  /// Equivalent sample size of the tier-4 "default wide" posterior: the
+  /// prior-only Beta the estimator falls back to when a conjunct has no
+  /// synopsis, no sample and no histogram. Small n_eq = wide posterior, so
+  /// conservative thresholds assume many rows.
+  double default_equivalent_n = 2.0;
 
   /// The effective Beta prior.
   BetaPrior EffectivePrior() const {
@@ -51,17 +61,29 @@ struct RobustEstimatorConfig {
   static RobustEstimatorConfig For(RobustnessLevel level);
 };
 
-/// Robust sample-based cardinality estimator.
+/// Robust sample-based cardinality estimator with graceful degradation:
+/// each estimate walks a cascade of progressively weaker evidence instead
+/// of failing when statistics are missing or transiently unreadable.
+///
+///   tier 1  covering join synopsis   (the paper's primary path)
+///   tier 2  per-table samples + AVI  (Section 3.5's fallback)
+///   tier 3  histogram/AVI baseline   (the commercial-system estimate)
+///   tier 4  default-wide posterior   (prior-only Beta, quantile at T)
+///
+/// Transient (kUnavailable) statistics reads are retried with
+/// deterministic backoff before degrading; every degradation emits an
+/// "estimator"/"degraded" trace event and an estimator.degraded.* counter.
 class RobustSampleEstimator : public CardinalityEstimator {
  public:
   RobustSampleEstimator(const StatisticsCatalog* statistics,
                         RobustEstimatorConfig config)
-      : statistics_(statistics), config_(config) {}
+      : statistics_(statistics),
+        config_(config),
+        histogram_fallback_(statistics) {}
 
   /// Estimate = cdf^{-1}(T) of the selectivity posterior, scaled by the
-  /// root table's row count. Fallback chain when no covering synopsis
-  /// exists (Section 3.5): independent per-table samples combined with
-  /// AVI + containment; then the "magic distribution" quantile at T.
+  /// root table's row count, degrading through the tiers above as
+  /// evidence is unavailable.
   Result<double> EstimateRows(const CardinalityRequest& request) override;
 
   /// The full posterior for a request, when a covering synopsis exists.
@@ -89,9 +111,20 @@ class RobustSampleEstimator : public CardinalityEstimator {
 
   std::string name() const override;
 
+  /// Tier-4 selectivity: quantile at the confidence threshold of the wide
+  /// default posterior Beta(s0*n_eq, (1-s0)*n_eq), s0 = 1/3 (the classic
+  /// range magic number). Exposed for tests.
+  double DefaultWideSelectivity() const;
+
  private:
+  // Degradation bookkeeping: one trace event + counter per tier drop.
+  void RecordDegradation(const char* tier_from, const char* tier_to,
+                         const char* reason, const std::string& scope,
+                         const char* counter) const;
+
   const StatisticsCatalog* statistics_;
   RobustEstimatorConfig config_;
+  HistogramEstimator histogram_fallback_;
 };
 
 }  // namespace stats

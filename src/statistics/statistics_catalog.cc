@@ -66,8 +66,9 @@ void StatisticsCatalog::ClearSamples() {
 }
 
 void StatisticsCatalog::DropSynopsis(const std::string& root_table) {
+  // Only the synopsis: the table's own sample stays, so the estimator can
+  // degrade one tier (synopsis -> per-table sample) instead of two.
   synopses_.erase(root_table);
-  samples_.erase(root_table);
 }
 
 void StatisticsCatalog::ClearHistograms() { histograms_.clear(); }
@@ -113,6 +114,33 @@ const JoinSynopsis* StatisticsCatalog::FindCoveringSynopsis(
   if (!root.ok()) return nullptr;
   const JoinSynopsis* synopsis = GetSynopsis(root.value());
   if (synopsis == nullptr || !synopsis->Covers(tables)) return nullptr;
+  return synopsis;
+}
+
+Result<const TableSample*> StatisticsCatalog::TryGetSample(
+    const std::string& table) const {
+  if (fault_ != nullptr) {
+    Status injected = fault_->Check(fault::sites::kSampleRead);
+    if (!injected.ok()) {
+      return Status(injected.code(),
+                    injected.message() + " reading sample for " + table);
+    }
+  }
+  const TableSample* sample = GetSample(table);
+  if (sample == nullptr) return Status::NotFound("no sample for " + table);
+  return sample;
+}
+
+Result<const JoinSynopsis*> StatisticsCatalog::TryFindCoveringSynopsis(
+    const std::set<std::string>& tables) const {
+  if (fault_ != nullptr) {
+    Status injected = fault_->Check(fault::sites::kSynopsisRead);
+    if (!injected.ok()) return injected;
+  }
+  const JoinSynopsis* synopsis = FindCoveringSynopsis(tables);
+  if (synopsis == nullptr) {
+    return Status::NotFound("no covering join synopsis");
+  }
   return synopsis;
 }
 

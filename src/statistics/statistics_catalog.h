@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "statistics/histogram.h"
 #include "statistics/join_synopsis.h"
 #include "statistics/sample.h"
@@ -65,7 +66,7 @@ class StatisticsCatalog {
   /// Drops every sample and synopsis (e.g. to model the no-statistics
   /// fallbacks of Section 3.5).
   void ClearSamples();
-  /// Drops the synopsis/sample rooted at one table.
+  /// Drops the synopsis rooted at one table (per-table samples stay).
   void DropSynopsis(const std::string& root_table);
   /// Drops all histograms.
   void ClearHistograms();
@@ -88,6 +89,20 @@ class StatisticsCatalog {
   const JoinSynopsis* FindCoveringSynopsis(
       const std::set<std::string>& tables) const;
 
+  /// Fault-aware accessors: the statistics-store reads that can fail
+  /// transiently in a real system. They probe the injector's sample-read /
+  /// synopsis-read sites (kUnavailable when a fault fires) and report
+  /// genuinely absent statistics as kNotFound — so callers can distinguish
+  /// "retry may help" from "degrade now".
+  Result<const TableSample*> TryGetSample(const std::string& table) const;
+  Result<const JoinSynopsis*> TryFindCoveringSynopsis(
+      const std::set<std::string>& tables) const;
+
+  /// Installs the fault injector probed by the Try* accessors (borrowed,
+  /// nullable = reads never fail).
+  void SetFaultInjector(fault::FaultInjector* fault) { fault_ = fault; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
   /// Total bytes of summary data held, approximated as 8 bytes per numeric
   /// cell (for the storage-parity discussion of Section 6.1).
   size_t ApproximateSummaryBytes() const;
@@ -101,6 +116,7 @@ class StatisticsCatalog {
 
  private:
   const storage::Catalog* catalog_;
+  fault::FaultInjector* fault_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<EquiDepthHistogram>>
       histograms_;  // "table.column"
   std::unordered_map<std::string, std::unique_ptr<TableSample>> samples_;

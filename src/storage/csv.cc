@@ -108,6 +108,15 @@ Result<std::unique_ptr<Table>> ReadCsv(std::istream* input,
   bool skipped_header = !options.has_header;
   while (std::getline(*input, line)) {
     ++line_no;
+    if (options.fault != nullptr) {
+      Status injected = options.fault->Check(fault::sites::kCsvRead);
+      if (!injected.ok()) {
+        return Status(injected.code(),
+                      injected.message() +
+                          StrPrintf(" reading %s line %zu",
+                                    table_name.c_str(), line_no));
+      }
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (!skipped_header) {
       skipped_header = true;
@@ -132,6 +141,13 @@ Result<std::unique_ptr<Table>> ReadCsv(std::istream* input,
       row.push_back(std::move(value).value());
     }
     table->AppendRow(row);
+  }
+  // Distinguish clean EOF from a stream that died mid-read (I/O error):
+  // only the latter sets badbit.
+  if (input->bad()) {
+    return Status::Unavailable(
+        StrPrintf("I/O error reading %s after line %zu", table_name.c_str(),
+                  line_no));
   }
   return table;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault_injector.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -24,11 +25,16 @@ struct CsvOptions {
   char delimiter = ',';
   /// Skip the first line (column headers).
   bool has_header = true;
+  /// Optional fault injector (borrowed): every line read probes the
+  /// "storage.csv.read" site, so tests can simulate a disk that fails
+  /// mid-file. nullptr (the default) costs nothing.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Parses CSV from `input` into a new table named `table_name` with the
 /// given schema. Fails with InvalidArgument on arity or value errors
-/// (message includes the line number).
+/// (message includes the line number) and with Unavailable when the
+/// underlying stream goes bad mid-read or an armed fault fires.
 Result<std::unique_ptr<Table>> ReadCsv(std::istream* input,
                                        const std::string& table_name,
                                        const Schema& schema,

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 /// Aborts with a message when `condition` is false. Used for programmer
 /// errors (violated preconditions); recoverable errors use Status/Result.
@@ -42,5 +43,19 @@
     ::robustqo::Status _st = (expr);         \
     if (!_st.ok()) return _st;               \
   } while (0)
+
+#define RQO_MACRO_CONCAT_INNER(a, b) a##b
+#define RQO_MACRO_CONCAT(a, b) RQO_MACRO_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise move-assigns the value into
+/// `lhs` (which may be a declaration: RQO_ASSIGN_OR_RETURN(auto x, ...)).
+#define RQO_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  RQO_ASSIGN_OR_RETURN_IMPL(RQO_MACRO_CONCAT(_rqo_result_, __LINE__), lhs,  \
+                            rexpr)
+#define RQO_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
 
 #endif  // ROBUSTQO_UTIL_MACROS_H_

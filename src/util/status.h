@@ -24,6 +24,13 @@ enum class StatusCode {
   kOutOfRange,
   kUnsupported,
   kInternal,
+  /// A resource (statistics sample, file, service) is transiently
+  /// unavailable; retrying or degrading to weaker evidence may succeed.
+  kUnavailable,
+  /// A query-governor budget (memory, rows, simulated time) was exceeded.
+  kResourceExhausted,
+  /// The operation was cooperatively cancelled before completion.
+  kCancelled,
 };
 
 /// Human-readable name for a StatusCode.
@@ -57,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

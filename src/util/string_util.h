@@ -26,6 +26,12 @@ bool EndsWith(const std::string& s, const std::string& suffix);
 /// True iff `needle` occurs in `haystack` (SQL LIKE '%needle%').
 bool Contains(const std::string& haystack, const std::string& needle);
 
+/// Splits `s` on every occurrence of `sep` (empty pieces included).
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+/// ASCII uppercase copy.
+std::string ToUpper(const std::string& s);
+
 /// Escapes `s` for inclusion inside a double-quoted JSON string (quotes,
 /// backslashes, control characters).
 std::string JsonEscape(const std::string& s);

@@ -1,0 +1,198 @@
+#include "workload/chaos_harness.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "fault/fault_injector.h"
+#include "fault/governor.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace workload {
+
+namespace {
+
+// The failure codes the robustness contract allows: injected transient
+// faults, governor trips and cooperative cancellation. Anything else
+// (Internal, untyped parse errors, ...) is a contract violation under
+// chaos, because the inputs were valid queries.
+bool IsCleanFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
+
+// Seed-derived arming for one run. Returns a human-readable description.
+std::string ArmRandomFaults(fault::FaultInjector* injector, Rng* rng,
+                            double arm_probability,
+                            std::map<std::string, size_t>* armed_counts) {
+  std::string description;
+  for (const std::string& site : fault::KnownFaultSites()) {
+    if (!rng->NextBernoulli(arm_probability)) continue;
+    fault::FaultSpec spec;
+    switch (rng->NextBounded(4)) {
+      case 0:
+        spec = fault::FaultSpec::Always();
+        break;
+      case 1:
+        spec = fault::FaultSpec::FirstN(
+            static_cast<uint64_t>(rng->NextInRange(1, 3)));
+        break;
+      case 2:
+        spec = fault::FaultSpec::OnNth(
+            static_cast<uint64_t>(rng->NextInRange(1, 50)));
+        break;
+      default:
+        spec = fault::FaultSpec::Probability(rng->NextDoubleInRange(0.01, 0.5));
+        break;
+    }
+    if (site == fault::sites::kOperatorAlloc) {
+      spec.code = StatusCode::kResourceExhausted;
+    }
+    if (site == fault::sites::kClockStall) {
+      spec.stall_seconds = rng->NextDoubleInRange(0.5, 50.0);
+    }
+    injector->Arm(site, spec);
+    ++(*armed_counts)[site];
+    if (!description.empty()) description += " ";
+    description += site + "=" + spec.ToString();
+  }
+  return description;
+}
+
+fault::GovernorLimits RandomGovernorLimits(Rng* rng) {
+  fault::GovernorLimits limits;
+  // Log-uniform ranges straddling what the scenario queries actually use,
+  // so some runs trip and others squeak through.
+  limits.memory_limit_bytes = 1ull << rng->NextInRange(14, 26);
+  limits.row_limit = 1ull << rng->NextInRange(6, 24);
+  if (rng->NextBernoulli(0.5)) {
+    limits.time_limit_seconds = rng->NextDoubleInRange(0.001, 30.0);
+  }
+  return limits;
+}
+
+// Reference fingerprint of a result for cross-run verification.
+struct Reference {
+  uint64_t num_rows = 0;
+  bool numeric = false;
+  double first_cell = 0.0;
+  std::string first_cell_text;
+};
+
+Reference Fingerprint(const storage::Table& rows) {
+  Reference ref;
+  ref.num_rows = rows.num_rows();
+  if (rows.num_rows() > 0 && rows.schema().num_columns() > 0) {
+    const storage::Value v = rows.ValueAt(0, 0);
+    if (v.type() == storage::DataType::kString) {
+      ref.first_cell_text = v.AsString();
+    } else {
+      ref.numeric = true;
+      ref.first_cell = v.NumericValue();
+    }
+  }
+  return ref;
+}
+
+// Different (degraded) plans may reassociate floating-point aggregation,
+// so numeric answers match within a tight relative tolerance, not
+// bit-for-bit.
+bool Matches(const Reference& expected, const Reference& actual) {
+  if (expected.num_rows != actual.num_rows) return false;
+  if (expected.num_rows == 0) return true;
+  if (expected.numeric != actual.numeric) return false;
+  if (!expected.numeric) {
+    return expected.first_cell_text == actual.first_cell_text;
+  }
+  const double tolerance =
+      1e-6 * std::max(1.0, std::abs(expected.first_cell));
+  return std::abs(expected.first_cell - actual.first_cell) <= tolerance;
+}
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::string out = StrPrintf(
+      "chaos: %zu runs, %zu completed correct, %zu failed typed, "
+      "%zu violations\n",
+      runs, completed, failed_typed, violations.size());
+  for (const auto& [code, count] : failures_by_code) {
+    out += StrPrintf("  failure %-18s %zu\n", code.c_str(), count);
+  }
+  for (const auto& [site, count] : armed_counts) {
+    out += StrPrintf("  armed   %-22s %zu\n", site.c_str(), count);
+  }
+  for (const ChaosRunOutcome& v : violations) {
+    out += StrPrintf("  VIOLATION seed=%llu [%s] %s\n",
+                     static_cast<unsigned long long>(v.seed),
+                     v.armed.c_str(),
+                     v.executed ? "wrong answer" : v.error.c_str());
+  }
+  return out;
+}
+
+ChaosReport ChaosHarness::Run(const ChaosConfig& config,
+                              const std::vector<opt::QuerySpec>& queries) {
+  ChaosReport report;
+  if (queries.empty()) return report;
+
+  // Fault-free reference answers, one per query.
+  db_->fault_injector()->DisarmAll();
+  db_->SetGovernorLimits({});
+  std::vector<Reference> references;
+  references.reserve(queries.size());
+  for (const opt::QuerySpec& query : queries) {
+    Result<core::ExecutionResult> clean =
+        db_->Execute(query, core::EstimatorKind::kRobustSample);
+    RQO_CHECK_MSG(clean.ok(), "chaos reference execution failed");
+    references.push_back(Fingerprint(clean.value().rows));
+  }
+
+  for (size_t i = 0; i < config.runs; ++i) {
+    const uint64_t seed = config.base_seed + i;
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    const size_t qi = i % queries.size();
+
+    db_->fault_injector()->Reseed(seed);
+    ChaosRunOutcome outcome;
+    outcome.seed = seed;
+    outcome.armed = ArmRandomFaults(db_->fault_injector(), &rng,
+                                    config.arm_probability,
+                                    &report.armed_counts);
+    if (rng.NextBernoulli(config.governor_probability)) {
+      db_->SetGovernorLimits(RandomGovernorLimits(&rng));
+    }
+
+    Result<core::ExecutionResult> result =
+        db_->Execute(queries[qi], core::EstimatorKind::kRobustSample);
+    ++report.runs;
+    if (result.ok()) {
+      outcome.executed = true;
+      outcome.verified = Matches(references[qi],
+                                 Fingerprint(result.value().rows));
+      if (outcome.verified) {
+        ++report.completed;
+      } else {
+        report.violations.push_back(outcome);
+      }
+    } else {
+      outcome.code = result.status().code();
+      outcome.error = result.status().ToString();
+      ++report.failures_by_code[StatusCodeName(outcome.code)];
+      if (IsCleanFailure(outcome.code)) {
+        ++report.failed_typed;
+      } else {
+        report.violations.push_back(outcome);
+      }
+    }
+
+    db_->fault_injector()->DisarmAll();
+    db_->SetGovernorLimits({});
+  }
+  return report;
+}
+
+}  // namespace workload
+}  // namespace robustqo

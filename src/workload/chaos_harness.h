@@ -1,0 +1,84 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Chaos harness: sweeps seeded fault configurations over a set of queries
+// and checks the system's core robustness contract — every query either
+// completes with a verified-correct answer or fails with a clean typed
+// Status. Nothing may crash, corrupt an answer, or return an untyped
+// error. Each run arms a seed-derived random subset of the known fault
+// sites (random fire modes and parameters) and, optionally, a random
+// query-governor budget; runs are replayable bit-for-bit from
+// (config.base_seed, run index) alone.
+
+#ifndef ROBUSTQO_WORKLOAD_CHAOS_HARNESS_H_
+#define ROBUSTQO_WORKLOAD_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "optimizer/query.h"
+
+namespace robustqo {
+namespace workload {
+
+/// Knobs for one chaos sweep.
+struct ChaosConfig {
+  uint64_t base_seed = 1;
+  /// Number of fault configurations to sweep (one query execution each).
+  size_t runs = 200;
+  /// Per-site probability that a run arms the site at all.
+  double arm_probability = 0.5;
+  /// Probability that a run also applies random governor limits.
+  double governor_probability = 0.3;
+};
+
+/// One run's outcome.
+struct ChaosRunOutcome {
+  uint64_t seed = 0;
+  std::string armed;       ///< fault arming description (empty = none)
+  bool executed = false;   ///< query returned rows
+  bool verified = false;   ///< answer matched the fault-free reference
+  StatusCode code = StatusCode::kOk;  ///< failure code when !executed
+  std::string error;       ///< failure message when !executed
+};
+
+/// Aggregate results of a sweep.
+struct ChaosReport {
+  size_t runs = 0;
+  size_t completed = 0;         ///< executed with the correct answer
+  size_t failed_typed = 0;      ///< clean typed failure
+  /// Contract violations — must be empty for a healthy system:
+  /// completed-but-wrong answers and failures with an untyped code.
+  std::vector<ChaosRunOutcome> violations;
+  /// Failure counts by StatusCode name ("Unavailable", ...).
+  std::map<std::string, size_t> failures_by_code;
+  /// How often each fault site was armed across the sweep.
+  std::map<std::string, size_t> armed_counts;
+
+  bool ContractHolds() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs chaos sweeps against one database. The harness arms the database's
+/// own fault injector and governor limits and restores both (disarmed /
+/// unlimited) after every run.
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(core::Database* db) : db_(db) {}
+
+  /// Sweeps `config.runs` seeded fault configurations round-robin over
+  /// `queries`. Reference answers are computed fault-free up front; each
+  /// chaotic execution must match them or fail typed.
+  ChaosReport Run(const ChaosConfig& config,
+                  const std::vector<opt::QuerySpec>& queries);
+
+ private:
+  core::Database* db_;
+};
+
+}  // namespace workload
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_WORKLOAD_CHAOS_HARNESS_H_

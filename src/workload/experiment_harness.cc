@@ -63,7 +63,9 @@ SweepResult QuerySweepExperiment::Run(const SweepConfig& config) {
       RQO_IF_OBS(metric_cache_hits) metric_cache_hits->Increment();
       return it->second;
     }
-    core::ExecutionResult run = db_->ExecutePlan(plan);
+    // The harness runs with no faults armed and no governor limits, so an
+    // execution failure here is a programming error, not a robustness event.
+    core::ExecutionResult run = db_->ExecutePlan(plan).value();
     RQO_IF_OBS(metric_execs) metric_execs->Increment();
     if (config.verify_answers && run.rows.num_rows() > 0) {
       const double answer = run.rows.ValueAt(0, 0).NumericValue();

@@ -54,7 +54,9 @@ TEST_F(DatabaseTest, PlanAndExecuteAgree) {
   opt::QuerySpec query = scenario.MakeQuery(70);
   auto plan = db_->Plan(query, EstimatorKind::kRobustSample);
   ASSERT_TRUE(plan.ok());
-  ExecutionResult direct = db_->ExecutePlan(plan.value());
+  auto direct_result = db_->ExecutePlan(plan.value());
+  ASSERT_TRUE(direct_result.ok());
+  ExecutionResult direct = std::move(direct_result).value();
   auto via_execute = db_->Execute(query, EstimatorKind::kRobustSample);
   ASSERT_TRUE(via_execute.ok());
   EXPECT_EQ(direct.plan_label, via_execute.value().plan_label);

@@ -83,21 +83,21 @@ class JoinOpsTest : public ::testing::Test {
 
 TEST_F(JoinOpsTest, HashJoinMatchesBruteForce) {
   HashJoinOp join(ScanOrders(3), ScanItems(), "o_id", "i_oid");
-  Table out = join.Execute(&ctx_);
+  Table out = join.Execute(&ctx_).value();
   EXPECT_EQ(out.num_rows(), BruteForceJoinSize(3));
   EXPECT_EQ(out.schema().num_columns(), 5u);
 }
 
 TEST_F(JoinOpsTest, HashJoinNoFilterIsFullJoin) {
   HashJoinOp join(ScanOrders(0), ScanItems(), "o_id", "i_oid");
-  Table out = join.Execute(&ctx_);
+  Table out = join.Execute(&ctx_).value();
   EXPECT_EQ(out.num_rows(), catalog_.GetTable("items")->num_rows());
 }
 
 TEST_F(JoinOpsTest, HashJoinProjection) {
   HashJoinOp join(ScanOrders(0), ScanItems(), "o_id", "i_oid",
                   {"i_id", "o_attr"});
-  Table out = join.Execute(&ctx_);
+  Table out = join.Execute(&ctx_).value();
   EXPECT_EQ(out.schema().num_columns(), 2u);
   EXPECT_TRUE(out.schema().HasColumn("i_id"));
   EXPECT_TRUE(out.schema().HasColumn("o_attr"));
@@ -105,7 +105,7 @@ TEST_F(JoinOpsTest, HashJoinProjection) {
 
 TEST_F(JoinOpsTest, HashJoinJoinedValuesConsistent) {
   HashJoinOp join(ScanOrders(0), ScanItems(), "o_id", "i_oid");
-  Table out = join.Execute(&ctx_);
+  Table out = join.Execute(&ctx_).value();
   for (Rid r = 0; r < out.num_rows(); ++r) {
     EXPECT_EQ(out.column("o_id").Int64At(r),
               out.column("i_oid").Int64At(r));
@@ -116,7 +116,7 @@ TEST_F(JoinOpsTest, HashJoinJoinedValuesConsistent) {
 
 TEST_F(JoinOpsTest, HashJoinChargesBuildAndProbe) {
   HashJoinOp join(ScanOrders(0), ScanItems(), "o_id", "i_oid");
-  join.Execute(&ctx_);
+  join.Execute(&ctx_).value();
   // Seq scans charge their own tuples; hash charges cpu for build+probe.
   const uint64_t items = catalog_.GetTable("items")->num_rows();
   EXPECT_EQ(ctx_.meter.cpu_tuples(), 100u + items);
@@ -124,12 +124,12 @@ TEST_F(JoinOpsTest, HashJoinChargesBuildAndProbe) {
 
 TEST_F(JoinOpsTest, MergeJoinMatchesHashJoin) {
   HashJoinOp hash(ScanOrders(2), ScanItems(), "o_id", "i_oid");
-  Table hash_out = hash.Execute(&ctx_);
+  Table hash_out = hash.Execute(&ctx_).value();
   ExecContext ctx2;
   ctx2.catalog = &catalog_;
   // Both scans emit in clustered (key) order.
   MergeJoinOp merge(ScanOrders(2), ScanItems(), "o_id", "i_oid");
-  Table merge_out = merge.Execute(&ctx2);
+  Table merge_out = merge.Execute(&ctx2).value();
   EXPECT_EQ(merge_out.num_rows(), hash_out.num_rows());
 }
 
@@ -141,13 +141,13 @@ TEST_F(JoinOpsTest, MergeJoinHandlesDuplicateRuns) {
   ExecContext ctx2;
   ctx2.catalog = &catalog_;
   MergeJoinOp simple(ScanOrders(0), ScanItems(), "o_id", "i_oid");
-  Table out = simple.Execute(&ctx2);
+  Table out = simple.Execute(&ctx2).value();
   EXPECT_EQ(out.num_rows(), catalog_.GetTable("items")->num_rows());
 }
 
 TEST_F(JoinOpsTest, MergeJoinOutputSortedByKey) {
   MergeJoinOp merge(ScanOrders(0), ScanItems(), "o_id", "i_oid");
-  Table out = merge.Execute(&ctx_);
+  Table out = merge.Execute(&ctx_).value();
   int64_t prev = -1;
   for (Rid r = 0; r < out.num_rows(); ++r) {
     const int64_t key = out.column("o_id").Int64At(r);
@@ -158,17 +158,17 @@ TEST_F(JoinOpsTest, MergeJoinOutputSortedByKey) {
 
 TEST_F(JoinOpsTest, IndexNestedLoopJoinMatchesHashJoin) {
   HashJoinOp hash(ScanOrders(4), ScanItems(), "o_id", "i_oid");
-  Table expected = hash.Execute(&ctx_);
+  Table expected = hash.Execute(&ctx_).value();
   ExecContext ctx2;
   ctx2.catalog = &catalog_;
   IndexNestedLoopJoinOp inlj(ScanOrders(4), "o_id", "items", "i_oid");
-  Table out = inlj.Execute(&ctx2);
+  Table out = inlj.Execute(&ctx2).value();
   EXPECT_EQ(out.num_rows(), expected.num_rows());
 }
 
 TEST_F(JoinOpsTest, InljChargesSeekPerOuterRowAndFetchPerMatch) {
   IndexNestedLoopJoinOp inlj(ScanOrders(0), "o_id", "items", "i_oid");
-  Table out = inlj.Execute(&ctx_);
+  Table out = inlj.Execute(&ctx_).value();
   EXPECT_EQ(ctx_.meter.index_seeks(), 100u);
   EXPECT_EQ(ctx_.meter.random_ios(), out.num_rows());
 }
@@ -177,7 +177,7 @@ TEST_F(JoinOpsTest, InljAppliesInnerResidual) {
   auto residual = Ge(Col("i_qty"), LitInt(25));
   IndexNestedLoopJoinOp inlj(ScanOrders(0), "o_id", "items", "i_oid",
                              residual);
-  Table out = inlj.Execute(&ctx_);
+  Table out = inlj.Execute(&ctx_).value();
   const Table* items = catalog_.GetTable("items");
   uint64_t expected = 0;
   for (Rid i = 0; i < items->num_rows(); ++i) {

@@ -1,0 +1,108 @@
+// Chaos sweep: hundreds of seeded fault configurations over real queries.
+// The contract under test is the PR's headline guarantee — under any
+// combination of injected faults and governor budgets, a query either
+// completes with a verified-correct answer or fails with a clean typed
+// Status. No crashes, no wrong answers, no untyped errors.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tpch/tpch_gen.h"
+#include "workload/chaos_harness.h"
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.005;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+    db_->UpdateStatistics();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::vector<opt::QuerySpec> ScenarioQueries() {
+    std::vector<opt::QuerySpec> queries;
+    workload::SingleTableScenario single;
+    queries.push_back(single.MakeQuery(70));
+    workload::ThreeTableJoinScenario join;
+    queries.push_back(join.MakeQuery(12.0));
+    queries.push_back(join.MakeQuery(45.0));
+    return queries;
+  }
+
+  static core::Database* db_;
+};
+
+core::Database* ChaosTest::db_ = nullptr;
+
+TEST_F(ChaosTest, TwoHundredSeededConfigsNeverViolateContract) {
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.base_seed = 20240501;
+  config.runs = 220;
+  workload::ChaosReport report = harness.Run(config, ScenarioQueries());
+  EXPECT_EQ(report.runs, 220u);
+  EXPECT_TRUE(report.ContractHolds()) << report.Summary();
+  EXPECT_EQ(report.completed + report.failed_typed, report.runs);
+  // The sweep must actually exercise both outcomes: plenty of runs survive
+  // their faults and plenty die typed. A sweep where everything passes (or
+  // everything fails) isn't testing the boundary.
+  EXPECT_GT(report.completed, 20u) << report.Summary();
+  EXPECT_GT(report.failed_typed, 20u) << report.Summary();
+  // Every fault site got armed at some point across 220 runs.
+  EXPECT_EQ(report.armed_counts.size(), fault::KnownFaultSites().size())
+      << report.Summary();
+}
+
+TEST_F(ChaosTest, SweepsAreReplayableBitForBit) {
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.base_seed = 77;
+  config.runs = 25;
+  const auto queries = ScenarioQueries();
+  workload::ChaosReport a = harness.Run(config, queries);
+  workload::ChaosReport b = harness.Run(config, queries);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed_typed, b.failed_typed);
+}
+
+TEST_F(ChaosTest, DifferentSeedsProduceDifferentChaos) {
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig a_cfg;
+  a_cfg.base_seed = 1;
+  a_cfg.runs = 40;
+  workload::ChaosConfig b_cfg = a_cfg;
+  b_cfg.base_seed = 2;
+  const auto queries = ScenarioQueries();
+  workload::ChaosReport a = harness.Run(a_cfg, queries);
+  workload::ChaosReport b = harness.Run(b_cfg, queries);
+  EXPECT_NE(a.Summary(), b.Summary());
+}
+
+TEST_F(ChaosTest, HarnessLeavesDatabaseClean) {
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.runs = 10;
+  (void)harness.Run(config, ScenarioQueries());
+  // No faults left armed, no governor limits left behind.
+  for (const std::string& site : fault::KnownFaultSites()) {
+    EXPECT_FALSE(db_->fault_injector()->IsArmed(site)) << site;
+  }
+  EXPECT_TRUE(db_->governor_limits().Unlimited());
+  workload::SingleTableScenario scenario;
+  auto result = db_->Execute(scenario.MakeQuery(70),
+                             core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace robustqo

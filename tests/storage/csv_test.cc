@@ -82,6 +82,47 @@ TEST(CsvReadTest, MissingFileIsNotFound) {
             StatusCode::kNotFound);
 }
 
+TEST(CsvReadTest, TruncatedLastLineFailsCleanly) {
+  // A file cut off mid-row (e.g. partial download) has too few fields on
+  // its final line; the reader must return a typed error, not crash.
+  std::istringstream input("id,price,name,ship\n1,2.0,x,1997-01-01\n2,3.5");
+  Status s = ReadCsv(&input, "t", TestSchema()).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvReadTest, GarbageBytesFailCleanly) {
+  std::istringstream garbage("\x01\x02\xff,\x7f,\",\n\"\"\"\n,,,,,,,,\n");
+  CsvOptions options;
+  options.has_header = false;
+  EXPECT_FALSE(ReadCsv(&garbage, "t", TestSchema(), options).ok());
+}
+
+TEST(CsvReadTest, InjectedFaultAbortsMidFile) {
+  std::istringstream input(
+      "id,price,name,ship\n"
+      "1,1.0,a,1997-01-01\n"
+      "2,2.0,b,1997-01-02\n"
+      "3,3.0,c,1997-01-03\n");
+  fault::FaultInjector injector;
+  // Header + two data lines read fine; the fault fires on line 4.
+  injector.Arm(fault::sites::kCsvRead, fault::FaultSpec::OnNth(4));
+  CsvOptions options;
+  options.fault = &injector;
+  Result<std::unique_ptr<Table>> table =
+      ReadCsv(&input, "t", TestSchema(), options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(table.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(CsvReadTest, BadStreamIsUnavailable) {
+  std::istringstream input("id,price,name,ship\n1,1.0,a,1997-01-01\n");
+  input.setstate(std::ios::badbit);
+  Status s = ReadCsv(&input, "t", TestSchema()).status();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
 TEST(CsvWriteTest, RoundTrip) {
   Table original("t", TestSchema());
   original.AppendRow({Value::Int64(1), Value::Double(2.5),

@@ -19,7 +19,19 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::NotFound("missing row").message(), "missing row");
+}
+
+TEST(StatusTest, RobustnessCodesRenderDistinctly) {
+  EXPECT_EQ(Status::Unavailable("sample gone").ToString(),
+            "Unavailable: sample gone");
+  EXPECT_EQ(Status::ResourceExhausted("budget").ToString(),
+            "ResourceExhausted: budget");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
