@@ -1,0 +1,119 @@
+// Minimal machine-readable output for the bench harness: a tiny append-only
+// JSON object writer plus the shared `--json <path>` flag handling, so CI
+// and BENCH_*.json baselines consume the same numbers the text report
+// prints. No external dependencies; doubles are emitted with %.17g so
+// re-parsing round-trips the exact bits.
+
+#ifndef ROBUSTQO_BENCH_BENCH_JSON_H_
+#define ROBUSTQO_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace robustqo {
+namespace bench {
+
+/// Builds one JSON value (object/array tree) incrementally. Keys are
+/// emitted in call order; the caller is responsible for proper nesting
+/// (every Begin* has a matching End*).
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(1024); }
+
+  void BeginObject() { Prefix(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Prefix(); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  void Key(const std::string& name) {
+    Prefix();
+    AppendQuoted(name);
+    out_ += ':';
+    first_ = true;  // the upcoming value must not emit a comma
+  }
+
+  void Value(const std::string& v) { Prefix(); AppendQuoted(v); }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    Prefix();
+    out_ += buf;
+  }
+  void Value(uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    Prefix();
+    out_ += buf;
+  }
+  void Value(int v) { Value(static_cast<uint64_t>(v < 0 ? 0 : v)); }
+  void Value(bool v) { Prefix(); out_ += v ? "true" : "false"; }
+
+  /// Key + scalar value in one call.
+  template <typename T>
+  void Field(const std::string& name, T v) {
+    Key(name);
+    Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Prefix() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  void AppendQuoted(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // keys are ASCII
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Extracts `--json <path>` or `--json=<path>` from argv (removing it, so
+/// downstream flag parsers like google-benchmark never see it). Returns
+/// the path or "" when the flag is absent.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < *argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+/// Writes `json` (plus a trailing newline) to `path`. Returns false and
+/// prints to stderr on failure.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("json report written to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_BENCH_BENCH_JSON_H_

@@ -7,10 +7,14 @@
 //     (one null-pointer test per instrumented site);
 //   * -DROBUSTQO_OBS=OFF: the sites are compiled out entirely.
 // Exits non-zero when the metrics overhead bound is violated.
+//
+// Usage: overhead_observability [--json out.json]
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "bench_json.h"
 #include "core/database.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,7 +44,8 @@ double BestRoundSeconds(Fn&& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ConsumeJsonFlag(&argc, argv);
   core::Database db;
   tpch::TpchConfig config;
   config.scale_factor = 0.02;
@@ -98,6 +103,19 @@ int main() {
   std::printf("  tracer attached:  %.4f s  (%+.1f%%, informational — "
               "EXPLAIN ANALYZE path)\n",
               with_tracer, tracer_overhead * 100.0);
+
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "overhead_observability");
+    w.Field("baseline_seconds", baseline);
+    w.Field("with_metrics_seconds", with_metrics);
+    w.Field("with_tracer_seconds", with_tracer);
+    w.Field("metrics_overhead", metrics_overhead);
+    w.Field("tracer_overhead", tracer_overhead);
+    w.EndObject();
+    if (!bench::WriteJsonFile(json_path, w.str())) return 2;
+  }
 
   // The enforced contract. 5% is the documented bound; the measured value
   // is normally well under 1% and the headroom absorbs timer noise.

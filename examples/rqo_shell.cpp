@@ -22,6 +22,9 @@
 //   SET MEMORY_LIMIT <bytes>        per-query governor budgets; 0 = off
 //   SET ROW_LIMIT <rows>
 //   SET TIME_LIMIT <seconds>
+//   SET THREADS <n>                 sampling-engine worker threads (0 = #cores);
+//                                   results are identical at any setting
+//   SET BETA_CACHE_CAPACITY <n>     inverse-Beta LRU entries (default 4096)
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
@@ -36,6 +39,7 @@
 #include "core/explain_analyze.h"
 #include "core/report.h"
 #include "exec/plan_dot.h"
+#include "perf/task_pool.h"
 #include "tpch/tpch_gen.h"
 #include "util/string_util.h"
 
@@ -142,6 +146,30 @@ bool HandleSet(core::Database* db, const std::string& line) {
                 static_cast<unsigned long long>(limits.memory_limit_bytes),
                 static_cast<unsigned long long>(limits.row_limit),
                 limits.time_limit_seconds);
+    return true;
+  }
+
+  if (verb == "THREADS") {
+    if (tokens.size() != 3) {
+      std::printf("usage: SET THREADS <n>   (0 = hardware concurrency)\n");
+      return true;
+    }
+    perf::SetThreadCount(
+        static_cast<unsigned>(std::strtoul(tokens[2].c_str(), nullptr, 10)));
+    std::printf("threads: %u (results are bit-identical at any setting)\n",
+                perf::ThreadCount());
+    return true;
+  }
+
+  if (verb == "BETA_CACHE_CAPACITY") {
+    if (tokens.size() != 3) {
+      std::printf("usage: SET BETA_CACHE_CAPACITY <entries>\n");
+      return true;
+    }
+    db->robust_estimator()->beta_cache()->set_capacity(
+        std::strtoull(tokens[2].c_str(), nullptr, 10));
+    std::printf("inverse-beta cache capacity: %zu entries\n",
+                db->robust_estimator()->beta_cache()->capacity());
     return true;
   }
   return false;

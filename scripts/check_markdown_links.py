@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images and reference
+definitions, resolves relative targets against the linking file, and fails
+(exit 1) when a target file or directory does not exist. External links
+(http/https/mailto) and pure in-page anchors (#section) are skipped;
+anchors on intra-repo links are checked against the target file's headings
+and explicit <a name=...> anchors.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) and ![alt](target); target may carry a #fragment.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [label]: target reference definitions.
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+HTML_ANCHOR = re.compile(r"<a\s+(?:name|id)=\"([^\"]+)\"")
+FENCE = re.compile(r"^(```|~~~).*$\n(?:.*\n)*?^\1\s*$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, strip punctuation."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        slugs = set()
+        counts = {}
+        for match in HEADING.finditer(FENCE.sub("", text)):
+            slug = github_slug(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        slugs.update(HTML_ANCHOR.findall(text))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md_path: str, root: str, anchor_cache: dict) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    text = FENCE.sub("", text)
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ...
+        target, _, fragment = target.partition("#")
+        if not target:
+            # Pure in-page anchor: check against this file's headings.
+            if fragment and fragment not in anchors_of(md_path, anchor_cache):
+                errors.append(f"{md_path}: dead anchor #{fragment}")
+            continue
+        base = root if target.startswith("/") else os.path.dirname(md_path)
+        resolved = os.path.normpath(os.path.join(base, target.lstrip("/")))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: dead link {target}")
+        elif fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved, anchor_cache):
+                errors.append(
+                    f"{md_path}: dead anchor {target}#{fragment}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    skip_dirs = {".git", "build", ".claude"}
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in skip_dirs]
+        md_files.extend(
+            os.path.join(dirpath, f) for f in filenames if f.endswith(".md"))
+    anchor_cache = {}
+    errors = []
+    for md in sorted(md_files):
+        errors.extend(check_file(md, root, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(md_files)} markdown files: "
+          f"{'FAILED, ' + str(len(errors)) + ' dead links' if errors else 'all links OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,6 +191,21 @@ std::string AnalyzedPlan::ToText() const {
       "optimizer: %zu candidates costed, %zu estimates (%zu uncached)\n",
       optimizer_metrics.candidates, optimizer_metrics.estimator_calls,
       optimizer_metrics.estimator_misses);
+  {
+    const size_t cache_hits = optimizer_metrics.probe_cache_hits +
+                              optimizer_metrics.beta_cache_hits;
+    const size_t cache_misses = optimizer_metrics.probe_cache_misses +
+                                optimizer_metrics.beta_cache_misses;
+    if (cache_hits + cache_misses > 0) {
+      out += StrPrintf(
+          "perf:      cache %zu hits / %zu misses "
+          "(probe %zu/%zu, inverse-beta %zu/%zu)\n",
+          cache_hits, cache_misses, optimizer_metrics.probe_cache_hits,
+          optimizer_metrics.probe_cache_misses,
+          optimizer_metrics.beta_cache_hits,
+          optimizer_metrics.beta_cache_misses);
+    }
+  }
   out += "operators:\n";
   out += StrPrintf("  %12s %12s %8s %13s  %s\n", "est rows", "actual rows",
                    "q-err", "self cost(s)", "operator");
@@ -306,6 +321,16 @@ std::string AnalyzedPlan::ToJson() const {
       "\"estimator_misses\":%zu}",
       optimizer_metrics.candidates, optimizer_metrics.estimator_calls,
       optimizer_metrics.estimator_misses);
+  out += StrPrintf(
+      ",\"perf\":{\"perf.cache.hit\":%zu,\"perf.cache.miss\":%zu,"
+      "\"probe_cache_hits\":%zu,\"probe_cache_misses\":%zu,"
+      "\"beta_cache_hits\":%zu,\"beta_cache_misses\":%zu}",
+      optimizer_metrics.probe_cache_hits + optimizer_metrics.beta_cache_hits,
+      optimizer_metrics.probe_cache_misses +
+          optimizer_metrics.beta_cache_misses,
+      optimizer_metrics.probe_cache_hits,
+      optimizer_metrics.probe_cache_misses,
+      optimizer_metrics.beta_cache_hits, optimizer_metrics.beta_cache_misses);
   out += ",\"operators\":[";
   for (size_t i = 0; i < operators.size(); ++i) {
     const OperatorReport& op = operators[i];

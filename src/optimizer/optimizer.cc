@@ -12,6 +12,7 @@
 #include "expr/analysis.h"
 #include "obs/obs.h"
 #include "optimizer/run_state.h"
+#include "perf/caches.h"
 #include "statistics/magic.h"
 #include "statistics/robust_sample_estimator.h"
 #include "util/macros.h"
@@ -454,6 +455,24 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
 
   ThresholdHintScope hint_scope(estimator_, options.confidence_threshold_hint);
 
+  // Per-run probe-count memo on the robust estimator: the DP re-costs the
+  // same conjunct under many (subset, context) combinations, and the probe
+  // cache collapses those to one sample scan each. Fresh per run, so
+  // entries never outlive the statistics; restored on every return path.
+  perf::ProbeCountCache probe_cache;
+  struct ProbeCacheScope {
+    stats::RobustSampleEstimator* robust = nullptr;
+    perf::ProbeCountCache* saved = nullptr;
+    ~ProbeCacheScope() {
+      if (robust != nullptr) robust->set_probe_cache(saved);
+    }
+  } probe_scope;
+  probe_scope.robust = dynamic_cast<stats::RobustSampleEstimator*>(estimator_);
+  if (probe_scope.robust != nullptr && options.enable_probe_cache) {
+    probe_scope.saved = probe_scope.robust->probe_cache();
+    probe_scope.robust->set_probe_cache(&probe_cache);
+  }
+
   RunState run;
   run.query = &query;
   run.options = options;
@@ -663,9 +682,27 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
   }
   planned.root = std::move(root);
   planned.label = std::move(label);
+  if (probe_scope.robust != nullptr) {
+    // Per-query counters (both tallied on the per-run probe cache), so the
+    // report is a function of the query alone — byte-identical across runs
+    // and thread counts even though the inverse-Beta LRU persists.
+    metrics_.probe_cache_hits = static_cast<size_t>(probe_cache.hits());
+    metrics_.probe_cache_misses = static_cast<size_t>(probe_cache.misses());
+    metrics_.beta_cache_hits = static_cast<size_t>(probe_cache.beta_hits());
+    metrics_.beta_cache_misses =
+        static_cast<size_t>(probe_cache.beta_misses());
+  }
 #if ROBUSTQO_OBS_ENABLED
   RQO_IF_OBS(run.metric_candidates) {
     run.metric_candidates->Increment(metrics_.candidates);
+  }
+  RQO_IF_OBS(options.tracer) {
+    options.tracer->Event(
+        "perf", "cache",
+        {{"probe_hits", obs::AttrU64(metrics_.probe_cache_hits)},
+         {"probe_misses", obs::AttrU64(metrics_.probe_cache_misses)},
+         {"beta_hits", obs::AttrU64(metrics_.beta_cache_hits)},
+         {"beta_misses", obs::AttrU64(metrics_.beta_cache_misses)}});
   }
   if (options.tracer != nullptr) {
     optimize_span.Attr("candidates", obs::AttrU64(metrics_.candidates));

@@ -47,6 +47,13 @@ struct OptimizerOptions {
   /// reproduces the paper's unmemoized prototype (Section 6.1) for the
   /// overhead ablation.
   bool enable_estimate_memo = true;
+  /// Install a per-run (k, n) probe-count cache on the robust estimator,
+  /// keyed by canonical predicate fingerprints, so the same conjunct
+  /// re-costed under different join subsets/contexts scans its sample only
+  /// once. Orthogonal to enable_estimate_memo (which dedupes whole
+  /// (subset, tag) estimates; the probe cache catches the sample scans
+  /// behind distinct estimates sharing conjuncts).
+  bool enable_probe_cache = true;
   /// Observability sinks (borrowed, nullable). With a tracer attached the
   /// optimizer records an "optimize" span covering every cardinality
   /// estimate (subset, cache hit/miss, value) and per-subset pruning
@@ -72,6 +79,13 @@ class Optimizer {
     size_t estimator_calls = 0;    ///< total cardinality requests issued
     size_t estimator_misses = 0;   ///< requests that were not cached
     size_t candidates = 0;         ///< physical plan candidates costed
+    // perf.cache.* effectiveness of the run (robust estimator only; all
+    // zero otherwise). Probe cache: (k, n) sample scans saved. Beta
+    // cache: inverse-Beta quantile evaluations saved.
+    size_t probe_cache_hits = 0;
+    size_t probe_cache_misses = 0;
+    size_t beta_cache_hits = 0;
+    size_t beta_cache_misses = 0;
   };
   const Metrics& last_metrics() const { return metrics_; }
 

@@ -1,0 +1,292 @@
+#include "perf/batch_eval.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace robustqo {
+namespace perf {
+
+namespace {
+
+using expr::CompareOp;
+using expr::ExprKind;
+using storage::DataType;
+using storage::Table;
+
+// Column-vs-literal comparison with the operator hoisted out of the loop:
+// one branch-free pass per predicate instead of one virtual dispatch and
+// two boxed Values per row. `get(i)` yields the row value, `lit` the
+// constant; both already widened to a common comparable type.
+template <typename Get, typename LitT>
+void CompareColLit(CompareOp op, size_t n, std::vector<uint8_t>* mask,
+                   const Get& get, const LitT& lit) {
+  std::vector<uint8_t>& m = *mask;
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) == lit ? 1 : 0;
+      break;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) != lit ? 1 : 0;
+      break;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) < lit ? 1 : 0;
+      break;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) <= lit ? 1 : 0;
+      break;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) > lit ? 1 : 0;
+      break;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < n; ++i) m[i] = get(i) >= lit ? 1 : 0;
+      break;
+  }
+}
+
+// `lit <op> col` rewritten as `col <flipped op> lit`.
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      break;
+  }
+  return op;
+}
+
+// Scalar-interpretation fallback for subtrees without a columnar kernel
+// (arithmetic, column-vs-column compares). Same bitmap, same semantics,
+// row-at-a-time speed.
+void FallbackMask(const expr::Expr& e, const Table& table, size_t n,
+                  std::vector<uint8_t>* mask) {
+  std::vector<uint8_t>& m = *mask;
+  for (size_t i = 0; i < n; ++i) m[i] = e.EvaluateBool(table, i) ? 1 : 0;
+}
+
+// Kernel for `column <op> literal`. Returns false when no kernel applies
+// (caller falls back). Mirrors Value::Compare: int64/date vs int64/date
+// compares exactly, any double widens both sides, strings compare
+// lexicographically, string-vs-non-string is a type error the fallback
+// reports identically to the scalar path.
+bool TryCompareKernel(CompareOp op, const std::string& column,
+                      const storage::Value& lit, const Table& table, size_t n,
+                      std::vector<uint8_t>* mask) {
+  auto idx = table.schema().ColumnIndex(column);
+  if (!idx.ok()) return false;
+  const storage::ColumnVector& col = table.column(idx.value());
+  const bool col_int = storage::IsIntegerPhysical(col.type());
+  const bool lit_int = storage::IsIntegerPhysical(lit.type());
+  if (col.type() == DataType::kString || lit.type() == DataType::kString) {
+    if (col.type() != DataType::kString || lit.type() != DataType::kString) {
+      return false;  // type error; let the scalar path raise it
+    }
+    const std::string& s = lit.AsString();
+    CompareColLit(
+        op, n, mask,
+        [&col](size_t i) -> const std::string& { return col.StringAt(i); }, s);
+    return true;
+  }
+  if (col_int && lit_int) {
+    const int64_t v = lit.AsInt64();
+    CompareColLit(op, n, mask, [&col](size_t i) { return col.Int64At(i); }, v);
+    return true;
+  }
+  const double v = lit.NumericValue();
+  if (col_int) {
+    CompareColLit(op, n, mask,
+                  [&col](size_t i) { return static_cast<double>(col.Int64At(i)); },
+                  v);
+  } else {
+    CompareColLit(op, n, mask, [&col](size_t i) { return col.DoubleAt(i); }, v);
+  }
+  return true;
+}
+
+// Kernel for `column BETWEEN lo AND hi` — one fused pass, one byte store
+// per row.
+bool TryBetweenKernel(const std::string& column, const storage::Value& lo,
+                      const storage::Value& hi, const Table& table, size_t n,
+                      std::vector<uint8_t>* mask) {
+  auto idx = table.schema().ColumnIndex(column);
+  if (!idx.ok()) return false;
+  const storage::ColumnVector& col = table.column(idx.value());
+  std::vector<uint8_t>& m = *mask;
+  if (col.type() == DataType::kString || lo.type() == DataType::kString ||
+      hi.type() == DataType::kString) {
+    if (col.type() != DataType::kString || lo.type() != DataType::kString ||
+        hi.type() != DataType::kString) {
+      return false;
+    }
+    const std::string& a = lo.AsString();
+    const std::string& b = hi.AsString();
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& v = col.StringAt(i);
+      m[i] = (v.compare(a) >= 0 && v.compare(b) <= 0) ? 1 : 0;
+    }
+    return true;
+  }
+  const bool all_int = storage::IsIntegerPhysical(col.type()) &&
+                       storage::IsIntegerPhysical(lo.type()) &&
+                       storage::IsIntegerPhysical(hi.type());
+  if (all_int) {
+    const int64_t a = lo.AsInt64();
+    const int64_t b = hi.AsInt64();
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t v = col.Int64At(i);
+      m[i] = (v >= a && v <= b) ? 1 : 0;
+    }
+    return true;
+  }
+  const double a = lo.NumericValue();
+  const double b = hi.NumericValue();
+  if (storage::IsIntegerPhysical(col.type())) {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = static_cast<double>(col.Int64At(i));
+      m[i] = (v >= a && v <= b) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = col.DoubleAt(i);
+      m[i] = (v >= a && v <= b) ? 1 : 0;
+    }
+  }
+  return true;
+}
+
+void EvalMask(const expr::Expr& e, const Table& table, size_t n,
+              std::vector<uint8_t>* mask);
+
+void EvalChildrenCombine(const std::vector<expr::ExprPtr>& children,
+                         const Table& table, size_t n, bool is_and,
+                         std::vector<uint8_t>* mask) {
+  std::vector<uint8_t>& m = *mask;
+  if (children.empty()) {
+    // And({}) is TRUE, Or({}) is FALSE — matching the scalar evaluator.
+    std::fill(m.begin(), m.end(), is_and ? 1 : 0);
+    return;
+  }
+  EvalMask(*children[0], table, n, mask);
+  std::vector<uint8_t> tmp;
+  for (size_t c = 1; c < children.size(); ++c) {
+    tmp.assign(n, 0);
+    EvalMask(*children[c], table, n, &tmp);
+    if (is_and) {
+      for (size_t i = 0; i < n; ++i) m[i] &= tmp[i];
+    } else {
+      for (size_t i = 0; i < n; ++i) m[i] |= tmp[i];
+    }
+  }
+}
+
+void EvalMask(const expr::Expr& e, const Table& table, size_t n,
+              std::vector<uint8_t>* mask) {
+  switch (e.kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const expr::ComparisonExpr&>(e);
+      const expr::Expr& lhs = *cmp.lhs();
+      const expr::Expr& rhs = *cmp.rhs();
+      if (lhs.kind() == ExprKind::kColumnRef &&
+          rhs.kind() == ExprKind::kLiteral) {
+        if (TryCompareKernel(
+                cmp.op(),
+                static_cast<const expr::ColumnRefExpr&>(lhs).name(),
+                static_cast<const expr::LiteralExpr&>(rhs).value(), table, n,
+                mask)) {
+          return;
+        }
+      } else if (lhs.kind() == ExprKind::kLiteral &&
+                 rhs.kind() == ExprKind::kColumnRef) {
+        if (TryCompareKernel(
+                FlipOp(cmp.op()),
+                static_cast<const expr::ColumnRefExpr&>(rhs).name(),
+                static_cast<const expr::LiteralExpr&>(lhs).value(), table, n,
+                mask)) {
+          return;
+        }
+      }
+      FallbackMask(e, table, n, mask);
+      return;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const expr::BetweenExpr&>(e);
+      if (bt.expr()->kind() == ExprKind::kColumnRef &&
+          TryBetweenKernel(
+              static_cast<const expr::ColumnRefExpr&>(*bt.expr()).name(),
+              bt.lo(), bt.hi(), table, n, mask)) {
+        return;
+      }
+      FallbackMask(e, table, n, mask);
+      return;
+    }
+    case ExprKind::kAnd:
+      EvalChildrenCombine(static_cast<const expr::AndExpr&>(e).children(),
+                          table, n, /*is_and=*/true, mask);
+      return;
+    case ExprKind::kOr:
+      EvalChildrenCombine(static_cast<const expr::OrExpr&>(e).children(),
+                          table, n, /*is_and=*/false, mask);
+      return;
+    case ExprKind::kNot: {
+      EvalMask(*static_cast<const expr::NotExpr&>(e).child(), table, n, mask);
+      std::vector<uint8_t>& m = *mask;
+      for (size_t i = 0; i < n; ++i) m[i] ^= 1;
+      return;
+    }
+    case ExprKind::kStringContains: {
+      const auto& sc = static_cast<const expr::StringContainsExpr&>(e);
+      if (sc.expr()->kind() == ExprKind::kColumnRef) {
+        const std::string& name =
+            static_cast<const expr::ColumnRefExpr&>(*sc.expr()).name();
+        auto idx = table.schema().ColumnIndex(name);
+        if (idx.ok() &&
+            table.column(idx.value()).type() == DataType::kString) {
+          const storage::ColumnVector& col = table.column(idx.value());
+          std::vector<uint8_t>& m = *mask;
+          const std::string& needle = sc.needle();
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = col.StringAt(i).find(needle) != std::string::npos ? 1 : 0;
+          }
+          return;
+        }
+      }
+      FallbackMask(e, table, n, mask);
+      return;
+    }
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+    case ExprKind::kArithmetic:
+      FallbackMask(e, table, n, mask);
+      return;
+  }
+  FallbackMask(e, table, n, mask);
+}
+
+}  // namespace
+
+uint64_t BatchEvaluateMask(const expr::Expr& predicate,
+                           const storage::Table& table,
+                           std::vector<uint8_t>* mask) {
+  const size_t n = static_cast<size_t>(table.num_rows());
+  mask->assign(n, 0);
+  EvalMask(predicate, table, n, mask);
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (*mask)[i];
+  return count;
+}
+
+uint64_t BatchCountSatisfying(const expr::Expr& predicate,
+                              const storage::Table& table) {
+  std::vector<uint8_t> mask;
+  return BatchEvaluateMask(predicate, table, &mask);
+}
+
+}  // namespace perf
+}  // namespace robustqo

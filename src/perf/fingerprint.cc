@@ -1,0 +1,133 @@
+#include "perf/fingerprint.h"
+
+#include <bit>
+#include <string>
+
+#include "storage/value.h"
+
+namespace robustqo {
+namespace perf {
+
+namespace {
+
+// splitmix64 finaliser: the mixing primitive for everything below.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Combine(uint64_t seed, uint64_t v) {
+  return Mix(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a, then mixed; stable across platforms.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix(h);
+}
+
+uint64_t HashValue(const storage::Value& v) {
+  uint64_t h = Combine(0x56a1, static_cast<uint64_t>(v.type()));
+  switch (v.type()) {
+    case storage::DataType::kInt64:
+    case storage::DataType::kDate:
+      return Combine(h, static_cast<uint64_t>(v.AsInt64()));
+    case storage::DataType::kDouble:
+      return Combine(h, std::bit_cast<uint64_t>(v.AsDouble()));
+    case storage::DataType::kString:
+      return Combine(h, HashString(v.AsString()));
+  }
+  return h;
+}
+
+constexpr uint64_t kKindTag[] = {
+    0xc01u,  // kColumnRef
+    0x117u,  // kLiteral
+    0xc3au,  // kComparison
+    0xbe7u,  // kBetween
+    0xa4du,  // kAnd
+    0x0bbu,  // kOr
+    0x407u,  // kNot
+    0xa51u,  // kArithmetic
+    0x5c0u,  // kStringContains
+};
+
+uint64_t KindSeed(expr::ExprKind kind) {
+  return Mix(kKindTag[static_cast<size_t>(kind)]);
+}
+
+}  // namespace
+
+uint64_t FingerprintExpr(const expr::Expr& e) {
+  using expr::ExprKind;
+  uint64_t h = KindSeed(e.kind());
+  switch (e.kind()) {
+    case ExprKind::kColumnRef:
+      return Combine(
+          h, HashString(static_cast<const expr::ColumnRefExpr&>(e).name()));
+    case ExprKind::kLiteral:
+      return Combine(h,
+                     HashValue(static_cast<const expr::LiteralExpr&>(e).value()));
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const expr::ComparisonExpr&>(e);
+      h = Combine(h, static_cast<uint64_t>(c.op()));
+      h = Combine(h, FingerprintExpr(*c.lhs()));
+      return Combine(h, FingerprintExpr(*c.rhs()));
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const expr::BetweenExpr&>(e);
+      h = Combine(h, FingerprintExpr(*b.expr()));
+      h = Combine(h, HashValue(b.lo()));
+      return Combine(h, HashValue(b.hi()));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      // Commutative combine: SplitConjuncts and the DP enumerator assemble
+      // the same conjunct set in different orders, and those must share a
+      // cache entry. Sum + xor of mixed child hashes is order-free and
+      // keeps duplicate children distinguishable from each other.
+      const auto& children =
+          e.kind() == ExprKind::kAnd
+              ? static_cast<const expr::AndExpr&>(e).children()
+              : static_cast<const expr::OrExpr&>(e).children();
+      uint64_t sum = 0;
+      uint64_t x = 0;
+      for (const auto& child : children) {
+        const uint64_t ch = Mix(FingerprintExpr(*child));
+        sum += ch;
+        x ^= ch;
+      }
+      h = Combine(h, children.size());
+      h = Combine(h, sum);
+      return Combine(h, x);
+    }
+    case ExprKind::kNot:
+      return Combine(
+          h, FingerprintExpr(*static_cast<const expr::NotExpr&>(e).child()));
+    case ExprKind::kArithmetic: {
+      const auto& a = static_cast<const expr::ArithmeticExpr&>(e);
+      h = Combine(h, static_cast<uint64_t>(a.op()));
+      h = Combine(h, FingerprintExpr(*a.lhs()));
+      return Combine(h, FingerprintExpr(*a.rhs()));
+    }
+    case ExprKind::kStringContains: {
+      const auto& s = static_cast<const expr::StringContainsExpr&>(e);
+      h = Combine(h, FingerprintExpr(*s.expr()));
+      return Combine(h, HashString(s.needle()));
+    }
+  }
+  return h;
+}
+
+uint64_t FingerprintExpr(const expr::ExprPtr& e) {
+  if (e == nullptr) return Mix(0x7121eULL);  // TRUE: no predicate
+  return FingerprintExpr(*e);
+}
+
+}  // namespace perf
+}  // namespace robustqo

@@ -1,0 +1,33 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Canonical structural fingerprints for predicate expressions — the cache
+// key of the probe-count and inverse-Beta memo layers. Two predicates that
+// evaluate identically on every table get the same fingerprint whenever
+// they are structurally equal up to AND/OR child order; the optimizer
+// re-costs the same conjunct under many (join subset, tag) combinations,
+// and the fingerprint is what lets those probes share one sample scan.
+
+#ifndef ROBUSTQO_PERF_FINGERPRINT_H_
+#define ROBUSTQO_PERF_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "expr/expression.h"
+
+namespace robustqo {
+namespace perf {
+
+/// Structural 64-bit fingerprint of `e`. Deterministic across processes
+/// and platforms. AND/OR children are combined order-insensitively, so
+/// `a AND b` and `b AND a` collide on purpose; everything else (operator,
+/// column names, literal type + bit pattern) feeds the hash.
+uint64_t FingerprintExpr(const expr::Expr& e);
+
+/// Fingerprint of a nullable predicate; null (= no predicate, TRUE) has a
+/// fixed reserved fingerprint.
+uint64_t FingerprintExpr(const expr::ExprPtr& e);
+
+}  // namespace perf
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_PERF_FINGERPRINT_H_

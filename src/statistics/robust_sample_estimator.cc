@@ -1,11 +1,16 @@
 #include "statistics/robust_sample_estimator.h"
 
 #include <optional>
+#include <vector>
 
 #include "expr/analysis.h"
 #include "obs/obs.h"
+#include "perf/batch_eval.h"
+#include "perf/fingerprint.h"
+#include "perf/task_pool.h"
 #include "statistics/distinct_estimator.h"
 #include "statistics/magic.h"
+#include "util/macros.h"
 #include "util/string_util.h"
 
 namespace robustqo {
@@ -71,6 +76,39 @@ void RobustSampleEstimator::RecordDegradation(const char* tier_from,
   }
 }
 
+void RobustSampleEstimator::RecordCacheEvent(const char* cache,
+                                             bool hit) const {
+  RQO_IF_OBS(metrics_) {
+    metrics_->GetCounter(hit ? "perf.cache.hit" : "perf.cache.miss")
+        ->Increment();
+    metrics_
+        ->GetCounter(std::string(hit ? "perf.cache.hit." : "perf.cache.miss.") +
+                     cache)
+        ->Increment();
+  }
+}
+
+double RobustSampleEstimator::InvertAtThreshold(
+    const SelectivityPosterior& posterior) const {
+  RQO_CHECK_MSG(config_.confidence_threshold > 0.0 &&
+                    config_.confidence_threshold < 1.0,
+                "confidence threshold must be in (0, 1)");
+  bool hit = false;
+  const math::BetaDistribution& d = posterior.distribution();
+  const double value = beta_cache_->Value(d.alpha(), d.beta(),
+                                         config_.confidence_threshold, &hit);
+  // Inside an optimizer call, classify hit/miss per query (first inversion
+  // of a key this query = miss, repeats = hits) rather than by global LRU
+  // residency, so EXPLAIN ANALYZE counters don't depend on what ran
+  // before. The returned value comes from the LRU either way.
+  if (probe_cache_ != nullptr) {
+    hit = probe_cache_->NoteBetaInversion(d.alpha(), d.beta(),
+                                          config_.confidence_threshold);
+  }
+  RecordCacheEvent("beta", hit);
+  return value;
+}
+
 double RobustSampleEstimator::DefaultWideSelectivity() const {
   const double s0 = kMagicUnknownSelectivity;
   const double n_eq = config_.default_equivalent_n;
@@ -78,7 +116,7 @@ double RobustSampleEstimator::DefaultWideSelectivity() const {
   // s0 but the weight of only ~n_eq observations, so the quantile at T
   // spreads far from the mean — conservative settings assume many rows.
   SelectivityPosterior wide(0, 0, BetaPrior{s0 * n_eq, (1.0 - s0) * n_eq});
-  return wide.EstimateAtConfidence(config_.confidence_threshold);
+  return InvertAtThreshold(wide);
 }
 
 Result<RobustSampleEstimator::Observation> RobustSampleEstimator::Observe(
@@ -91,11 +129,31 @@ Result<RobustSampleEstimator::Observation> RobustSampleEstimator::Observe(
   Observation obs;
   obs.sample_size = synopsis.value()->size();
   obs.root_rows = synopsis.value()->root_row_count();
+  if (request.predicate == nullptr) {
+    obs.satisfying = synopsis.value()->size();
+    return obs;
+  }
+  // The probe is memoized per (synopsis, predicate fingerprint): the join
+  // enumerator re-costs the same conjunct set under every join order, and
+  // only the first costing scans the synopsis.
+  const std::string source = "synopsis:" + JoinTableNames(request.tables);
+  const uint64_t fingerprint = perf::FingerprintExpr(*request.predicate);
+  if (probe_cache_ != nullptr) {
+    std::optional<perf::ProbeCount> cached =
+        probe_cache_->Lookup(source, fingerprint);
+    if (cached.has_value() && cached->sample_size == obs.sample_size) {
+      RecordCacheEvent("probe", true);
+      obs.satisfying = cached->satisfying;
+      return obs;
+    }
+    RecordCacheEvent("probe", false);
+  }
   obs.satisfying =
-      request.predicate == nullptr
-          ? synopsis.value()->size()
-          : expr::CountSatisfying(*request.predicate,
-                                  synopsis.value()->rows());
+      perf::BatchCountSatisfying(*request.predicate, synopsis.value()->rows());
+  if (probe_cache_ != nullptr) {
+    probe_cache_->Insert(source, fingerprint,
+                         {obs.satisfying, obs.sample_size});
+  }
   return obs;
 }
 
@@ -123,8 +181,7 @@ Result<double> RobustSampleEstimator::EstimateRows(
     const BetaPrior prior = config_.EffectivePrior();
     SelectivityPosterior posterior(obs.value().satisfying,
                                    obs.value().sample_size, prior);
-    const double selectivity =
-        posterior.EstimateAtConfidence(config_.confidence_threshold);
+    const double selectivity = InvertAtThreshold(posterior);
     RQO_IF_OBS(tracer_) {
       tracer_->Event(
           "estimator", "robust",
@@ -160,7 +217,27 @@ Result<double> RobustSampleEstimator::EstimateRows(
   // Tables whose sample is missing or unreadable degrade further on their
   // own: histogram/AVI baseline (tier 3), then the default-wide posterior
   // (tier 4).
-  double selectivity = 1.0;
+  //
+  // The per-table probes are independent, so they run in three phases to
+  // keep results bit-identical at every thread count (docs/PERFORMANCE.md):
+  //   A. sequential: predicate split, sample resolution (fault sites +
+  //      retries), probe-cache lookups;
+  //   B. parallel (TaskPool): the pure sample scans, each writing only its
+  //      own slot;
+  //   C. sequential, in table order: cache fills, posterior inversion,
+  //      trace/metric emission, and the ordered selectivity product.
+  struct TableProbe {
+    std::string table;
+    expr::ExprPtr pred;
+    size_t num_conjuncts = 0;
+    uint64_t fingerprint = 0;
+    const TableSample* sample = nullptr;
+    bool sample_unavailable = false;
+    bool have_count = false;  // k valid without scanning (cache hit)
+    uint64_t k = 0;
+  };
+  std::vector<TableProbe> probes;
+  probes.reserve(request.tables.size());
   for (const std::string& table : request.tables) {
     const storage::Table* t = catalog.GetTable(table);
     std::vector<expr::ExprPtr> mine;
@@ -177,19 +254,59 @@ Result<double> RobustSampleEstimator::EstimateRows(
       if (all_mine) mine.push_back(conjunct);
     }
     if (mine.empty()) continue;
-    const size_t num_conjuncts = mine.size();
-    expr::ExprPtr table_pred = expr::And(std::move(mine));
+    TableProbe probe;
+    probe.table = table;
+    probe.num_conjuncts = mine.size();
+    probe.pred = expr::And(std::move(mine));
 
     Result<const TableSample*> sample = fault::RetryWithBackoff(
         config_.retry, [&] { return statistics_->TryGetSample(table); },
         nullptr, metrics_);
     if (sample.ok()) {
-      const uint64_t k =
-          expr::CountSatisfying(*table_pred, sample.value()->rows());
+      probe.sample = sample.value();
+      probe.fingerprint = perf::FingerprintExpr(*probe.pred);
+      if (probe_cache_ != nullptr) {
+        std::optional<perf::ProbeCount> cached = probe_cache_->Lookup(
+            "sample:" + probe.table, probe.fingerprint);
+        if (cached.has_value() &&
+            cached->sample_size == probe.sample->size()) {
+          RecordCacheEvent("probe", true);
+          probe.k = cached->satisfying;
+          probe.have_count = true;
+        } else {
+          RecordCacheEvent("probe", false);
+        }
+      }
+    } else {
+      probe.sample_unavailable =
+          sample.status().code() == StatusCode::kUnavailable;
+    }
+    probes.push_back(std::move(probe));
+  }
+
+  std::vector<size_t> scans;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (probes[i].sample != nullptr && !probes[i].have_count) scans.push_back(i);
+  }
+  perf::TaskPool::Global()->ParallelFor(scans.size(), [&](size_t j) {
+    TableProbe& probe = probes[scans[j]];
+    probe.k = perf::BatchCountSatisfying(*probe.pred, probe.sample->rows());
+    probe.have_count = true;
+  });
+
+  double selectivity = 1.0;
+  for (const TableProbe& probe : probes) {
+    const std::string& table = probe.table;
+    const expr::ExprPtr& table_pred = probe.pred;
+    if (probe.sample != nullptr) {
+      if (probe_cache_ != nullptr) {
+        probe_cache_->Insert("sample:" + table, probe.fingerprint,
+                             {probe.k, probe.sample->size()});
+      }
+      const uint64_t k = probe.k;
       const BetaPrior prior = config_.EffectivePrior();
-      SelectivityPosterior posterior(k, sample.value()->size(), prior);
-      const double factor =
-          posterior.EstimateAtConfidence(config_.confidence_threshold);
+      SelectivityPosterior posterior(k, probe.sample->size(), prior);
+      const double factor = InvertAtThreshold(posterior);
       selectivity *= factor;
       RQO_IF_OBS(tracer_) {
         tracer_->Event(
@@ -198,20 +315,19 @@ Result<double> RobustSampleEstimator::EstimateRows(
              {"predicate", table_pred->ToString()},
              {"source", "table-sample"},
              {"k", robustqo::obs::AttrU64(k)},
-             {"n", robustqo::obs::AttrU64(sample.value()->size())},
+             {"n", robustqo::obs::AttrU64(probe.sample->size())},
              {"posterior_alpha",
               robustqo::obs::AttrF(static_cast<double>(k) + prior.alpha)},
              {"posterior_beta",
               robustqo::obs::AttrF(
-                  static_cast<double>(sample.value()->size() - k) +
+                  static_cast<double>(probe.sample->size() - k) +
                   prior.beta)},
              {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
              {"selectivity", robustqo::obs::AttrF(factor)}});
       }
       continue;
     }
-    const bool sample_unavailable =
-        sample.status().code() == StatusCode::kUnavailable;
+    const bool sample_unavailable = probe.sample_unavailable;
     RQO_IF_OBS(metrics_) {
       metrics_
           ->GetCounter(sample_unavailable
@@ -248,7 +364,7 @@ Result<double> RobustSampleEstimator::EstimateRows(
     // Tier 4: default selectivity from the wide prior-only posterior, one
     // factor per stat-less conjunct.
     const double wide = DefaultWideSelectivity();
-    for (size_t i = 0; i < num_conjuncts; ++i) selectivity *= wide;
+    for (size_t i = 0; i < probe.num_conjuncts; ++i) selectivity *= wide;
     RecordDegradation("histogram-avi", "default-wide", "missing", table,
                       "estimator.degraded.to_default");
     RQO_IF_OBS(tracer_) {
@@ -256,7 +372,7 @@ Result<double> RobustSampleEstimator::EstimateRows(
           "estimator", "robust",
           {{"tables", table},
            {"source", "default-wide"},
-           {"conjuncts", robustqo::obs::AttrU64(num_conjuncts)},
+           {"conjuncts", robustqo::obs::AttrU64(probe.num_conjuncts)},
            {"threshold", robustqo::obs::AttrF(config_.confidence_threshold)},
            {"selectivity", robustqo::obs::AttrF(wide)}});
     }

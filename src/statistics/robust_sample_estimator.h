@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fault/retry.h"
+#include "perf/caches.h"
 #include "statistics/cardinality_estimator.h"
 #include "statistics/histogram_estimator.h"
 #include "statistics/selectivity_posterior.h"
@@ -116,15 +117,39 @@ class RobustSampleEstimator : public CardinalityEstimator {
   /// range magic number). Exposed for tests.
   double DefaultWideSelectivity() const;
 
+  /// Installs/uninstalls a per-query probe-count memo (borrowed; may be
+  /// null). The optimizer installs a fresh cache for the duration of one
+  /// Optimize() call so repeated costing of a shared conjunct never
+  /// re-scans a sample; entries never outlive the statistics they were
+  /// computed from.
+  void set_probe_cache(perf::ProbeCountCache* cache) { probe_cache_ = cache; }
+  perf::ProbeCountCache* probe_cache() const { return probe_cache_; }
+
+  /// The bounded LRU over inverse-Beta quantile evaluations (owned;
+  /// capacity adjustable via `SET BETA_CACHE_CAPACITY` in the shell).
+  perf::InverseBetaCache* beta_cache() const { return beta_cache_.get(); }
+
  private:
   // Degradation bookkeeping: one trace event + counter per tier drop.
   void RecordDegradation(const char* tier_from, const char* tier_to,
                          const char* reason, const std::string& scope,
                          const char* counter) const;
 
+  // perf.cache.{hit,miss} counter bump for one cache probe (`cache` is
+  // "probe" or "beta"; also bumps the per-cache counter).
+  void RecordCacheEvent(const char* cache, bool hit) const;
+
+  // Memoized EstimateAtConfidence(config_.confidence_threshold): the
+  // quantile via the inverse-Beta LRU, bit-identical to the direct call.
+  double InvertAtThreshold(const SelectivityPosterior& posterior) const;
+
   const StatisticsCatalog* statistics_;
   RobustEstimatorConfig config_;
   HistogramEstimator histogram_fallback_;
+  perf::ProbeCountCache* probe_cache_ = nullptr;
+  // unique_ptr so the estimator stays movable (the cache holds a mutex).
+  std::unique_ptr<perf::InverseBetaCache> beta_cache_ =
+      std::make_unique<perf::InverseBetaCache>();
 };
 
 }  // namespace stats

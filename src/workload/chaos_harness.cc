@@ -5,6 +5,7 @@
 
 #include "fault/fault_injector.h"
 #include "fault/governor.h"
+#include "perf/task_pool.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -26,7 +27,7 @@ bool IsCleanFailure(StatusCode code) {
 // Seed-derived arming for one run. Returns a human-readable description.
 std::string ArmRandomFaults(fault::FaultInjector* injector, Rng* rng,
                             double arm_probability,
-                            std::map<std::string, size_t>* armed_counts) {
+                            std::vector<std::string>* armed_sites) {
   std::string description;
   for (const std::string& site : fault::KnownFaultSites()) {
     if (!rng->NextBernoulli(arm_probability)) continue;
@@ -54,7 +55,7 @@ std::string ArmRandomFaults(fault::FaultInjector* injector, Rng* rng,
       spec.stall_seconds = rng->NextDoubleInRange(0.5, 50.0);
     }
     injector->Arm(site, spec);
-    ++(*armed_counts)[site];
+    armed_sites->push_back(site);
     if (!description.empty()) description += " ";
     description += site + "=" + spec.ToString();
   }
@@ -133,6 +134,54 @@ std::string ChaosReport::Summary() const {
   return out;
 }
 
+namespace {
+
+// Everything one run produces; aggregated into the report sequentially, in
+// run-index order, so the report does not depend on completion order.
+struct RunResult {
+  ChaosRunOutcome outcome;
+  std::vector<std::string> armed_sites;
+};
+
+// One self-contained chaos run against `db`: every input is derived from
+// (config, run index) and the database is restored (disarmed, unlimited)
+// before returning, so the result is the same whichever thread or Database
+// replica executes it.
+RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
+                        const std::vector<opt::QuerySpec>& queries,
+                        const std::vector<Reference>& references, size_t i) {
+  const uint64_t seed = config.base_seed + i;
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  const size_t qi = i % queries.size();
+
+  db->fault_injector()->Reseed(seed);
+  RunResult run;
+  run.outcome.seed = seed;
+  run.outcome.armed = ArmRandomFaults(db->fault_injector(), &rng,
+                                      config.arm_probability,
+                                      &run.armed_sites);
+  if (rng.NextBernoulli(config.governor_probability)) {
+    db->SetGovernorLimits(RandomGovernorLimits(&rng));
+  }
+
+  Result<core::ExecutionResult> result =
+      db->Execute(queries[qi], core::EstimatorKind::kRobustSample);
+  if (result.ok()) {
+    run.outcome.executed = true;
+    run.outcome.verified =
+        Matches(references[qi], Fingerprint(result.value().rows));
+  } else {
+    run.outcome.code = result.status().code();
+    run.outcome.error = result.status().ToString();
+  }
+
+  db->fault_injector()->DisarmAll();
+  db->SetGovernorLimits({});
+  return run;
+}
+
+}  // namespace
+
 ChaosReport ChaosHarness::Run(const ChaosConfig& config,
                               const std::vector<opt::QuerySpec>& queries) {
   ChaosReport report;
@@ -150,46 +199,48 @@ ChaosReport ChaosHarness::Run(const ChaosConfig& config,
     references.push_back(Fingerprint(clean.value().rows));
   }
 
-  for (size_t i = 0; i < config.runs; ++i) {
-    const uint64_t seed = config.base_seed + i;
-    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
-    const size_t qi = i % queries.size();
-
-    db_->fault_injector()->Reseed(seed);
-    ChaosRunOutcome outcome;
-    outcome.seed = seed;
-    outcome.armed = ArmRandomFaults(db_->fault_injector(), &rng,
-                                    config.arm_probability,
-                                    &report.armed_counts);
-    if (rng.NextBernoulli(config.governor_probability)) {
-      db_->SetGovernorLimits(RandomGovernorLimits(&rng));
+  std::vector<RunResult> results(config.runs);
+  perf::TaskPool* pool = perf::TaskPool::Global();
+  if (config.database_factory != nullptr && pool->threads() > 1 &&
+      config.runs > 1) {
+    // Parallel sweep: one Database replica per worker (built lazily the
+    // first time the worker claims a run), each run writing only its own
+    // results slot.
+    std::vector<std::unique_ptr<core::Database>> worker_dbs(pool->threads());
+    pool->ParallelForWorker(config.runs, [&](unsigned worker, size_t i) {
+      if (worker_dbs[worker] == nullptr) {
+        worker_dbs[worker] = config.database_factory();
+      }
+      results[i] =
+          ExecuteOneRun(worker_dbs[worker].get(), config, queries,
+                        references, i);
+    });
+  } else {
+    for (size_t i = 0; i < config.runs; ++i) {
+      results[i] = ExecuteOneRun(db_, config, queries, references, i);
     }
+  }
 
-    Result<core::ExecutionResult> result =
-        db_->Execute(queries[qi], core::EstimatorKind::kRobustSample);
+  // Ordered reduction: identical report at every thread count.
+  for (const RunResult& run : results) {
     ++report.runs;
-    if (result.ok()) {
-      outcome.executed = true;
-      outcome.verified = Matches(references[qi],
-                                 Fingerprint(result.value().rows));
-      if (outcome.verified) {
+    for (const std::string& site : run.armed_sites) {
+      ++report.armed_counts[site];
+    }
+    if (run.outcome.executed) {
+      if (run.outcome.verified) {
         ++report.completed;
       } else {
-        report.violations.push_back(outcome);
+        report.violations.push_back(run.outcome);
       }
     } else {
-      outcome.code = result.status().code();
-      outcome.error = result.status().ToString();
-      ++report.failures_by_code[StatusCodeName(outcome.code)];
-      if (IsCleanFailure(outcome.code)) {
+      ++report.failures_by_code[StatusCodeName(run.outcome.code)];
+      if (IsCleanFailure(run.outcome.code)) {
         ++report.failed_typed;
       } else {
-        report.violations.push_back(outcome);
+        report.violations.push_back(run.outcome);
       }
     }
-
-    db_->fault_injector()->DisarmAll();
-    db_->SetGovernorLimits({});
   }
   return report;
 }

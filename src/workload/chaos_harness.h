@@ -13,7 +13,9 @@
 #define ROBUSTQO_WORKLOAD_CHAOS_HARNESS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,14 @@ struct ChaosConfig {
   double arm_probability = 0.5;
   /// Probability that a run also applies random governor limits.
   double governor_probability = 0.3;
+  /// Enables parallel sweeps: builds one Database per worker thread (same
+  /// data + statistics as the primary — each run is self-contained given
+  /// (database state, seed), so outcomes are independent of which worker
+  /// executes them). Used when perf::ThreadCount() > 1; without a factory
+  /// the sweep runs sequentially on the primary database. The report is
+  /// byte-identical at every thread count: runs are reduced in run-index
+  /// order regardless of completion order.
+  std::function<std::unique_ptr<core::Database>()> database_factory;
 };
 
 /// One run's outcome.

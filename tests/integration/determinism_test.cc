@@ -1,0 +1,160 @@
+// The determinism contract of the parallel sampling engine, end to end:
+// every user-visible artifact — EXPLAIN ANALYZE snapshots, chaos sweep
+// reports, and the analytical-model figure series behind fig05/fig06 —
+// must be byte-identical at 1, 4, and 8 threads. Parallelism may change
+// wall-clock time, never results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analytical_model.h"
+#include "core/database.h"
+#include "core/explain_analyze.h"
+#include "perf/task_pool.h"
+#include "tpch/tpch_gen.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+#include "workload/chaos_harness.h"
+#include "workload/scenarios.h"
+
+namespace robustqo {
+namespace {
+
+std::unique_ptr<core::Database> MakeDatabase() {
+  auto db = std::make_unique<core::Database>();
+  tpch::TpchConfig config;
+  config.scale_factor = 0.005;
+  RQO_CHECK_MSG(tpch::LoadTpch(db->catalog(), config).ok(),
+                "tpch load failed");
+  stats::StatisticsConfig stats_config;
+  stats_config.seed = 7;
+  db->UpdateStatistics(stats_config);
+  return db;
+}
+
+std::vector<opt::QuerySpec> ScenarioQueries() {
+  std::vector<opt::QuerySpec> queries;
+  workload::SingleTableScenario single;
+  queries.push_back(single.MakeQuery(70));
+  workload::ThreeTableJoinScenario join;
+  queries.push_back(join.MakeQuery(12.0));
+  queries.push_back(join.MakeQuery(45.0));
+  return queries;
+}
+
+constexpr unsigned kThreadCounts[] = {1, 4, 8};
+
+// Restores the global thread count after each test.
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = perf::ThreadCount(); }
+  void TearDown() override { perf::SetThreadCount(saved_threads_); }
+
+ private:
+  unsigned saved_threads_ = 1;
+};
+
+TEST_F(DeterminismTest, ExplainAnalyzeSnapshotsIdenticalAcrossThreadCounts) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ThreeTableJoinScenario scenario;
+  const opt::QuerySpec query = scenario.MakeQuery(2.0);
+
+  std::string reference_json;
+  std::string reference_text;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    auto analyzed =
+        core::ExplainAnalyze(db.get(), query, core::EstimatorKind::kRobustSample);
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    const std::string json = analyzed.value().ToJson();
+    const std::string text = analyzed.value().ToText();
+    if (threads == 1) {
+      reference_json = json;
+      reference_text = text;
+    } else {
+      EXPECT_EQ(json, reference_json) << "threads=" << threads;
+      EXPECT_EQ(text, reference_text) << "threads=" << threads;
+    }
+  }
+}
+
+#if ROBUSTQO_OBS_ENABLED
+TEST_F(DeterminismTest, PerfCacheCountersVisibleInExplainAnalyzeJson) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ThreeTableJoinScenario scenario;
+  auto analyzed = core::ExplainAnalyze(db.get(), scenario.MakeQuery(2.0),
+                                       core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  const std::string json = analyzed.value().ToJson();
+  EXPECT_NE(json.find("\"perf.cache.hit\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"perf.cache.miss\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"probe_cache_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"beta_cache_hits\":"), std::string::npos);
+}
+#endif
+
+TEST_F(DeterminismTest, ChaosSweepReportIdenticalAcrossThreadCounts) {
+  // The primary database and every worker replica come from the same
+  // deterministic factory, so a run's outcome is a function of (config,
+  // run index) alone — the parallel sweep at 4 and 8 threads must produce
+  // the exact report the sequential sweep does.
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ChaosHarness harness(db.get());
+  workload::ChaosConfig config;
+  config.base_seed = 424242;
+  config.runs = 24;
+  config.database_factory = MakeDatabase;
+  const auto queries = ScenarioQueries();
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    workload::ChaosReport report = harness.Run(config, queries);
+    EXPECT_EQ(report.runs, config.runs);
+    if (threads == 1) {
+      reference = report.Summary();
+    } else {
+      EXPECT_EQ(report.Summary(), reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+// The fig05/fig06 figure series: regenerate the exact numbers the benches
+// print and pin them across thread counts (the analytical model must not
+// read any thread-dependent state).
+TEST_F(DeterminismTest, AnalyticalFigureSeriesIdenticalAcrossThreadCounts) {
+  auto render = []() {
+    core::TwoPlanAnalyticalModel model;
+    std::string out;
+    std::vector<double> selectivities;
+    for (int i = 0; i <= 20; ++i) selectivities.push_back(i * 0.0005);
+    for (double t : {0.05, 0.20, 0.50, 0.80, 0.95}) {
+      // fig05: expected time per selectivity; fig06: workload summary.
+      for (double p : selectivities) {
+        out += StrPrintf("%.17g\n", model.ExpectedExecutionTime(p, 1000, t));
+      }
+      const auto summary = model.SummarizeWorkload(selectivities, 1000, t);
+      out += StrPrintf("T=%g mean=%.17g sd=%.17g\n", t, summary.mean_seconds,
+                       summary.std_dev_seconds);
+    }
+    return out;
+  };
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    const std::string rendered = render();
+    if (threads == 1) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robustqo

@@ -1,0 +1,79 @@
+// Canonical expression fingerprints: structural equality, AND/OR child
+// order insensitivity, and collision sanity over distinct predicates.
+
+#include "perf/fingerprint.h"
+
+#include <set>
+#include <vector>
+
+#include "expr/expression.h"
+#include "gtest/gtest.h"
+#include "storage/value.h"
+
+namespace robustqo {
+namespace perf {
+namespace {
+
+using expr::And;
+using expr::Between;
+using expr::Col;
+using expr::Eq;
+using expr::ExprPtr;
+using expr::Gt;
+using expr::LitDouble;
+using expr::LitInt;
+using expr::LitString;
+using expr::Lt;
+using expr::Not;
+using expr::Or;
+using expr::StringContains;
+using storage::Value;
+
+TEST(FingerprintTest, StructurallyEqualTreesCollide) {
+  const ExprPtr a = And({Lt(Col("x"), LitInt(5)), Eq(Col("s"), LitString("a"))});
+  const ExprPtr b = And({Lt(Col("x"), LitInt(5)), Eq(Col("s"), LitString("a"))});
+  EXPECT_EQ(FingerprintExpr(*a), FingerprintExpr(*b));
+}
+
+TEST(FingerprintTest, AndOrChildOrderIsCanonical) {
+  const ExprPtr p = Lt(Col("x"), LitInt(5));
+  const ExprPtr q = Gt(Col("y"), LitDouble(0.5));
+  const ExprPtr r = StringContains(Col("s"), "foo");
+  EXPECT_EQ(FingerprintExpr(*And({p, q, r})), FingerprintExpr(*And({r, p, q})));
+  EXPECT_EQ(FingerprintExpr(*Or({p, q})), FingerprintExpr(*Or({q, p})));
+  // ...but AND and OR over the same children must not collide.
+  EXPECT_NE(FingerprintExpr(*And({p, q})), FingerprintExpr(*Or({p, q})));
+}
+
+TEST(FingerprintTest, DistinctPredicatesGetDistinctFingerprints) {
+  std::vector<ExprPtr> preds = {
+      Lt(Col("x"), LitInt(5)),
+      Lt(Col("x"), LitInt(6)),
+      Lt(Col("x"), LitDouble(5.0)),  // same number, different type tag
+      Lt(Col("y"), LitInt(5)),
+      Gt(Col("x"), LitInt(5)),
+      Lt(LitInt(5), Col("x")),  // operand order matters for comparisons
+      Between(Col("x"), Value::Int64(1), Value::Int64(5)),
+      Not(Lt(Col("x"), LitInt(5))),
+      StringContains(Col("s"), "foo"),
+      StringContains(Col("s"), "bar"),
+      And({}),
+      Or({}),
+      nullptr,  // no predicate (TRUE) has its own reserved fingerprint
+  };
+  std::set<uint64_t> fps;
+  for (const ExprPtr& p : preds) fps.insert(FingerprintExpr(p));
+  EXPECT_EQ(fps.size(), preds.size());
+}
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  const ExprPtr p =
+      And({Between(Col("d"), Value::Date(100), Value::Date(200)),
+           Or({Eq(Col("a"), LitInt(3)), StringContains(Col("s"), "x")})});
+  const uint64_t first = FingerprintExpr(*p);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(FingerprintExpr(*p), first);
+}
+
+}  // namespace
+}  // namespace perf
+}  // namespace robustqo
