@@ -1,0 +1,148 @@
+// Telemetry overhead: the cost of the full telemetry pipeline added on
+// top of the base observability sites — per-query quantile-sketch
+// observations on the execute path, exporter rendering, and the
+// EXPLAIN-ANALYZE -> quality-monitor feedback join.
+//
+// The enforced contract (docs/OBSERVABILITY.md): the always-on production
+// configuration — a metrics registry attached, which now includes the
+// exec.query.* sketch observations — stays under 5% overhead versus an
+// unsinked plan+execute. Exporter rendering and the quality join run on
+// demand (a `.metrics` dump, an EXPLAIN ANALYZE), so they are reported as
+// informational absolute costs, not gated.
+//
+// Usage: overhead_telemetry [--json out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.h"
+#include "core/database.h"
+#include "core/explain_analyze.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/quality_monitor.h"
+#include "tpch/tpch_gen.h"
+#include "util/stopwatch.h"
+#include "workload/quality_report.h"
+#include "workload/scenarios.h"
+
+using namespace robustqo;
+
+namespace {
+
+constexpr int kRounds = 7;
+constexpr int kItersPerRound = 12;
+
+// Best-of-rounds wall seconds for `body` run kItersPerRound times.
+template <typename Fn>
+double BestRoundSeconds(Fn&& body) {
+  double best = 1e100;
+  Stopwatch watch;
+  for (int round = 0; round < kRounds; ++round) {
+    watch.Restart();
+    for (int i = 0; i < kItersPerRound; ++i) body();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ConsumeJsonFlag(&argc, argv);
+  core::Database db;
+  tpch::TpchConfig config;
+  config.scale_factor = 0.02;
+  if (!tpch::LoadTpch(db.catalog(), config).ok()) return 2;
+  stats::StatisticsConfig stats_config;
+  stats_config.sample_size = 500;
+  db.UpdateStatistics(stats_config);
+
+  workload::ThreeTableJoinScenario scenario;
+  const opt::QuerySpec query = scenario.MakeQuery(13.0);
+
+  auto plan_and_execute = [&] {
+    auto plan = db.Plan(query, core::EstimatorKind::kRobustSample);
+    if (!plan.ok()) std::abort();
+    core::ExecutionResult result = db.ExecutePlan(plan.value()).value();
+    if (result.rows.num_rows() == 0 && result.spj_rows == 0) std::abort();
+  };
+
+  // Warm up caches (statistics, allocator) before timing anything.
+  plan_and_execute();
+
+  const double baseline = BestRoundSeconds(plan_and_execute);
+
+  // The always-on production path: counters + histograms + the per-query
+  // exec.query.* quantile sketches, all recorded through the registry.
+  obs::MetricsRegistry metrics;
+  db.SetMetrics(&metrics);
+  const double with_telemetry = BestRoundSeconds(plan_and_execute);
+
+  // Exporter rendering cost on the registry the loop just filled, per call.
+  std::string rendered;
+  const double export_seconds = BestRoundSeconds([&] {
+                                  rendered = obs::ToOpenMetrics(metrics);
+                                  if (rendered.empty()) std::abort();
+                                }) /
+                                kItersPerRound;
+  db.SetMetrics(nullptr);
+
+  // The feedback join: EXPLAIN ANALYZE (tracer + annotated re-execution)
+  // feeding the estimation-quality monitor. On-demand path, informational.
+  obs::EstimationQualityMonitor monitor;
+  const double quality_join = BestRoundSeconds([&] {
+    auto analyzed =
+        core::ExplainAnalyze(&db, query, core::EstimatorKind::kRobustSample);
+    if (!analyzed.ok()) std::abort();
+    workload::RecordAnalyzedPlan(analyzed.value(), &monitor);
+  });
+
+  const double telemetry_overhead = with_telemetry / baseline - 1.0;
+
+#if ROBUSTQO_OBS_ENABLED
+  std::printf("telemetry: compiled IN (ROBUSTQO_OBS=ON)\n");
+#else
+  std::printf(
+      "telemetry: compiled OUT (ROBUSTQO_OBS=OFF) — attached sinks are "
+      "ignored on the query path; exporters and the monitor still work "
+      "when invoked directly\n");
+#endif
+  std::printf("plan+execute, best of %d rounds x %d iterations:\n", kRounds,
+              kItersPerRound);
+  std::printf("  no sinks:            %.4f s\n", baseline);
+  std::printf("  metrics + sketches:  %.4f s  (%+.1f%%)\n", with_telemetry,
+              telemetry_overhead * 100.0);
+  std::printf("  OpenMetrics render:  %.1f us/call (informational, "
+              "%zu bytes)\n",
+              export_seconds * 1e6, rendered.size());
+  std::printf("  quality join round:  %.4f s  (informational — EXPLAIN "
+              "ANALYZE + monitor)\n",
+              quality_join);
+  std::printf("  monitor state:       %zu observations, %zu fingerprints\n",
+              monitor.observation_count(), monitor.fingerprint_count());
+
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "overhead_telemetry");
+    w.Field("baseline_seconds", baseline);
+    w.Field("with_telemetry_seconds", with_telemetry);
+    w.Field("telemetry_overhead", telemetry_overhead);
+    w.Field("openmetrics_render_seconds", export_seconds);
+    w.Field("quality_join_round_seconds", quality_join);
+    w.EndObject();
+    if (!bench::WriteJsonFile(json_path, w.str())) return 2;
+  }
+
+  // The enforced contract. 5% is the documented bound; the measured value
+  // is normally well under 1% and the headroom absorbs timer noise.
+  if (telemetry_overhead >= 0.05) {
+    std::printf("FAIL: telemetry overhead %.1f%% >= 5%%\n",
+                telemetry_overhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS: telemetry overhead under the 5%% bound\n");
+  return 0;
+}

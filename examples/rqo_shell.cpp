@@ -6,6 +6,12 @@
 //   .dot <sql>                      Graphviz digraph of the chosen plan
 //   .tables                         list tables
 //   .faults                         list armed fault sites + known sites
+//   .metrics [om]                   session + last-query metrics as JSON
+//                                   (or OpenMetrics text with "om")
+//   .trace export <file>            last EXPLAIN ANALYZE trace as Chrome
+//                                   trace_event JSON (chrome://tracing)
+//   .quality                        per-fingerprint estimation-quality
+//                                   report (fed by EXPLAIN ANALYZE runs)
 //   .quit                           exit
 // Statements:
 //   EXPLAIN ANALYZE <sql>           plan + execute; per-operator estimated
@@ -31,6 +37,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -39,9 +46,13 @@
 #include "core/explain_analyze.h"
 #include "core/report.h"
 #include "exec/plan_dot.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/quality_monitor.h"
 #include "perf/task_pool.h"
 #include "tpch/tpch_gen.h"
 #include "util/string_util.h"
+#include "workload/quality_report.h"
 
 using namespace robustqo;
 
@@ -189,6 +200,16 @@ int main() {
   db.UpdateStatistics();
   core::EstimatorKind kind = core::EstimatorKind::kRobustSample;
 
+  // Session-scoped telemetry: every statement records into a per-query
+  // registry which merges into the session registry afterwards, so
+  // `.metrics` can show both scopes. EXPLAIN ANALYZE runs additionally
+  // feed the quality monitor and refresh the exportable trace.
+  obs::MetricsRegistry session_metrics;
+  obs::MetricsRegistry query_metrics;
+  obs::EstimationQualityMonitor quality;
+  std::vector<obs::TraceEvent> last_trace;
+  db.SetMetrics(&query_metrics);
+
   std::printf("robustqo shell — TPC-H sf=%.2f loaded; robust estimator at "
               "T=%.0f%%. Type SQL or .quit\n",
               config.scale_factor, db.confidence_threshold() * 100.0);
@@ -209,6 +230,46 @@ int main() {
       continue;
     }
     if (HandleSet(&db, line)) continue;
+    if (line == ".metrics" || line == ".metrics om") {
+      quality.PublishMetrics(&session_metrics);
+      if (line == ".metrics") {
+        std::printf("session:    %s\n", session_metrics.ToJson().c_str());
+        std::printf("last query: %s\n", query_metrics.ToJson().c_str());
+      } else {
+        std::printf("# scope: session\n%s",
+                    obs::ToOpenMetrics(session_metrics).c_str());
+        std::printf("# scope: last query\n%s",
+                    obs::ToOpenMetrics(query_metrics).c_str());
+      }
+      continue;
+    }
+    if (StartsWith(line, ".trace")) {
+      if (!StartsWith(line, ".trace export ") ||
+          line.size() <= strlen(".trace export ")) {
+        std::printf("usage: .trace export <file>\n");
+        continue;
+      }
+      if (last_trace.empty()) {
+        std::printf("no trace recorded — run EXPLAIN ANALYZE first\n");
+        continue;
+      }
+      const std::string path = line.substr(strlen(".trace export "));
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::printf("cannot open %s\n", path.c_str());
+        continue;
+      }
+      const std::string json = obs::ToChromeTrace(last_trace);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu trace events to %s\n", last_trace.size(),
+                  path.c_str());
+      continue;
+    }
+    if (line == ".quality") {
+      std::printf("%s", quality.ReportText().c_str());
+      continue;
+    }
     if (line == ".tables") {
       for (const auto& name : db.catalog()->TableNames()) {
         std::printf("  %-10s %10llu rows\n", name.c_str(),
@@ -265,11 +326,15 @@ int main() {
         std::printf("error: %s\n", query.status().ToString().c_str());
         continue;
       }
-      auto analyzed = core::ExplainAnalyze(&db, query.value(), kind);
+      query_metrics.Reset();
+      auto analyzed =
+          core::ExplainAnalyze(&db, query.value(), kind, {}, &last_trace);
+      session_metrics.MergeFrom(query_metrics);
       if (!analyzed.ok()) {
         std::printf("error: %s\n", analyzed.status().ToString().c_str());
         continue;
       }
+      workload::RecordAnalyzedPlan(analyzed.value(), &quality);
       switch (format) {
         case kText:
           std::printf("%s", analyzed.value().ToText().c_str());
@@ -297,7 +362,9 @@ int main() {
       std::printf("%s", exec::PlanToDot(*plan.value().root).c_str());
       continue;
     }
+    query_metrics.Reset();
     auto result = db.ExecuteSql(line, kind);
+    session_metrics.MergeFrom(query_metrics);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;

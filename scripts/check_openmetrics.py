@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Validates OpenMetrics text-exposition files (stdlib only).
+
+Checks the subset of the OpenMetrics 1.0 grammar that the C++ exporter in
+src/obs/exporters.cc emits:
+
+  * every line is a `# TYPE`/`# HELP` comment, a sample, or the final
+    `# EOF`, which must be the last line;
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every sample belongs to a declared metric family, respecting the
+    suffix rules per type (counter `_total`, histogram `_bucket`/`_sum`/
+    `_count`, summary `{quantile=...}` plus `_sum`/`_count`);
+  * sample values parse as OpenMetrics numbers (decimal or the exact
+    spellings +Inf/-Inf/NaN);
+  * histogram `le` buckets are cumulative, end with `le="+Inf"`, and the
+    +Inf bucket equals `_count`;
+  * no metric family or sample (name + label set) appears twice.
+
+Usage: scripts/check_openmetrics.py FILE [FILE...]
+"""
+
+import re
+import sys
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+LABEL = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "unknown"}
+
+
+def parse_number(text):
+    """An OpenMetrics number, or None. Infinities and NaN are spelled
+    exactly +Inf/-Inf/NaN in the exposition format."""
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf"))
+    if re.search(r"(?i)inf|nan", text):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def split_labels(raw):
+    """Parses `a="x",b="y"` into a list of (name, value); None on error."""
+    if raw is None or raw == "":
+        return []
+    out = []
+    for part in re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"', raw):
+        m = LABEL.match(part)
+        if m is None:
+            return None
+        out.append((m.group("name"), m.group("value")))
+    # Everything must have been consumed (no trailing garbage).
+    if ",".join(f'{n}="{v}"' for n, v in out) != re.sub(r'",\s*', '",', raw):
+        rebuilt = ",".join(re.findall(
+            r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"', raw))
+        if rebuilt != raw:
+            return None
+    return out
+
+
+def family_of(name, families):
+    """The declared family a sample name belongs to, honouring suffixes."""
+    if name in families:
+        return name
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_file(path):
+    errors = []
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    with open(path, "rb") as f:
+        blob = f.read()
+    if not blob.endswith(b"\n"):
+        err(0, "file must end with a newline")
+    text = blob.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    families = {}  # name -> type
+    seen_samples = set()
+    histograms = {}  # family -> {"buckets": [(le, value)], "count": float}
+    saw_eof = False
+
+    for lineno, line in enumerate(lines, start=1):
+        if saw_eof:
+            err(lineno, "content after # EOF")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                err(lineno, f"malformed TYPE line: {line!r}")
+                continue
+            _, _, name, mtype = parts
+            if not NAME.match(name):
+                err(lineno, f"bad metric name {name!r}")
+            if mtype not in TYPES:
+                err(lineno, f"unknown metric type {mtype!r}")
+            if name in families:
+                err(lineno, f"duplicate family {name!r}")
+            families[name] = mtype
+            continue
+        if line.startswith("# HELP ") or line.startswith("# UNIT "):
+            continue
+        if line.startswith("#"):
+            err(lineno, f"unrecognized comment line: {line!r}")
+            continue
+
+        m = SAMPLE.match(line)
+        if m is None:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = split_labels(m.group("labels"))
+        if labels is None:
+            err(lineno, f"malformed label set: {m.group('labels')!r}")
+            continue
+        value = parse_number(m.group("value"))
+        if value is None:
+            err(lineno, f"bad sample value {m.group('value')!r}")
+            continue
+
+        family = family_of(name, families)
+        if family is None:
+            err(lineno, f"sample {name!r} has no # TYPE declaration")
+            continue
+        mtype = families[family]
+
+        key = (name, tuple(sorted(labels)))
+        if key in seen_samples:
+            err(lineno, f"duplicate sample {name!r} {labels!r}")
+        seen_samples.add(key)
+
+        if mtype == "counter" and not name.endswith(("_total", "_created")):
+            err(lineno, f"counter sample {name!r} must end in _total")
+        if mtype == "summary" and name == family:
+            quantiles = [v for (n, v) in labels if n == "quantile"]
+            if len(quantiles) != 1:
+                err(lineno, f"summary sample {name!r} needs a quantile label")
+            elif parse_number(quantiles[0]) is None:
+                err(lineno, f"bad quantile value {quantiles[0]!r}")
+        if mtype == "histogram":
+            h = histograms.setdefault(family, {"buckets": [], "count": None})
+            if name == family + "_bucket":
+                les = [v for (n, v) in labels if n == "le"]
+                if len(les) != 1:
+                    err(lineno, f"bucket sample {name!r} needs an le label")
+                else:
+                    h["buckets"].append((lineno, les[0], value))
+            elif name == family + "_count":
+                h["count"] = value
+
+    if not saw_eof:
+        errors.append(f"{path}: missing # EOF terminator")
+
+    for family, h in histograms.items():
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"{path}: histogram {family!r} has no buckets")
+            continue
+        last_value = None
+        for lineno, le, value in buckets:
+            if parse_number(le) is None:
+                errors.append(f"{path}:{lineno}: bad le value {le!r}")
+            if last_value is not None and value < last_value:
+                errors.append(
+                    f"{path}:{lineno}: histogram {family!r} buckets are "
+                    f"not cumulative ({value} < {last_value})")
+            last_value = value
+        if buckets[-1][1] != "+Inf":
+            errors.append(
+                f"{path}: histogram {family!r} must end with le=\"+Inf\"")
+        elif h["count"] is not None and buckets[-1][2] != h["count"]:
+            errors.append(
+                f"{path}: histogram {family!r} +Inf bucket "
+                f"({buckets[-1][2]}) != _count ({h['count']})")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(e)
+    if all_errors:
+        print(f"check_openmetrics: {len(all_errors)} error(s)")
+        return 1
+    print(f"check_openmetrics: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace_event JSON files (stdlib only).
+
+Checks that a file produced by obs::ToChromeTrace (src/obs/exporters.cc)
+is loadable by chrome://tracing / Perfetto:
+
+  * the file is a well-formed JSON array (the trace_event "JSON Array
+    Format"; a trailing `]` is optional in the spec but our exporter
+    always emits it);
+  * every event object carries the required keys: name, cat, ph, ts, pid,
+    tid — with ts numeric and non-negative;
+  * phases are drawn from the exporter's vocabulary (B, E, i);
+  * per (pid, tid), B/E events nest: every E closes the most recent open
+    B and repeats its name, and no B is left open at end of trace;
+  * instant events carry the scope key "s";
+  * timestamps never decrease per (pid, tid) (the exporter uses a logical
+    event sequence, so this is strict).
+
+Usage: scripts/check_trace_json.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+PHASES = {"B", "E", "i"}
+
+
+def check_file(path):
+    errors = []
+
+    def err(message):
+        errors.append(f"{path}: {message}")
+
+    with open(path, "rb") as f:
+        blob = f.read()
+    try:
+        events = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        err(f"not valid JSON: {e}")
+        return errors
+    if not isinstance(events, list):
+        err(f"top level must be a JSON array, got {type(events).__name__}")
+        return errors
+
+    open_spans = {}  # (pid, tid) -> [names of open B spans]
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            err(f"{where}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            err(f"{where}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        if ph not in PHASES:
+            err(f"{where}: unexpected phase {ph!r}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            err(f"{where}: ts must be a non-negative number, got {ts!r}")
+            continue
+        if "args" in event and not isinstance(event["args"], dict):
+            err(f"{where}: args must be an object")
+
+        track = (event["pid"], event["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            err(f"{where}: ts went backwards on track {track} "
+                f"({ts} < {last_ts[track]})")
+        last_ts[track] = ts
+
+        if ph == "B":
+            open_spans.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = open_spans.get(track, [])
+            if not stack:
+                err(f"{where}: E with no open B on track {track}")
+            else:
+                opened = stack.pop()
+                if opened != event["name"]:
+                    err(f"{where}: E name {event['name']!r} does not match "
+                        f"open B {opened!r}")
+        elif ph == "i":
+            if "s" not in event:
+                err(f"{where}: instant event missing scope key \"s\"")
+            elif event["s"] not in ("t", "p", "g"):
+                err(f"{where}: bad instant scope {event['s']!r}")
+
+    for track, stack in open_spans.items():
+        if stack:
+            err(f"unclosed B span(s) on track {track}: {stack}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(e)
+    if all_errors:
+        print(f"check_trace_json: {len(all_errors)} error(s)")
+        return 1
+    print(f"check_trace_json: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

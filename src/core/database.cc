@@ -119,6 +119,16 @@ Result<ExecutionResult> Database::ExecutePlan(const opt::PlannedQuery& plan) {
   const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
                                 ? ctx.aggregate_input_rows
                                 : rows.value().num_rows();
+#if ROBUSTQO_OBS_ENABLED
+  RQO_IF_OBS(metrics_) {
+    metrics_->GetSketch("exec.query.simulated_seconds")
+        ->Observe(ctx.meter.total_seconds());
+    metrics_->GetSketch("exec.query.rows")
+        ->Observe(static_cast<double>(rows.value().num_rows()));
+    metrics_->GetSketch("exec.query.spj_rows")
+        ->Observe(static_cast<double>(spj_rows));
+  }
+#endif
   ExecutionResult result{std::move(rows).value(),
                          ctx.meter.total_seconds(),
                          ctx.meter,

@@ -137,6 +137,7 @@ std::vector<PredicateReport> CollectPredicateReports(
         report.tables + "|" + report.predicate + "|" + report.source;
     if (seen[key]) continue;
     seen[key] = true;
+    report.fingerprint = AttrUint(e.attrs, "fingerprint", 0);
     report.has_sample = FindAttr(e.attrs, "n") != nullptr;
     report.sample_k = AttrUint(e.attrs, "k", 0);
     report.sample_n = AttrUint(e.attrs, "n", 0);
@@ -355,6 +356,10 @@ std::string AnalyzedPlan::ToJson() const {
     out += "{\"tables\":\"" + JsonEscape(p.tables) + "\"";
     out += ",\"predicate\":\"" + JsonEscape(p.predicate) + "\"";
     out += ",\"source\":\"" + JsonEscape(p.source) + "\"";
+    if (p.fingerprint != 0) {
+      out += StrPrintf(",\"fingerprint\":\"0x%016llx\"",
+                       static_cast<unsigned long long>(p.fingerprint));
+    }
     if (p.has_sample) {
       out += StrPrintf(",\"k\":%llu,\"n\":%llu",
                        static_cast<unsigned long long>(p.sample_k),
@@ -388,7 +393,8 @@ std::string AnalyzedPlan::ToJson() const {
 
 Result<AnalyzedPlan> ExplainAnalyze(Database* db, const opt::QuerySpec& query,
                                     EstimatorKind kind,
-                                    const opt::OptimizerOptions& options) {
+                                    const opt::OptimizerOptions& options,
+                                    std::vector<obs::TraceEvent>* trace_out) {
   obs::Tracer tracer;
   struct TracerSwap {
     Database* db;
@@ -404,6 +410,9 @@ Result<AnalyzedPlan> ExplainAnalyze(Database* db, const opt::QuerySpec& query,
   out.predicates = CollectPredicateReports(tracer.events());
   out.degradations = CollectDegradations(tracer.events());
   out.optimizer_metrics = db->last_optimizer_metrics();
+  if (trace_out != nullptr) {
+    *trace_out = tracer.events();  // planning phase; exec spans appended below
+  }
   tracer.Clear();
 
   out.plan_label = plan.value().label;
@@ -430,6 +439,17 @@ Result<AnalyzedPlan> ExplainAnalyze(Database* db, const opt::QuerySpec& query,
   out.operators = AnnotatePlan(*plan.value().root, tracer.events());
   out.instrumented =
       !out.operators.empty() && out.operators.front().executed;
+  if (trace_out != nullptr) {
+    // The tracer's logical clock restarted at the Clear() between phases;
+    // re-sequence the execution events after the planning events so the
+    // combined trace has one strictly increasing timeline.
+    uint64_t seq_offset = 0;
+    if (!trace_out->empty()) seq_offset = trace_out->back().seq + 1;
+    for (obs::TraceEvent event : tracer.events()) {
+      event.seq += seq_offset;
+      trace_out->push_back(std::move(event));
+    }
+  }
   return out;
 }
 

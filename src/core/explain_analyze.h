@@ -48,6 +48,11 @@ struct PredicateReport {
   std::string predicate;   ///< predicate text (may be empty for "magic")
   std::string source;      ///< "synopsis", "table-sample", "magic",
                            ///< "independence", "histogram-avi"
+  /// Canonical predicate fingerprint (perf/fingerprint.h) — the key the
+  /// estimator caches under, and the join key the estimation-quality
+  /// monitor uses to pair this estimate with execution actuals. 0 when the
+  /// producing event carried none (e.g. "magic", "default-wide").
+  uint64_t fingerprint = 0;
   bool has_sample = false;
   uint64_t sample_k = 0;   ///< sample rows satisfying the predicate
   uint64_t sample_n = 0;   ///< sample size
@@ -123,11 +128,15 @@ std::vector<DegradationReport> CollectDegradations(
 
 /// Plans and executes `query` with a scratch tracer temporarily attached
 /// to `db` (any previously attached tracer is restored afterwards), and
-/// merges the two trace phases into one report.
+/// merges the two trace phases into one report. When `trace_out` is
+/// non-null it receives the full record stream — planning events followed
+/// by execution spans — ready for obs::ToChromeTrace (the shell's
+/// `.trace export`).
 Result<AnalyzedPlan> ExplainAnalyze(
     Database* db, const opt::QuerySpec& query,
     EstimatorKind kind = EstimatorKind::kRobustSample,
-    const opt::OptimizerOptions& options = {});
+    const opt::OptimizerOptions& options = {},
+    std::vector<obs::TraceEvent>* trace_out = nullptr);
 
 }  // namespace core
 }  // namespace robustqo

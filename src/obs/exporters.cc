@@ -1,0 +1,169 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace obs {
+
+namespace {
+
+// OpenMetrics sample values: fixed precision, spec spellings for the
+// non-finite values.
+std::string OmValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return StrPrintf("%.9g", value);
+}
+
+std::string OmValue(uint64_t value) {
+  return StrPrintf("%llu", static_cast<unsigned long long>(value));
+}
+
+void EmitFamily(std::string* out, const std::string& name, const char* type) {
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string OpenMetricsLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToOpenMetrics(const MetricsRegistry& registry,
+                          const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string om = prefix + OpenMetricsName(name);
+    EmitFamily(&out, om, "counter");
+    out += om + "_total " + OmValue(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string om = prefix + OpenMetricsName(name);
+    EmitFamily(&out, om, "gauge");
+    out += om + " " + OmValue(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string om = prefix + OpenMetricsName(name);
+    EmitFamily(&out, om, "histogram");
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h->upper_bounds();
+    const std::vector<uint64_t>& counts = h->bucket_counts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += om + "_bucket{le=\"" + OmValue(bounds[i]) + "\"} " +
+             OmValue(cumulative) + "\n";
+    }
+    cumulative += counts.back();  // the implicit overflow bucket
+    out += om + "_bucket{le=\"+Inf\"} " + OmValue(cumulative) + "\n";
+    out += om + "_sum " + OmValue(h->sum()) + "\n";
+    out += om + "_count " + OmValue(h->count()) + "\n";
+    // The dedicated NaN bucket rides as a sibling counter family so the
+    // histogram series stay internally consistent (+Inf bucket == count).
+    EmitFamily(&out, om + "_nan", "counter");
+    out += om + "_nan_total " + OmValue(h->nan_count()) + "\n";
+  }
+  for (const auto& [name, s] : registry.sketches()) {
+    const std::string om = prefix + OpenMetricsName(name);
+    EmitFamily(&out, om, "summary");
+    for (double q : {0.5, 0.9, 0.99}) {
+      out += om + "{quantile=\"" + OmValue(q) + "\"} " +
+             OmValue(s->Quantile(q)) + "\n";
+    }
+    out += om + "_sum " + OmValue(s->ApproxSum()) + "\n";
+    out += om + "_count " + OmValue(s->count()) + "\n";
+    EmitFamily(&out, om + "_nan", "counter");
+    out += om + "_nan_total " + OmValue(s->nan_count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string ToChromeTrace(const std::vector<TraceEvent>& events,
+                          bool use_wall_time) {
+  // Span ends carry no name/category of their own; the format wants the
+  // matching "E" to repeat the "B"'s, so remember them per span id.
+  std::map<uint64_t, std::pair<std::string, std::string>> span_names;
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const char* phase = "i";
+    std::string name = e.name;
+    std::string category = e.category.empty() ? "trace" : e.category;
+    if (e.kind == TraceKind::kSpanBegin) {
+      phase = "B";
+      span_names[e.span_id] = {name, category};
+    } else if (e.kind == TraceKind::kSpanEnd) {
+      phase = "E";
+      const auto it = span_names.find(e.span_id);
+      if (it != span_names.end()) {
+        name = it->second.first;
+        category = it->second.second;
+      }
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(category) + "\"";
+    out += StrPrintf(",\"ph\":\"%s\"", phase);
+    // One logical-clock tick renders as one microsecond on the timeline.
+    if (use_wall_time) {
+      out += StrPrintf(",\"ts\":%.3f", e.wall_micros);
+    } else {
+      out += StrPrintf(",\"ts\":%llu", static_cast<unsigned long long>(e.seq));
+    }
+    out += ",\"pid\":1,\"tid\":1";
+    if (e.kind == TraceKind::kEvent) out += ",\"s\":\"t\"";
+    if (!e.attrs.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < e.attrs.size(); ++a) {
+        if (a > 0) out += ",";
+        out += "\"";
+        out += JsonEscape(e.attrs[a].first);
+        out += "\":\"";
+        out += JsonEscape(e.attrs[a].second);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace robustqo

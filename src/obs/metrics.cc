@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/macros.h"
 #include "util/string_util.h"
@@ -27,16 +28,25 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::Observe(double value) {
+  // NaN compares false against every bound, so it must never reach
+  // lower_bound; it counts into its own bucket instead. ±inf order
+  // correctly (below the first / above the last bound) but are excluded
+  // from the sum so one bad observation cannot poison the aggregate.
+  if (std::isnan(value)) {
+    nan_count_ += 1;
+    return;
+  }
   const auto it =
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
   counts_[static_cast<size_t>(it - upper_bounds_.begin())] += 1;
   count_ += 1;
-  sum_ += value;
+  if (std::isfinite(value)) sum_ += value;
 }
 
 void Histogram::Reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
+  nan_count_ = 0;
   sum_ = 0.0;
 }
 
@@ -59,10 +69,42 @@ Histogram* MetricsRegistry::GetHistogram(
   return slot.get();
 }
 
+QuantileSketch* MetricsRegistry::GetSketch(const std::string& name,
+                                           double relative_accuracy) {
+  auto& slot = sketches_[name];
+  if (slot == nullptr) slot = std::make_unique<QuantileSketch>(relative_accuracy);
+  return slot.get();
+}
+
 void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, s] : sketches_) s->Reset();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    GetCounter(name)->Increment(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge* mine = GetGauge(name);
+    mine->Set(std::max(mine->value(), g->value()));
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram* mine = GetHistogram(name, h->upper_bounds());
+    RQO_CHECK_MSG(mine->upper_bounds() == h->upper_bounds(),
+                  "cannot merge histograms with different bounds");
+    for (size_t i = 0; i < h->counts_.size(); ++i) {
+      mine->counts_[i] += h->counts_[i];
+    }
+    mine->count_ += h->count_;
+    mine->nan_count_ += h->nan_count_;
+    mine->sum_ += h->sum_;
+  }
+  for (const auto& [name, s] : other.sketches_) {
+    GetSketch(name, s->relative_accuracy())->Merge(*s);
+  }
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -92,11 +134,28 @@ std::string MetricsRegistry::ToJson() const {
       counts.push_back(StrPrintf("%llu", static_cast<unsigned long long>(c)));
     }
     out += StrPrintf(
-        "%s\"%s\":{\"count\":%llu,\"sum\":%s,\"bounds\":[%s],\"counts\":[%s]}",
+        "%s\"%s\":{\"count\":%llu,\"nan\":%llu,\"sum\":%s,\"bounds\":[%s],"
+        "\"counts\":[%s]}",
         first ? "" : ",", JsonEscape(name).c_str(),
         static_cast<unsigned long long>(h->count()),
+        static_cast<unsigned long long>(h->nan_count()),
         JsonNumber(h->sum()).c_str(), StrJoin(bounds, ",").c_str(),
         StrJoin(counts, ",").c_str());
+    first = false;
+  }
+  out += "},\"sketches\":{";
+  first = true;
+  for (const auto& [name, s] : sketches_) {
+    out += StrPrintf(
+        "%s\"%s\":{\"count\":%llu,\"nan\":%llu,\"approx_sum\":%s,"
+        "\"p50\":%s,\"p90\":%s,\"p99\":%s}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(s->count()),
+        static_cast<unsigned long long>(s->nan_count()),
+        JsonNumber(s->ApproxSum()).c_str(),
+        JsonNumber(s->Quantile(0.5)).c_str(),
+        JsonNumber(s->Quantile(0.9)).c_str(),
+        JsonNumber(s->Quantile(0.99)).c_str());
     first = false;
   }
   out += "}}";

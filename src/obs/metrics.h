@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/quantile_sketch.h"
 
 namespace robustqo {
 namespace obs {
@@ -50,6 +51,11 @@ class Gauge {
 /// Fixed-bucket histogram: observations are counted into the first bucket
 /// whose upper bound is >= the value; one implicit overflow bucket catches
 /// the rest. Bounds are fixed at registration — no allocation on Observe.
+///
+/// Non-finite observations never poison the aggregate: NaN goes into a
+/// dedicated counter (outside count() and the buckets), ±inf land in the
+/// overflow/first bucket respectively, and sum() only accumulates finite
+/// values.
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty and strictly increasing.
@@ -57,7 +63,11 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Bucketed observations (everything except NaN).
   uint64_t count() const { return count_; }
+  /// NaN observations — the dedicated "invalid" bucket.
+  uint64_t nan_count() const { return nan_count_; }
+  /// Sum of the finite observations.
   double sum() const { return sum_; }
   /// Inclusive bucket upper bounds (the overflow bucket is implicit).
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
@@ -67,9 +77,12 @@ class Histogram {
   void Reset();
 
  private:
+  friend class MetricsRegistry;  // MergeFrom
+
   std::vector<double> upper_bounds_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
+  uint64_t nan_count_ = 0;
   double sum_ = 0.0;
 };
 
@@ -88,10 +101,22 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& upper_bounds);
+  /// A sketch's accuracy is taken from the first registration; later calls
+  /// ignore `relative_accuracy`.
+  QuantileSketch* GetSketch(const std::string& name,
+                            double relative_accuracy = 0.01);
 
   /// Zeroes every metric, keeping registrations (and cached pointers)
   /// valid.
   void Reset();
+
+  /// Sums `other` into this registry, the reduction step of the per-worker
+  /// sharding model: counters and same-bounded histograms add, sketches
+  /// merge, gauges take the maximum (the only merge that is independent of
+  /// how observations were partitioned across workers). Merging histograms
+  /// of non-integral values can perturb the last bits of sum() depending on
+  /// the partition; every other merged value is partition-independent.
+  void MergeFrom(const MetricsRegistry& other);
 
   /// Deterministic JSON snapshot: metrics sorted by name, values formatted
   /// with fixed precision. Byte-identical across runs that recorded the
@@ -101,10 +126,26 @@ class MetricsRegistry {
   /// Process-wide registry for system totals.
   static MetricsRegistry* Global();
 
+  // Read-only iteration, sorted by name (exporters, tests).
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::unique_ptr<QuantileSketch>>& sketches()
+      const {
+    return sketches_;
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
 };
 
 }  // namespace obs

@@ -1,0 +1,126 @@
+#include "obs/quantile_sketch.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/macros.h"
+
+namespace robustqo {
+namespace obs {
+
+namespace {
+
+// Exponentiation by squaring: a fixed IEEE multiply sequence, so bucket
+// representatives are identical wherever the sketch is rendered.
+double PowInt(double base, uint32_t exponent) {
+  double result = 1.0;
+  double b = base;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= b;
+    b *= b;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+// |v| below this collapses into the zero bucket, bounding the index range.
+constexpr double kMinMagnitude = 1e-12;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : relative_accuracy_(relative_accuracy),
+      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+      log_gamma_(std::log(gamma_)) {
+  RQO_CHECK_MSG(relative_accuracy > 0.0 && relative_accuracy < 1.0,
+                "sketch accuracy must be in (0, 1)");
+}
+
+void QuantileSketch::Observe(double value) {
+  count_ += 1;
+  if (std::isnan(value)) {
+    nan_count_ += 1;
+    return;
+  }
+  if (std::isinf(value)) {
+    (value > 0 ? pos_inf_count_ : neg_inf_count_) += 1;
+    return;
+  }
+  const double magnitude = std::fabs(value);
+  if (magnitude < kMinMagnitude) {
+    zero_count_ += 1;
+    return;
+  }
+  const int32_t index =
+      static_cast<int32_t>(std::ceil(std::log(magnitude) / log_gamma_));
+  (value > 0 ? positive_ : negative_)[index] += 1;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  RQO_CHECK_MSG(relative_accuracy_ == other.relative_accuracy_,
+                "cannot merge sketches with different accuracies");
+  for (const auto& [index, n] : other.positive_) positive_[index] += n;
+  for (const auto& [index, n] : other.negative_) negative_[index] += n;
+  zero_count_ += other.zero_count_;
+  nan_count_ += other.nan_count_;
+  pos_inf_count_ += other.pos_inf_count_;
+  neg_inf_count_ += other.neg_inf_count_;
+  count_ += other.count_;
+}
+
+double QuantileSketch::BucketValue(int32_t index) const {
+  const double power = PowInt(gamma_, static_cast<uint32_t>(std::abs(index)));
+  const double upper = index >= 0 ? power : 1.0 / power;
+  // Geometric midpoint of the bucket (upper/gamma, upper].
+  return upper * 2.0 / (1.0 + gamma_);
+}
+
+double QuantileSketch::Quantile(double q) const {
+  const uint64_t rankable = count_ - nan_count_;
+  if (rankable == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank-th smallest (0-based), ranks ordered
+  // -inf < negatives < 0 < positives < +inf.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(rankable - 1));
+  if (rank >= rankable) rank = rankable - 1;
+
+  if (rank < neg_inf_count_) return -HUGE_VAL;
+  rank -= neg_inf_count_;
+  // Negatives: most negative first = descending |v| bucket index.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    if (rank < it->second) return -BucketValue(it->first);
+    rank -= it->second;
+  }
+  if (rank < zero_count_) return 0.0;
+  rank -= zero_count_;
+  for (const auto& [index, n] : positive_) {
+    if (rank < n) return BucketValue(index);
+    rank -= n;
+  }
+  return HUGE_VAL;
+}
+
+double QuantileSketch::ApproxSum() const {
+  double sum = 0.0;
+  for (const auto& [index, n] : negative_) {
+    sum -= BucketValue(index) * static_cast<double>(n);
+  }
+  for (const auto& [index, n] : positive_) {
+    sum += BucketValue(index) * static_cast<double>(n);
+  }
+  return sum;
+}
+
+void QuantileSketch::Reset() {
+  positive_.clear();
+  negative_.clear();
+  zero_count_ = 0;
+  nan_count_ = 0;
+  pos_inf_count_ = 0;
+  neg_inf_count_ = 0;
+  count_ = 0;
+}
+
+}  // namespace obs
+}  // namespace robustqo

@@ -1,0 +1,80 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Mergeable quantile sketch over logarithmic buckets (the DDSketch idea):
+// a positive value v lands in bucket ceil(log(v)/log(gamma)), so every
+// bucket spans a fixed relative width and Quantile() is accurate to a
+// configurable relative error (default 1%). Negative values mirror into
+// their own bucket map; zero, NaN and the infinities get dedicated
+// counters so a single bad observation can never poison the sketch.
+//
+// The determinism contract (the reason this exists instead of a sampling
+// or centroid sketch): the sketch state is a pure function of the
+// *multiset* of observations — bucket counts are commutative integer
+// adds, and no exact floating-point sum is kept (ApproxSum() is derived
+// from the buckets in key order at render time). Per-worker sketches
+// merged in any grouping therefore serialize byte-identically to the
+// sequential sketch, which is what lets exporter output be pinned across
+// RQO_THREADS=1/4/8.
+
+#ifndef ROBUSTQO_OBS_QUANTILE_SKETCH_H_
+#define ROBUSTQO_OBS_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+
+namespace robustqo {
+namespace obs {
+
+class QuantileSketch {
+ public:
+  /// `relative_accuracy` bounds |Quantile(q) - exact| / exact for finite
+  /// nonzero values; must be in (0, 1). The default 1% keeps the bucket
+  /// maps small (~2300 buckets span 1e-12 .. 1e12).
+  explicit QuantileSketch(double relative_accuracy = 0.01);
+
+  void Observe(double value);
+
+  /// Sums another sketch into this one. Both must have been built with the
+  /// same relative accuracy. Commutative and associative.
+  void Merge(const QuantileSketch& other);
+
+  /// Total observations, including zero/NaN/±inf.
+  uint64_t count() const { return count_; }
+  /// NaN observations (excluded from quantiles and the sum).
+  uint64_t nan_count() const { return nan_count_; }
+
+  /// q-quantile (q in [0,1]) over the ranked observations, ordered
+  /// -inf < negatives < 0 < positives < +inf; NaNs are excluded. Returns
+  /// 0 when nothing rankable was observed. Infinite observations at the
+  /// selected rank return ±HUGE_VAL.
+  double Quantile(double q) const;
+
+  /// Sum of finite observations, reconstructed from bucket representatives
+  /// in key order — deterministic for any observation order or merge
+  /// grouping, accurate to the sketch's relative error.
+  double ApproxSum() const;
+
+  double relative_accuracy() const { return relative_accuracy_; }
+
+  /// Drops all observations, keeping the accuracy configuration.
+  void Reset();
+
+ private:
+  double BucketValue(int32_t index) const;
+
+  double relative_accuracy_;
+  double gamma_;      // bucket growth factor (1+a)/(1-a)
+  double log_gamma_;  // cached std::log(gamma_)
+  std::map<int32_t, uint64_t> positive_;  // index -> count
+  std::map<int32_t, uint64_t> negative_;  // index of |v| -> count
+  uint64_t zero_count_ = 0;
+  uint64_t nan_count_ = 0;
+  uint64_t pos_inf_count_ = 0;
+  uint64_t neg_inf_count_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace obs
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_OBS_QUANTILE_SKETCH_H_

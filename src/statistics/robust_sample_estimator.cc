@@ -188,6 +188,8 @@ Result<double> RobustSampleEstimator::EstimateRows(
           {{"tables", JoinTableNames(request.tables)},
            {"predicate", request.predicate->ToString()},
            {"source", "synopsis"},
+           {"fingerprint",
+            robustqo::obs::AttrU64(perf::FingerprintExpr(*request.predicate))},
            {"k", robustqo::obs::AttrU64(obs.value().satisfying)},
            {"n", robustqo::obs::AttrU64(obs.value().sample_size)},
            {"posterior_alpha", robustqo::obs::AttrF(
@@ -314,6 +316,7 @@ Result<double> RobustSampleEstimator::EstimateRows(
             {{"tables", table},
              {"predicate", table_pred->ToString()},
              {"source", "table-sample"},
+             {"fingerprint", robustqo::obs::AttrU64(probe.fingerprint)},
              {"k", robustqo::obs::AttrU64(k)},
              {"n", robustqo::obs::AttrU64(probe.sample->size())},
              {"posterior_alpha",
@@ -353,6 +356,8 @@ Result<double> RobustSampleEstimator::EstimateRows(
               {{"tables", table},
                {"predicate", table_pred->ToString()},
                {"source", "histogram-avi"},
+               {"fingerprint",
+                robustqo::obs::AttrU64(perf::FingerprintExpr(*table_pred))},
                {"threshold",
                 robustqo::obs::AttrF(config_.confidence_threshold)},
                {"selectivity", robustqo::obs::AttrF(hist_factor.value())}});
@@ -382,6 +387,8 @@ Result<double> RobustSampleEstimator::EstimateRows(
                    {{"tables", JoinTableNames(request.tables)},
                     {"predicate", request.predicate->ToString()},
                     {"source", "independence"},
+                    {"fingerprint", robustqo::obs::AttrU64(
+                         perf::FingerprintExpr(*request.predicate))},
                     {"threshold",
                      robustqo::obs::AttrF(config_.confidence_threshold)},
                     {"selectivity", robustqo::obs::AttrF(selectivity)},

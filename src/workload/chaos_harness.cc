@@ -200,6 +200,20 @@ ChaosReport ChaosHarness::Run(const ChaosConfig& config,
   }
 
   std::vector<RunResult> results(config.runs);
+  // Per-run metrics registries: each run records into its own registry and
+  // the registries are merged in run-index order below. Counter sums,
+  // histogram/sketch merges and gauge maxima are all independent of how
+  // runs were partitioned across workers, so the merged registry — and any
+  // export rendered from it — is byte-identical at every thread count. (A
+  // registry shared across runs would leak scheduling through
+  // last-write-wins gauges like governor.peak_memory_bytes.)
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> run_metrics;
+  if (config.metrics != nullptr) {
+    run_metrics.resize(config.runs);
+    for (auto& registry : run_metrics) {
+      registry = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
   perf::TaskPool* pool = perf::TaskPool::Global();
   if (config.database_factory != nullptr && pool->threads() > 1 &&
       config.runs > 1) {
@@ -211,14 +225,23 @@ ChaosReport ChaosHarness::Run(const ChaosConfig& config,
       if (worker_dbs[worker] == nullptr) {
         worker_dbs[worker] = config.database_factory();
       }
+      if (config.metrics != nullptr) {
+        worker_dbs[worker]->SetMetrics(run_metrics[i].get());
+      }
       results[i] =
           ExecuteOneRun(worker_dbs[worker].get(), config, queries,
                         references, i);
     });
   } else {
+    obs::MetricsRegistry* saved = db_->metrics();
     for (size_t i = 0; i < config.runs; ++i) {
+      if (config.metrics != nullptr) db_->SetMetrics(run_metrics[i].get());
       results[i] = ExecuteOneRun(db_, config, queries, references, i);
     }
+    if (config.metrics != nullptr) db_->SetMetrics(saved);
+  }
+  for (const auto& registry : run_metrics) {
+    config.metrics->MergeFrom(*registry);
   }
 
   // Ordered reduction: identical report at every thread count.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/metrics.h"
 #include "optimizer/query.h"
 
 namespace robustqo {
@@ -42,6 +43,12 @@ struct ChaosConfig {
   /// byte-identical at every thread count: runs are reduced in run-index
   /// order regardless of completion order.
   std::function<std::unique_ptr<core::Database>()> database_factory;
+  /// Optional sink for the sweep's execution metrics. Every run records
+  /// into its own registry and the registries are merged into this one in
+  /// run-index order after the sweep, so the merged contents (and any
+  /// export of them) do not depend on the thread count or on which worker
+  /// claimed which run — including last-write-wins gauges.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One run's outcome.

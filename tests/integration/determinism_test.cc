@@ -13,6 +13,9 @@
 #include "core/analytical_model.h"
 #include "core/database.h"
 #include "core/explain_analyze.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/task_pool.h"
 #include "tpch/tpch_gen.h"
 #include "util/macros.h"
@@ -155,6 +158,64 @@ TEST_F(DeterminismTest, AnalyticalFigureSeriesIdenticalAcrossThreadCounts) {
     }
   }
 }
+
+#if ROBUSTQO_OBS_ENABLED
+// The exporter leg of the determinism contract: the OpenMetrics text of a
+// chaos sweep's merged per-worker registries, and the Chrome-trace JSON of
+// an EXPLAIN ANALYZE run, must be byte-identical at 1, 4 and 8 threads.
+TEST_F(DeterminismTest, OpenMetricsExportIdenticalAcrossThreadCounts) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ChaosHarness harness(db.get());
+  const auto queries = ScenarioQueries();
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    obs::MetricsRegistry merged;
+    workload::ChaosConfig config;
+    config.base_seed = 424242;
+    config.runs = 24;
+    config.database_factory = MakeDatabase;
+    config.metrics = &merged;
+    harness.Run(config, queries);
+    const std::string om = obs::ToOpenMetrics(merged);
+    // The sweep recorded into the merged registry at all.
+    EXPECT_NE(om.find("rqo_db_queries_executed_total"), std::string::npos);
+    EXPECT_NE(om.find("rqo_exec_query_simulated_seconds"), std::string::npos);
+    if (threads == 1) {
+      reference = om;
+    } else {
+      EXPECT_EQ(om, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST_F(DeterminismTest, ChromeTraceExportIdenticalAcrossThreadCounts) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ThreeTableJoinScenario scenario;
+  const opt::QuerySpec query = scenario.MakeQuery(2.0);
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::vector<obs::TraceEvent> trace;
+    auto analyzed = core::ExplainAnalyze(
+        db.get(), query, core::EstimatorKind::kRobustSample, {}, &trace);
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    ASSERT_FALSE(trace.empty());
+    const std::string json = obs::ToChromeTrace(trace);
+    if (threads == 1) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << "threads=" << threads;
+    }
+  }
+  // Spans from execution made it into the export.
+  EXPECT_NE(reference.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(reference.find("\"cat\":\"exec\""), std::string::npos);
+}
+#endif
 
 }  // namespace
 }  // namespace robustqo

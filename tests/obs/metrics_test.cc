@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace robustqo {
 namespace obs {
 namespace {
@@ -40,6 +42,42 @@ TEST(HistogramTest, ObservationsLandInInclusiveBuckets) {
   EXPECT_EQ(h.bucket_counts()[3], 1u);
   EXPECT_EQ(h.count(), 5u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 2.0 + 100.0 + 1e6);
+}
+
+TEST(HistogramTest, NanGoesToDedicatedBucketAndNeverPoisonsSum) {
+  Histogram h({1.0, 10.0});
+  h.Observe(5.0);
+  h.Observe(std::nan(""));
+  h.Observe(std::nan(""));
+  // NaN is outside count() and the buckets entirely.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.bucket_counts()[0] + h.bucket_counts()[1] + h.bucket_counts()[2],
+            1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  EXPECT_TRUE(std::isfinite(h.sum()));
+}
+
+TEST(HistogramTest, InfinitiesBucketCorrectlyAndStayOutOfSum) {
+  Histogram h({1.0, 10.0});
+  h.Observe(HUGE_VAL);   // overflow bucket
+  h.Observe(-HUGE_VAL);  // first bucket (-inf <= 1.0)
+  h.Observe(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.nan_count(), 0u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);  // -inf
+  EXPECT_EQ(h.bucket_counts()[1], 1u);  // 2.0
+  EXPECT_EQ(h.bucket_counts()[2], 1u);  // +inf overflow
+  // Only the finite observation reaches the sum.
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+}
+
+TEST(HistogramTest, ResetClearsNanBucket) {
+  Histogram h({1.0});
+  h.Observe(std::nan(""));
+  ASSERT_EQ(h.nan_count(), 1u);
+  h.Reset();
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(HistogramTest, ResetKeepsBounds) {
@@ -112,6 +150,73 @@ TEST(MetricsRegistryTest, JsonIsSortedAndDeterministic) {
 
 TEST(MetricsRegistryTest, GlobalIsASingleton) {
   EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+}
+
+TEST(MetricsRegistryTest, SketchAccuracyFixedAtFirstRegistration) {
+  MetricsRegistry registry;
+  QuantileSketch* s = registry.GetSketch("lat", 0.05);
+  QuantileSketch* again = registry.GetSketch("lat", 0.001);
+  EXPECT_EQ(s, again);
+  EXPECT_DOUBLE_EQ(s->relative_accuracy(), 0.05);
+  s->Observe(2.0);
+  registry.Reset();
+  EXPECT_EQ(s->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, MergeFromSumsCountersAndHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c")->Increment(3);
+  b.GetCounter("c")->Increment(4);
+  b.GetCounter("only_b")->Increment(1);
+  a.GetHistogram("h", {1.0, 10.0})->Observe(0.5);
+  b.GetHistogram("h", {1.0, 10.0})->Observe(5.0);
+  b.GetHistogram("h", {1.0, 10.0})->Observe(std::nan(""));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("c")->value(), 7u);
+  EXPECT_EQ(a.GetCounter("only_b")->value(), 1u);
+  Histogram* h = a.GetHistogram("h", {1.0, 10.0});
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->nan_count(), 1u);
+  EXPECT_EQ(h->bucket_counts()[0], 1u);
+  EXPECT_EQ(h->bucket_counts()[1], 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5.5);
+}
+
+TEST(MetricsRegistryTest, MergeFromTakesGaugeMaximum) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetGauge("peak")->Set(2.0);
+  b.GetGauge("peak")->Set(7.0);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.GetGauge("peak")->value(), 7.0);
+  // Merging the smaller side in keeps the maximum.
+  MetricsRegistry c;
+  c.GetGauge("peak")->Set(1.0);
+  a.MergeFrom(c);
+  EXPECT_DOUBLE_EQ(a.GetGauge("peak")->value(), 7.0);
+}
+
+TEST(MetricsRegistryTest, MergeFromMergesSketches) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (int i = 1; i <= 50; ++i) {
+    a.GetSketch("s")->Observe(static_cast<double>(i));
+    b.GetSketch("s")->Observe(static_cast<double>(50 + i));
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetSketch("s")->count(), 100u);
+  EXPECT_NEAR(a.GetSketch("s")->Quantile(0.5), 50.0, 2.0);
+}
+
+TEST(MetricsRegistryTest, JsonIncludesSketchesAndNanCounts) {
+  MetricsRegistry registry;
+  registry.GetSketch("lat")->Observe(4.0);
+  registry.GetHistogram("h", {1.0})->Observe(std::nan(""));
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"nan\":1"), std::string::npos);
 }
 
 }  // namespace

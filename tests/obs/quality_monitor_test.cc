@@ -1,0 +1,140 @@
+#include "obs/quality_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace robustqo {
+namespace obs {
+namespace {
+
+QualityObservation Obs(uint64_t fingerprint, double est, double act,
+                       double threshold = 0.0) {
+  QualityObservation o;
+  o.fingerprint = fingerprint;
+  o.label = "{t} :: pred";
+  o.estimated_rows = est;
+  o.actual_rows = act;
+  o.confidence_threshold = threshold;
+  return o;
+}
+
+TEST(QualityMonitorTest, IgnoresZeroFingerprint) {
+  EstimationQualityMonitor monitor;
+  monitor.Record(Obs(0, 100.0, 50.0));
+  EXPECT_EQ(monitor.observation_count(), 0u);
+  EXPECT_EQ(monitor.fingerprint_count(), 0u);
+}
+
+TEST(QualityMonitorTest, TracksPerFingerprintQErrorQuantiles) {
+  EstimationQualityMonitor monitor;
+  // q-errors exactly 2.0 (est 100 vs act 50), a hundred times.
+  for (int i = 0; i < 100; ++i) monitor.Record(Obs(7, 100.0, 50.0));
+  ASSERT_EQ(monitor.fingerprint_count(), 1u);
+  const FingerprintQuality q = monitor.Snapshot()[0];
+  EXPECT_EQ(q.fingerprint, 7u);
+  EXPECT_EQ(q.observations, 100u);
+  EXPECT_NEAR(q.q_p50, 2.0, 0.05);
+  EXPECT_NEAR(q.q_p99, 2.0, 0.05);
+  EXPECT_DOUBLE_EQ(q.q_max, 2.0);
+  EXPECT_FALSE(q.drifted);
+}
+
+TEST(QualityMonitorTest, CalibrationTalliesTrackTheBound) {
+  EstimationQualityMonitor monitor;
+  // 9 of 10 bounds hold at T=90%.
+  for (int i = 0; i < 9; ++i) monitor.Record(Obs(3, 120.0, 100.0, 0.9));
+  monitor.Record(Obs(3, 120.0, 500.0, 0.9));  // bound violated
+  const FingerprintQuality q = monitor.Snapshot()[0];
+  EXPECT_EQ(q.bound_checks, 10u);
+  EXPECT_EQ(q.bound_holds, 9u);
+  EXPECT_DOUBLE_EQ(q.bound_hit_rate, 0.9);
+  EXPECT_NEAR(q.mean_threshold, 0.9, 1e-12);
+}
+
+TEST(QualityMonitorTest, EstimatesWithoutThresholdAreNotCalibrationChecked) {
+  EstimationQualityMonitor monitor;
+  monitor.Record(Obs(3, 120.0, 100.0, 0.0));
+  const FingerprintQuality q = monitor.Snapshot()[0];
+  EXPECT_EQ(q.bound_checks, 0u);
+  EXPECT_DOUBLE_EQ(q.bound_hit_rate, 0.0);
+}
+
+TEST(QualityMonitorTest, FlagsDriftWhenRecentWindowRegresses) {
+  QualityMonitorConfig config;
+  config.baseline_window = 16;
+  config.recent_window = 16;
+  config.min_observations = 8;
+  config.drift_factor = 4.0;
+  EstimationQualityMonitor monitor(config);
+  // Baseline: near-perfect estimates (q-error ~1).
+  for (int i = 0; i < 16; ++i) monitor.Record(Obs(11, 100.0, 100.0));
+  EXPECT_TRUE(monitor.Drifted().empty());
+  // Then the data moves under the statistics: actuals 10x the estimates.
+  for (int i = 0; i < 16; ++i) monitor.Record(Obs(11, 100.0, 1000.0));
+  const std::vector<FingerprintQuality> drifted = monitor.Drifted();
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_EQ(drifted[0].fingerprint, 11u);
+  EXPECT_NEAR(drifted[0].drift_ratio, 10.0, 0.5);
+  EXPECT_TRUE(drifted[0].drifted);
+  // A healthy sibling fingerprint stays unflagged.
+  for (int i = 0; i < 40; ++i) monitor.Record(Obs(12, 100.0, 110.0));
+  EXPECT_EQ(monitor.Drifted().size(), 1u);
+}
+
+TEST(QualityMonitorTest, SnapshotOrdersByFingerprint) {
+  EstimationQualityMonitor monitor;
+  monitor.Record(Obs(99, 10.0, 10.0));
+  monitor.Record(Obs(1, 10.0, 10.0));
+  monitor.Record(Obs(50, 10.0, 10.0));
+  const std::vector<FingerprintQuality> all = monitor.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].fingerprint, 1u);
+  EXPECT_EQ(all[1].fingerprint, 50u);
+  EXPECT_EQ(all[2].fingerprint, 99u);
+}
+
+TEST(QualityMonitorTest, ReportsAreDeterministic) {
+  auto build = [] {
+    EstimationQualityMonitor monitor;
+    for (int i = 0; i < 20; ++i) {
+      monitor.Record(Obs(5, 100.0, 80.0, 0.95));
+      monitor.Record(Obs(9, 40.0, 200.0));
+    }
+    return monitor.ReportJson() + "\n" + monitor.ReportText();
+  };
+  EXPECT_EQ(build(), build());
+  const std::string report = build();
+  EXPECT_NE(report.find("\"fingerprint\":\"0x0000000000000005\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"bound_hit_rate\":1"), std::string::npos);
+}
+
+TEST(QualityMonitorTest, PublishMetricsIsIdempotent) {
+  EstimationQualityMonitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.Record(Obs(4, 100.0, 50.0, 0.9));
+  MetricsRegistry metrics;
+  monitor.PublishMetrics(&metrics);
+  const std::string once = metrics.ToJson();
+  monitor.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.ToJson(), once);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("estimator.quality.fingerprints")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge("estimator.quality.bound_hit_rate")->value(), 1.0);
+  EXPECT_EQ(metrics.GetSketch("estimator.quality.q_error")->count(), 10u);
+}
+
+TEST(QualityMonitorTest, ResetClearsEverything) {
+  EstimationQualityMonitor monitor;
+  monitor.Record(Obs(4, 100.0, 50.0));
+  monitor.Reset();
+  EXPECT_EQ(monitor.observation_count(), 0u);
+  EXPECT_EQ(monitor.fingerprint_count(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace robustqo

@@ -1,0 +1,109 @@
+#include "obs/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace robustqo {
+namespace obs {
+namespace {
+
+TEST(QuantileSketchTest, EmptySketchReturnsZero) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.ApproxSum(), 0.0);
+}
+
+TEST(QuantileSketchTest, QuantilesWithinRelativeAccuracy) {
+  QuantileSketch s(0.01);
+  for (int i = 1; i <= 1000; ++i) s.Observe(static_cast<double>(i));
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = q * 999.0 + 1.0;  // rank over 1..1000
+    const double approx = s.Quantile(q);
+    EXPECT_NEAR(approx, exact, 0.025 * exact) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, ApproxSumTracksTrueSum) {
+  QuantileSketch s(0.01);
+  double exact = 0.0;
+  for (int i = 1; i <= 500; ++i) {
+    s.Observe(static_cast<double>(i) * 0.37);
+    exact += static_cast<double>(i) * 0.37;
+  }
+  EXPECT_NEAR(s.ApproxSum(), exact, 0.02 * exact);
+}
+
+TEST(QuantileSketchTest, HandlesNegativesZeroAndOrder) {
+  QuantileSketch s;
+  s.Observe(-100.0);
+  s.Observe(-1.0);
+  s.Observe(0.0);
+  s.Observe(1.0);
+  s.Observe(100.0);
+  EXPECT_EQ(s.count(), 5u);
+  // The median of {-100,-1,0,1,100} is 0.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_LT(s.Quantile(0.0), -99.0);
+  EXPECT_GT(s.Quantile(1.0), 99.0);
+}
+
+TEST(QuantileSketchTest, NonFiniteObservationsNeverPoison) {
+  QuantileSketch s;
+  s.Observe(std::nan(""));
+  s.Observe(HUGE_VAL);
+  s.Observe(-HUGE_VAL);
+  s.Observe(5.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.nan_count(), 1u);
+  // NaN is excluded from ranking; the median of {-inf, 5, +inf} is 5.
+  EXPECT_NEAR(s.Quantile(0.5), 5.0, 0.1);
+  // Infinite observations at the extreme ranks surface as ±inf.
+  EXPECT_TRUE(std::isinf(s.Quantile(0.0)));
+  EXPECT_TRUE(std::isinf(s.Quantile(1.0)));
+  // The sum stays finite.
+  EXPECT_TRUE(std::isfinite(s.ApproxSum()));
+}
+
+// The determinism contract: merging per-worker shards — in any grouping —
+// must reproduce the sequential sketch exactly, not just approximately.
+TEST(QuantileSketchTest, MergeIsExactlyPartitionIndependent) {
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(0.001 * static_cast<double>(i * i + 1));
+  }
+  QuantileSketch sequential(0.01);
+  for (double v : values) sequential.Observe(v);
+
+  for (size_t shards : {2u, 3u, 7u}) {
+    std::vector<QuantileSketch> workers(shards, QuantileSketch(0.01));
+    for (size_t i = 0; i < values.size(); ++i) {
+      workers[i % shards].Observe(values[i]);
+    }
+    QuantileSketch merged(0.01);
+    for (const QuantileSketch& w : workers) merged.Merge(w);
+    EXPECT_EQ(merged.count(), sequential.count());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      // Bit-exact, not approximately equal.
+      EXPECT_EQ(merged.Quantile(q), sequential.Quantile(q))
+          << "shards=" << shards << " q=" << q;
+    }
+    EXPECT_EQ(merged.ApproxSum(), sequential.ApproxSum());
+  }
+}
+
+TEST(QuantileSketchTest, ResetKeepsAccuracy) {
+  QuantileSketch s(0.05);
+  s.Observe(10.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.relative_accuracy(), 0.05);
+  s.Observe(3.0);
+  EXPECT_NEAR(s.Quantile(0.5), 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace robustqo
