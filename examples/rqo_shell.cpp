@@ -12,8 +12,16 @@
 //                                   trace_event JSON (chrome://tracing)
 //   .quality                        per-fingerprint estimation-quality
 //                                   report (fed by EXPLAIN ANALYZE runs)
+//   .sessions                       query-service session table
+//   .plancache                      plan-cache contents + hit/miss stats
 //   .quit                           exit
 // Statements:
+//   PREPARE <name> AS <sql>         register a prepared statement in the
+//                                   shell's server session
+//   EXECUTE <name>                  run it through the query service's
+//                                   admission control + plan cache (the
+//                                   result line reports HIT/MISS
+//                                   provenance)
 //   EXPLAIN ANALYZE <sql>           plan + execute; per-operator estimated
 //                                   vs. actual rows, q-error, costs, and the
 //                                   estimator's per-predicate evidence
@@ -50,6 +58,7 @@
 #include "obs/metrics.h"
 #include "obs/quality_monitor.h"
 #include "perf/task_pool.h"
+#include "server/query_service.h"
 #include "tpch/tpch_gen.h"
 #include "util/string_util.h"
 #include "workload/quality_report.h"
@@ -210,6 +219,14 @@ int main() {
   std::vector<obs::TraceEvent> last_trace;
   db.SetMetrics(&query_metrics);
 
+  // The shell is one interactive client of the concurrent query service:
+  // PREPARE/EXECUTE route through its admission controller and plan cache.
+  server::QueryService service(&db);
+  service.set_metrics(&query_metrics);
+  server::SessionOptions shell_options;
+  shell_options.name = "shell";
+  const server::SessionId shell_session = service.OpenSession(shell_options);
+
   std::printf("robustqo shell — TPC-H sf=%.2f loaded; robust estimator at "
               "T=%.0f%%. Type SQL or .quit\n",
               config.scale_factor, db.confidence_threshold() * 100.0);
@@ -268,6 +285,48 @@ int main() {
     }
     if (line == ".quality") {
       std::printf("%s", quality.ReportText().c_str());
+      continue;
+    }
+    if (line == ".sessions") {
+      std::printf("%s", service.sessions()->ReportText().c_str());
+      continue;
+    }
+    if (line == ".plancache") {
+      std::printf("%s", service.plan_cache()->ReportText().c_str());
+      continue;
+    }
+    if (StartsWith(line, "PREPARE ") || StartsWith(line, "prepare ")) {
+      const std::string rest = line.substr(8);
+      size_t as_pos = rest.find(" AS ");
+      if (as_pos == std::string::npos) as_pos = rest.find(" as ");
+      if (as_pos == std::string::npos || as_pos == 0) {
+        std::printf("usage: PREPARE <name> AS <sql>\n");
+        continue;
+      }
+      const std::string name = rest.substr(0, as_pos);
+      const std::string sql = rest.substr(as_pos + 4);
+      Status prepared = service.Prepare(shell_session, name, sql);
+      if (!prepared.ok()) {
+        std::printf("error: %s\n", prepared.ToString().c_str());
+        continue;
+      }
+      std::printf("prepared %s\n", name.c_str());
+      continue;
+    }
+    if (StartsWith(line, "EXECUTE ") || StartsWith(line, "execute ")) {
+      const std::string name = line.substr(8);
+      query_metrics.Reset();
+      server::QueryResponse response =
+          service.ExecutePrepared(shell_session, name);
+      session_metrics.MergeFrom(query_metrics);
+      if (!response.status.ok()) {
+        std::printf("error: %s\n", response.status.ToString().c_str());
+        continue;
+      }
+      std::printf("-- plan cache: %s   (fingerprint %016llx)\n",
+                  response.cache_hit ? "HIT" : "MISS",
+                  static_cast<unsigned long long>(response.fingerprint));
+      PrintResult(*response.result);
       continue;
     }
     if (line == ".tables") {

@@ -10,8 +10,9 @@ namespace fault {
 
 const std::vector<std::string>& KnownFaultSites() {
   static const std::vector<std::string> kSites = {
-      sites::kSampleRead, sites::kSynopsisRead, sites::kCsvRead,
-      sites::kOperatorAlloc, sites::kClockStall};
+      sites::kSampleRead,    sites::kSynopsisRead,     sites::kCsvRead,
+      sites::kOperatorAlloc, sites::kClockStall,       sites::kAdmissionEnqueue,
+      sites::kPlanCacheLookup};
   return kSites;
 }
 
@@ -143,6 +144,14 @@ std::string FaultInjector::DescribeArmed() const {
                      static_cast<unsigned long long>(state.hit_count),
                      static_cast<unsigned long long>(state.fire_count));
   }
+  return out;
+}
+
+std::vector<std::pair<std::string, FaultSpec>> FaultInjector::ArmedSpecs()
+    const {
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  out.reserve(armed_.size());
+  for (const auto& [site, state] : armed_) out.emplace_back(site, state.spec);
   return out;
 }
 

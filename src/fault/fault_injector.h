@@ -38,6 +38,12 @@ inline constexpr char kCsvRead[] = "storage.csv.read";
 inline constexpr char kOperatorAlloc[] = "exec.operator.alloc";
 /// A clock stall charged as extra simulated seconds inside an operator.
 inline constexpr char kClockStall[] = "exec.clock.stall";
+/// Enqueueing a request into the server's admission queue (the moment a
+/// real service could drop a connection or shed load).
+inline constexpr char kAdmissionEnqueue[] = "server.admission.enqueue";
+/// A plan-cache lookup (the moment a shared cache shard could be
+/// unreachable); the server degrades a fired lookup to a miss.
+inline constexpr char kPlanCacheLookup[] = "server.plan_cache.lookup";
 }  // namespace sites
 
 /// The sites the engine probes, for shell listings and the chaos harness.
@@ -122,6 +128,12 @@ class FaultInjector {
 
   /// "site mode [params]" lines for the shell's fault listing.
   std::string DescribeArmed() const;
+
+  /// The armed sites and their specs, ordered by site name. Lets the
+  /// server's scheduler replicate one injector's arming onto per-request
+  /// injectors (each reseeded from its own deterministic stream) without
+  /// sharing the non-thread-safe instance across workers.
+  std::vector<std::pair<std::string, FaultSpec>> ArmedSpecs() const;
 
   /// Observability sinks (borrowed, nullable): every fire increments
   /// "fault.fired" and "fault.fired.<site>" and emits a "fault" trace

@@ -1,0 +1,356 @@
+#include "server/query_service.h"
+
+#include <map>
+#include <utility>
+
+#include "obs/obs.h"
+#include "perf/task_pool.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace server {
+
+/// Per-request state threaded through the scheduler's phases. Lives in a
+/// ticket-keyed map so addresses stay stable across waves.
+struct QueryService::PendingRequest {
+  size_t index = 0;         ///< position in the batch (response slot)
+  uint64_t ticket = 0;
+  Session* session = nullptr;
+  opt::QuerySpec spec;
+  uint64_t fingerprint = 0;
+  uint64_t waves_waited = 0;
+  // -- plan phase --
+  std::shared_ptr<const opt::PlannedQuery> plan;
+  bool cache_hit = false;
+  double effective_threshold = 0.0;
+  uint64_t seed = 0;
+  fault::GovernorLimits limits;
+  // -- execute phase --
+  Status exec_status = Status::OK();
+  std::optional<core::ExecutionResult> result;
+  std::unique_ptr<obs::MetricsRegistry> exec_metrics;
+};
+
+QueryService::QueryService(core::Database* db, ServerConfig config)
+    : db_(db),
+      config_(config),
+      sessions_(config.seed),
+      admission_(config.admission),
+      cache_(config.plan_cache_capacity),
+      monitor_(config.quality) {
+  admission_.set_fault_injector(db_->fault_injector());
+  cache_.set_fault_injector(db_->fault_injector());
+}
+
+SessionId QueryService::OpenSession(SessionOptions options) {
+  return sessions_.Open(std::move(options));
+}
+
+Status QueryService::CloseSession(SessionId id) { return sessions_.Close(id); }
+
+Status QueryService::Prepare(SessionId session_id, const std::string& name,
+                             const std::string& sql) {
+  Session* session = sessions_.Get(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(StrPrintf(
+        "no open session %llu", static_cast<unsigned long long>(session_id)));
+  }
+  Result<opt::QuerySpec> spec = db_->ParseSql(sql);
+  if (!spec.ok()) return spec.status();
+  PreparedStatement statement;
+  statement.name = name;
+  statement.sql = sql;
+  statement.spec = std::move(spec).value();
+  statement.fingerprint = FingerprintQuery(statement.spec);
+  return session->Prepare(std::move(statement));
+}
+
+std::vector<QueryResponse> QueryService::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResponse> responses(requests.size());
+  std::map<uint64_t, PendingRequest> pending;  // ticket -> request
+
+  // Phase 1 — SUBMIT (sequential, request order). Requests that cannot
+  // reach the queue (unknown session, parse error, unknown prepared
+  // statement) and typed admission rejections resolve here.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryRequest& request = requests[i];
+    QueryResponse& response = responses[i];
+    response.session = request.session;
+    Session* session = sessions_.Get(request.session);
+    if (session == nullptr) {
+      response.status = Status::NotFound(
+          StrPrintf("no open session %llu",
+                    static_cast<unsigned long long>(request.session)));
+      continue;
+    }
+    session->CountSubmitted();
+    PendingRequest work;
+    work.index = i;
+    work.session = session;
+    if (!request.prepared.empty()) {
+      const PreparedStatement* statement =
+          session->FindPrepared(request.prepared);
+      if (statement == nullptr) {
+        response.status = Status::NotFound("no prepared statement '" +
+                                           request.prepared + "'");
+        session->CountFailed();
+        continue;
+      }
+      work.spec = statement->spec;
+      work.fingerprint = statement->fingerprint;
+    } else if (request.spec.has_value()) {
+      work.spec = *request.spec;
+      work.fingerprint = FingerprintQuery(work.spec);
+    } else {
+      Result<opt::QuerySpec> spec = db_->ParseSql(request.sql);
+      if (!spec.ok()) {
+        response.status = spec.status();
+        session->CountFailed();
+        continue;
+      }
+      work.spec = std::move(spec).value();
+      work.fingerprint = FingerprintQuery(work.spec);
+    }
+    response.fingerprint = work.fingerprint;
+    uint64_t reservation = session->options().memory_reservation_bytes;
+    if (reservation == 0) {
+      reservation = session->options().governor_limits.memory_limit_bytes;
+    }
+    Result<uint64_t> ticket = admission_.Submit(request.session, reservation);
+    if (!ticket.ok()) {
+      response.status = ticket.status();
+      session->CountRejected();
+      continue;
+    }
+    work.ticket = ticket.value();
+    response.ticket = work.ticket;
+    pending.emplace(work.ticket, std::move(work));
+  }
+
+  // Snapshot the database injector's arming once per batch: every
+  // per-request injector replays the same specs under its own seed.
+  const std::vector<std::pair<std::string, fault::FaultSpec>> armed_specs =
+      db_->fault_injector()->ArmedSpecs();
+
+  while (!pending.empty()) {
+    std::vector<AdmissionTicket> wave = admission_.AdmitWave();
+    if (wave.empty()) {
+      // Cannot happen with a correct controller (the head of a non-empty
+      // queue is always admittable once in-flight drains); fail closed
+      // rather than spinning.
+      for (auto& [ticket, work] : pending) {
+        responses[work.index].status =
+            Status::Internal("admission wedged: no admissible request");
+        work.session->CountFailed();
+        ++queries_failed_;
+      }
+      break;
+    }
+
+    // Phase 2 — PLAN (sequential, admission order): plan-cache lookups and
+    // optimizer runs share the database's single-threaded planning stack,
+    // and per-request seeds are drawn here so they are scheduling-free.
+    std::vector<PendingRequest*> running;
+    running.reserve(wave.size());
+    const uint64_t epoch = db_->statistics()->epoch();
+    for (const AdmissionTicket& admitted : wave) {
+      PendingRequest& work = pending.at(admitted.ticket);
+      work.waves_waited = admitted.waves_waited;
+      const SessionOptions& options = work.session->options();
+      work.effective_threshold = options.confidence_threshold > 0.0
+                                     ? options.confidence_threshold
+                                     : db_->confidence_threshold();
+      const PlanCacheKey key = PlanCacheKey::Make(
+          work.fingerprint, work.effective_threshold, options.estimator);
+      work.plan = cache_.Lookup(key, epoch);
+      work.cache_hit = work.plan != nullptr;
+      RQO_IF_OBS(tracer_) {
+        tracer_->Event("server",
+                       work.cache_hit ? "plan_cache.hit" : "plan_cache.miss",
+                       {{"fingerprint",
+                         StrPrintf("%016llx", static_cast<unsigned long long>(
+                                                  work.fingerprint))},
+                        {"epoch", obs::AttrU64(epoch)}});
+      }
+      if (work.plan == nullptr) {
+        const double saved_threshold = db_->confidence_threshold();
+        db_->SetConfidenceThreshold(work.effective_threshold);
+        Result<opt::PlannedQuery> planned =
+            db_->Plan(work.spec, options.estimator);
+        db_->SetConfidenceThreshold(saved_threshold);
+        if (!planned.ok()) {
+          responses[work.index].status = planned.status();
+          admission_.Complete(admitted.ticket);
+          work.session->CountFailed();
+          ++queries_failed_;
+          pending.erase(admitted.ticket);
+          continue;
+        }
+        work.plan = std::make_shared<const opt::PlannedQuery>(
+            std::move(planned).value());
+        cache_.Insert(key, work.plan, epoch);
+      }
+      work.seed = work.session->NextRequestSeed();
+      work.limits = options.governor_limits;
+      running.push_back(&work);
+    }
+
+    // Phase 3 — EXECUTE (parallel): pure per-request tasks writing to
+    // pre-allocated slots. Each task gets a private governor, injector and
+    // metrics shard; nothing in the database is touched.
+    perf::TaskPool::Global()->ParallelFor(running.size(), [&](size_t i) {
+      PendingRequest* work = running[i];
+      fault::FaultInjector injector(work->seed);
+      for (const auto& [site, spec] : armed_specs) injector.Arm(site, spec);
+      fault::QueryGovernor governor(work->limits);
+      exec::ExecContext ctx;
+      ctx.catalog = db_->catalog();
+      ctx.cost_model = db_->cost_model();
+      ctx.governor = &governor;
+      ctx.fault = &injector;
+#if ROBUSTQO_OBS_ENABLED
+      if (metrics_ != nullptr) {
+        work->exec_metrics = std::make_unique<obs::MetricsRegistry>();
+        ctx.metrics = work->exec_metrics.get();
+        injector.set_metrics(work->exec_metrics.get());
+      }
+#endif
+      Result<storage::Table> rows = work->plan->root->Run(&ctx);
+#if ROBUSTQO_OBS_ENABLED
+      governor.PublishMetrics(work->exec_metrics.get());
+#endif
+      if (!rows.ok()) {
+        work->exec_status = rows.status();
+        return;
+      }
+      const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
+                                    ? ctx.aggregate_input_rows
+                                    : rows.value().num_rows();
+#if ROBUSTQO_OBS_ENABLED
+      RQO_IF_OBS(work->exec_metrics) {
+        work->exec_metrics->GetSketch("exec.query.simulated_seconds")
+            ->Observe(ctx.meter.total_seconds());
+        work->exec_metrics->GetSketch("exec.query.rows")
+            ->Observe(static_cast<double>(rows.value().num_rows()));
+        work->exec_metrics->GetSketch("exec.query.spj_rows")
+            ->Observe(static_cast<double>(spj_rows));
+      }
+#endif
+      work->result = core::ExecutionResult{std::move(rows).value(),
+                                           ctx.meter.total_seconds(),
+                                           ctx.meter,
+                                           spj_rows,
+                                           work->plan->estimated_cost,
+                                           work->plan->label,
+                                           work->plan->Explain(),
+                                           governor.peak_memory_bytes(),
+                                           governor.rows_charged()};
+    });
+
+    // Phase 4 — REDUCE (sequential, admission order): release admission
+    // slots, merge metric shards, apply session tallies, and feed the
+    // quality monitor.
+    for (PendingRequest* work : running) {
+      admission_.Complete(work->ticket);
+      QueryResponse& response = responses[work->index];
+      response.ticket = work->ticket;
+      response.fingerprint = work->fingerprint;
+      response.cache_hit = work->cache_hit;
+      response.waves_waited = work->waves_waited;
+#if ROBUSTQO_OBS_ENABLED
+      if (metrics_ != nullptr && work->exec_metrics != nullptr) {
+        metrics_->MergeFrom(*work->exec_metrics);
+      }
+#endif
+      if (work->exec_status.ok()) {
+        obs::QualityObservation observation;
+        observation.fingerprint = work->fingerprint;
+        observation.label = work->plan->label;
+        observation.estimated_rows = work->plan->estimated_spj_rows;
+        observation.actual_rows = static_cast<double>(work->result->spj_rows);
+        observation.confidence_threshold = work->effective_threshold;
+        monitor_.Record(observation);
+        response.result = std::move(work->result);
+        work->session->CountCompleted();
+        ++queries_completed_;
+      } else {
+        response.status = work->exec_status;
+        work->session->CountFailed();
+        ++queries_failed_;
+      }
+      pending.erase(work->ticket);
+    }
+
+    // Drift hook: a fingerprint whose recent q-error regressed past the
+    // monitor's factor loses its cached plans before the next wave — the
+    // cache must not keep serving a plan chosen for data that moved.
+    if (config_.invalidate_on_drift) {
+      for (const obs::FingerprintQuality& drifted : monitor_.Drifted()) {
+        if (cache_.IsDriftBlocked(drifted.fingerprint)) continue;
+        const size_t evicted = cache_.InvalidateFingerprint(drifted.fingerprint);
+        RQO_IF_OBS(tracer_) {
+          tracer_->Event(
+              "server", "plan_cache.drift_invalidated",
+              {{"fingerprint",
+                StrPrintf("%016llx", static_cast<unsigned long long>(
+                                         drifted.fingerprint))},
+               {"evicted", obs::AttrU64(evicted)},
+               {"drift_ratio", StrPrintf("%.2f", drifted.drift_ratio)}});
+        }
+      }
+    }
+  }
+  return responses;
+}
+
+QueryResponse QueryService::ExecutePrepared(SessionId session,
+                                            const std::string& name) {
+  std::vector<QueryResponse> responses =
+      ExecuteBatch({QueryRequest::Prepared(session, name)});
+  return std::move(responses[0]);
+}
+
+QueryResponse QueryService::ExecuteSql(SessionId session,
+                                       const std::string& sql) {
+  std::vector<QueryResponse> responses =
+      ExecuteBatch({QueryRequest::Sql(session, sql)});
+  return std::move(responses[0]);
+}
+
+QueryResponse QueryService::ExecuteSpec(SessionId session,
+                                        opt::QuerySpec spec) {
+  std::vector<QueryResponse> responses =
+      ExecuteBatch({QueryRequest::Spec(session, std::move(spec))});
+  return std::move(responses[0]);
+}
+
+void QueryService::UpdateStatistics(const stats::StatisticsConfig& config) {
+  db_->UpdateStatistics(config);
+  // The epoch bump already invalidates every cached plan lazily; fresh
+  // statistics also make drifted statements plannable again.
+  cache_.ClearDriftBlocks();
+  monitor_.Reset();
+}
+
+void QueryService::PublishMetrics(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  admission_.PublishMetrics(metrics);
+  cache_.PublishMetrics(metrics);
+  monitor_.PublishMetrics(metrics);
+  metrics->GetGauge("server.sessions.open")
+      ->Set(static_cast<double>(sessions_.open_count()));
+  metrics->GetGauge("server.sessions.opened_total")
+      ->Set(static_cast<double>(sessions_.opened_total()));
+  const auto sync = [metrics](const char* name, uint64_t value) {
+    obs::Counter* counter = metrics->GetCounter(name);
+    counter->Increment(value - counter->value());
+  };
+  sync("server.queries.completed", queries_completed_);
+  sync("server.queries.failed", queries_failed_);
+  metrics->GetGauge("stats.epoch")
+      ->Set(static_cast<double>(db_->statistics()->epoch()));
+}
+
+}  // namespace server
+}  // namespace robustqo

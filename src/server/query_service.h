@@ -1,0 +1,194 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// QueryService: the concurrent serving layer tying the server subsystem
+// together. Clients open sessions, PREPARE statements, and submit batches
+// of requests; the service runs them through admission control, a
+// drift-aware plan cache, and a deterministic parallel scheduler on
+// perf::TaskPool.
+//
+// The scheduler is wave-based, the repo's standard recipe for parallelism
+// without nondeterminism:
+//
+//   1. SUBMIT (sequential): requests enter the admission queue in request
+//      order; typed rejections (queue full, load shedding) are decided
+//      here.
+//   2. PLAN (sequential): each admitted request resolves its plan — plan
+//      cache lookup keyed by (statement fingerprint, effective T%,
+//      estimator, statistics epoch), falling back to the optimizer on a
+//      miss. Planning shares the Database's single-threaded optimizer, so
+//      it stays on the coordinator; per-request seeds are drawn here, in
+//      admission order, so they never depend on execution timing.
+//   3. EXECUTE (parallel): admitted plans run concurrently, one TaskPool
+//      task per request, each against its own ExecContext, QueryGovernor,
+//      MetricsRegistry shard and FaultInjector (re-armed from the
+//      database injector's specs, reseeded from the request seed).
+//      Results land in pre-allocated slots.
+//   4. REDUCE (sequential): completions, session tallies, metric merges
+//      and estimation-quality feedback are applied in admission order;
+//      fingerprints the quality monitor flags as drifted have their
+//      cached plans invalidated before the next wave.
+//
+// Every client-visible artifact — responses, reports, merged metrics — is
+// byte-identical at any RQO_THREADS setting.
+
+#ifndef ROBUSTQO_SERVER_QUERY_SERVICE_H_
+#define ROBUSTQO_SERVER_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "obs/quality_monitor.h"
+#include "obs/trace.h"
+#include "server/admission.h"
+#include "server/plan_cache.h"
+#include "server/session.h"
+#include "util/status.h"
+
+namespace robustqo {
+namespace server {
+
+/// Service-wide configuration.
+struct ServerConfig {
+  /// Root of the deterministic seed tree: session request seeds and
+  /// per-request fault-injector streams all derive from it.
+  uint64_t seed = 42;
+  AdmissionConfig admission;
+  size_t plan_cache_capacity = 64;
+  /// Drift detection for cached-plan invalidation.
+  obs::QualityMonitorConfig quality;
+  /// When false the quality monitor still records, but drifted
+  /// fingerprints are not auto-invalidated.
+  bool invalidate_on_drift = true;
+};
+
+/// One client request: EXECUTE of a prepared statement (when `prepared`
+/// is non-empty), a pre-parsed query spec, or a one-shot SQL statement.
+struct QueryRequest {
+  SessionId session = 0;
+  std::string prepared;
+  std::string sql;
+  /// Pre-parsed one-shot query (harnesses that build QuerySpecs directly).
+  std::optional<opt::QuerySpec> spec;
+
+  static QueryRequest Prepared(SessionId session, std::string name) {
+    QueryRequest r;
+    r.session = session;
+    r.prepared = std::move(name);
+    return r;
+  }
+  static QueryRequest Sql(SessionId session, std::string sql) {
+    QueryRequest r;
+    r.session = session;
+    r.sql = std::move(sql);
+    return r;
+  }
+  static QueryRequest Spec(SessionId session, opt::QuerySpec spec) {
+    QueryRequest r;
+    r.session = session;
+    r.spec = std::move(spec);
+    return r;
+  }
+};
+
+/// Outcome of one request, in the batch's request order.
+struct QueryResponse {
+  SessionId session = 0;
+  /// Admission ticket; 0 when the request never reached the queue
+  /// (unknown session, parse error, unknown prepared statement).
+  uint64_t ticket = 0;
+  /// OK, or the typed rejection/planning/execution failure.
+  Status status = Status::OK();
+  /// Engaged only when status is OK.
+  std::optional<core::ExecutionResult> result;
+  /// Statement fingerprint (0 when the request failed before planning).
+  uint64_t fingerprint = 0;
+  /// Whether the plan came from the cache.
+  bool cache_hit = false;
+  /// Scheduling waves spent queued before admission (backpressure felt).
+  uint64_t waves_waited = 0;
+};
+
+class QueryService {
+ public:
+  /// `db` is borrowed and must outlive the service. The service arms
+  /// per-request fault injectors from `db->fault_injector()`'s specs and
+  /// reads the statistics epoch from `db->statistics()`.
+  QueryService(core::Database* db, ServerConfig config = {});
+
+  core::Database* database() { return db_; }
+  const ServerConfig& config() const { return config_; }
+
+  // ---- Sessions ----
+  SessionId OpenSession(SessionOptions options = {});
+  Status CloseSession(SessionId id);
+  SessionManager* sessions() { return &sessions_; }
+
+  /// Parses and registers `sql` under `name` in the session, computing the
+  /// statement fingerprint that keys the plan cache and quality monitor.
+  Status Prepare(SessionId session, const std::string& name,
+                 const std::string& sql);
+
+  // ---- Execution ----
+
+  /// Runs a batch through the wave scheduler. Responses are positionally
+  /// aligned with `requests` and byte-for-byte independent of RQO_THREADS.
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// Single-request conveniences (a batch of one).
+  QueryResponse ExecutePrepared(SessionId session, const std::string& name);
+  QueryResponse ExecuteSql(SessionId session, const std::string& sql);
+  QueryResponse ExecuteSpec(SessionId session, opt::QuerySpec spec);
+
+  // ---- Statistics lifecycle ----
+
+  /// UPDATE STATISTICS through the service: rebuilds the database's
+  /// statistics (bumping the epoch, which invalidates every cached plan)
+  /// and lifts drift blocks + resets drift profiles, since fresh
+  /// statistics make the drifted statements plannable again.
+  void UpdateStatistics(const stats::StatisticsConfig& config = {});
+
+  // ---- Introspection ----
+  AdmissionController* admission() { return &admission_; }
+  PlanCache* plan_cache() { return &cache_; }
+  obs::EstimationQualityMonitor* quality_monitor() { return &monitor_; }
+
+  uint64_t queries_completed() const { return queries_completed_; }
+  uint64_t queries_failed() const { return queries_failed_; }
+
+  /// Publishes the server.* family (admission, plan cache, sessions,
+  /// stats.epoch) plus the quality monitor's gauges into `metrics`
+  /// (no-op on null). Idempotent.
+  void PublishMetrics(obs::MetricsRegistry* metrics) const;
+
+  /// Observability sinks (borrowed, nullable). Per-request execution
+  /// metrics are merged into `metrics` in admission order during the
+  /// reduce phase; the tracer receives plan-cache and admission events
+  /// from the sequential phases.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct PendingRequest;
+
+  core::Database* db_;
+  ServerConfig config_;
+  SessionManager sessions_;
+  AdmissionController admission_;
+  PlanCache cache_;
+  obs::EstimationQualityMonitor monitor_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  uint64_t queries_completed_ = 0;
+  uint64_t queries_failed_ = 0;
+};
+
+}  // namespace server
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,117 @@
+#include "server/session.h"
+
+#include "perf/task_pool.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace server {
+
+Session::Session(SessionId id, SessionOptions options, uint64_t seed)
+    : id_(id), options_(std::move(options)), seed_(seed) {
+  if (options_.name.empty()) {
+    options_.name = StrPrintf("session-%llu", static_cast<unsigned long long>(id_));
+  }
+}
+
+uint64_t Session::NextRequestSeed() {
+  return perf::TaskSeed(seed_, request_ordinal_++);
+}
+
+Status Session::Prepare(PreparedStatement statement) {
+  if (statement.name.empty()) {
+    return Status::InvalidArgument("prepared statement needs a name");
+  }
+  if (prepared_.count(statement.name) > 0) {
+    return Status::AlreadyExists("prepared statement '" + statement.name +
+                                 "' already exists in this session");
+  }
+  prepared_.emplace(statement.name, std::move(statement));
+  return Status::OK();
+}
+
+const PreparedStatement* Session::FindPrepared(const std::string& name) const {
+  auto it = prepared_.find(name);
+  return it == prepared_.end() ? nullptr : &it->second;
+}
+
+Status Session::Deallocate(const std::string& name) {
+  if (prepared_.erase(name) == 0) {
+    return Status::NotFound("no prepared statement '" + name + "'");
+  }
+  return Status::OK();
+}
+
+SessionInfo Session::Info() const {
+  SessionInfo info;
+  info.id = id_;
+  info.name = options_.name;
+  info.confidence_threshold = options_.confidence_threshold;
+  info.prepared_statements = prepared_.size();
+  info.submitted = submitted_;
+  info.completed = completed_;
+  info.failed = failed_;
+  info.rejected = rejected_;
+  return info;
+}
+
+SessionManager::SessionManager(uint64_t base_seed) : base_seed_(base_seed) {}
+
+SessionId SessionManager::Open(SessionOptions options) {
+  SessionId id = next_id_++;
+  // Each session gets an independent splitmix64 stream keyed by its id, so
+  // the seeds a session hands to its requests are invariant to how many
+  // other sessions exist or interleave.
+  uint64_t seed = perf::TaskSeed(base_seed_, id);
+  sessions_.emplace(id,
+                    std::make_unique<Session>(id, std::move(options), seed));
+  return id;
+}
+
+Status SessionManager::Close(SessionId id) {
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound(
+        StrPrintf("no open session %llu", static_cast<unsigned long long>(id)));
+  }
+  return Status::OK();
+}
+
+Session* SessionManager::Get(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const Session* SessionManager::Get(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<SessionInfo> SessionManager::Snapshot() const {
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session->Info());
+  return out;
+}
+
+std::string SessionManager::ReportText() const {
+  std::string out = StrPrintf("%-4s %-16s %-6s %-9s %-10s %-10s %-7s %-9s\n",
+                              "id", "name", "T%", "prepared", "submitted",
+                              "completed", "failed", "rejected");
+  for (const SessionInfo& info : Snapshot()) {
+    out += StrPrintf(
+        "%-4llu %-16s %-6s %-9llu %-10llu %-10llu %-7llu %-9llu\n",
+        static_cast<unsigned long long>(info.id), info.name.c_str(),
+        info.confidence_threshold > 0.0
+            ? StrPrintf("%.0f", info.confidence_threshold).c_str()
+            : "sys",
+        static_cast<unsigned long long>(info.prepared_statements),
+        static_cast<unsigned long long>(info.submitted),
+        static_cast<unsigned long long>(info.completed),
+        static_cast<unsigned long long>(info.failed),
+        static_cast<unsigned long long>(info.rejected));
+  }
+  out += StrPrintf("%zu open session(s)\n", sessions_.size());
+  return out;
+}
+
+}  // namespace server
+}  // namespace robustqo

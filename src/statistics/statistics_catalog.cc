@@ -20,6 +20,7 @@ void StatisticsCatalog::BuildAllHistograms(size_t buckets) {
           std::make_unique<EquiDepthHistogram>(*table, col.name, buckets);
     }
   }
+  BumpEpoch();
 }
 
 Status StatisticsCatalog::BuildHistogram(const std::string& table,
@@ -32,6 +33,7 @@ Status StatisticsCatalog::BuildHistogram(const std::string& table,
   }
   histograms_[HistKey(table, column)] =
       std::make_unique<EquiDepthHistogram>(*t, column, buckets);
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -47,6 +49,7 @@ void StatisticsCatalog::BuildAllSamples(const StatisticsConfig& config) {
         *catalog_, name, config.sample_size, config.sampling_mode,
         &synopsis_rng);
   }
+  BumpEpoch();
 }
 
 Status StatisticsCatalog::BuildJoinSynopsis(const std::string& root_table,
@@ -57,37 +60,46 @@ Status StatisticsCatalog::BuildJoinSynopsis(const std::string& root_table,
   Rng rng(config.seed);
   synopses_[root_table] = std::make_unique<JoinSynopsis>(
       *catalog_, root_table, config.sample_size, config.sampling_mode, &rng);
+  BumpEpoch();
   return Status::OK();
 }
 
 void StatisticsCatalog::ClearSamples() {
   samples_.clear();
   synopses_.clear();
+  BumpEpoch();
 }
 
 void StatisticsCatalog::DropSynopsis(const std::string& root_table) {
   // Only the synopsis: the table's own sample stays, so the estimator can
   // degrade one tier (synopsis -> per-table sample) instead of two.
   synopses_.erase(root_table);
+  BumpEpoch();
 }
 
-void StatisticsCatalog::ClearHistograms() { histograms_.clear(); }
+void StatisticsCatalog::ClearHistograms() {
+  histograms_.clear();
+  BumpEpoch();
+}
 
 void StatisticsCatalog::InstallHistogram(
     const std::string& table, const std::string& column,
     std::unique_ptr<EquiDepthHistogram> histogram) {
   histograms_[HistKey(table, column)] = std::move(histogram);
+  BumpEpoch();
 }
 
 void StatisticsCatalog::InstallSample(std::unique_ptr<TableSample> sample) {
   RQO_CHECK(sample != nullptr);
   samples_[sample->source_table()] = std::move(sample);
+  BumpEpoch();
 }
 
 void StatisticsCatalog::InstallSynopsis(
     std::unique_ptr<JoinSynopsis> synopsis) {
   RQO_CHECK(synopsis != nullptr);
   synopses_[synopsis->root_table()] = std::move(synopsis);
+  BumpEpoch();
 }
 
 const EquiDepthHistogram* StatisticsCatalog::GetHistogram(

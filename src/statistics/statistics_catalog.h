@@ -107,6 +107,14 @@ class StatisticsCatalog {
   /// cell (for the storage-parity discussion of Section 6.1).
   size_t ApproximateSummaryBytes() const;
 
+  /// Monotonically increasing statistics epoch. Every mutation of the
+  /// summary store — histogram/sample/synopsis builds, drops, and installs
+  /// — bumps it, so any consumer that captured statistics-derived state
+  /// (most importantly the server's plan cache, which keys entries by
+  /// epoch) can detect staleness with one integer compare. Exported as the
+  /// `stats.epoch` gauge; never decreases, never resets.
+  uint64_t epoch() const { return epoch_; }
+
   /// Enumeration for persistence/diagnostics. Histogram keys are
   /// "table.column"; samples/synopses are keyed by table.
   std::vector<std::pair<std::string, const EquiDepthHistogram*>>
@@ -115,7 +123,10 @@ class StatisticsCatalog {
   std::vector<const JoinSynopsis*> AllSynopses() const;
 
  private:
+  void BumpEpoch() { ++epoch_; }
+
   const storage::Catalog* catalog_;
+  uint64_t epoch_ = 0;
   fault::FaultInjector* fault_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<EquiDepthHistogram>>
       histograms_;  // "table.column"

@@ -6,6 +6,7 @@
 #include "fault/fault_injector.h"
 #include "fault/governor.h"
 #include "perf/task_pool.h"
+#include "server/query_service.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -160,19 +161,49 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
   run.outcome.armed = ArmRandomFaults(db->fault_injector(), &rng,
                                       config.arm_probability,
                                       &run.armed_sites);
-  if (rng.NextBernoulli(config.governor_probability)) {
-    db->SetGovernorLimits(RandomGovernorLimits(&rng));
-  }
+  fault::GovernorLimits limits;
+  const bool governed = rng.NextBernoulli(config.governor_probability);
+  if (governed) limits = RandomGovernorLimits(&rng);
 
-  Result<core::ExecutionResult> result =
-      db->Execute(queries[qi], core::EstimatorKind::kRobustSample);
-  if (result.ok()) {
-    run.outcome.executed = true;
-    run.outcome.verified =
-        Matches(references[qi], Fingerprint(result.value().rows));
+  if (config.sessions > 0) {
+    // Service path: admission control + plan cache sit between the run and
+    // the executor, so server.admission.enqueue / server.plan_cache.lookup
+    // faults actually fire. The governor budget travels as session limits.
+    server::ServerConfig server_config;
+    server_config.seed = seed;
+    server::QueryService service(db, server_config);
+    service.set_metrics(db->metrics());
+    std::vector<server::SessionId> ids;
+    ids.reserve(config.sessions);
+    for (size_t s = 0; s < config.sessions; ++s) {
+      server::SessionOptions options;
+      options.name = StrPrintf("chaos-%zu", s);
+      if (governed) options.governor_limits = limits;
+      ids.push_back(service.OpenSession(options));
+    }
+    const size_t pick = static_cast<size_t>(rng.NextBounded(ids.size()));
+    server::QueryResponse response =
+        service.ExecuteSpec(ids[pick], queries[qi]);
+    if (response.status.ok()) {
+      run.outcome.executed = true;
+      run.outcome.verified =
+          Matches(references[qi], Fingerprint(response.result->rows));
+    } else {
+      run.outcome.code = response.status.code();
+      run.outcome.error = response.status.ToString();
+    }
   } else {
-    run.outcome.code = result.status().code();
-    run.outcome.error = result.status().ToString();
+    if (governed) db->SetGovernorLimits(limits);
+    Result<core::ExecutionResult> result =
+        db->Execute(queries[qi], core::EstimatorKind::kRobustSample);
+    if (result.ok()) {
+      run.outcome.executed = true;
+      run.outcome.verified =
+          Matches(references[qi], Fingerprint(result.value().rows));
+    } else {
+      run.outcome.code = result.status().code();
+      run.outcome.error = result.status().ToString();
+    }
   }
 
   db->fault_injector()->DisarmAll();

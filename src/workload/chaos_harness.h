@@ -49,6 +49,13 @@ struct ChaosConfig {
   /// export of them) do not depend on the thread count or on which worker
   /// claimed which run — including last-write-wins gauges.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When > 0, each run routes its query through a server::QueryService
+  /// with this many open sessions (one seed-picked session issues the
+  /// query), instead of calling the database directly. That puts the
+  /// serving-layer fault sites — server.admission.enqueue and
+  /// server.plan_cache.lookup — inside the chaos blast radius under the
+  /// same contract: verified answer or clean typed failure.
+  size_t sessions = 0;
 };
 
 /// One run's outcome.

@@ -1,0 +1,194 @@
+#include "workload/traffic_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "perf/task_pool.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace workload {
+
+namespace {
+
+/// Seeded exponential draw with mean `mean` (0 mean = no pause).
+double ExpDraw(Rng* rng, double mean) {
+  if (mean <= 0.0) return 0.0;
+  double u = rng->NextDouble();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+struct Client {
+  size_t id = 0;
+  server::SessionId session = 0;
+  Rng rng{0};
+  /// Simulated time of the client's next issue; infinity = done.
+  double due = 0.0;
+  /// Rotating cursor into the statement list.
+  size_t cursor = 0;
+};
+
+}  // namespace
+
+std::string TrafficReport::Summary() const {
+  const uint64_t lookups = plan_cache.hits + plan_cache.misses;
+  std::string out = StrPrintf(
+      "traffic: issued=%llu completed=%llu failed=%llu rejected=%llu "
+      "batches=%llu\n",
+      static_cast<unsigned long long>(issued),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(batches));
+  out += StrPrintf("  duration=%.3f simulated s  throughput=%.6f qps\n",
+                   duration_seconds, throughput_qps);
+  out += StrPrintf(
+      "  latency (simulated s): p50=%.6f p90=%.6f p99=%.6f max=%.6f n=%llu\n",
+      latency.Quantile(0.5), latency.Quantile(0.9), latency.Quantile(0.99),
+      latency_max_seconds, static_cast<unsigned long long>(latency.count()));
+  out += StrPrintf(
+      "  plan cache: hits=%llu misses=%llu hit_rate=%.4f evictions=%llu "
+      "invalidated_epoch=%llu invalidated_drift=%llu\n",
+      static_cast<unsigned long long>(plan_cache.hits),
+      static_cast<unsigned long long>(plan_cache.misses),
+      lookups == 0 ? 0.0 : static_cast<double>(plan_cache.hits) / lookups,
+      static_cast<unsigned long long>(plan_cache.evictions_lru),
+      static_cast<unsigned long long>(plan_cache.invalidated_epoch),
+      static_cast<unsigned long long>(plan_cache.invalidated_drift));
+  out += StrPrintf(
+      "  admission: admitted=%llu waited=%llu rejected_queue_full=%llu "
+      "rejected_fault=%llu peak_in_flight=%llu peak_queue=%llu\n",
+      static_cast<unsigned long long>(admission.admitted),
+      static_cast<unsigned long long>(admission.waited),
+      static_cast<unsigned long long>(admission.rejected_queue_full),
+      static_cast<unsigned long long>(admission.rejected_fault),
+      static_cast<unsigned long long>(admission.peak_in_flight),
+      static_cast<unsigned long long>(admission.peak_queue_depth));
+  return out;
+}
+
+TrafficReport RunTraffic(server::QueryService* service,
+                         const TrafficConfig& config) {
+  TrafficReport report;
+  report.duration_seconds = config.duration_seconds;
+  if (config.statements.empty() || config.clients == 0) return report;
+  const std::vector<double> thresholds =
+      config.thresholds.empty() ? std::vector<double>{0.0} : config.thresholds;
+
+  // Open one session per client and PREPARE every statement in it. The
+  // per-session statement names are shared, so all clients at the same T%
+  // funnel into the same plan-cache entries.
+  std::vector<Client> clients(config.clients);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    Client& client = clients[i];
+    client.id = i;
+    client.rng = Rng(perf::TaskSeed(config.base_seed, i));
+    server::SessionOptions options;
+    options.name = StrPrintf("client-%zu", i);
+    options.confidence_threshold = thresholds[i % thresholds.size()];
+    client.session = service->OpenSession(options);
+    for (size_t s = 0; s < config.statements.size(); ++s) {
+      service->Prepare(client.session, StrPrintf("q%zu", s),
+                       config.statements[s]);
+    }
+    // Staggered first issue so the whole population doesn't arrive at t=0.
+    const double mean = config.mode == TrafficMode::kClosedLoop
+                            ? config.think_seconds
+                            : config.interarrival_seconds;
+    client.due = ExpDraw(&client.rng, mean);
+    client.cursor = i % config.statements.size();
+  }
+
+  const double kDone = std::numeric_limits<double>::infinity();
+  while (true) {
+    // Next batch window: starts at the earliest pending issue.
+    double window_start = kDone;
+    for (const Client& client : clients) {
+      window_start = std::min(window_start, client.due);
+    }
+    if (window_start > config.duration_seconds) break;
+    const double window_end = window_start + config.batch_window_seconds;
+
+    // All requests due inside the window, in (due, client id) order —
+    // the deterministic arrival order of this batch.
+    std::vector<size_t> batch;
+    for (const Client& client : clients) {
+      if (client.due < window_end && client.due <= config.duration_seconds) {
+        batch.push_back(client.id);
+      }
+    }
+    std::sort(batch.begin(), batch.end(), [&](size_t a, size_t b) {
+      if (clients[a].due != clients[b].due) {
+        return clients[a].due < clients[b].due;
+      }
+      return a < b;
+    });
+
+    std::vector<server::QueryRequest> requests;
+    requests.reserve(batch.size());
+    for (size_t id : batch) {
+      Client& client = clients[id];
+      requests.push_back(server::QueryRequest::Prepared(
+          client.session,
+          StrPrintf("q%zu", client.cursor % config.statements.size())));
+      ++client.cursor;
+    }
+    std::vector<server::QueryResponse> responses =
+        service->ExecuteBatch(requests);
+    ++report.batches;
+
+    for (size_t b = 0; b < batch.size(); ++b) {
+      Client& client = clients[batch[b]];
+      const server::QueryResponse& response = responses[b];
+      ++report.issued;
+      const double next_mean = config.mode == TrafficMode::kClosedLoop
+                                   ? config.think_seconds
+                                   : config.interarrival_seconds;
+      if (response.status.ok()) {
+        // End-to-end simulated latency: queueing (admission waves) +
+        // planning charge on a cold plan + execution.
+        const double latency =
+            response.result->simulated_seconds +
+            static_cast<double>(response.waves_waited) *
+                config.wave_delay_seconds +
+            (response.cache_hit ? 0.0 : config.plan_charge_seconds);
+        report.latency.Observe(latency);
+        report.latency_max_seconds =
+            std::max(report.latency_max_seconds, latency);
+        ++report.completed;
+        if (response.cache_hit) ++report.cache_hits;
+        if (config.mode == TrafficMode::kClosedLoop) {
+          client.due = client.due + latency + ExpDraw(&client.rng, next_mean);
+        } else {
+          client.due = client.due + ExpDraw(&client.rng, next_mean);
+        }
+      } else if (response.ticket == 0 &&
+                 (response.status.code() == StatusCode::kResourceExhausted ||
+                  response.status.code() == StatusCode::kUnavailable)) {
+        // Typed admission rejection: the client backs off and retries the
+        // same statement.
+        ++report.rejected;
+        --client.cursor;
+        client.due = client.due + config.retry_backoff_seconds;
+      } else {
+        ++report.failed;
+        client.due = client.due + ExpDraw(&client.rng, next_mean);
+      }
+    }
+  }
+
+  for (Client& client : clients) service->CloseSession(client.session);
+  report.admission = service->admission()->stats();
+  report.plan_cache = service->plan_cache()->stats();
+  report.throughput_qps =
+      config.duration_seconds > 0.0
+          ? static_cast<double>(report.completed) / config.duration_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace workload
+}  // namespace robustqo

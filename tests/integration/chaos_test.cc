@@ -88,6 +88,31 @@ TEST_F(ChaosTest, DifferentSeedsProduceDifferentChaos) {
   EXPECT_NE(a.Summary(), b.Summary());
 }
 
+TEST_F(ChaosTest, MultiSessionSweepHoldsContractThroughTheServiceLayer) {
+  // Multi-session configs route every run through a server::QueryService —
+  // admission control and the plan cache sit in front of the executor, and
+  // the server.admission.enqueue / server.plan_cache.lookup fault sites
+  // actually fire. Contract unchanged: correct answer or clean typed
+  // failure.
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.base_seed = 20260805;
+  config.runs = 120;
+  config.sessions = 4;
+  workload::ChaosReport report = harness.Run(config, ScenarioQueries());
+  EXPECT_EQ(report.runs, 120u);
+  EXPECT_TRUE(report.ContractHolds()) << report.Summary();
+  EXPECT_EQ(report.completed + report.failed_typed, report.runs);
+  EXPECT_GT(report.completed, 10u) << report.Summary();
+  EXPECT_GT(report.failed_typed, 10u) << report.Summary();
+  // The serving-layer sites were armed across the sweep.
+  EXPECT_GT(report.armed_counts["server.admission.enqueue"], 0u);
+  EXPECT_GT(report.armed_counts["server.plan_cache.lookup"], 0u);
+  // Replayable bit-for-bit like every other sweep.
+  workload::ChaosReport again = harness.Run(config, ScenarioQueries());
+  EXPECT_EQ(report.Summary(), again.Summary());
+}
+
 TEST_F(ChaosTest, HarnessLeavesDatabaseClean) {
   workload::ChaosHarness harness(db_);
   workload::ChaosConfig config;

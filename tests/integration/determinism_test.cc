@@ -20,8 +20,13 @@
 #include "tpch/tpch_gen.h"
 #include "util/macros.h"
 #include "util/string_util.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/rng.h"
 #include "workload/chaos_harness.h"
 #include "workload/scenarios.h"
+#include "workload/traffic_harness.h"
 
 namespace robustqo {
 namespace {
@@ -117,6 +122,88 @@ TEST_F(DeterminismTest, ChaosSweepReportIdenticalAcrossThreadCounts) {
     perf::SetThreadCount(threads);
     workload::ChaosReport report = harness.Run(config, queries);
     EXPECT_EQ(report.runs, config.runs);
+    if (threads == 1) {
+      reference = report.Summary();
+    } else {
+      EXPECT_EQ(report.Summary(), reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+// The serving layer's leg of the contract: a 1000-client traffic run —
+// sessions, admission waves, plan-cache hits, quality feedback and the
+// formatted summary — must be byte-identical at 1, 4 and 8 threads even
+// though every admitted wave executes its requests concurrently.
+TEST_F(DeterminismTest, TrafficHarnessSummaryIdenticalAcrossThreadCounts) {
+  auto make_readings_db = [] {
+    auto db = std::make_unique<core::Database>();
+    auto table = std::make_unique<storage::Table>(
+        "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                     {"r_value", storage::DataType::kInt64}}));
+    Rng rng(2026);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                        storage::Value::Int64(
+                            static_cast<int64_t>(rng.NextBounded(1000)))});
+    }
+    RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                  "table load failed");
+    db->UpdateStatistics();
+    return db;
+  };
+
+  workload::TrafficConfig config;
+  config.clients = 1000;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = make_readings_db();
+    server::ServerConfig server_config;
+    server_config.admission.max_concurrent = 8;
+    server_config.admission.max_queue_depth = 128;
+    server::QueryService service(db.get(), server_config);
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, config);
+    EXPECT_GT(report.completed, 1000u);
+    const std::string summary = report.Summary();
+    if (threads == 1) {
+      reference = summary;
+    } else {
+      EXPECT_EQ(summary, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+// Chaos through the serving layer: with multi-session configs the sweep's
+// queries route through admission control and the plan cache, and the
+// report must still be byte-identical at every thread count.
+TEST_F(DeterminismTest, MultiSessionChaosSweepIdenticalAcrossThreadCounts) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  workload::ChaosHarness harness(db.get());
+  workload::ChaosConfig config;
+  config.base_seed = 31337;
+  config.runs = 16;
+  config.sessions = 3;
+  config.database_factory = MakeDatabase;
+  const auto queries = ScenarioQueries();
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    workload::ChaosReport report = harness.Run(config, queries);
+    EXPECT_EQ(report.runs, config.runs);
+    EXPECT_TRUE(report.ContractHolds()) << report.Summary();
     if (threads == 1) {
       reference = report.Summary();
     } else {

@@ -1,0 +1,235 @@
+// QueryService end to end on a small table: PREPARE/EXECUTE through the
+// plan cache, per-session thresholds, session governor budgets, typed
+// admission rejections under overload, statistics-epoch invalidation and
+// the server.* metrics surface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "expr/expression.h"
+#include "obs/metrics.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace server {
+namespace {
+
+constexpr uint64_t kRows = 2000;
+
+void LoadReadings(storage::Catalog* catalog) {
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  ASSERT_TRUE(catalog->AddTable(std::move(table)).ok());
+}
+
+std::unique_ptr<core::Database> MakeDatabase() {
+  auto db = std::make_unique<core::Database>();
+  LoadReadings(db->catalog());
+  db->UpdateStatistics();
+  return db;
+}
+
+const char kCountSql[] = "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50";
+
+TEST(QueryServiceTest, PreparedExecuteHitsCacheAfterFirstRun) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  const SessionId session = service.OpenSession();
+  ASSERT_TRUE(service.Prepare(session, "q", kCountSql).ok());
+
+  QueryResponse first = service.ExecutePrepared(session, "q");
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_NE(first.fingerprint, 0u);
+  ASSERT_TRUE(first.result.has_value());
+  EXPECT_EQ(first.result->rows.num_rows(), 1u);
+
+  QueryResponse second = service.ExecutePrepared(session, "q");
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  // Same plan, same answer.
+  EXPECT_EQ(second.result->rows.ValueAt(0, 0).ToString(),
+            first.result->rows.ValueAt(0, 0).ToString());
+  EXPECT_EQ(service.plan_cache()->stats().hits, 1u);
+  EXPECT_EQ(service.queries_completed(), 2u);
+}
+
+TEST(QueryServiceTest, OneShotSqlAndSpecRequestsShareTheCache) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  const SessionId session = service.OpenSession();
+
+  QueryResponse sql = service.ExecuteSql(session, kCountSql);
+  ASSERT_TRUE(sql.status.ok()) << sql.status.ToString();
+  EXPECT_FALSE(sql.cache_hit);
+
+  // The same statement as a pre-parsed spec fingerprints identically, so
+  // it hits the plan the SQL path cached.
+  opt::QuerySpec spec;
+  spec.tables.push_back(
+      {"readings", expr::Lt(expr::Col("r_value"), expr::LitInt(50))});
+  spec.aggregates.push_back(
+      {exec::AggKind::kCount, "", "n"});
+  QueryResponse by_spec = service.ExecuteSpec(session, spec);
+  ASSERT_TRUE(by_spec.status.ok()) << by_spec.status.ToString();
+  EXPECT_EQ(by_spec.fingerprint, sql.fingerprint);
+  EXPECT_TRUE(by_spec.cache_hit);
+}
+
+TEST(QueryServiceTest, SessionsAtDifferentThresholdsNeverShareAPlan) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  SessionOptions low;
+  low.confidence_threshold = 0.5;
+  SessionOptions high;
+  high.confidence_threshold = 0.95;
+  const SessionId low_id = service.OpenSession(low);
+  const SessionId high_id = service.OpenSession(high);
+  ASSERT_TRUE(service.Prepare(low_id, "q", kCountSql).ok());
+  ASSERT_TRUE(service.Prepare(high_id, "q", kCountSql).ok());
+
+  QueryResponse a = service.ExecutePrepared(low_id, "q");
+  QueryResponse b = service.ExecutePrepared(high_id, "q");
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << "same statement";
+  EXPECT_FALSE(b.cache_hit) << "different T% must be a different cache key";
+  EXPECT_EQ(service.plan_cache()->size(), 2u);
+
+  // Each session hits its own entry from now on.
+  EXPECT_TRUE(service.ExecutePrepared(low_id, "q").cache_hit);
+  EXPECT_TRUE(service.ExecutePrepared(high_id, "q").cache_hit);
+}
+
+TEST(QueryServiceTest, UpdateStatisticsInvalidatesCachedPlansByEpoch) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  const SessionId session = service.OpenSession();
+  ASSERT_TRUE(service.Prepare(session, "q", kCountSql).ok());
+
+  ASSERT_FALSE(service.ExecutePrepared(session, "q").cache_hit);
+  ASSERT_TRUE(service.ExecutePrepared(session, "q").cache_hit);
+
+  const uint64_t epoch_before = db->statistics()->epoch();
+  service.UpdateStatistics();
+  EXPECT_GT(db->statistics()->epoch(), epoch_before);
+
+  // The cached plan predates the new statistics: one lazy invalidation,
+  // then the statement re-caches under the new epoch.
+  QueryResponse after = service.ExecutePrepared(session, "q");
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(service.plan_cache()->stats().invalidated_epoch, 1u);
+  EXPECT_TRUE(service.ExecutePrepared(session, "q").cache_hit);
+}
+
+TEST(QueryServiceTest, OverloadedBatchRejectsTypedAndCompletesTheRest) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  ServerConfig config;
+  config.admission.max_concurrent = 1;
+  config.admission.max_queue_depth = 2;
+  QueryService service(db.get(), config);
+  const SessionId session = service.OpenSession();
+  ASSERT_TRUE(service.Prepare(session, "q", kCountSql).ok());
+
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(QueryRequest::Prepared(session, "q"));
+  }
+  std::vector<QueryResponse> responses = service.ExecuteBatch(batch);
+  ASSERT_EQ(responses.size(), 5u);
+
+  // Queue depth 2: the first two enter; the last three shed typed.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << i;
+    EXPECT_NE(responses[i].ticket, 0u);
+  }
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(responses[i].status.code(), StatusCode::kResourceExhausted) << i;
+    EXPECT_EQ(responses[i].ticket, 0u);
+  }
+  // With one slot, the second request waited at least one wave — the
+  // backpressure the traffic harness charges latency for.
+  EXPECT_GE(responses[1].waves_waited, 1u);
+
+  const SessionInfo info = service.sessions()->Get(session)->Info();
+  EXPECT_EQ(info.submitted, 5u);
+  EXPECT_EQ(info.completed, 2u);
+  EXPECT_EQ(info.rejected, 3u);
+}
+
+TEST(QueryServiceTest, SessionGovernorLimitsTripTyped) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  SessionOptions tight;
+  tight.governor_limits.row_limit = 10;  // the scan alone charges 2000
+  const SessionId session = service.OpenSession(tight);
+
+  QueryResponse response = service.ExecuteSql(session, kCountSql);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.queries_failed(), 1u);
+
+  // An untight session on the same service is unaffected.
+  const SessionId ok_session = service.OpenSession();
+  EXPECT_TRUE(service.ExecuteSql(ok_session, kCountSql).status.ok());
+}
+
+TEST(QueryServiceTest, UnknownSessionAndStatementFailTyped) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  EXPECT_EQ(service.ExecuteSql(/*session=*/77, kCountSql).status.code(),
+            StatusCode::kNotFound);
+
+  const SessionId session = service.OpenSession();
+  EXPECT_EQ(service.ExecutePrepared(session, "ghost").status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Prepare(77, "q", kCountSql).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(service.CloseSession(session).ok());
+  EXPECT_EQ(service.ExecuteSql(session, kCountSql).status.code(),
+            StatusCode::kNotFound);
+}
+
+#if ROBUSTQO_OBS_ENABLED
+TEST(QueryServiceTest, PublishMetricsExportsTheServerFamily) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  QueryService service(db.get());
+  const SessionId session = service.OpenSession();
+  ASSERT_TRUE(service.Prepare(session, "q", kCountSql).ok());
+  ASSERT_TRUE(service.ExecutePrepared(session, "q").status.ok());
+  ASSERT_TRUE(service.ExecutePrepared(session, "q").status.ok());
+
+  obs::MetricsRegistry metrics;
+  service.PublishMetrics(&metrics);
+  service.PublishMetrics(&metrics);  // idempotent
+  EXPECT_DOUBLE_EQ(metrics.GetCounter("server.queries.completed")->value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("server.sessions.open")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.GetCounter("server.admission.admitted")->value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(metrics.GetCounter("perf.cache.plan.hits")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge("stats.epoch")->value(),
+      static_cast<double>(db->statistics()->epoch()));
+}
+#endif
+
+}  // namespace
+}  // namespace server
+}  // namespace robustqo

@@ -1,0 +1,119 @@
+// Sessions: deterministic per-session seed streams, the per-session
+// prepared-statement namespace, and the manager's dense id layout.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "server/session.h"
+
+namespace robustqo {
+namespace server {
+namespace {
+
+TEST(SessionTest, RequestSeedStreamIsDeterministicAndDistinct) {
+  Session a(1, {}, 1234);
+  Session b(2, {}, 5678);
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) {
+    seeds.insert(a.NextRequestSeed());
+    seeds.insert(b.NextRequestSeed());
+  }
+  EXPECT_EQ(seeds.size(), 200u) << "seed streams must not collide";
+
+  // Replaying the same (id, options, seed) replays the exact stream.
+  Session replay(1, {}, 1234);
+  Session reference(1, {}, 1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replay.NextRequestSeed(), reference.NextRequestSeed());
+  }
+}
+
+TEST(SessionTest, PreparedStatementsAreAPerSessionNamespace) {
+  Session session(1, {}, 7);
+  PreparedStatement statement;
+  statement.name = "q1";
+  statement.sql = "SELECT COUNT(*) FROM region";
+  statement.fingerprint = 42;
+  ASSERT_TRUE(session.Prepare(statement).ok());
+
+  const PreparedStatement* found = session.FindPrepared("q1");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->fingerprint, 42u);
+  EXPECT_EQ(session.FindPrepared("nope"), nullptr);
+
+  // PREPARE of an existing name is a typed error; DEALLOCATE first.
+  statement.fingerprint = 43;
+  EXPECT_EQ(session.Prepare(statement).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(session.FindPrepared("q1")->fingerprint, 42u);
+
+  ASSERT_TRUE(session.Deallocate("q1").ok());
+  ASSERT_TRUE(session.Prepare(statement).ok());
+  EXPECT_EQ(session.FindPrepared("q1")->fingerprint, 43u);
+  ASSERT_TRUE(session.Deallocate("q1").ok());
+  EXPECT_EQ(session.FindPrepared("q1"), nullptr);
+  EXPECT_EQ(session.Deallocate("q1").code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, IdsAreDenseAndMonotonic) {
+  SessionManager manager(99);
+  const SessionId a = manager.Open();
+  const SessionId b = manager.Open();
+  const SessionId c = manager.Open();
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(manager.open_count(), 3u);
+  EXPECT_EQ(manager.opened_total(), 3u);
+
+  ASSERT_TRUE(manager.Close(b).ok());
+  EXPECT_EQ(manager.Get(b), nullptr);
+  EXPECT_EQ(manager.Close(b).code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.open_count(), 2u);
+
+  // Closed ids are never reused.
+  EXPECT_EQ(manager.Open(), 4u);
+}
+
+TEST(SessionManagerTest, SeedsDeriveFromBaseSeedAndSessionId) {
+  SessionManager a(1000);
+  SessionManager b(1000);
+  const SessionId id_a = a.Open();
+  const SessionId id_b = b.Open();
+  EXPECT_EQ(a.Get(id_a)->seed(), b.Get(id_b)->seed())
+      << "same base seed + same session id must derive the same seed";
+
+  SessionManager other(1001);
+  EXPECT_NE(a.Get(id_a)->seed(), other.Get(other.Open())->seed());
+}
+
+TEST(SessionManagerTest, SnapshotAndReportCarrySessionState) {
+  SessionManager manager(5);
+  SessionOptions options;
+  options.name = "analytics";
+  options.confidence_threshold = 0.95;
+  const SessionId id = manager.Open(options);
+  const SessionId anon = manager.Open();
+
+  manager.Get(id)->CountSubmitted();
+  manager.Get(id)->CountCompleted();
+
+  const std::vector<SessionInfo> infos = manager.Snapshot();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].id, id);
+  EXPECT_EQ(infos[0].name, "analytics");
+  EXPECT_DOUBLE_EQ(infos[0].confidence_threshold, 0.95);
+  EXPECT_EQ(infos[0].submitted, 1u);
+  EXPECT_EQ(infos[0].completed, 1u);
+  EXPECT_EQ(infos[1].name, "session-2") << "default name derives from the id";
+
+  const std::string report = manager.ReportText();
+  EXPECT_NE(report.find("analytics"), std::string::npos);
+  EXPECT_NE(report.find("session-2"), std::string::npos);
+  (void)anon;
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace robustqo

@@ -1,0 +1,129 @@
+// Traffic harness: simulated client populations against the query service.
+// Replayability from the config alone, closed- vs open-loop behaviour,
+// admission backpressure under tight limits, and plan-cache amortisation
+// across a client population.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "workload/traffic_harness.h"
+
+namespace robustqo {
+namespace workload {
+namespace {
+
+std::unique_ptr<core::Database> MakeDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
+  return db;
+}
+
+TrafficConfig SmallConfig() {
+  TrafficConfig config;
+  config.clients = 40;
+  config.duration_seconds = 30.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+  return config;
+}
+
+TEST(TrafficHarnessTest, ClosedLoopRunCompletesAndAmortisesPlanning) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  server::QueryService service(db.get());
+  const TrafficReport report = RunTraffic(&service, SmallConfig());
+
+  EXPECT_GT(report.issued, 40u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.completed + report.rejected, report.issued);
+  EXPECT_GT(report.batches, 1u);
+  EXPECT_GT(report.throughput_qps, 0.0);
+  EXPECT_EQ(report.latency.count(), report.completed);
+
+  // 40 clients share 2 statements at 2 thresholds: at most 4 distinct
+  // plans are ever optimized; everything else must come from the cache.
+  EXPECT_LE(report.plan_cache.insertions, 4u);
+  EXPECT_GT(report.plan_cache.hits, report.plan_cache.misses);
+  EXPECT_EQ(report.cache_hits, report.plan_cache.hits);
+
+  // The harness closed every session it opened.
+  EXPECT_EQ(service.sessions()->open_count(), 0u);
+}
+
+TEST(TrafficHarnessTest, ReportIsReplayableFromTheConfigAlone) {
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    std::unique_ptr<core::Database> db = MakeDatabase();
+    server::QueryService service(db.get());
+    const std::string summary = RunTraffic(&service, SmallConfig()).Summary();
+    if (round == 0) {
+      first = summary;
+      EXPECT_NE(summary.find("traffic:"), std::string::npos);
+      EXPECT_NE(summary.find("latency"), std::string::npos);
+    } else {
+      EXPECT_EQ(summary, first);
+    }
+  }
+}
+
+TEST(TrafficHarnessTest, OpenLoopLoadTriggersAdmissionBackpressure) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  server::ServerConfig server_config;
+  server_config.admission.max_concurrent = 2;
+  server_config.admission.max_queue_depth = 4;
+  server::QueryService service(db.get(), server_config);
+
+  TrafficConfig config = SmallConfig();
+  config.mode = TrafficMode::kOpenLoop;
+  config.interarrival_seconds = 2.0;  // well past the service's capacity
+  const TrafficReport report = RunTraffic(&service, config);
+
+  // Open-loop arrivals do not back off, so the tight queue must shed load
+  // with typed rejections — and the harness retries them.
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_EQ(report.admission.rejected_queue_full, report.rejected);
+  EXPECT_GT(report.admission.waited, 0u) << "some requests queued for waves";
+  EXPECT_EQ(report.failed, 0u) << "rejections are retried, never failures";
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST(TrafficHarnessTest, SeedChangesTheTrafficButNotItsInvariants) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  server::QueryService service(db.get());
+  TrafficConfig config = SmallConfig();
+  const std::string base = RunTraffic(&service, config).Summary();
+
+  std::unique_ptr<core::Database> db2 = MakeDatabase();
+  server::QueryService service2(db2.get());
+  config.base_seed = 999;
+  const TrafficReport reseeded = RunTraffic(&service2, config);
+  EXPECT_NE(reseeded.Summary(), base) << "different seed, different arrivals";
+  EXPECT_EQ(reseeded.completed + reseeded.rejected, reseeded.issued);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace robustqo
