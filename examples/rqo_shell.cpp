@@ -14,6 +14,14 @@
 //                                   report (fed by EXPLAIN ANALYZE runs)
 //   .sessions                       query-service session table
 //   .plancache                      plan-cache contents + hit/miss stats
+//   .blackbox [json]                flight recorder: retained request
+//                                   traces (incidents + slowest-K) as a
+//                                   table, or the deterministic JSON dump
+//   .blackbox export <file>         write the JSON dump to a file
+//   .blackbox trace <file>          write a per-request Chrome trace
+//                                   (Perfetto lanes grouped by session)
+//   .slo                            queue-wait/service/regret quantiles
+//                                   and threshold-breach counters
 //   .quit                           exit
 // Statements:
 //   PREPARE <name> AS <sql>         register a prepared statement in the
@@ -221,7 +229,11 @@ int main() {
 
   // The shell is one interactive client of the concurrent query service:
   // PREPARE/EXECUTE route through its admission controller and plan cache.
-  server::QueryService service(&db);
+  // The flight recorder is on so `.blackbox` has incidents and slow
+  // requests to show after EXECUTE traffic.
+  server::ServerConfig server_config;
+  server_config.flight_recorder.enabled = true;
+  server::QueryService service(&db, server_config);
   service.set_metrics(&query_metrics);
   server::SessionOptions shell_options;
   shell_options.name = "shell";
@@ -293,6 +305,47 @@ int main() {
     }
     if (line == ".plancache") {
       std::printf("%s", service.plan_cache()->ReportText().c_str());
+      continue;
+    }
+    if (StartsWith(line, ".blackbox")) {
+      obs::FlightRecorder* recorder = service.flight_recorder();
+      if (line == ".blackbox") {
+        std::printf("%s", recorder->ReportText().c_str());
+      } else if (line == ".blackbox json") {
+        std::printf("%s\n", recorder->ToJson().c_str());
+      } else if (StartsWith(line, ".blackbox export ") &&
+                 line.size() > strlen(".blackbox export ")) {
+        const std::string path = line.substr(strlen(".blackbox export "));
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::printf("cannot open %s\n", path.c_str());
+          continue;
+        }
+        const std::string json = recorder->ToJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu retained traces to %s\n", recorder->size(),
+                    path.c_str());
+      } else if (StartsWith(line, ".blackbox trace ") &&
+                 line.size() > strlen(".blackbox trace ")) {
+        const std::string path = line.substr(strlen(".blackbox trace "));
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::printf("cannot open %s\n", path.c_str());
+          continue;
+        }
+        const std::string json = recorder->ToChromeTrace();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu request lanes to %s\n", recorder->size(),
+                    path.c_str());
+      } else {
+        std::printf("usage: .blackbox [json|export <file>|trace <file>]\n");
+      }
+      continue;
+    }
+    if (line == ".slo") {
+      std::printf("%s", service.slo_monitor()->ReportText().c_str());
       continue;
     }
     if (StartsWith(line, "PREPARE ") || StartsWith(line, "prepare ")) {

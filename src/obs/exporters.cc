@@ -112,13 +112,18 @@ std::string ToOpenMetrics(const MetricsRegistry& registry,
   return out;
 }
 
-std::string ToChromeTrace(const std::vector<TraceEvent>& events,
-                          bool use_wall_time) {
-  // Span ends carry no name/category of their own; the format wants the
-  // matching "E" to repeat the "B"'s, so remember them per span id.
+namespace {
+
+/// Renders one record stream under (pid, tid). Span ends carry no
+/// name/category of their own; the format wants the matching "E" to repeat
+/// the "B"'s, so they are remembered per span id. With `emit_ids` the span
+/// id rides along on B/E records (the lane exporter's contract with
+/// scripts/check_trace_json.py); the single-tracer rendering omits it so
+/// its pinned goldens stay stable.
+void AppendChromeEvents(std::string* out, bool* first,
+                        const std::vector<TraceEvent>& events, uint64_t pid,
+                        uint64_t tid, bool use_wall_time, bool emit_ids) {
   std::map<uint64_t, std::pair<std::string, std::string>> span_names;
-  std::string out = "[";
-  bool first = true;
   for (const TraceEvent& e : events) {
     const char* phase = "i";
     std::string name = e.name;
@@ -134,32 +139,87 @@ std::string ToChromeTrace(const std::vector<TraceEvent>& events,
         category = it->second.second;
       }
     }
-    if (!first) out += ",";
-    first = false;
-    out += "{\"name\":\"" + JsonEscape(name) + "\"";
-    out += ",\"cat\":\"" + JsonEscape(category) + "\"";
-    out += StrPrintf(",\"ph\":\"%s\"", phase);
+    if (!*first) *out += ",";
+    *first = false;
+    *out += "{\"name\":\"" + JsonEscape(name) + "\"";
+    *out += ",\"cat\":\"" + JsonEscape(category) + "\"";
+    *out += StrPrintf(",\"ph\":\"%s\"", phase);
     // One logical-clock tick renders as one microsecond on the timeline.
     if (use_wall_time) {
-      out += StrPrintf(",\"ts\":%.3f", e.wall_micros);
+      *out += StrPrintf(",\"ts\":%.3f", e.wall_micros);
     } else {
-      out += StrPrintf(",\"ts\":%llu", static_cast<unsigned long long>(e.seq));
+      *out += StrPrintf(",\"ts\":%llu", static_cast<unsigned long long>(e.seq));
     }
-    out += ",\"pid\":1,\"tid\":1";
-    if (e.kind == TraceKind::kEvent) out += ",\"s\":\"t\"";
+    *out += StrPrintf(",\"pid\":%llu,\"tid\":%llu",
+                      static_cast<unsigned long long>(pid),
+                      static_cast<unsigned long long>(tid));
+    if (emit_ids && e.kind != TraceKind::kEvent) {
+      *out += StrPrintf(",\"id\":\"0x%llx\"",
+                        static_cast<unsigned long long>(e.span_id));
+    }
+    if (e.kind == TraceKind::kEvent) *out += ",\"s\":\"t\"";
     if (!e.attrs.empty()) {
-      out += ",\"args\":{";
+      *out += ",\"args\":{";
       for (size_t a = 0; a < e.attrs.size(); ++a) {
-        if (a > 0) out += ",";
-        out += "\"";
-        out += JsonEscape(e.attrs[a].first);
-        out += "\":\"";
-        out += JsonEscape(e.attrs[a].second);
-        out += "\"";
+        if (a > 0) *out += ",";
+        *out += "\"";
+        *out += JsonEscape(e.attrs[a].first);
+        *out += "\":\"";
+        *out += JsonEscape(e.attrs[a].second);
+        *out += "\"";
       }
-      out += "}";
+      *out += "}";
     }
-    out += "}";
+    *out += "}";
+  }
+}
+
+/// A process_name / thread_name metadata record.
+void AppendChromeMetadata(std::string* out, bool* first, const char* kind,
+                          uint64_t pid, uint64_t tid,
+                          const std::string& value) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += StrPrintf(
+      "{\"name\":\"%s\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,"
+      "\"pid\":%llu,\"tid\":%llu,\"args\":{\"name\":\"%s\"}}",
+      kind, static_cast<unsigned long long>(pid),
+      static_cast<unsigned long long>(tid), JsonEscape(value).c_str());
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const std::vector<TraceEvent>& events,
+                          bool use_wall_time) {
+  std::string out = "[";
+  bool first = true;
+  AppendChromeEvents(&out, &first, events, /*pid=*/1, /*tid=*/1,
+                     use_wall_time, /*emit_ids=*/false);
+  out += "]";
+  return out;
+}
+
+std::string ToChromeTrace(const std::vector<TraceLane>& lanes,
+                          bool use_wall_time) {
+  std::string out = "[";
+  bool first = true;
+  // Metadata first: one process_name per distinct pid (first lane wins),
+  // then a thread_name per lane.
+  std::map<uint64_t, bool> named_pids;
+  for (const TraceLane& lane : lanes) {
+    if (!lane.process_name.empty() && !named_pids[lane.pid]) {
+      named_pids[lane.pid] = true;
+      AppendChromeMetadata(&out, &first, "process_name", lane.pid, 0,
+                           lane.process_name);
+    }
+    if (!lane.thread_name.empty()) {
+      AppendChromeMetadata(&out, &first, "thread_name", lane.pid, lane.tid,
+                           lane.thread_name);
+    }
+  }
+  for (const TraceLane& lane : lanes) {
+    AppendChromeEvents(&out, &first, lane.events, lane.pid, lane.tid,
+                       use_wall_time, /*emit_ids=*/true);
   }
   out += "]";
   return out;

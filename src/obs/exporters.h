@@ -59,6 +59,28 @@ std::string ToOpenMetrics(const MetricsRegistry& registry,
 std::string ToChromeTrace(const std::vector<TraceEvent>& events,
                           bool use_wall_time = false);
 
+/// One track of a multi-lane Chrome trace: a record stream rendered under
+/// its own (pid, tid) with human-readable process/thread names. The
+/// flight recorder exports one lane per retained request (pid = session,
+/// tid = request id) so Perfetto groups request lanes per session.
+struct TraceLane {
+  uint64_t pid = 1;
+  uint64_t tid = 1;
+  /// Emitted once per distinct pid as a process_name metadata record
+  /// (the first lane with that pid wins).
+  std::string process_name;
+  std::string thread_name;
+  std::vector<TraceEvent> events;
+};
+
+/// Multi-lane Chrome trace rendering: process/thread metadata ("M")
+/// records first, then each lane's events in order. Span begin/end
+/// records additionally carry the span id (as hex "id"), which the
+/// extended scripts/check_trace_json.py uses to validate span-tree
+/// well-formedness per track.
+std::string ToChromeTrace(const std::vector<TraceLane>& lanes,
+                          bool use_wall_time = false);
+
 }  // namespace obs
 }  // namespace robustqo
 

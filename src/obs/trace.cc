@@ -24,7 +24,11 @@ const char* TraceKindName(TraceKind kind) {
   return "?";
 }
 
-Tracer::Tracer(const Clock* clock) : wall_(clock) {}
+Tracer::Tracer(const Clock* clock) : wall_(clock) {
+  // Per-request tracers record a dozen-odd events in a tight serving
+  // loop; one up-front allocation beats the doubling-growth churn.
+  events_.reserve(32);
+}
 
 TraceEvent Tracer::MakeRecord(TraceKind kind, std::string category,
                               std::string name, TraceAttrs attrs) {
@@ -74,10 +78,24 @@ void Tracer::Clear() {
   next_seq_ = 0;
 }
 
+std::vector<TraceEvent> Tracer::ReleaseEvents() {
+  std::vector<TraceEvent> out = std::move(events_);
+  events_.clear();
+  stack_.clear();
+  next_seq_ = 0;
+  next_span_id_ = 1;
+  return out;
+}
+
 std::string Tracer::ToJson(bool include_wall_time) const {
+  return TraceEventsToJson(events_, include_wall_time);
+}
+
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events,
+                              bool include_wall_time) {
   std::string out = "[";
-  for (size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& e = events_[i];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
     if (i > 0) out += ",";
     out += StrPrintf(
         "{\"seq\":%llu,\"kind\":\"%s\",\"span\":%llu,\"parent\":%llu",

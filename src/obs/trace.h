@@ -75,6 +75,11 @@ class Tracer {
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
+  /// Moves the records out, leaving the tracer cleared (logical clock and
+  /// span ids reset). For handing a finished per-request trace to a
+  /// retention buffer without copying.
+  std::vector<TraceEvent> ReleaseEvents();
+
   /// Next logical-clock value (== number of records so far).
   uint64_t logical_clock() const { return next_seq_; }
 
@@ -102,6 +107,11 @@ class Tracer {
   uint64_t next_seq_ = 0;
   uint64_t next_span_id_ = 1;
 };
+
+/// JSON array of trace records ordered as given — the rendering behind
+/// Tracer::ToJson, usable on any event vector (e.g. a retained trace).
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events,
+                              bool include_wall_time = false);
 
 /// RAII span: begins on construction (when the tracer is non-null), ends on
 /// destruction with any attributes added in between.

@@ -39,6 +39,7 @@ Result<uint64_t> AdmissionController::Submit(SessionId session,
 }
 
 std::vector<AdmissionTicket> AdmissionController::AdmitWave() {
+  ++stats_.waves;
   std::vector<AdmissionTicket> admitted;
   while (!queue_.empty()) {
     const AdmissionTicket& head = queue_.front();
@@ -106,6 +107,9 @@ void AdmissionController::PublishMetrics(obs::MetricsRegistry* metrics) const {
   metrics->GetCounter("server.admission.waited")
       ->Increment(stats_.waited -
                   metrics->GetCounter("server.admission.waited")->value());
+  metrics->GetCounter("server.admission.waves")
+      ->Increment(stats_.waves -
+                  metrics->GetCounter("server.admission.waves")->value());
   metrics->GetGauge("server.admission.queue_depth")
       ->Set(static_cast<double>(queue_.size()));
   metrics->GetGauge("server.admission.in_flight")

@@ -61,6 +61,9 @@ struct AdmissionStats {
   uint64_t peak_queue_depth = 0;
   uint64_t peak_in_flight = 0;
   uint64_t peak_memory_reserved = 0;
+  /// Scheduling waves popped over the controller's lifetime — the wave
+  /// ordinal a request's trace records at admission.
+  uint64_t waves = 0;
 };
 
 /// One queued/admitted request, identified by its dense ticket number.

@@ -89,8 +89,31 @@ void PlanCache::Erase(
   index_.erase(it);
 }
 
+const char* PlanCacheOutcomeName(PlanCacheOutcome outcome) {
+  switch (outcome) {
+    case PlanCacheOutcome::kHit:
+      return "hit";
+    case PlanCacheOutcome::kMiss:
+      return "miss";
+    case PlanCacheOutcome::kStaleEpoch:
+      return "stale_epoch";
+    case PlanCacheOutcome::kDriftBlocked:
+      return "drift_blocked";
+    case PlanCacheOutcome::kDegradedFault:
+      return "degraded_fault";
+  }
+  return "?";
+}
+
 std::shared_ptr<const opt::PlannedQuery> PlanCache::Lookup(
     const PlanCacheKey& key, uint64_t current_epoch) {
+  PlanCacheOutcome outcome;
+  return LookupEx(key, current_epoch, &outcome);
+}
+
+std::shared_ptr<const opt::PlannedQuery> PlanCache::LookupEx(
+    const PlanCacheKey& key, uint64_t current_epoch,
+    PlanCacheOutcome* outcome) {
   if (fault_ != nullptr &&
       fault_->ShouldFire(fault::sites::kPlanCacheLookup)) {
     // The cache shard is "unreachable": degrade to a miss. Re-planning is
@@ -98,11 +121,20 @@ std::shared_ptr<const opt::PlannedQuery> PlanCache::Lookup(
     // client — it is only counted.
     ++stats_.degraded_fault;
     ++stats_.misses;
+    *outcome = PlanCacheOutcome::kDegradedFault;
+    return nullptr;
+  }
+  if (drift_blocked_.count(key.fingerprint) > 0) {
+    // Invalidation already evicted the entries; the block only shapes the
+    // outcome a trace records (insertion will be refused too).
+    ++stats_.misses;
+    *outcome = PlanCacheOutcome::kDriftBlocked;
     return nullptr;
   }
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    *outcome = PlanCacheOutcome::kMiss;
     return nullptr;
   }
   if (it->second->epoch != current_epoch) {
@@ -110,6 +142,7 @@ std::shared_ptr<const opt::PlannedQuery> PlanCache::Lookup(
     Erase(it);
     ++stats_.invalidated_epoch;
     ++stats_.misses;
+    *outcome = PlanCacheOutcome::kStaleEpoch;
     return nullptr;
   }
   // Refresh LRU position.
@@ -117,6 +150,7 @@ std::shared_ptr<const opt::PlannedQuery> PlanCache::Lookup(
   it->second = lru_.begin();
   ++it->second->hits;
   ++stats_.hits;
+  *outcome = PlanCacheOutcome::kHit;
   return it->second->plan;
 }
 

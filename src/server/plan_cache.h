@@ -81,6 +81,19 @@ struct PlanCacheStats {
   }
 };
 
+/// Why a lookup resolved the way it did — the plan-cache attribute a
+/// request's trace records (a postmortem cares whether a "miss" was a
+/// cold cache, stale statistics, a drift block or a degraded shard).
+enum class PlanCacheOutcome {
+  kHit,
+  kMiss,
+  kStaleEpoch,     ///< entry existed but predated `current_epoch`
+  kDriftBlocked,   ///< fingerprint blocked by the quality monitor
+  kDegradedFault,  ///< server.plan_cache.lookup fault fired
+};
+
+const char* PlanCacheOutcomeName(PlanCacheOutcome outcome);
+
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 64);
@@ -95,6 +108,12 @@ class PlanCache {
   /// miss. A hit refreshes the entry's LRU position.
   std::shared_ptr<const opt::PlannedQuery> Lookup(const PlanCacheKey& key,
                                                   uint64_t current_epoch);
+
+  /// Lookup plus the typed outcome (never null `outcome`). All non-hit
+  /// outcomes count as misses in stats(), as before.
+  std::shared_ptr<const opt::PlannedQuery> LookupEx(const PlanCacheKey& key,
+                                                    uint64_t current_epoch,
+                                                    PlanCacheOutcome* outcome);
 
   /// Caches `plan` for `key` at `epoch`, evicting the least recently used
   /// entry when full. Refused (counted) while `key.fingerprint` is

@@ -1,5 +1,6 @@
 #include "server/query_service.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -10,15 +11,33 @@
 namespace robustqo {
 namespace server {
 
+namespace {
+
+std::string FpHex(uint64_t fingerprint) {
+  return StrPrintf("%016llx", static_cast<unsigned long long>(fingerprint));
+}
+
+}  // namespace
+
 /// Per-request state threaded through the scheduler's phases. Lives in a
 /// ticket-keyed map so addresses stay stable across waves.
 struct QueryService::PendingRequest {
   size_t index = 0;         ///< position in the batch (response slot)
   uint64_t ticket = 0;
+  uint64_t request_id = 0;  ///< dense service-wide ordinal
   Session* session = nullptr;
   opt::QuerySpec spec;
   uint64_t fingerprint = 0;
   uint64_t waves_waited = 0;
+  // -- request trace (engaged only while the flight recorder is on) --
+  // Created in the sequential submit phase and touched by exactly one
+  // thread at a time (the sequential phases, then this request's execute
+  // task), so its records are a pure function of the request's inputs.
+  std::unique_ptr<obs::Tracer> tracer;
+  uint64_t root_span = 0;
+  std::string cache_outcome;
+  bool governor_tripped = false;
+  uint64_t fault_fires = 0;
   // -- plan phase --
   std::shared_ptr<const opt::PlannedQuery> plan;
   bool cache_hit = false;
@@ -37,9 +56,55 @@ QueryService::QueryService(core::Database* db, ServerConfig config)
       sessions_(config.seed),
       admission_(config.admission),
       cache_(config.plan_cache_capacity),
-      monitor_(config.quality) {
+      monitor_(config.quality),
+      recorder_(config.flight_recorder),
+      slo_(config.slo) {
   admission_.set_fault_injector(db_->fault_injector());
   cache_.set_fault_injector(db_->fault_injector());
+}
+
+bool QueryService::TracingEnabled() const {
+#if ROBUSTQO_OBS_ENABLED
+  return config_.flight_recorder.enabled;
+#else
+  return false;
+#endif
+}
+
+void QueryService::OfferAbortedTrace(
+    obs::Tracer* tracer, uint64_t root_span, uint64_t request_id,
+    SessionId session_id, const std::string& session_label, uint64_t ticket,
+    uint64_t fingerprint, const std::string& cache_outcome,
+    uint64_t waves_waited, const Status& status) {
+#if ROBUSTQO_OBS_ENABLED
+  if (tracer == nullptr) return;
+  const char* code = StatusCodeName(status.code());
+  tracer->EndSpan(root_span, {{"status", code}});
+  obs::RequestTrace trace;
+  trace.request_id = request_id;
+  trace.session_id = session_id;
+  trace.session_label = session_label;
+  trace.ticket = ticket;
+  trace.fingerprint = fingerprint;
+  trace.status = code;
+  trace.failed = true;
+  trace.cache_outcome = cache_outcome;
+  trace.waves_waited = waves_waited;
+  trace.queue_wait_seconds = slo_.QueueWaitSeconds(waves_waited);
+  trace.events = tracer->ReleaseEvents();
+  recorder_.Offer(std::move(trace));
+#else
+  (void)tracer;
+  (void)root_span;
+  (void)request_id;
+  (void)session_id;
+  (void)session_label;
+  (void)ticket;
+  (void)fingerprint;
+  (void)cache_outcome;
+  (void)waves_waited;
+  (void)status;
+#endif
 }
 
 SessionId QueryService::OpenSession(SessionOptions options) {
@@ -69,25 +134,51 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     const std::vector<QueryRequest>& requests) {
   std::vector<QueryResponse> responses(requests.size());
   std::map<uint64_t, PendingRequest> pending;  // ticket -> request
+#if ROBUSTQO_OBS_ENABLED
+  const bool tracing = TracingEnabled();
+#endif
 
   // Phase 1 — SUBMIT (sequential, request order). Requests that cannot
   // reach the queue (unknown session, parse error, unknown prepared
-  // statement) and typed admission rejections resolve here.
+  // statement) and typed admission rejections resolve here. Every request
+  // draws a dense request id here — including ones that never queue — so
+  // flight-recorder lanes and responses share one naming scheme.
   for (size_t i = 0; i < requests.size(); ++i) {
     const QueryRequest& request = requests[i];
     QueryResponse& response = responses[i];
     response.session = request.session;
+    const uint64_t request_id = ++next_request_id_;
+    response.request_id = request_id;
+    std::unique_ptr<obs::Tracer> request_tracer;
+    uint64_t root_span = 0;
+#if ROBUSTQO_OBS_ENABLED
+    if (tracing) {
+      request_tracer = std::make_unique<obs::Tracer>();
+      root_span = request_tracer->BeginSpan(
+          "server", "request",
+          {{"request", obs::AttrU64(request_id)},
+           {"session", obs::AttrU64(request.session)}});
+    }
+#endif
     Session* session = sessions_.Get(request.session);
     if (session == nullptr) {
       response.status = Status::NotFound(
           StrPrintf("no open session %llu",
                     static_cast<unsigned long long>(request.session)));
+      RQO_IF_OBS(request_tracer) {
+        request_tracer->Event("server", "submit", {{"outcome", "no_session"}});
+      }
+      OfferAbortedTrace(request_tracer.get(), root_span, request_id,
+                        request.session, "", 0, 0, "", 0, response.status);
       continue;
     }
     session->CountSubmitted();
     PendingRequest work;
     work.index = i;
+    work.request_id = request_id;
     work.session = session;
+    work.tracer = std::move(request_tracer);
+    work.root_span = root_span;
     if (!request.prepared.empty()) {
       const PreparedStatement* statement =
           session->FindPrepared(request.prepared);
@@ -95,6 +186,13 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         response.status = Status::NotFound("no prepared statement '" +
                                            request.prepared + "'");
         session->CountFailed();
+        RQO_IF_OBS(work.tracer) {
+          work.tracer->Event("server", "submit",
+                             {{"outcome", "no_statement"}});
+        }
+        OfferAbortedTrace(work.tracer.get(), root_span, request_id,
+                          request.session, session->name(), 0, 0, "", 0,
+                          response.status);
         continue;
       }
       work.spec = statement->spec;
@@ -107,6 +205,12 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       if (!spec.ok()) {
         response.status = spec.status();
         session->CountFailed();
+        RQO_IF_OBS(work.tracer) {
+          work.tracer->Event("server", "submit", {{"outcome", "parse_error"}});
+        }
+        OfferAbortedTrace(work.tracer.get(), root_span, request_id,
+                          request.session, session->name(), 0, 0, "", 0,
+                          response.status);
         continue;
       }
       work.spec = std::move(spec).value();
@@ -121,10 +225,24 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     if (!ticket.ok()) {
       response.status = ticket.status();
       session->CountRejected();
+      RQO_IF_OBS(work.tracer) {
+        work.tracer->Event("server", "submit",
+                           {{"outcome", "rejected"},
+                            {"fingerprint", FpHex(work.fingerprint)}});
+      }
+      OfferAbortedTrace(work.tracer.get(), root_span, request_id,
+                        request.session, session->name(), 0, work.fingerprint,
+                        "", 0, response.status);
       continue;
     }
     work.ticket = ticket.value();
     response.ticket = work.ticket;
+    RQO_IF_OBS(work.tracer) {
+      work.tracer->Event("server", "submit",
+                         {{"outcome", "queued"},
+                          {"ticket", obs::AttrU64(work.ticket)},
+                          {"fingerprint", FpHex(work.fingerprint)}});
+    }
     pending.emplace(work.ticket, std::move(work));
   }
 
@@ -144,6 +262,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
             Status::Internal("admission wedged: no admissible request");
         work.session->CountFailed();
         ++queries_failed_;
+        OfferAbortedTrace(work.tracer.get(), work.root_span, work.request_id,
+                          work.session->id(), work.session->name(), ticket,
+                          work.fingerprint, "", 0, responses[work.index].status);
       }
       break;
     }
@@ -161,10 +282,31 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       work.effective_threshold = options.confidence_threshold > 0.0
                                      ? options.confidence_threshold
                                      : db_->confidence_threshold();
+      RQO_IF_OBS(work.tracer) {
+        work.tracer->Event(
+            "server", "admitted",
+            {{"wave", obs::AttrU64(admission_.stats().waves)},
+             {"waves_waited", obs::AttrU64(work.waves_waited)},
+             {"queue_wait_seconds",
+              obs::AttrF(slo_.QueueWaitSeconds(work.waves_waited))}});
+      }
       const PlanCacheKey key = PlanCacheKey::Make(
           work.fingerprint, work.effective_threshold, options.estimator);
-      work.plan = cache_.Lookup(key, epoch);
+      PlanCacheOutcome cache_outcome = PlanCacheOutcome::kMiss;
+      work.plan = cache_.LookupEx(key, epoch, &cache_outcome);
       work.cache_hit = work.plan != nullptr;
+      work.cache_outcome = PlanCacheOutcomeName(cache_outcome);
+      // A degraded lookup means the server.plan_cache.lookup fault fired
+      // for this request — that makes its trace an incident, and the trace
+      // itself names the site (the shared injector's own event goes to the
+      // service tracer, not this request's).
+      if (cache_outcome == PlanCacheOutcome::kDegradedFault) {
+        ++work.fault_fires;
+        RQO_IF_OBS(work.tracer) {
+          work.tracer->Event("fault", "fired",
+                             {{"site", fault::sites::kPlanCacheLookup}});
+        }
+      }
       RQO_IF_OBS(tracer_) {
         tracer_->Event("server",
                        work.cache_hit ? "plan_cache.hit" : "plan_cache.miss",
@@ -173,23 +315,67 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
                                                   work.fingerprint))},
                         {"epoch", obs::AttrU64(epoch)}});
       }
+      uint64_t plan_span = 0;
+      RQO_IF_OBS(work.tracer) {
+        plan_span = work.tracer->BeginSpan(
+            "server", "plan",
+            {{"cache", work.cache_outcome},
+             {"threshold", obs::AttrF(work.effective_threshold)},
+             {"epoch", obs::AttrU64(epoch)}});
+      }
       if (work.plan == nullptr) {
         const double saved_threshold = db_->confidence_threshold();
         db_->SetConfidenceThreshold(work.effective_threshold);
+#if ROBUSTQO_OBS_ENABLED
+        // Re-point the database's tracer at this request's for the
+        // optimizer run, so degradation/estimation events nest under the
+        // request's plan span. Planning is sequential, so this is safe.
+        obs::Tracer* saved_tracer = db_->tracer();
+        if (work.tracer != nullptr) db_->SetTracer(work.tracer.get());
+#endif
         Result<opt::PlannedQuery> planned =
             db_->Plan(work.spec, options.estimator);
+#if ROBUSTQO_OBS_ENABLED
+        if (work.tracer != nullptr) db_->SetTracer(saved_tracer);
+#endif
         db_->SetConfidenceThreshold(saved_threshold);
         if (!planned.ok()) {
           responses[work.index].status = planned.status();
           admission_.Complete(admitted.ticket);
           work.session->CountFailed();
           ++queries_failed_;
+          RQO_IF_OBS(work.tracer) {
+            work.tracer->EndSpan(
+                plan_span,
+                {{"status", StatusCodeName(planned.status().code())}});
+          }
+#if ROBUSTQO_OBS_ENABLED
+          if (config_.slo.enabled) {
+            obs::SloObservation observation;
+            observation.session = work.session->id();
+            observation.session_label = work.session->name();
+            observation.fingerprint = work.fingerprint;
+            observation.failed = true;
+            observation.queue_waves = work.waves_waited;
+            slo_.Record(observation);
+          }
+#endif
+          OfferAbortedTrace(work.tracer.get(), work.root_span, work.request_id,
+                            work.session->id(), work.session->name(),
+                            work.ticket, work.fingerprint, work.cache_outcome,
+                            work.waves_waited, planned.status());
           pending.erase(admitted.ticket);
           continue;
         }
         work.plan = std::make_shared<const opt::PlannedQuery>(
             std::move(planned).value());
         cache_.Insert(key, work.plan, epoch);
+      }
+      RQO_IF_OBS(work.tracer) {
+        work.tracer->EndSpan(
+            plan_span,
+            {{"label", work.plan->label},
+             {"estimated_cost_seconds", obs::AttrF(work.plan->estimated_cost)}});
       }
       work.seed = work.session->NextRequestSeed();
       work.limits = options.governor_limits;
@@ -215,37 +401,67 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         ctx.metrics = work->exec_metrics.get();
         injector.set_metrics(work->exec_metrics.get());
       }
+      uint64_t exec_span = 0;
+      if (work->tracer != nullptr) {
+        // The tracer moves to this worker for the duration of the task;
+        // the coordinator does not touch it again until the reduce phase.
+        ctx.tracer = work->tracer.get();
+        injector.set_tracer(work->tracer.get());
+        exec_span = work->tracer->BeginSpan(
+            "server", "execute", {{"seed", obs::AttrU64(work->seed)}});
+      }
 #endif
       Result<storage::Table> rows = work->plan->root->Run(&ctx);
 #if ROBUSTQO_OBS_ENABLED
       governor.PublishMetrics(work->exec_metrics.get());
 #endif
+      work->governor_tripped = governor.tripped();
+      // Accumulate, not assign: a degraded plan-cache lookup already
+      // counted one fire for this request during the PLAN phase.
+      work->fault_fires += injector.total_fires();
       if (!rows.ok()) {
         work->exec_status = rows.status();
-        return;
-      }
-      const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
-                                    ? ctx.aggregate_input_rows
-                                    : rows.value().num_rows();
+      } else {
+        const uint64_t spj_rows = ctx.aggregate_input_rows != UINT64_MAX
+                                      ? ctx.aggregate_input_rows
+                                      : rows.value().num_rows();
 #if ROBUSTQO_OBS_ENABLED
-      RQO_IF_OBS(work->exec_metrics) {
-        work->exec_metrics->GetSketch("exec.query.simulated_seconds")
-            ->Observe(ctx.meter.total_seconds());
-        work->exec_metrics->GetSketch("exec.query.rows")
-            ->Observe(static_cast<double>(rows.value().num_rows()));
-        work->exec_metrics->GetSketch("exec.query.spj_rows")
-            ->Observe(static_cast<double>(spj_rows));
+        RQO_IF_OBS(work->exec_metrics) {
+          work->exec_metrics->GetSketch("exec.query.simulated_seconds")
+              ->Observe(ctx.meter.total_seconds());
+          work->exec_metrics->GetSketch("exec.query.rows")
+              ->Observe(static_cast<double>(rows.value().num_rows()));
+          work->exec_metrics->GetSketch("exec.query.spj_rows")
+              ->Observe(static_cast<double>(spj_rows));
+        }
+#endif
+        work->result = core::ExecutionResult{std::move(rows).value(),
+                                             ctx.meter.total_seconds(),
+                                             ctx.meter,
+                                             spj_rows,
+                                             work->plan->estimated_cost,
+                                             work->plan->label,
+                                             work->plan->Explain(),
+                                             governor.peak_memory_bytes(),
+                                             governor.rows_charged()};
+      }
+#if ROBUSTQO_OBS_ENABLED
+      if (work->tracer != nullptr) {
+        obs::TraceAttrs end_attrs = {
+            {"status", work->exec_status.ok()
+                           ? "OK"
+                           : StatusCodeName(work->exec_status.code())},
+            {"simulated_seconds", obs::AttrF(ctx.meter.total_seconds())},
+            {"governor_tripped", work->governor_tripped ? "1" : "0"},
+            {"peak_memory_bytes", obs::AttrU64(governor.peak_memory_bytes())},
+            {"fault_fires", obs::AttrU64(work->fault_fires)}};
+        if (work->result.has_value()) {
+          end_attrs.push_back(
+              {"rows", obs::AttrU64(work->result->rows.num_rows())});
+        }
+        work->tracer->EndSpan(exec_span, std::move(end_attrs));
       }
 #endif
-      work->result = core::ExecutionResult{std::move(rows).value(),
-                                           ctx.meter.total_seconds(),
-                                           ctx.meter,
-                                           spj_rows,
-                                           work->plan->estimated_cost,
-                                           work->plan->label,
-                                           work->plan->Explain(),
-                                           governor.peak_memory_bytes(),
-                                           governor.rows_charged()};
     });
 
     // Phase 4 — REDUCE (sequential, admission order): release admission
@@ -263,7 +479,13 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         metrics_->MergeFrom(*work->exec_metrics);
       }
 #endif
-      if (work->exec_status.ok()) {
+      const bool ok = work->exec_status.ok();
+      const double actual_seconds =
+          ok && work->result.has_value() ? work->result->simulated_seconds
+                                         : 0.0;
+      const double estimated_seconds =
+          work->plan != nullptr ? work->plan->estimated_cost : 0.0;
+      if (ok) {
         obs::QualityObservation observation;
         observation.fingerprint = work->fingerprint;
         observation.label = work->plan->label;
@@ -279,6 +501,52 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         work->session->CountFailed();
         ++queries_failed_;
       }
+#if ROBUSTQO_OBS_ENABLED
+      if (config_.slo.enabled) {
+        obs::SloObservation observation;
+        observation.session = work->session->id();
+        observation.session_label = work->session->name();
+        observation.fingerprint = work->fingerprint;
+        observation.failed = !ok;
+        observation.cache_hit = work->cache_hit;
+        observation.queue_waves = work->waves_waited;
+        observation.actual_seconds = actual_seconds;
+        observation.estimated_seconds = estimated_seconds;
+        slo_.Record(observation);
+      }
+      if (work->tracer != nullptr) {
+        const char* code =
+            ok ? "OK" : StatusCodeName(work->exec_status.code());
+        const double service_seconds =
+            slo_.ServiceSeconds(actual_seconds, work->cache_hit);
+        const double regret =
+            ok ? std::max(0.0, actual_seconds - estimated_seconds) : 0.0;
+        work->tracer->Event("server", "complete",
+                            {{"status", code},
+                             {"service_seconds", obs::AttrF(service_seconds)},
+                             {"regret_seconds", obs::AttrF(regret)}});
+        work->tracer->EndSpan(work->root_span, {{"status", code}});
+        obs::RequestTrace trace;
+        trace.request_id = work->request_id;
+        trace.session_id = work->session->id();
+        trace.session_label = work->session->name();
+        trace.ticket = work->ticket;
+        trace.fingerprint = work->fingerprint;
+        trace.status = code;
+        trace.failed = !ok;
+        trace.governor_tripped = work->governor_tripped;
+        trace.fault_fires = work->fault_fires;
+        trace.cache_outcome = work->cache_outcome;
+        trace.waves_waited = work->waves_waited;
+        trace.queue_wait_seconds = slo_.QueueWaitSeconds(work->waves_waited);
+        trace.service_seconds = service_seconds;
+        trace.events = work->tracer->ReleaseEvents();
+        recorder_.Offer(std::move(trace));
+      }
+#else
+      (void)actual_seconds;
+      (void)estimated_seconds;
+#endif
       pending.erase(work->ticket);
     }
 
@@ -350,6 +618,8 @@ void QueryService::PublishMetrics(obs::MetricsRegistry* metrics) const {
   sync("server.queries.failed", queries_failed_);
   metrics->GetGauge("stats.epoch")
       ->Set(static_cast<double>(db_->statistics()->epoch()));
+  if (config_.flight_recorder.enabled) recorder_.PublishMetrics(metrics);
+  if (config_.slo.enabled) slo_.PublishMetrics(metrics);
 }
 
 }  // namespace server

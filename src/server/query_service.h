@@ -41,8 +41,10 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/quality_monitor.h"
+#include "obs/slo_monitor.h"
 #include "obs/trace.h"
 #include "server/admission.h"
 #include "server/plan_cache.h"
@@ -64,6 +66,12 @@ struct ServerConfig {
   /// When false the quality monitor still records, but drifted
   /// fingerprints are not auto-invalidated.
   bool invalidate_on_drift = true;
+  /// Black-box retention of interesting request traces. Requests are only
+  /// traced while `flight_recorder.enabled` (and observability is
+  /// compiled in); the recorder itself always exists for introspection.
+  obs::FlightRecorderConfig flight_recorder;
+  /// Latency/regret watchdog; recording sites compile out with obs.
+  obs::SloMonitorConfig slo;
 };
 
 /// One client request: EXECUTE of a prepared statement (when `prepared`
@@ -111,6 +119,10 @@ struct QueryResponse {
   bool cache_hit = false;
   /// Scheduling waves spent queued before admission (backpressure felt).
   uint64_t waves_waited = 0;
+  /// Dense service-wide request ordinal (1-based), assigned at submit in
+  /// request order — the id flight-recorder dumps key their lanes by.
+  /// Assigned even to requests that never reach the admission queue.
+  uint64_t request_id = 0;
 };
 
 class QueryService {
@@ -157,6 +169,12 @@ class QueryService {
   AdmissionController* admission() { return &admission_; }
   PlanCache* plan_cache() { return &cache_; }
   obs::EstimationQualityMonitor* quality_monitor() { return &monitor_; }
+  /// The black box: retained request traces (empty unless
+  /// config().flight_recorder.enabled and observability is compiled in).
+  obs::FlightRecorder* flight_recorder() { return &recorder_; }
+  /// The latency/regret watchdog (records nothing when disabled or when
+  /// observability is compiled out).
+  obs::SloMonitor* slo_monitor() { return &slo_; }
 
   uint64_t queries_completed() const { return queries_completed_; }
   uint64_t queries_failed() const { return queries_failed_; }
@@ -176,16 +194,30 @@ class QueryService {
  private:
   struct PendingRequest;
 
+  /// Whether per-request tracing is materialized (recorder enabled and
+  /// observability compiled in).
+  bool TracingEnabled() const;
+  /// Finalizes and offers the trace of a request that died before the
+  /// execute phase (submit-time rejections, plan failures).
+  void OfferAbortedTrace(obs::Tracer* tracer, uint64_t root_span,
+                         uint64_t request_id, SessionId session_id,
+                         const std::string& session_label, uint64_t ticket,
+                         uint64_t fingerprint, const std::string& cache_outcome,
+                         uint64_t waves_waited, const Status& status);
+
   core::Database* db_;
   ServerConfig config_;
   SessionManager sessions_;
   AdmissionController admission_;
   PlanCache cache_;
   obs::EstimationQualityMonitor monitor_;
+  obs::FlightRecorder recorder_;
+  obs::SloMonitor slo_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint64_t queries_completed_ = 0;
   uint64_t queries_failed_ = 0;
+  uint64_t next_request_id_ = 0;
 };
 
 }  // namespace server

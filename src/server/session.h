@@ -77,6 +77,9 @@ class Session {
 
   SessionId id() const { return id_; }
   const SessionOptions& options() const { return options_; }
+  /// Display label ("session-<id>" unless the options named it) — the key
+  /// the SLO monitor's per-session scopes and trace lanes use.
+  const std::string& name() const { return options_.name; }
   uint64_t seed() const { return seed_; }
 
   /// Seed for this session's next request: an independent splitmix64

@@ -142,6 +142,9 @@ namespace {
 struct RunResult {
   ChaosRunOutcome outcome;
   std::vector<std::string> armed_sites;
+  /// The run's retained request traces (service path with a flight
+  /// recorder configured); absorbed into the sweep recorder in run order.
+  std::unique_ptr<obs::FlightRecorder> flight;
 };
 
 // One self-contained chaos run against `db`: every input is derived from
@@ -171,6 +174,10 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
     // faults actually fire. The governor budget travels as session limits.
     server::ServerConfig server_config;
     server_config.seed = seed;
+    if (config.flight_recorder != nullptr) {
+      server_config.flight_recorder = config.flight_recorder->config();
+      server_config.flight_recorder.enabled = true;
+    }
     server::QueryService service(db, server_config);
     service.set_metrics(db->metrics());
     std::vector<server::SessionId> ids;
@@ -191,6 +198,11 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
     } else {
       run.outcome.code = response.status.code();
       run.outcome.error = response.status.ToString();
+    }
+    if (config.flight_recorder != nullptr &&
+        service.flight_recorder()->size() > 0) {
+      run.flight = std::make_unique<obs::FlightRecorder>(
+          std::move(*service.flight_recorder()));
     }
   } else {
     if (governed) db->SetGovernorLimits(limits);
@@ -276,7 +288,13 @@ ChaosReport ChaosHarness::Run(const ChaosConfig& config,
   }
 
   // Ordered reduction: identical report at every thread count.
-  for (const RunResult& run : results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    RunResult& run = results[i];
+    if (config.flight_recorder != nullptr && run.flight != nullptr) {
+      config.flight_recorder->Absorb(std::move(*run.flight),
+                                     StrPrintf("run=%zu", i));
+      run.flight.reset();
+    }
     ++report.runs;
     for (const std::string& site : run.armed_sites) {
       ++report.armed_counts[site];

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "optimizer/query.h"
 
@@ -56,6 +57,12 @@ struct ChaosConfig {
   /// server.plan_cache.lookup — inside the chaos blast radius under the
   /// same contract: verified answer or clean typed failure.
   size_t sessions = 0;
+  /// Optional black box for the service path (requires sessions > 0 and
+  /// observability compiled in): every run's QueryService records request
+  /// traces under this recorder's retention config, and each run's
+  /// retained traces are absorbed here in run-index order, tagged
+  /// "run=<i>", so the merged dump is byte-identical at any thread count.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// One run's outcome.

@@ -50,6 +50,16 @@ std::string TrafficReport::Summary() const {
       latency.Quantile(0.5), latency.Quantile(0.9), latency.Quantile(0.99),
       latency_max_seconds, static_cast<unsigned long long>(latency.count()));
   out += StrPrintf(
+      "  queue wait (simulated s): p50=%.6f p95=%.6f p99=%.6f n=%llu\n",
+      queue_wait.Quantile(0.5), queue_wait.Quantile(0.95),
+      queue_wait.Quantile(0.99),
+      static_cast<unsigned long long>(queue_wait.count()));
+  out += StrPrintf(
+      "  service time (simulated s): p50=%.6f p95=%.6f p99=%.6f n=%llu\n",
+      service_time.Quantile(0.5), service_time.Quantile(0.95),
+      service_time.Quantile(0.99),
+      static_cast<unsigned long long>(service_time.count()));
+  out += StrPrintf(
       "  plan cache: hits=%llu misses=%llu hit_rate=%.4f evictions=%llu "
       "invalidated_epoch=%llu invalidated_drift=%llu\n",
       static_cast<unsigned long long>(plan_cache.hits),
@@ -67,6 +77,7 @@ std::string TrafficReport::Summary() const {
       static_cast<unsigned long long>(admission.rejected_fault),
       static_cast<unsigned long long>(admission.peak_in_flight),
       static_cast<unsigned long long>(admission.peak_queue_depth));
+  if (!slo_report.empty()) out += slo_report;
   return out;
 }
 
@@ -75,6 +86,10 @@ TrafficReport RunTraffic(server::QueryService* service,
   TrafficReport report;
   report.duration_seconds = config.duration_seconds;
   if (config.statements.empty() || config.clients == 0) return report;
+  // The SLO monitor charges queueing and cold planning exactly as this
+  // harness does, so its sketches and the report's agree.
+  service->slo_monitor()->ConfigureCharging(config.wave_delay_seconds,
+                                            config.plan_charge_seconds);
   const std::vector<double> thresholds =
       config.thresholds.empty() ? std::vector<double>{0.0} : config.thresholds;
 
@@ -150,12 +165,15 @@ TrafficReport RunTraffic(server::QueryService* service,
       if (response.status.ok()) {
         // End-to-end simulated latency: queueing (admission waves) +
         // planning charge on a cold plan + execution.
-        const double latency =
+        const double queue_wait = static_cast<double>(response.waves_waited) *
+                                  config.wave_delay_seconds;
+        const double service_seconds =
             response.result->simulated_seconds +
-            static_cast<double>(response.waves_waited) *
-                config.wave_delay_seconds +
             (response.cache_hit ? 0.0 : config.plan_charge_seconds);
+        const double latency = queue_wait + service_seconds;
         report.latency.Observe(latency);
+        report.queue_wait.Observe(queue_wait);
+        report.service_time.Observe(service_seconds);
         report.latency_max_seconds =
             std::max(report.latency_max_seconds, latency);
         ++report.completed;
@@ -187,6 +205,12 @@ TrafficReport RunTraffic(server::QueryService* service,
       config.duration_seconds > 0.0
           ? static_cast<double>(report.completed) / config.duration_seconds
           : 0.0;
+  if (service->slo_monitor()->global().observed > 0) {
+    report.slo_report = service->slo_monitor()->ReportText();
+  }
+  if (service->flight_recorder()->size() > 0) {
+    report.blackbox_json = service->flight_recorder()->ToJson();
+  }
   return report;
 }
 

@@ -13,7 +13,9 @@
 #include "core/analytical_model.h"
 #include "core/database.h"
 #include "core/explain_analyze.h"
+#include "fault/fault_injector.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/task_pool.h"
@@ -40,6 +42,25 @@ std::unique_ptr<core::Database> MakeDatabase() {
   stats::StatisticsConfig stats_config;
   stats_config.seed = 7;
   db->UpdateStatistics(stats_config);
+  return db;
+}
+
+// A small single-table database used by the serving-layer legs: cheap to
+// rebuild per thread count, deterministic contents (seeded Rng).
+std::unique_ptr<core::Database> MakeReadingsDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
   return db;
 }
 
@@ -136,23 +157,6 @@ TEST_F(DeterminismTest, ChaosSweepReportIdenticalAcrossThreadCounts) {
 // formatted summary — must be byte-identical at 1, 4 and 8 threads even
 // though every admitted wave executes its requests concurrently.
 TEST_F(DeterminismTest, TrafficHarnessSummaryIdenticalAcrossThreadCounts) {
-  auto make_readings_db = [] {
-    auto db = std::make_unique<core::Database>();
-    auto table = std::make_unique<storage::Table>(
-        "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
-                                     {"r_value", storage::DataType::kInt64}}));
-    Rng rng(2026);
-    for (uint64_t i = 0; i < 2000; ++i) {
-      table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
-                        storage::Value::Int64(
-                            static_cast<int64_t>(rng.NextBounded(1000)))});
-    }
-    RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
-                  "table load failed");
-    db->UpdateStatistics();
-    return db;
-  };
-
   workload::TrafficConfig config;
   config.clients = 1000;
   config.duration_seconds = 10.0;
@@ -167,7 +171,7 @@ TEST_F(DeterminismTest, TrafficHarnessSummaryIdenticalAcrossThreadCounts) {
   std::string reference;
   for (unsigned threads : kThreadCounts) {
     perf::SetThreadCount(threads);
-    std::unique_ptr<core::Database> db = make_readings_db();
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
     server::ServerConfig server_config;
     server_config.admission.max_concurrent = 8;
     server_config.admission.max_queue_depth = 128;
@@ -301,6 +305,63 @@ TEST_F(DeterminismTest, ChromeTraceExportIdenticalAcrossThreadCounts) {
   // Spans from execution made it into the export.
   EXPECT_NE(reference.find("\"ph\":\"B\""), std::string::npos);
   EXPECT_NE(reference.find("\"cat\":\"exec\""), std::string::npos);
+}
+
+// The flight recorder's leg: a traffic run with an armed fault site must
+// retain the same requests with byte-identical JSON / Chrome-trace dumps at
+// every thread count, and the dump must show each request's queue-wait
+// charge, plan-cache outcome and the fault site that fired.
+TEST_F(DeterminismTest, BlackboxDumpIdenticalAcrossThreadCounts) {
+  workload::TrafficConfig config;
+  config.clients = 64;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+
+  std::string reference_json;
+  std::string reference_trace;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    // Planning is sequential in admission order, so "the 3rd plan-cache
+    // lookup degrades" names the same request at every thread count.
+    db->fault_injector()->Arm(fault::sites::kPlanCacheLookup,
+                              fault::FaultSpec::OnNth(3));
+    server::ServerConfig server_config;
+    server_config.admission.max_concurrent = 4;
+    server_config.admission.max_queue_depth = 128;
+    server_config.flight_recorder.enabled = true;
+    server::QueryService service(db.get(), server_config);
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, config);
+    EXPECT_GT(report.completed, 64u);
+    ASSERT_FALSE(report.blackbox_json.empty());
+    EXPECT_EQ(report.blackbox_json, service.flight_recorder()->ToJson());
+    const std::string chrome = service.flight_recorder()->ToChromeTrace();
+    if (threads == 1) {
+      reference_json = report.blackbox_json;
+      reference_trace = chrome;
+    } else {
+      EXPECT_EQ(report.blackbox_json, reference_json) << "threads=" << threads;
+      EXPECT_EQ(chrome, reference_trace) << "threads=" << threads;
+    }
+  }
+  // The retained span trees carry the request-lifecycle facts the black box
+  // exists for: the queue-wait charge, the plan-cache outcome, and the
+  // armed site that fired.
+  EXPECT_NE(reference_json.find("\"queue_wait_seconds\""), std::string::npos);
+  EXPECT_NE(reference_json.find("degraded_fault"), std::string::npos);
+  EXPECT_NE(reference_json.find("server.plan_cache.lookup"),
+            std::string::npos);
+  // ("incident" may share the retained list with "slow": the degraded
+  // request replans, and the cold-planning charge also makes it slow.)
+  EXPECT_NE(reference_json.find("\"incident\""), std::string::npos);
+  EXPECT_NE(reference_trace.find("\"ph\":\"M\""), std::string::npos);
 }
 #endif
 
