@@ -22,8 +22,19 @@
 //                                   (Perfetto lanes grouped by session)
 //   .slo                            queue-wait/service/regret quantiles
 //                                   and threshold-breach counters
+//   .epoch                          data + statistics epochs and the
+//                                   per-table online-maintenance state
+//                                   (reservoir fill, modifications,
+//                                   pending-rebuild flags)
+//   .traffic [seconds]              mixed read/write traffic demo through
+//                                   the query service (write share set by
+//                                   SET WRITE_FRACTION); prints the
+//                                   deterministic traffic summary
 //   .quit                           exit
 // Statements:
+//   INSERT INTO <t> VALUES (...)    DML commits atomically, bumps the data
+//   UPDATE <t> SET ... [WHERE ...]  epoch, and feeds the statistics
+//   DELETE FROM <t> [WHERE ...]     reservoir (see .epoch)
 //   PREPARE <name> AS <sql>         register a prepared statement in the
 //                                   shell's server session
 //   EXECUTE <name>                  run it through the query service's
@@ -47,6 +58,7 @@
 //   SET THREADS <n>                 sampling-engine worker threads (0 = #cores);
 //                                   results are identical at any setting
 //   SET BETA_CACHE_CAPACITY <n>     inverse-Beta LRU entries (default 4096)
+//   SET WRITE_FRACTION <0..1>       write share of the .traffic demo
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
@@ -70,6 +82,7 @@
 #include "tpch/tpch_gen.h"
 #include "util/string_util.h"
 #include "workload/quality_report.h"
+#include "workload/traffic_harness.h"
 
 using namespace robustqo;
 
@@ -101,7 +114,8 @@ void PrintResult(const core::ExecutionResult& result) {
 
 // Handles "SET FAULT ..." and "SET <LIMIT> ..." statements; returns false
 // when `line` is not a SET statement.
-bool HandleSet(core::Database* db, const std::string& line) {
+bool HandleSet(core::Database* db, double* write_fraction,
+               const std::string& line) {
   std::vector<std::string> tokens = SplitString(line, ' ');
   tokens.erase(std::remove(tokens.begin(), tokens.end(), std::string()),
                tokens.end());
@@ -200,7 +214,69 @@ bool HandleSet(core::Database* db, const std::string& line) {
                 db->robust_estimator()->beta_cache()->capacity());
     return true;
   }
+
+  if (verb == "WRITE_FRACTION") {
+    if (tokens.size() != 3) {
+      std::printf("usage: SET WRITE_FRACTION <0..1>\n");
+      return true;
+    }
+    const double fraction = std::atof(tokens[2].c_str());
+    if (fraction < 0.0 || fraction > 1.0) {
+      std::printf("usage: SET WRITE_FRACTION <0..1>\n");
+      return true;
+    }
+    *write_fraction = fraction;
+    std::printf("traffic write fraction: %.3f\n", fraction);
+    return true;
+  }
   return false;
+}
+
+// `.epoch`: the two epochs and the per-table online-maintenance state.
+void PrintEpochs(core::Database* db) {
+  std::printf("data epoch:       %llu  (committed DML batches)\n",
+              static_cast<unsigned long long>(db->catalog()->data_epoch()));
+  std::printf("statistics epoch: %llu  (rebuilds; keys the plan cache)\n",
+              static_cast<unsigned long long>(db->statistics()->epoch()));
+  std::printf("%-10s %10s %12s %14s %8s\n", "table", "reservoir", "stream",
+              "modifications", "pending");
+  for (const auto& entry : db->statistics()->MaintenanceState()) {
+    std::printf("%-10s %6zu/%-3zu %12llu %14llu %8s\n", entry.table.c_str(),
+                entry.reservoir_filled, entry.reservoir_capacity,
+                static_cast<unsigned long long>(entry.reservoir_seen),
+                static_cast<unsigned long long>(entry.modifications),
+                entry.pending_rebuild ? "yes" : "no");
+  }
+}
+
+// `.traffic [seconds]`: a small mixed read/write closed-loop demo through
+// the query service, with the write share set by SET WRITE_FRACTION.
+void RunTrafficDemo(server::QueryService* service, double write_fraction,
+                    double duration_seconds) {
+  workload::TrafficConfig config;
+  config.base_seed = 42;
+  config.clients = 50;
+  config.duration_seconds = duration_seconds;
+  config.think_seconds = 2.0;
+  config.write_fraction = write_fraction;
+  config.statements = {
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25",
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice < 50000",
+      "SELECT COUNT(*) FROM customer WHERE c_acctbal < 5000",
+  };
+  // The demo writes keep referential integrity intact: new lineitems
+  // reference existing orders/parts/suppliers and the DELETE only removes
+  // rows this demo inserted (l_linenumber 99 never occurs in generated
+  // data, where orders have at most 7 lines).
+  config.write_statements = {
+      "UPDATE orders SET o_totalprice = o_totalprice * 1.01 "
+      "WHERE o_orderkey < 40",
+      "INSERT INTO lineitem VALUES (1, 1, 1, 99, 10.0, 1000.0, 0.05, "
+      "DATE '1995-06-17', DATE '1995-07-01', DATE '1995-07-15')",
+      "DELETE FROM lineitem WHERE l_linenumber = 99",
+  };
+  const workload::TrafficReport report = workload::RunTraffic(service, config);
+  std::printf("%s", report.Summary().c_str());
 }
 
 }  // namespace
@@ -238,6 +314,7 @@ int main() {
   server::SessionOptions shell_options;
   shell_options.name = "shell";
   const server::SessionId shell_session = service.OpenSession(shell_options);
+  double write_fraction = 0.2;  // write share of the .traffic demo
 
   std::printf("robustqo shell — TPC-H sf=%.2f loaded; robust estimator at "
               "T=%.0f%%. Type SQL or .quit\n",
@@ -258,7 +335,23 @@ int main() {
       }
       continue;
     }
-    if (HandleSet(&db, line)) continue;
+    if (HandleSet(&db, &write_fraction, line)) continue;
+    if (line == ".epoch") {
+      PrintEpochs(&db);
+      continue;
+    }
+    if (line == ".traffic" || StartsWith(line, ".traffic ")) {
+      double seconds = 60.0;
+      if (line.size() > strlen(".traffic ")) {
+        seconds = std::atof(line.substr(strlen(".traffic ")).c_str());
+        if (seconds <= 0.0) {
+          std::printf("usage: .traffic [simulated seconds]\n");
+          continue;
+        }
+      }
+      RunTrafficDemo(&service, write_fraction, seconds);
+      continue;
+    }
     if (line == ".metrics" || line == ".metrics om") {
       quality.PublishMetrics(&session_metrics);
       if (line == ".metrics") {
@@ -475,13 +568,27 @@ int main() {
       continue;
     }
     query_metrics.Reset();
-    auto result = db.ExecuteSql(line, kind);
+    auto result = db.ExecuteStatement(line, kind);
     session_metrics.MergeFrom(query_metrics);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    PrintResult(result.value());
+    if (result.value().dml.has_value()) {
+      const exec::DmlResult& dml = *result.value().dml;
+      std::printf("-- %llu row(s) affected; data epoch %llu"
+                  "%s\n",
+                  static_cast<unsigned long long>(dml.rows_affected()),
+                  static_cast<unsigned long long>(dml.epoch),
+                  dml.retry.attempts > 1
+                      ? StrPrintf(" (%llu commit attempts)",
+                                  static_cast<unsigned long long>(
+                                      dml.retry.attempts))
+                            .c_str()
+                      : "");
+      continue;
+    }
+    PrintResult(*result.value().query);
   }
   return 0;
 }

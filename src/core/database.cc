@@ -62,6 +62,72 @@ Result<ExecutionResult> Database::ExecuteSql(
   return Execute(query.value(), kind, options);
 }
 
+Result<StatementResult> Database::ExecuteStatement(
+    const std::string& statement, EstimatorKind kind,
+    const opt::OptimizerOptions& options) {
+  Result<sql::ParsedStatement> parsed =
+      sql::ParseStatement(catalog_, statement);
+  if (!parsed.ok()) return parsed.status();
+  StatementResult result;
+  result.kind = parsed.value().kind;
+  if (result.kind == sql::StatementKind::kQuery) {
+    Result<ExecutionResult> rows = Execute(parsed.value().query, kind, options);
+    if (!rows.ok()) return rows.status();
+    result.query = std::move(rows).value();
+  } else {
+    Result<exec::DmlResult> dml = ExecuteDml(parsed.value().dml);
+    if (!dml.ok()) return dml.status();
+    result.dml = dml.value();
+  }
+  return result;
+}
+
+Result<exec::DmlResult> Database::ExecuteDml(const sql::DmlSpec& dml,
+                                             uint64_t snapshot_epoch) {
+  exec::ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.cost_model = cost_model_;
+  ctx.snapshot_epoch = snapshot_epoch;
+  fault::QueryGovernor governor(governor_limits_);
+  ctx.governor = &governor;
+  ctx.fault = &fault_;
+#if ROBUSTQO_OBS_ENABLED
+  ctx.tracer = tracer_;
+  ctx.metrics = metrics_;
+  RQO_IF_OBS(metrics_) {
+    metrics_->GetCounter("db.dml_executed")->Increment();
+  }
+#endif
+  exec::DmlExecutor executor(&catalog_, statistics_.get());
+  executor.set_retry_policy(dml_retry_policy_);
+  Result<exec::DmlResult> result = [&]() -> Result<exec::DmlResult> {
+    switch (dml.kind) {
+      case sql::StatementKind::kInsert:
+        return executor.Insert(&ctx, dml.table, dml.insert_rows);
+      case sql::StatementKind::kUpdate:
+        return executor.Update(&ctx, dml.table, dml.set_exprs, dml.where);
+      case sql::StatementKind::kDelete:
+        return executor.Delete(&ctx, dml.table, dml.where);
+      case sql::StatementKind::kQuery:
+        break;
+    }
+    return Status::InvalidArgument("not a DML statement");
+  }();
+#if ROBUSTQO_OBS_ENABLED
+  governor.PublishMetrics(metrics_);
+  RQO_IF_OBS(metrics_) {
+    if (!result.ok()) {
+      metrics_->GetCounter("db.dml_failed")->Increment();
+    } else {
+      metrics_->GetCounter("db.dml_rows_written")
+          ->Increment(result.value().rows_inserted +
+                      result.value().rows_deleted);
+    }
+  }
+#endif
+  return result;
+}
+
 Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
                                          EstimatorKind kind,
                                          const opt::OptimizerOptions& options) {
@@ -94,10 +160,12 @@ Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
 #endif
 }
 
-Result<ExecutionResult> Database::ExecutePlan(const opt::PlannedQuery& plan) {
+Result<ExecutionResult> Database::ExecutePlan(const opt::PlannedQuery& plan,
+                                              uint64_t snapshot_epoch) {
   exec::ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.cost_model = cost_model_;
+  ctx.snapshot_epoch = snapshot_epoch;
   fault::QueryGovernor governor(governor_limits_);
   ctx.governor = &governor;
   ctx.fault = &fault_;

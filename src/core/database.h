@@ -9,14 +9,17 @@
 #define ROBUSTQO_CORE_DATABASE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "exec/dml.h"
 #include "exec/operator.h"
 #include "fault/fault_injector.h"
 #include "fault/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "sql/parser.h"
 #include "statistics/histogram_estimator.h"
 #include "statistics/robust_sample_estimator.h"
 #include "statistics/statistics_catalog.h"
@@ -54,6 +57,14 @@ struct ExecutionResult {
   /// bytes and total rows charged (0 when executed without a governor).
   uint64_t peak_memory_bytes = 0;
   uint64_t rows_charged = 0;
+};
+
+/// Result of any SQL statement: exactly one of `query` / `dml` is set,
+/// matching `kind`.
+struct StatementResult {
+  sql::StatementKind kind = sql::StatementKind::kQuery;
+  std::optional<ExecutionResult> query;
+  std::optional<exec::DmlResult> dml;
 };
 
 /// An in-memory database with both estimation stacks configured.
@@ -97,6 +108,40 @@ class Database {
       EstimatorKind kind = EstimatorKind::kRobustSample,
       const opt::OptimizerOptions& options = {});
 
+  /// Parses and executes any supported statement — SELECT dispatches to
+  /// ExecuteSql, INSERT/UPDATE/DELETE to ExecuteDml.
+  Result<StatementResult> ExecuteStatement(
+      const std::string& statement,
+      EstimatorKind kind = EstimatorKind::kRobustSample,
+      const opt::OptimizerOptions& options = {});
+
+  /// Executes a parsed DML statement under the database's governor limits
+  /// and fault injector: stages the mutation, commits atomically (retrying
+  /// transient write faults), bumps the data epoch, and feeds the committed
+  /// rows to the statistics reservoir. `snapshot_epoch` pins which row
+  /// versions the UPDATE/DELETE targeting scan sees (default: latest).
+  Result<exec::DmlResult> ExecuteDml(
+      const sql::DmlSpec& dml,
+      uint64_t snapshot_epoch = storage::kLatestSnapshot);
+
+  /// Retry schedule for transient (kUnavailable) DML commit failures.
+  void SetDmlRetryPolicy(const fault::RetryPolicy& policy) {
+    dml_retry_policy_ = policy;
+  }
+  const fault::RetryPolicy& dml_retry_policy() const {
+    return dml_retry_policy_;
+  }
+
+  /// Rebuilds statistics for every table the maintenance layer flagged
+  /// stale (enough committed modifications, or an explicit drift flag) and
+  /// bumps the statistics epoch once per rebuilt table. Returns how many
+  /// tables were rebuilt — the background-maintenance analogue of
+  /// UpdateStatistics. Cached plans keyed to the old epoch lazily
+  /// invalidate on their next lookup.
+  uint64_t RebuildPendingStatistics() {
+    return statistics_->RebuildAllPending();
+  }
+
   /// Plans `query` with the chosen estimation module.
   Result<opt::PlannedQuery> Plan(const opt::QuerySpec& query,
                                  EstimatorKind kind,
@@ -112,7 +157,12 @@ class Database {
   /// armed. Fails with a typed Status on governor trips
   /// (kResourceExhausted), cancellation (kCancelled) or injected faults —
   /// the process never crashes on a resource-limited or faulty query.
-  Result<ExecutionResult> ExecutePlan(const opt::PlannedQuery& plan);
+  /// `snapshot_epoch` pins which row versions scans see, so a request
+  /// admitted before a DML commit reads the pre-commit state (default:
+  /// latest).
+  Result<ExecutionResult> ExecutePlan(
+      const opt::PlannedQuery& plan,
+      uint64_t snapshot_epoch = storage::kLatestSnapshot);
 
   /// Metrics from the most recent Plan()/Execute() optimization.
   const opt::Optimizer::Metrics& last_optimizer_metrics() const;
@@ -192,6 +242,7 @@ class Database {
   obs::MetricsRegistry* metrics_ = nullptr;
   fault::FaultInjector fault_;
   fault::GovernorLimits governor_limits_;
+  fault::RetryPolicy dml_retry_policy_;
   bool feedback_enabled_ = false;
   stats::WorkloadPriorBuilder feedback_;
 };

@@ -52,6 +52,11 @@ struct ExecContext {
   /// Fault injector (borrowed, nullable = no faults). Run() probes the
   /// operator-alloc and clock-stall sites.
   fault::FaultInjector* fault = nullptr;
+  /// Snapshot (data) epoch this query reads at. Scans skip row versions
+  /// not visible at it, so a request admitted before a DML commit keeps
+  /// reading the pre-commit state. kLatestSnapshot (the default) sees
+  /// every committed version; unversioned tables ignore it entirely.
+  uint64_t snapshot_epoch = storage::kLatestSnapshot;
 
   /// Cooperative checkpoint: cancellation plus the simulated-time budget.
   Status CheckPoint();

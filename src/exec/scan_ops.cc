@@ -49,6 +49,7 @@ Result<Table> SeqScanOp::Execute(ExecContext* ctx) const {
   const uint64_t n = source->num_rows();
   ctx->meter.ChargeSeqTuples(ctx->cost_model, n);
   for (Rid rid = 0; rid < n; ++rid) {
+    if (!source->VisibleAt(rid, ctx->snapshot_epoch)) continue;
     if (predicate_ == nullptr || predicate_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
       RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
@@ -93,6 +94,7 @@ Result<Table> IndexRangeScanOp::Execute(ExecContext* ctx) const {
                        ResolveColumns(source->schema(), cols));
   const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   for (Rid rid : rids) {
+    if (!source->VisibleAt(rid, ctx->snapshot_epoch)) continue;
     if (residual_ == nullptr || residual_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
       RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
@@ -161,6 +163,7 @@ Result<Table> IndexIntersectionOp::Execute(ExecContext* ctx) const {
                        ResolveColumns(source->schema(), cols));
   const uint64_t row_bytes = ApproximateRowBytes(out.schema());
   for (Rid rid : survivors) {
+    if (!source->VisibleAt(rid, ctx->snapshot_epoch)) continue;
     if (residual_ == nullptr || residual_->EvaluateBool(*source, rid)) {
       AppendProjectedRow(*source, rid, col_idx, &out);
       RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));

@@ -44,6 +44,17 @@ inline constexpr char kAdmissionEnqueue[] = "server.admission.enqueue";
 /// A plan-cache lookup (the moment a shared cache shard could be
 /// unreachable); the server degrades a fired lookup to a miss.
 inline constexpr char kPlanCacheLookup[] = "server.plan_cache.lookup";
+/// Applying one staged row mutation to table storage (a page write
+/// failing mid-batch). A fire rolls the whole staged batch back.
+inline constexpr char kWriteApply[] = "storage.write.apply";
+/// Publishing a staged batch at commit (the durability point). A fire
+/// rolls the batch back; the write either commits atomically or not at
+/// all.
+inline constexpr char kWriteCommit[] = "storage.write.commit";
+/// Feeding a committed mutation into the statistics reservoir. Probed
+/// before the commit is published, so a fire aborts the write and the
+/// sample never diverges from the table.
+inline constexpr char kReservoirUpdate[] = "stats.reservoir.update";
 }  // namespace sites
 
 /// The sites the engine probes, for shell listings and the chaos harness.

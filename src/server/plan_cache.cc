@@ -72,6 +72,10 @@ uint64_t FingerprintQuery(const opt::QuerySpec& query) {
   return Combine(h, query.limit);
 }
 
+uint64_t FingerprintStatementText(const std::string& statement) {
+  return Combine(Mix(0xd39157a7e0e27ULL), HashString(statement));
+}
+
 PlanCacheKey PlanCacheKey::Make(uint64_t fingerprint, double threshold,
                                 core::EstimatorKind kind) {
   PlanCacheKey key;
@@ -124,7 +128,7 @@ std::shared_ptr<const opt::PlannedQuery> PlanCache::LookupEx(
     *outcome = PlanCacheOutcome::kDegradedFault;
     return nullptr;
   }
-  if (drift_blocked_.count(key.fingerprint) > 0) {
+  if (DriftBlockActive(key.fingerprint, current_epoch)) {
     // Invalidation already evicted the entries; the block only shapes the
     // outcome a trace records (insertion will be refused too).
     ++stats_.misses;
@@ -157,7 +161,7 @@ std::shared_ptr<const opt::PlannedQuery> PlanCache::LookupEx(
 void PlanCache::Insert(const PlanCacheKey& key,
                        std::shared_ptr<const opt::PlannedQuery> plan,
                        uint64_t epoch) {
-  if (drift_blocked_.count(key.fingerprint) > 0) {
+  if (DriftBlockActive(key.fingerprint, epoch)) {
     ++stats_.rejected_drifted;
     return;
   }
@@ -177,7 +181,8 @@ void PlanCache::Insert(const PlanCacheKey& key,
   ++stats_.insertions;
 }
 
-size_t PlanCache::InvalidateFingerprint(uint64_t fingerprint) {
+size_t PlanCache::InvalidateFingerprint(uint64_t fingerprint,
+                                        uint64_t blocked_epoch) {
   size_t evicted = 0;
   for (auto it = index_.begin(); it != index_.end();) {
     if (it->first.fingerprint == fingerprint) {
@@ -189,8 +194,22 @@ size_t PlanCache::InvalidateFingerprint(uint64_t fingerprint) {
     }
   }
   stats_.invalidated_drift += evicted;
-  drift_blocked_.insert(fingerprint);
+  drift_blocked_[fingerprint] = blocked_epoch;
   return evicted;
+}
+
+bool PlanCache::DriftBlockActive(uint64_t fingerprint,
+                                 uint64_t current_epoch) {
+  auto it = drift_blocked_.find(fingerprint);
+  if (it == drift_blocked_.end()) return false;
+  if (current_epoch > it->second) {
+    // Statistics were rebuilt since the drift was observed — replanning is
+    // meaningful again, so the block lifts itself.
+    drift_blocked_.erase(it);
+    ++stats_.drift_blocks_lifted;
+    return false;
+  }
+  return true;
 }
 
 void PlanCache::ClearDriftBlocks() { drift_blocked_.clear(); }
@@ -214,6 +233,7 @@ void PlanCache::PublishMetrics(obs::MetricsRegistry* metrics) const {
   sync("perf.cache.plan.invalidated.drift", stats_.invalidated_drift);
   sync("perf.cache.plan.degraded.fault", stats_.degraded_fault);
   sync("perf.cache.plan.rejected.drifted", stats_.rejected_drifted);
+  sync("perf.cache.plan.drift_blocks.lifted", stats_.drift_blocks_lifted);
   metrics->GetGauge("perf.cache.plan.size")
       ->Set(static_cast<double>(lru_.size()));
   metrics->GetGauge("perf.cache.plan.drift_blocked")
@@ -232,12 +252,13 @@ std::string PlanCache::ReportText() const {
       static_cast<unsigned long long>(stats_.evictions_lru));
   out += StrPrintf(
       "  invalidated: epoch=%llu drift=%llu; degraded_fault=%llu "
-      "rejected_drifted=%llu drift_blocked=%zu\n",
+      "rejected_drifted=%llu drift_blocked=%zu lifted=%llu\n",
       static_cast<unsigned long long>(stats_.invalidated_epoch),
       static_cast<unsigned long long>(stats_.invalidated_drift),
       static_cast<unsigned long long>(stats_.degraded_fault),
       static_cast<unsigned long long>(stats_.rejected_drifted),
-      drift_blocked_.size());
+      drift_blocked_.size(),
+      static_cast<unsigned long long>(stats_.drift_blocks_lifted));
   // Entries in LRU order (most recent first) — capped so huge caches stay
   // printable.
   size_t shown = 0;

@@ -10,7 +10,11 @@
 // are both evicted and blocked from re-insertion until statistics are
 // rebuilt: a plan chosen for a distribution the data no longer follows is
 // exactly the brittleness the paper's Section 5 guards against, so the
-// cache refuses to keep serving it.
+// cache refuses to keep serving it. Drift blocks are epoch-scoped: each
+// records the statistics epoch it was placed under, and the first lookup
+// or insert at a later epoch lifts it automatically — so a background
+// statistics rebuild re-opens the cache to the drifted statements without
+// anyone calling ClearDriftBlocks().
 //
 // Bounded LRU, same list+index shape as perf::InverseBetaCache. Lookups
 // probe the server.plan_cache.lookup fault site and degrade a fired probe
@@ -45,6 +49,12 @@ namespace server {
 /// semantically significant feeds the hash. Stable across processes.
 uint64_t FingerprintQuery(const opt::QuerySpec& query);
 
+/// Fingerprint of a raw statement's text (same mixing primitives, distinct
+/// domain tag). DML statements never hit the plan cache, but traces, the
+/// SLO monitor and the flight recorder still key their lanes by
+/// fingerprint, so writes get one too.
+uint64_t FingerprintStatementText(const std::string& statement);
+
 /// Cache key: fingerprint plus the planning knobs that select the plan.
 struct PlanCacheKey {
   uint64_t fingerprint = 0;
@@ -74,6 +84,9 @@ struct PlanCacheStats {
   uint64_t degraded_fault = 0;
   /// Insertions refused because the fingerprint is drift-blocked.
   uint64_t rejected_drifted = 0;
+  /// Drift blocks lifted automatically because the statistics epoch moved
+  /// past the epoch the block was placed under.
+  uint64_t drift_blocks_lifted = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -122,13 +135,19 @@ class PlanCache {
               std::shared_ptr<const opt::PlannedQuery> plan, uint64_t epoch);
 
   /// Drops every entry for `fingerprint` (all thresholds and estimators)
-  /// and blocks the fingerprint from re-insertion until ClearDriftBlocks().
-  /// Returns how many entries were evicted. This is the estimation-quality
-  /// monitor's invalidation hook.
-  size_t InvalidateFingerprint(uint64_t fingerprint);
+  /// and blocks the fingerprint from re-insertion. The block records
+  /// `blocked_epoch` (the statistics epoch the drift was observed under)
+  /// and lifts itself on the first lookup/insert at a later epoch; the
+  /// default never auto-lifts (only ClearDriftBlocks() does). Returns how
+  /// many entries were evicted. This is the estimation-quality monitor's
+  /// invalidation hook.
+  size_t InvalidateFingerprint(uint64_t fingerprint,
+                               uint64_t blocked_epoch = UINT64_MAX);
 
   /// Lifts all drift blocks — called after UPDATE STATISTICS, when fresh
   /// statistics make replanning the drifted statements meaningful again.
+  /// (Blocks placed with an explicit epoch also lift themselves once the
+  /// epoch moves past it.)
   void ClearDriftBlocks();
 
   bool IsDriftBlocked(uint64_t fingerprint) const {
@@ -160,11 +179,16 @@ class PlanCache {
 
   void Erase(std::map<PlanCacheKey, std::list<Entry>::iterator>::iterator it);
 
+  /// True while `fingerprint`'s drift block is active at `current_epoch`;
+  /// lifts (and counts) the block when the epoch has moved past it.
+  bool DriftBlockActive(uint64_t fingerprint, uint64_t current_epoch);
+
   size_t capacity_;
   fault::FaultInjector* fault_ = nullptr;
   std::list<Entry> lru_;  // front = most recently used
   std::map<PlanCacheKey, std::list<Entry>::iterator> index_;
-  std::set<uint64_t> drift_blocked_;
+  /// fingerprint -> statistics epoch the block was placed under.
+  std::map<uint64_t, uint64_t> drift_blocked_;
   PlanCacheStats stats_;
 };
 

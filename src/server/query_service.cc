@@ -27,6 +27,10 @@ struct QueryService::PendingRequest {
   uint64_t request_id = 0;  ///< dense service-wide ordinal
   Session* session = nullptr;
   opt::QuerySpec spec;
+  /// Write path: engaged (is_dml) requests skip the plan cache and the
+  /// parallel execute phase; they apply sequentially in REDUCE.
+  bool is_dml = false;
+  robustqo::sql::DmlSpec dml;
   uint64_t fingerprint = 0;
   uint64_t waves_waited = 0;
   // -- request trace (engaged only while the flight recorder is on) --
@@ -47,6 +51,7 @@ struct QueryService::PendingRequest {
   // -- execute phase --
   Status exec_status = Status::OK();
   std::optional<core::ExecutionResult> result;
+  std::optional<exec::DmlResult> dml_result;
   std::unique_ptr<obs::MetricsRegistry> exec_metrics;
 };
 
@@ -120,13 +125,20 @@ Status QueryService::Prepare(SessionId session_id, const std::string& name,
     return Status::NotFound(StrPrintf(
         "no open session %llu", static_cast<unsigned long long>(session_id)));
   }
-  Result<opt::QuerySpec> spec = db_->ParseSql(sql);
-  if (!spec.ok()) return spec.status();
+  Result<robustqo::sql::ParsedStatement> parsed =
+      robustqo::sql::ParseStatement(*db_->catalog(), sql);
+  if (!parsed.ok()) return parsed.status();
   PreparedStatement statement;
   statement.name = name;
   statement.sql = sql;
-  statement.spec = std::move(spec).value();
-  statement.fingerprint = FingerprintQuery(statement.spec);
+  statement.kind = parsed.value().kind;
+  if (statement.is_dml()) {
+    statement.dml = std::move(parsed.value().dml);
+    statement.fingerprint = FingerprintStatementText(sql);
+  } else {
+    statement.spec = std::move(parsed.value().query);
+    statement.fingerprint = FingerprintQuery(statement.spec);
+  }
   return session->Prepare(std::move(statement));
 }
 
@@ -195,15 +207,21 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
                           response.status);
         continue;
       }
-      work.spec = statement->spec;
+      work.is_dml = statement->is_dml();
+      if (work.is_dml) {
+        work.dml = statement->dml;
+      } else {
+        work.spec = statement->spec;
+      }
       work.fingerprint = statement->fingerprint;
     } else if (request.spec.has_value()) {
       work.spec = *request.spec;
       work.fingerprint = FingerprintQuery(work.spec);
     } else {
-      Result<opt::QuerySpec> spec = db_->ParseSql(request.sql);
-      if (!spec.ok()) {
-        response.status = spec.status();
+      Result<robustqo::sql::ParsedStatement> parsed =
+          robustqo::sql::ParseStatement(*db_->catalog(), request.sql);
+      if (!parsed.ok()) {
+        response.status = parsed.status();
         session->CountFailed();
         RQO_IF_OBS(work.tracer) {
           work.tracer->Event("server", "submit", {{"outcome", "parse_error"}});
@@ -213,8 +231,14 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
                           response.status);
         continue;
       }
-      work.spec = std::move(spec).value();
-      work.fingerprint = FingerprintQuery(work.spec);
+      work.is_dml = parsed.value().kind != robustqo::sql::StatementKind::kQuery;
+      if (work.is_dml) {
+        work.dml = std::move(parsed.value().dml);
+        work.fingerprint = FingerprintStatementText(request.sql);
+      } else {
+        work.spec = std::move(parsed.value().query);
+        work.fingerprint = FingerprintQuery(work.spec);
+      }
     }
     response.fingerprint = work.fingerprint;
     uint64_t reservation = session->options().memory_reservation_bytes;
@@ -289,6 +313,22 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
              {"waves_waited", obs::AttrU64(work.waves_waited)},
              {"queue_wait_seconds",
               obs::AttrF(slo_.QueueWaitSeconds(work.waves_waited))}});
+      }
+      if (work.is_dml) {
+        // Writes never touch the plan cache or the optimizer; they apply
+        // sequentially in the reduce phase. The request still draws its
+        // seed here, in admission order, so read/write mixes stay
+        // scheduling-free.
+        work.cache_outcome = "dml";
+        RQO_IF_OBS(work.tracer) {
+          work.tracer->Event("server", "plan",
+                             {{"cache", "dml"},
+                              {"table", work.dml.table}});
+        }
+        work.seed = work.session->NextRequestSeed();
+        work.limits = options.governor_limits;
+        running.push_back(&work);
+        continue;
       }
       const PlanCacheKey key = PlanCacheKey::Make(
           work.fingerprint, work.effective_threshold, options.estimator);
@@ -377,6 +417,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
             {{"label", work.plan->label},
              {"estimated_cost_seconds", obs::AttrF(work.plan->estimated_cost)}});
       }
+      // Remember which tables this fingerprint reads so a later drift flag
+      // can route the right tables to the statistics-rebuild queue.
+      fingerprint_tables_[work.fingerprint] = work.spec.TableNames();
       work.seed = work.session->NextRequestSeed();
       work.limits = options.governor_limits;
       running.push_back(&work);
@@ -384,9 +427,14 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 
     // Phase 3 — EXECUTE (parallel): pure per-request tasks writing to
     // pre-allocated slots. Each task gets a private governor, injector and
-    // metrics shard; nothing in the database is touched.
+    // metrics shard; nothing in the database is touched. Every read in
+    // the wave is pinned to the data epoch captured here — writes only
+    // commit in the sequential reduce phase, so what a wave's reads see
+    // is independent of scheduling and thread count.
+    const uint64_t wave_snapshot = db_->catalog()->data_epoch();
     perf::TaskPool::Global()->ParallelFor(running.size(), [&](size_t i) {
       PendingRequest* work = running[i];
+      if (work->is_dml) return;  // applied sequentially in REDUCE
       fault::FaultInjector injector(work->seed);
       for (const auto& [site, spec] : armed_specs) injector.Arm(site, spec);
       fault::QueryGovernor governor(work->limits);
@@ -395,6 +443,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       ctx.cost_model = db_->cost_model();
       ctx.governor = &governor;
       ctx.fault = &injector;
+      ctx.snapshot_epoch = wave_snapshot;
 #if ROBUSTQO_OBS_ENABLED
       if (metrics_ != nullptr) {
         work->exec_metrics = std::make_unique<obs::MetricsRegistry>();
@@ -464,10 +513,14 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 #endif
     });
 
-    // Phase 4 — REDUCE (sequential, admission order): release admission
-    // slots, merge metric shards, apply session tallies, and feed the
-    // quality monitor.
+    // Phase 4 — REDUCE (sequential, admission order): apply DML against
+    // the latest state, release admission slots, merge metric shards,
+    // apply session tallies, and feed the quality monitor. Writes commit
+    // here — one at a time, in admission order — so the data-epoch
+    // sequence (and therefore every snapshot any request reads) is a pure
+    // function of the request order.
     for (PendingRequest* work : running) {
+      if (work->is_dml) ExecuteDmlWork(work, armed_specs);
       admission_.Complete(work->ticket);
       QueryResponse& response = responses[work->index];
       response.ticket = work->ticket;
@@ -486,14 +539,18 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       const double estimated_seconds =
           work->plan != nullptr ? work->plan->estimated_cost : 0.0;
       if (ok) {
-        obs::QualityObservation observation;
-        observation.fingerprint = work->fingerprint;
-        observation.label = work->plan->label;
-        observation.estimated_rows = work->plan->estimated_spj_rows;
-        observation.actual_rows = static_cast<double>(work->result->spj_rows);
-        observation.confidence_threshold = work->effective_threshold;
-        monitor_.Record(observation);
-        response.result = std::move(work->result);
+        if (work->is_dml) {
+          response.dml = work->dml_result;
+        } else {
+          obs::QualityObservation observation;
+          observation.fingerprint = work->fingerprint;
+          observation.label = work->plan->label;
+          observation.estimated_rows = work->plan->estimated_spj_rows;
+          observation.actual_rows = static_cast<double>(work->result->spj_rows);
+          observation.confidence_threshold = work->effective_threshold;
+          monitor_.Record(observation);
+          response.result = std::move(work->result);
+        }
         work->session->CountCompleted();
         ++queries_completed_;
       } else {
@@ -552,11 +609,24 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 
     // Drift hook: a fingerprint whose recent q-error regressed past the
     // monitor's factor loses its cached plans before the next wave — the
-    // cache must not keep serving a plan chosen for data that moved.
+    // cache must not keep serving a plan chosen for data that moved. The
+    // block records the current statistics epoch, so it lifts itself once
+    // a rebuild moves past it; the tables the statement reads are flagged
+    // for that rebuild.
     if (config_.invalidate_on_drift) {
+      const uint64_t stats_epoch = db_->statistics()->epoch();
       for (const obs::FingerprintQuality& drifted : monitor_.Drifted()) {
         if (cache_.IsDriftBlocked(drifted.fingerprint)) continue;
-        const size_t evicted = cache_.InvalidateFingerprint(drifted.fingerprint);
+        const size_t evicted =
+            cache_.InvalidateFingerprint(drifted.fingerprint, stats_epoch);
+        if (config_.background_rebuild) {
+          auto tables = fingerprint_tables_.find(drifted.fingerprint);
+          if (tables != fingerprint_tables_.end()) {
+            for (const std::string& table : tables->second) {
+              db_->statistics()->MarkPendingRebuild(table);
+            }
+          }
+        }
         RQO_IF_OBS(tracer_) {
           tracer_->Event(
               "server", "plan_cache.drift_invalidated",
@@ -568,8 +638,106 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         }
       }
     }
+
+    // Background statistics maintenance: tables flagged stale — by
+    // committed-write volume (ObserveCommit's policy) or by the drift hook
+    // above — rebuild now, before the next wave plans. The epoch bump
+    // makes stale cached plans and epoch-scoped drift blocks clear
+    // themselves on their next lookup; nobody calls UPDATE STATISTICS.
+    if (config_.background_rebuild && db_->statistics()->RebuildPending()) {
+      const uint64_t rebuilt = db_->RebuildPendingStatistics();
+      if (rebuilt > 0) monitor_.Reset();
+      RQO_IF_OBS(tracer_) {
+        tracer_->Event(
+            "server", "stats.background_rebuild",
+            {{"tables", obs::AttrU64(rebuilt)},
+             {"epoch", obs::AttrU64(db_->statistics()->epoch())}});
+      }
+    }
   }
   return responses;
+}
+
+void QueryService::ExecuteDmlWork(
+    PendingRequest* work,
+    const std::vector<std::pair<std::string, fault::FaultSpec>>& armed_specs) {
+  fault::FaultInjector injector(work->seed);
+  for (const auto& [site, spec] : armed_specs) injector.Arm(site, spec);
+  fault::QueryGovernor governor(work->limits);
+  exec::ExecContext ctx;
+  ctx.catalog = db_->catalog();
+  ctx.cost_model = db_->cost_model();
+  ctx.governor = &governor;
+  ctx.fault = &injector;
+  // Writes target the latest committed state: earlier writes of the same
+  // wave (applied just before this one, in admission order) are visible.
+  ctx.snapshot_epoch = storage::kLatestSnapshot;
+#if ROBUSTQO_OBS_ENABLED
+  uint64_t exec_span = 0;
+  if (metrics_ != nullptr) {
+    work->exec_metrics = std::make_unique<obs::MetricsRegistry>();
+    ctx.metrics = work->exec_metrics.get();
+    injector.set_metrics(work->exec_metrics.get());
+  }
+  if (work->tracer != nullptr) {
+    ctx.tracer = work->tracer.get();
+    injector.set_tracer(work->tracer.get());
+    exec_span = work->tracer->BeginSpan(
+        "server", "write",
+        {{"seed", obs::AttrU64(work->seed)}, {"table", work->dml.table}});
+  }
+#endif
+  exec::DmlExecutor executor(db_->catalog(), db_->statistics());
+  executor.set_retry_policy(db_->dml_retry_policy());
+  Result<exec::DmlResult> result = [&]() -> Result<exec::DmlResult> {
+    switch (work->dml.kind) {
+      case robustqo::sql::StatementKind::kInsert:
+        return executor.Insert(&ctx, work->dml.table, work->dml.insert_rows);
+      case robustqo::sql::StatementKind::kUpdate:
+        return executor.Update(&ctx, work->dml.table, work->dml.set_exprs,
+                               work->dml.where);
+      case robustqo::sql::StatementKind::kDelete:
+        return executor.Delete(&ctx, work->dml.table, work->dml.where);
+      case robustqo::sql::StatementKind::kQuery:
+        break;
+    }
+    return Status::InvalidArgument("not a DML statement");
+  }();
+#if ROBUSTQO_OBS_ENABLED
+  governor.PublishMetrics(work->exec_metrics.get());
+#endif
+  work->governor_tripped = governor.tripped();
+  work->fault_fires += injector.total_fires();
+  if (!result.ok()) {
+    work->exec_status = result.status();
+  } else {
+    work->dml_result = result.value();
+#if ROBUSTQO_OBS_ENABLED
+    RQO_IF_OBS(work->exec_metrics) {
+      work->exec_metrics->GetCounter("server.dml.rows_written")
+          ->Increment(result.value().rows_inserted +
+                      result.value().rows_deleted);
+    }
+#endif
+  }
+#if ROBUSTQO_OBS_ENABLED
+  if (work->tracer != nullptr) {
+    obs::TraceAttrs end_attrs = {
+        {"status", work->exec_status.ok()
+                       ? "OK"
+                       : StatusCodeName(work->exec_status.code())},
+        {"fault_fires", obs::AttrU64(work->fault_fires)}};
+    if (work->dml_result.has_value()) {
+      end_attrs.push_back(
+          {"rows_affected", obs::AttrU64(work->dml_result->rows_affected())});
+      end_attrs.push_back({"epoch", obs::AttrU64(work->dml_result->epoch)});
+      end_attrs.push_back(
+          {"commit_attempts",
+           obs::AttrU64(static_cast<uint64_t>(work->dml_result->retry.attempts))});
+    }
+    work->tracer->EndSpan(exec_span, std::move(end_attrs));
+  }
+#endif
 }
 
 QueryResponse QueryService::ExecutePrepared(SessionId session,

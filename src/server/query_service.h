@@ -18,26 +18,40 @@
 //      miss. Planning shares the Database's single-threaded optimizer, so
 //      it stays on the coordinator; per-request seeds are drawn here, in
 //      admission order, so they never depend on execution timing.
-//   3. EXECUTE (parallel): admitted plans run concurrently, one TaskPool
-//      task per request, each against its own ExecContext, QueryGovernor,
-//      MetricsRegistry shard and FaultInjector (re-armed from the
-//      database injector's specs, reseeded from the request seed).
-//      Results land in pre-allocated slots.
-//   4. REDUCE (sequential): completions, session tallies, metric merges
-//      and estimation-quality feedback are applied in admission order;
-//      fingerprints the quality monitor flags as drifted have their
-//      cached plans invalidated before the next wave.
+//   3. EXECUTE (parallel): admitted read plans run concurrently, one
+//      TaskPool task per request, each against its own ExecContext,
+//      QueryGovernor, MetricsRegistry shard and FaultInjector (re-armed
+//      from the database injector's specs, reseeded from the request
+//      seed). Every read in the wave is pinned to the snapshot (data)
+//      epoch captured at wave start, so concurrent writes never change
+//      what a wave's reads see. Results land in pre-allocated slots.
+//   4. REDUCE (sequential): DML requests apply here, in admission order,
+//      each staging and committing atomically against the latest state
+//      (bumping the data epoch on success — later waves see it, this
+//      wave's reads did not). Then completions, session tallies, metric
+//      merges and estimation-quality feedback are applied in admission
+//      order; fingerprints the quality monitor flags as drifted have
+//      their cached plans invalidated, drifted tables are flagged for
+//      statistics rebuild, and — when background_rebuild is on — flagged
+//      tables (drift or committed-write volume) are rebuilt before the
+//      next wave, bumping the statistics epoch so stale cached plans and
+//      drift blocks clear themselves lazily.
 //
 // Every client-visible artifact — responses, reports, merged metrics — is
-// byte-identical at any RQO_THREADS setting.
+// byte-identical at any RQO_THREADS setting: reads are pure against a
+// pinned snapshot, and every mutation (writes, epoch bumps, rebuilds)
+// happens in a sequential phase in admission order.
 
 #ifndef ROBUSTQO_SERVER_QUERY_SERVICE_H_
 #define ROBUSTQO_SERVER_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
@@ -66,6 +80,12 @@ struct ServerConfig {
   /// When false the quality monitor still records, but drifted
   /// fingerprints are not auto-invalidated.
   bool invalidate_on_drift = true;
+  /// When true, tables flagged stale by online statistics maintenance —
+  /// enough committed modifications, or a drift flag from the quality
+  /// monitor — are rebuilt at the end of the wave, bumping the statistics
+  /// epoch (which lazily invalidates stale cached plans and lifts drift
+  /// blocks). No manual UPDATE STATISTICS needed under write traffic.
+  bool background_rebuild = true;
   /// Black-box retention of interesting request traces. Requests are only
   /// traced while `flight_recorder.enabled` (and observability is
   /// compiled in); the recorder itself always exists for introspection.
@@ -111,8 +131,11 @@ struct QueryResponse {
   uint64_t ticket = 0;
   /// OK, or the typed rejection/planning/execution failure.
   Status status = Status::OK();
-  /// Engaged only when status is OK.
+  /// Engaged only when status is OK and the request was a query.
   std::optional<core::ExecutionResult> result;
+  /// Engaged only when status is OK and the request was INSERT/UPDATE/
+  /// DELETE: rows affected, the published data epoch, commit retries.
+  std::optional<exec::DmlResult> dml;
   /// Statement fingerprint (0 when the request failed before planning).
   uint64_t fingerprint = 0;
   /// Whether the plan came from the cache.
@@ -197,6 +220,14 @@ class QueryService {
   /// Whether per-request tracing is materialized (recorder enabled and
   /// observability compiled in).
   bool TracingEnabled() const;
+
+  /// Applies one DML request against the latest state (sequential reduce
+  /// phase only). Fills the request's exec_status / dml_result and its
+  /// governor/fault/trace bookkeeping.
+  void ExecuteDmlWork(
+      PendingRequest* work,
+      const std::vector<std::pair<std::string, fault::FaultSpec>>&
+          armed_specs);
   /// Finalizes and offers the trace of a request that died before the
   /// execute phase (submit-time rejections, plan failures).
   void OfferAbortedTrace(obs::Tracer* tracer, uint64_t root_span,
@@ -218,6 +249,9 @@ class QueryService {
   uint64_t queries_completed_ = 0;
   uint64_t queries_failed_ = 0;
   uint64_t next_request_id_ = 0;
+  /// Tables each read fingerprint touches, recorded at plan time — the
+  /// drift hook uses it to flag the right tables for statistics rebuild.
+  std::map<uint64_t, std::set<std::string>> fingerprint_tables_;
 };
 
 }  // namespace server

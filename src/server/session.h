@@ -25,6 +25,7 @@
 #include "core/database.h"
 #include "fault/governor.h"
 #include "optimizer/query.h"
+#include "sql/parser.h"
 #include "util/status.h"
 
 namespace robustqo {
@@ -50,13 +51,19 @@ struct SessionOptions {
 };
 
 /// A statement registered with PREPARE, ready for repeated EXECUTE.
+/// Queries and DML both prepare; `kind` says which payload is valid.
 struct PreparedStatement {
   std::string name;
   std::string sql;
-  opt::QuerySpec spec;
+  robustqo::sql::StatementKind kind = robustqo::sql::StatementKind::kQuery;
+  opt::QuerySpec spec;           ///< valid when kind == kQuery
+  robustqo::sql::DmlSpec dml;    ///< valid otherwise
   /// Canonical statement fingerprint (plan_cache.h) — the plan-cache and
-  /// quality-monitor key for every execution of this statement.
+  /// quality-monitor key for every execution of this statement. DML
+  /// statements fingerprint their text (they never hit the plan cache).
   uint64_t fingerprint = 0;
+
+  bool is_dml() const { return kind != robustqo::sql::StatementKind::kQuery; }
 };
 
 /// Read-only snapshot of one session for reports and metrics.

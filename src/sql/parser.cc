@@ -63,6 +63,13 @@ class Parser {
     return query_;
   }
 
+  Result<DmlSpec> ParseDml() {
+    if (Accept("INSERT")) return ParseInsert();
+    if (Accept("UPDATE")) return ParseUpdate();
+    if (Accept("DELETE")) return ParseDelete();
+    return Error("expected INSERT, UPDATE or DELETE");
+  }
+
  private:
   struct TokenView {
     const Token* token;
@@ -424,6 +431,183 @@ class Parser {
     return Status::NotFound("ORDER BY column " + column);
   }
 
+  // ---- DML ----
+
+  Result<const storage::Table*> ParseTargetTable() {
+    const Token& token = Advance();
+    if (token.type != TokenType::kIdentifier) {
+      return Error("expected table name");
+    }
+    const storage::Table* table = catalog_->GetTable(token.text);
+    if (table == nullptr) return Status::NotFound("table " + token.text);
+    return table;
+  }
+
+  /// Coerces a constant `value` to a column of type `target`. Integers
+  /// widen to DOUBLE; INT64 and DATE interconvert (a date is its day
+  /// number); everything else must match exactly.
+  Result<Value> CoerceValue(const Value& value, storage::DataType target,
+                            const std::string& column) {
+    using storage::DataType;
+    if (value.type() == target) return value;
+    if (target == DataType::kDouble &&
+        storage::IsIntegerPhysical(value.type())) {
+      return Value::Double(static_cast<double>(value.AsInt64()));
+    }
+    if (target == DataType::kDate && value.type() == DataType::kInt64) {
+      return Value::Date(value.AsInt64());
+    }
+    if (target == DataType::kInt64 && value.type() == DataType::kDate) {
+      return Value::Int64(value.AsInt64());
+    }
+    return Status::InvalidArgument(
+        StrPrintf("cannot store a %s value in %s column %s",
+                  storage::DataTypeName(value.type()),
+                  storage::DataTypeName(target), column.c_str()));
+  }
+
+  /// Validates that every column `e` references exists in `table`.
+  Status CheckColumnsBelongTo(const expr::Expr& e,
+                              const storage::Table& table) {
+    std::set<std::string> columns;
+    e.CollectColumns(&columns);
+    for (const std::string& column : columns) {
+      if (!table.schema().HasColumn(column)) {
+        return Status::NotFound("column " + table.name() + "." + column);
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<DmlSpec> ParseInsert() {
+    RQO_RETURN_NOT_OK(Expect("INTO"));
+    Result<const storage::Table*> target = ParseTargetTable();
+    if (!target.ok()) return target.status();
+    const storage::Table& table = *target.value();
+    const storage::Schema& schema = table.schema();
+
+    // Optional explicit column list; defaults to schema order.
+    std::vector<size_t> column_order;
+    if (AcceptSymbol("(")) {
+      std::vector<bool> mentioned(schema.num_columns(), false);
+      do {
+        const Token& col = Advance();
+        if (col.type != TokenType::kIdentifier) {
+          return Error("expected column name");
+        }
+        auto idx = schema.ColumnIndex(col.text);
+        if (!idx.ok()) {
+          return Status::NotFound("column " + table.name() + "." + col.text);
+        }
+        if (mentioned[idx.value()]) {
+          return Error("duplicate column " + col.text);
+        }
+        mentioned[idx.value()] = true;
+        column_order.push_back(idx.value());
+      } while (AcceptSymbol(","));
+      RQO_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (column_order.size() != schema.num_columns()) {
+        return Error("INSERT must provide every column (no defaults)");
+      }
+    } else {
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        column_order.push_back(i);
+      }
+    }
+
+    RQO_RETURN_NOT_OK(Expect("VALUES"));
+    DmlSpec dml;
+    dml.kind = StatementKind::kInsert;
+    dml.table = table.name();
+    do {
+      RQO_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> row(schema.num_columns());
+      size_t position = 0;
+      do {
+        if (position >= column_order.size()) {
+          return Error("too many values in row");
+        }
+        Result<ExprPtr> value_expr = ParseValue();
+        if (!value_expr.ok()) return value_expr.status();
+        if (!expr::IsConstant(*value_expr.value())) {
+          return Error("INSERT values must be constant expressions");
+        }
+        const size_t col = column_order[position];
+        Result<Value> coerced =
+            CoerceValue(expr::FoldConstant(*value_expr.value()),
+                        schema.column(col).type, schema.column(col).name);
+        if (!coerced.ok()) return coerced.status();
+        row[col] = coerced.value();
+        ++position;
+      } while (AcceptSymbol(","));
+      RQO_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (position != column_order.size()) {
+        return Error(StrPrintf("row has %zu values, expected %zu", position,
+                               column_order.size()));
+      }
+      dml.insert_rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    if (!Peek().IsEnd()) return Error("unexpected trailing input");
+    return dml;
+  }
+
+  Result<DmlSpec> ParseUpdate() {
+    Result<const storage::Table*> target = ParseTargetTable();
+    if (!target.ok()) return target.status();
+    const storage::Table& table = *target.value();
+    RQO_RETURN_NOT_OK(Expect("SET"));
+
+    DmlSpec dml;
+    dml.kind = StatementKind::kUpdate;
+    dml.table = table.name();
+    std::set<std::string> assigned;
+    do {
+      const Token& col = Advance();
+      if (col.type != TokenType::kIdentifier) {
+        return Error("expected column name in SET");
+      }
+      if (!table.schema().HasColumn(col.text)) {
+        return Status::NotFound("column " + table.name() + "." + col.text);
+      }
+      if (!assigned.insert(col.text).second) {
+        return Error("column " + col.text + " assigned twice");
+      }
+      RQO_RETURN_NOT_OK(ExpectSymbol("="));
+      Result<ExprPtr> value = ParseValue();
+      if (!value.ok()) return value.status();
+      RQO_RETURN_NOT_OK(CheckColumnsBelongTo(*value.value(), table));
+      dml.set_exprs.emplace_back(col.text, value.value());
+    } while (AcceptSymbol(","));
+
+    if (Accept("WHERE")) {
+      Result<ExprPtr> where = ParseBoolExpr();
+      if (!where.ok()) return where.status();
+      RQO_RETURN_NOT_OK(CheckColumnsBelongTo(*where.value(), table));
+      dml.where = where.value();
+    }
+    if (!Peek().IsEnd()) return Error("unexpected trailing input");
+    return dml;
+  }
+
+  Result<DmlSpec> ParseDelete() {
+    RQO_RETURN_NOT_OK(Expect("FROM"));
+    Result<const storage::Table*> target = ParseTargetTable();
+    if (!target.ok()) return target.status();
+    const storage::Table& table = *target.value();
+
+    DmlSpec dml;
+    dml.kind = StatementKind::kDelete;
+    dml.table = table.name();
+    if (Accept("WHERE")) {
+      Result<ExprPtr> where = ParseBoolExpr();
+      if (!where.ok()) return where.status();
+      RQO_RETURN_NOT_OK(CheckColumnsBelongTo(*where.value(), table));
+      dml.where = where.value();
+    }
+    if (!Peek().IsEnd()) return Error("unexpected trailing input");
+    return dml;
+  }
+
   // ---- WHERE-clause assignment to tables ----
 
   // The table (position in query_.tables) owning every column of
@@ -509,6 +693,30 @@ Result<opt::QuerySpec> ParseQuery(const storage::Catalog& catalog,
   if (!tokens.ok()) return tokens.status();
   Parser parser(catalog, std::move(tokens).value());
   return parser.Parse();
+}
+
+Result<ParsedStatement> ParseStatement(const storage::Catalog& catalog,
+                                       const std::string& statement) {
+  Result<std::vector<Token>> tokens = Tokenize(statement);
+  if (!tokens.ok()) return tokens.status();
+  const bool is_dml = !tokens.value().empty() &&
+                      (tokens.value()[0].IsKeyword("INSERT") ||
+                       tokens.value()[0].IsKeyword("UPDATE") ||
+                       tokens.value()[0].IsKeyword("DELETE"));
+  Parser parser(catalog, std::move(tokens).value());
+  ParsedStatement parsed;
+  if (is_dml) {
+    Result<DmlSpec> dml = parser.ParseDml();
+    if (!dml.ok()) return dml.status();
+    parsed.dml = std::move(dml).value();
+    parsed.kind = parsed.dml.kind;
+    return parsed;
+  }
+  Result<opt::QuerySpec> query = parser.Parse();
+  if (!query.ok()) return query.status();
+  parsed.kind = StatementKind::kQuery;
+  parsed.query = std::move(query).value();
+  return parsed;
 }
 
 }  // namespace sql

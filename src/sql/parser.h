@@ -27,23 +27,68 @@
 // become that table's selection predicate); cross-table equality conjuncts
 // that restate a declared foreign key are accepted and dropped (the join
 // is implied). Anything else is rejected with a clear error.
+//
+// DML statements (the write path):
+//
+//   insert     := INSERT INTO table [ '(' column_list ')' ]
+//                 VALUES row (',' row)*
+//   row        := '(' const_value (',' const_value)* ')'
+//   update     := UPDATE table SET column '=' value
+//                 (',' column '=' value)* [WHERE bool_expr]
+//   delete     := DELETE FROM table [WHERE bool_expr]
+//
+// INSERT values must be constant expressions and are coerced to the column
+// types at parse time (integers widen to DOUBLE columns; DATE 'YYYY-MM-DD'
+// literals feed DATE columns). UPDATE's SET values and both WHERE clauses
+// may reference columns of the target table only.
 
 #ifndef ROBUSTQO_SQL_PARSER_H_
 #define ROBUSTQO_SQL_PARSER_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "expr/expression.h"
 #include "optimizer/query.h"
 #include "storage/catalog.h"
+#include "storage/value.h"
 #include "util/status.h"
 
 namespace robustqo {
 namespace sql {
 
+/// Kind of a parsed top-level statement.
+enum class StatementKind { kQuery, kInsert, kUpdate, kDelete };
+
+/// A parsed INSERT / UPDATE / DELETE, resolved against the catalog.
+struct DmlSpec {
+  StatementKind kind = StatementKind::kInsert;
+  std::string table;
+  /// INSERT: full literal rows in schema column order, types coerced.
+  std::vector<std::vector<storage::Value>> insert_rows;
+  /// UPDATE: (column, value expression) assignments, evaluated per row.
+  std::vector<std::pair<std::string, expr::ExprPtr>> set_exprs;
+  /// UPDATE / DELETE: targeting predicate; null = every row.
+  expr::ExprPtr where;
+};
+
+/// A parsed top-level statement: a query or a DML mutation.
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kQuery;
+  opt::QuerySpec query;  ///< valid when kind == kQuery
+  DmlSpec dml;           ///< valid otherwise
+};
+
 /// Parses `statement` into a QuerySpec, resolving table/column names
-/// against `catalog`.
+/// against `catalog`. Rejects DML (kept for read-only callers).
 Result<opt::QuerySpec> ParseQuery(const storage::Catalog& catalog,
                                   const std::string& statement);
+
+/// Parses any supported statement, dispatching on the leading keyword
+/// (SELECT / INSERT / UPDATE / DELETE).
+Result<ParsedStatement> ParseStatement(const storage::Catalog& catalog,
+                                       const std::string& statement);
 
 }  // namespace sql
 }  // namespace robustqo

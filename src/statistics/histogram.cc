@@ -11,24 +11,31 @@ namespace stats {
 EquiDepthHistogram::EquiDepthHistogram(const storage::Table& table,
                                        const std::string& column_name,
                                        size_t max_buckets)
-    : column_name_(column_name), total_rows_(table.num_rows()) {
+    : column_name_(column_name), total_rows_(table.VisibleRowCount()) {
   RQO_CHECK(max_buckets >= 1);
   const storage::ColumnVector& col = table.column(column_name);
   RQO_CHECK_MSG(col.type() != storage::DataType::kString,
                 "histograms require numeric-physical columns");
 
-  const uint64_t n = table.num_rows();
-  if (n == 0) return;
+  if (total_rows_ == 0) return;
 
-  std::vector<double> values(n);
+  // Only the latest-visible row versions feed the histogram; dead versions
+  // of updated/deleted rows are physically present but not data.
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(total_rows_));
   if (storage::IsIntegerPhysical(col.type())) {
-    for (uint64_t i = 0; i < n; ++i) {
-      values[i] = static_cast<double>(col.Int64At(i));
+    for (uint64_t i = 0; i < table.num_rows(); ++i) {
+      if (table.VisibleAt(i)) {
+        values.push_back(static_cast<double>(col.Int64At(i)));
+      }
     }
   } else {
-    for (uint64_t i = 0; i < n; ++i) values[i] = col.DoubleAt(i);
+    for (uint64_t i = 0; i < table.num_rows(); ++i) {
+      if (table.VisibleAt(i)) values.push_back(col.DoubleAt(i));
+    }
   }
   std::sort(values.begin(), values.end());
+  const uint64_t n = values.size();
 
   // Equi-depth split with the constraint that equal values never straddle a
   // bucket boundary (runs of duplicates are kept together, as real systems

@@ -26,8 +26,12 @@ std::unordered_map<int64_t, Rid> BuildPkLookup(const Table& table,
   std::unordered_map<int64_t, Rid> map;
   map.reserve(table.num_rows() * 2);
   for (Rid rid = 0; rid < table.num_rows(); ++rid) {
-    const bool inserted = map.emplace(col.Int64At(rid), rid).second;
-    RQO_CHECK_MSG(inserted, "duplicate primary key value");
+    // Skip dead versions: an updated row leaves its old version physically
+    // present with the same primary key. Should a write have introduced a
+    // duplicate key (nothing enforces uniqueness on INSERT), the latest
+    // visible version wins — degraded statistics beat a crash.
+    if (!table.VisibleAt(rid)) continue;
+    map[col.Int64At(rid)] = rid;
   }
   return map;
 }
@@ -40,7 +44,7 @@ JoinSynopsis::JoinSynopsis(const Catalog& catalog,
   const Table* root = catalog.GetTable(root_table);
   RQO_CHECK_MSG(root != nullptr, ("no table " + root_table).c_str());
   root_table_ = root_table;
-  root_row_count_ = root->num_rows();
+  root_row_count_ = root->VisibleRowCount();
   covered_tables_.insert(root_table);
 
   // BFS over the FK closure; record the join steps in visit order so each
@@ -73,7 +77,7 @@ JoinSynopsis::JoinSynopsis(const Catalog& catalog,
   rows_ = std::make_unique<Table>(root_table + "$synopsis",
                                   Schema(wide_columns));
 
-  if (root->num_rows() == 0) return;
+  if (root_row_count_ == 0) return;
 
   // PK lookup per joined table.
   std::vector<std::unordered_map<int64_t, Rid>> pk_lookups;
@@ -82,21 +86,33 @@ JoinSynopsis::JoinSynopsis(const Catalog& catalog,
     pk_lookups.push_back(BuildPkLookup(*step.target, step.fk.to_column));
   }
 
-  // Sample the root, then chase every FK for each sampled tuple.
+  // Sample the visible root rows, then chase every FK for each sampled
+  // tuple. Unversioned roots keep the direct-RID draw.
+  std::vector<Rid> visible;
+  if (root->versioned()) {
+    visible.reserve(static_cast<size_t>(root_row_count_));
+    for (Rid r = 0; r < root->num_rows(); ++r) {
+      if (root->VisibleAt(r)) visible.push_back(r);
+    }
+  }
+  const uint64_t population =
+      root->versioned() ? visible.size() : root->num_rows();
   std::vector<uint64_t> picks;
   if (mode == SamplingMode::kWithReplacement) {
-    picks = rng->SampleWithReplacement(root->num_rows(), sample_size);
+    picks = rng->SampleWithReplacement(population, sample_size);
   } else {
     const size_t k =
-        std::min<size_t>(sample_size, static_cast<size_t>(root->num_rows()));
-    picks = rng->SampleWithoutReplacement(root->num_rows(), k);
+        std::min<size_t>(sample_size, static_cast<size_t>(population));
+    picks = rng->SampleWithoutReplacement(population, k);
   }
 
   rows_->Reserve(picks.size());
-  for (uint64_t root_rid : picks) {
+  for (uint64_t pick : picks) {
+    const Rid root_rid = root->versioned() ? visible[pick] : pick;
     std::vector<storage::Value> wide_row = root->RowAt(root_rid);
     // rid of each already-joined table for this tuple.
     std::unordered_map<std::string, Rid> resolved{{root_table, root_rid}};
+    bool complete = true;
     for (size_t s = 0; s < steps.size(); ++s) {
       const JoinStep& step = steps[s];
       const Table* from =
@@ -109,15 +125,20 @@ JoinSynopsis::JoinSynopsis(const Catalog& catalog,
       const int64_t fk_value =
           from->column(step.fk.from_column).Int64At(from_rid_it->second);
       auto hit = pk_lookups[s].find(fk_value);
-      RQO_CHECK_MSG(hit != pk_lookups[s].end(),
-                    "foreign key integrity violation");
+      if (hit == pk_lookups[s].end()) {
+        // Dangling foreign key — a DELETE removed the referenced parent
+        // (nothing enforces referential integrity on writes). Drop the
+        // sampled tuple rather than crash; the synopsis loses one sample.
+        complete = false;
+        break;
+      }
       const Rid target_rid = hit->second;
       resolved.emplace(step.fk.to_table, target_rid);
       std::vector<storage::Value> target_row =
           step.target->RowAt(target_rid);
       wide_row.insert(wide_row.end(), target_row.begin(), target_row.end());
     }
-    rows_->AppendRow(wide_row);
+    if (complete) rows_->AppendRow(wide_row);
   }
 }
 

@@ -1,5 +1,8 @@
 #include "statistics/statistics_catalog.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/macros.h"
 
 namespace robustqo {
@@ -38,6 +41,7 @@ Status StatisticsCatalog::BuildHistogram(const std::string& table,
 }
 
 void StatisticsCatalog::BuildAllSamples(const StatisticsConfig& config) {
+  build_config_ = config;
   Rng rng(config.seed);
   for (const std::string& name : catalog_->TableNames()) {
     const storage::Table* table = catalog_->GetTable(name);
@@ -48,6 +52,12 @@ void StatisticsCatalog::BuildAllSamples(const StatisticsConfig& config) {
     synopses_[name] = std::make_unique<JoinSynopsis>(
         *catalog_, name, config.sample_size, config.sampling_mode,
         &synopsis_rng);
+    // A full build is the maintenance baseline: restart the modification
+    // counter and the reservoir's stream, clear any pending flag.
+    Maintenance* state = GetOrCreateMaintenance(name);
+    state->policy.RecordRebuild(table->VisibleRowCount());
+    state->reservoir->Reset();
+    state->pending_rebuild = false;
   }
   BumpEpoch();
 }
@@ -180,6 +190,126 @@ std::vector<const JoinSynopsis*> StatisticsCatalog::AllSynopses() const {
     out.push_back(synopsis.get());
   }
   return out;
+}
+
+StatisticsCatalog::Maintenance* StatisticsCatalog::GetOrCreateMaintenance(
+    const std::string& table) {
+  auto it = maintenance_.find(table);
+  if (it == maintenance_.end()) {
+    Maintenance state;
+    // Each table's reservoir draws from an independent deterministic
+    // stream (same per-site idiom as the fault injector).
+    state.reservoir = std::make_unique<ReservoirSample<ReservoirRow>>(
+        build_config_.sample_size,
+        build_config_.seed ^ std::hash<std::string>{}(table));
+    it = maintenance_.emplace(table, std::move(state)).first;
+  }
+  return &it->second;
+}
+
+Status StatisticsCatalog::ObserveCommit(
+    const std::string& table, const std::vector<ReservoirRow>& inserted_rows,
+    uint64_t rows_deleted) {
+  if (catalog_->GetTable(table) == nullptr) {
+    return Status::NotFound("table " + table);
+  }
+  // Fault probe first, mutation after: a fired site leaves reservoir and
+  // policy exactly as they were, and the caller rolls the write back.
+  if (fault_ != nullptr) {
+    Status injected = fault_->Check(fault::sites::kReservoirUpdate);
+    if (!injected.ok()) {
+      return Status(injected.code(), injected.message() +
+                                         " updating reservoir for " + table);
+    }
+  }
+  Maintenance* state = GetOrCreateMaintenance(table);
+  for (const ReservoirRow& row : inserted_rows) state->reservoir->Add(row);
+  state->policy.RecordModifications(inserted_rows.size() + rows_deleted);
+  if (state->policy.RebuildDue()) state->pending_rebuild = true;
+  return Status::OK();
+}
+
+void StatisticsCatalog::MarkPendingRebuild(const std::string& table) {
+  if (catalog_->GetTable(table) == nullptr) return;
+  GetOrCreateMaintenance(table)->pending_rebuild = true;
+}
+
+std::vector<std::string> StatisticsCatalog::TablesPendingRebuild() const {
+  std::vector<std::string> tables;
+  for (const auto& [table, state] : maintenance_) {
+    if (state.pending_rebuild) tables.push_back(table);
+  }
+  return tables;  // maintenance_ is an ordered map: already sorted
+}
+
+Status StatisticsCatalog::RebuildTableStatistics(const std::string& table) {
+  const storage::Table* t = catalog_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+
+  for (const auto& col : t->schema().columns()) {
+    if (col.type == storage::DataType::kString) continue;
+    histograms_[HistKey(table, col.name)] = std::make_unique<EquiDepthHistogram>(
+        *t, col.name, build_config_.histogram_buckets);
+  }
+
+  // Redraw the sample and every synopsis whose FK closure includes this
+  // table. Folding the epoch into the seed makes successive rebuilds
+  // independent draws while staying deterministic.
+  const uint64_t rebuild_seed = build_config_.seed + epoch_ + 1;
+  {
+    Rng rng(rebuild_seed ^ std::hash<std::string>{}(table));
+    samples_[table] = std::make_unique<TableSample>(
+        *t, build_config_.sample_size, build_config_.sampling_mode, &rng);
+  }
+  std::vector<std::string> roots;
+  for (const auto& [root, synopsis] : synopses_) {
+    if (synopsis->covered_tables().count(table) > 0) roots.push_back(root);
+  }
+  std::sort(roots.begin(), roots.end());
+  for (const std::string& root : roots) {
+    Rng rng(rebuild_seed ^ std::hash<std::string>{}(root));
+    synopses_[root] = std::make_unique<JoinSynopsis>(
+        *catalog_, root, build_config_.sample_size,
+        build_config_.sampling_mode, &rng);
+  }
+
+  Maintenance* state = GetOrCreateMaintenance(table);
+  state->policy.RecordRebuild(t->VisibleRowCount());
+  state->reservoir->Reset();
+  state->pending_rebuild = false;
+  BumpEpoch();
+  return Status::OK();
+}
+
+uint64_t StatisticsCatalog::RebuildAllPending() {
+  uint64_t rebuilt = 0;
+  for (const std::string& table : TablesPendingRebuild()) {
+    if (RebuildTableStatistics(table).ok()) ++rebuilt;
+  }
+  return rebuilt;
+}
+
+std::vector<StatisticsCatalog::MaintenanceEntry>
+StatisticsCatalog::MaintenanceState() const {
+  std::vector<MaintenanceEntry> entries;
+  entries.reserve(maintenance_.size());
+  for (const auto& [table, state] : maintenance_) {
+    MaintenanceEntry entry;
+    entry.table = table;
+    entry.reservoir_seen = state.reservoir->seen();
+    entry.reservoir_filled = state.reservoir->items().size();
+    entry.reservoir_capacity = state.reservoir->capacity();
+    entry.modifications = state.policy.modifications_since_rebuild();
+    entry.pending_rebuild = state.pending_rebuild;
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+const ReservoirSample<StatisticsCatalog::ReservoirRow>*
+StatisticsCatalog::Reservoir(const std::string& table) const {
+  auto it = maintenance_.find(table);
+  return it == maintenance_.end() ? nullptr : it->second.reservoir.get();
 }
 
 size_t StatisticsCatalog::ApproximateSummaryBytes() const {

@@ -8,6 +8,7 @@
 #ifndef ROBUSTQO_STATISTICS_STATISTICS_CATALOG_H_
 #define ROBUSTQO_STATISTICS_STATISTICS_CATALOG_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -17,6 +18,7 @@
 #include "fault/fault_injector.h"
 #include "statistics/histogram.h"
 #include "statistics/join_synopsis.h"
+#include "statistics/reservoir.h"
 #include "statistics/sample.h"
 #include "storage/catalog.h"
 #include "util/rng.h"
@@ -122,8 +124,75 @@ class StatisticsCatalog {
   std::vector<const TableSample*> AllSamples() const;
   std::vector<const JoinSynopsis*> AllSynopses() const;
 
+  // --- Online maintenance (paper Section 3.2's "periodically whenever a
+  // sufficient number of database modifications have occurred", made
+  // continuous) ---------------------------------------------------------
+  //
+  // Committed DML feeds a per-table Algorithm-R reservoir (a uniform
+  // sample of the insert stream since the last rebuild) and a
+  // SampleMaintenancePolicy; once modifications pass the policy's
+  // threshold the table is flagged pending and the next background
+  // rebuild redraws its histograms/sample/synopses and bumps the
+  // statistics epoch — which is what lazily invalidates cached plans.
+
+  /// The per-tuple reservoir row type.
+  using ReservoirRow = std::vector<storage::Value>;
+
+  /// Observes one committed batch against `table`. Probes the
+  /// stats.reservoir.update fault site first and mutates nothing when it
+  /// fires — callers run this as the last fallible step before a commit
+  /// publishes, so sample and table always move together. Does NOT bump
+  /// the statistics epoch (only a rebuild changes estimates).
+  Status ObserveCommit(const std::string& table,
+                       const std::vector<ReservoirRow>& inserted_rows,
+                       uint64_t rows_deleted);
+
+  /// Marks `table` stale regardless of modification volume (the quality
+  /// monitor's drift flag routes here).
+  void MarkPendingRebuild(const std::string& table);
+
+  /// Tables currently flagged for rebuild (sorted).
+  std::vector<std::string> TablesPendingRebuild() const;
+  bool RebuildPending() const { return !TablesPendingRebuild().empty(); }
+
+  /// Rebuilds histograms, the table sample, and every synopsis covering
+  /// `table` from current (visible) data; resets the table's maintenance
+  /// state and bumps the statistics epoch.
+  Status RebuildTableStatistics(const std::string& table);
+
+  /// Rebuilds every pending table; returns how many were rebuilt.
+  uint64_t RebuildAllPending();
+
+  /// Per-table maintenance snapshot for the shell's `.epoch` view.
+  struct MaintenanceEntry {
+    std::string table;
+    uint64_t reservoir_seen = 0;      ///< stream length since last rebuild
+    size_t reservoir_filled = 0;      ///< rows currently held
+    size_t reservoir_capacity = 0;
+    uint64_t modifications = 0;       ///< rows touched since last rebuild
+    bool pending_rebuild = false;
+  };
+  std::vector<MaintenanceEntry> MaintenanceState() const;
+
+  /// The reservoir for `table` (nullptr before its first observed commit);
+  /// test hook for the deterministic-replacement and rollback-consistency
+  /// suites.
+  const ReservoirSample<ReservoirRow>* Reservoir(
+      const std::string& table) const;
+
+  /// The configuration the next background rebuild uses — remembered from
+  /// the last BuildAllSamples call.
+  const StatisticsConfig& build_config() const { return build_config_; }
+
  private:
   void BumpEpoch() { ++epoch_; }
+
+  struct Maintenance {
+    std::unique_ptr<ReservoirSample<ReservoirRow>> reservoir;
+    SampleMaintenancePolicy policy;
+    bool pending_rebuild = false;
+  };
+  Maintenance* GetOrCreateMaintenance(const std::string& table);
 
   const storage::Catalog* catalog_;
   uint64_t epoch_ = 0;
@@ -132,6 +201,8 @@ class StatisticsCatalog {
       histograms_;  // "table.column"
   std::unordered_map<std::string, std::unique_ptr<TableSample>> samples_;
   std::unordered_map<std::string, std::unique_ptr<JoinSynopsis>> synopses_;
+  std::map<std::string, Maintenance> maintenance_;
+  StatisticsConfig build_config_;
 };
 
 }  // namespace stats

@@ -63,6 +63,38 @@ Status Catalog::BuildIndex(const std::string& table,
   return Status::OK();
 }
 
+std::vector<std::string> Catalog::IndexedColumnsOf(
+    const std::string& table) const {
+  std::vector<std::string> columns;
+  const std::string prefix = table + ".";
+  for (const auto& [key, index] : indexes_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      columns.push_back(key.substr(prefix.size()));
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  return columns;
+}
+
+void Catalog::RebuildIndexesFor(const std::string& table) {
+  for (const std::string& column : IndexedColumnsOf(table)) {
+    BuildIndex(table, column);
+  }
+}
+
+void Catalog::RevertWritesAfter(uint64_t epoch) {
+  for (const std::string& name : TableNames()) {
+    Table* table = GetMutableTable(name);
+    if (!table->versioned()) continue;
+    const uint64_t before = table->num_rows();
+    table->RevertWritesAfter(epoch);
+    // Only re-sort indexes whose physical row set actually shrank; delete
+    // stamp clearing does not move entries.
+    if (table->num_rows() != before) RebuildIndexesFor(name);
+  }
+  if (data_epoch_ > epoch) data_epoch_ = epoch;
+}
+
 const Table* Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

@@ -50,6 +50,15 @@ class Catalog {
   /// Builds (or rebuilds) a secondary index on `table.column`.
   Status BuildIndex(const std::string& table, const std::string& column);
 
+  /// Columns of `table` that carry a secondary index (sorted by name).
+  std::vector<std::string> IndexedColumnsOf(const std::string& table) const;
+
+  /// Rebuilds every secondary index on `table` from its current physical
+  /// contents. Indexes cover every physical row version — including
+  /// delete-stamped ones — so scans at any snapshot stay correct; the
+  /// scan operators filter per-RID visibility.
+  void RebuildIndexesFor(const std::string& table);
+
   /// Lookup. GetTable/GetIndex return nullptr when absent.
   const Table* GetTable(const std::string& name) const;
   Table* GetMutableTable(const std::string& name);
@@ -93,6 +102,33 @@ class Catalog {
   /// (excluding `table` itself).
   std::set<std::string> ReachableViaForeignKeys(const std::string& table) const;
 
+  // --- Data (snapshot) epoch -------------------------------------------
+  //
+  // A monotonic counter bumped once per committed DML batch. Row versions
+  // are stamped with it and readers pin a snapshot of it; it is distinct
+  // from the *statistics* epoch on StatisticsCatalog, which only advances
+  // when statistics are rebuilt (so plan-cache entries survive writes
+  // until the estimates they were built from actually change).
+
+  /// Epoch of the most recent committed write (0 = only bulk-loaded data).
+  uint64_t data_epoch() const { return data_epoch_; }
+
+  /// Reserves and returns the next data epoch for a commit in flight.
+  /// The caller stamps row versions with it; once the commit is published
+  /// the epoch is visible through data_epoch(). An aborted commit calls
+  /// AbandonDataEpoch to hand it back.
+  uint64_t BeginDataEpoch() { return data_epoch_ + 1 + pending_epochs_++; }
+  void AbandonDataEpoch() { --pending_epochs_; }
+  void PublishDataEpoch(uint64_t epoch) {
+    --pending_epochs_;
+    if (epoch > data_epoch_) data_epoch_ = epoch;
+  }
+
+  /// Reverts every table to its state as of `epoch` and rewinds the data
+  /// epoch. Indexes on reverted tables are rebuilt. Used by harnesses to
+  /// restore shared state between chaos runs.
+  void RevertWritesAfter(uint64_t epoch);
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::string> primary_keys_;
@@ -100,6 +136,8 @@ class Catalog {
   std::vector<ForeignKey> fks_;
   // "table.column" -> index
   std::unordered_map<std::string, std::unique_ptr<SortedIndex>> indexes_;
+  uint64_t data_epoch_ = 0;
+  uint64_t pending_epochs_ = 0;
 };
 
 }  // namespace storage

@@ -77,6 +77,21 @@ void ColumnVector::Reserve(size_t n) {
   }
 }
 
+void ColumnVector::Truncate(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      if (n < ints_.size()) ints_.resize(n);
+      return;
+    case DataType::kDouble:
+      if (n < doubles_.size()) doubles_.resize(n);
+      return;
+    case DataType::kString:
+      if (n < strings_.size()) strings_.resize(n);
+      return;
+  }
+}
+
 Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
   columns_.reserve(schema_.num_columns());
@@ -118,6 +133,107 @@ void Table::FinalizeBulkLoad() {
 
 void Table::Reserve(size_t n) {
   for (auto& col : columns_) col->Reserve(n);
+}
+
+void Table::EnsureVersioned() {
+  if (versioned_) return;
+  versioned_ = true;
+  insert_epochs_.assign(num_rows_, 0);
+  delete_epochs_.assign(num_rows_, 0);
+}
+
+void Table::AppendRowVersioned(const std::vector<Value>& values,
+                               uint64_t epoch) {
+  EnsureVersioned();
+  AppendRow(values);
+  insert_epochs_.push_back(epoch);
+  delete_epochs_.push_back(0);
+}
+
+bool Table::MarkDeleted(Rid rid, uint64_t epoch) {
+  EnsureVersioned();
+  RQO_DCHECK(rid < num_rows_);
+  if (delete_epochs_[rid] != 0) return false;
+  delete_epochs_[rid] = epoch;
+  return true;
+}
+
+void Table::ClearDelete(Rid rid) {
+  RQO_DCHECK(versioned_ && rid < num_rows_);
+  delete_epochs_[rid] = 0;
+}
+
+void Table::TruncateRows(uint64_t n) {
+  RQO_DCHECK(versioned_);
+  if (n >= num_rows_) return;
+  for (auto& col : columns_) col->Truncate(n);
+  insert_epochs_.resize(n);
+  delete_epochs_.resize(n);
+  num_rows_ = n;
+}
+
+uint64_t Table::VisibleRowCount(uint64_t snapshot) const {
+  if (!versioned_) return num_rows_;
+  uint64_t visible = 0;
+  for (Rid r = 0; r < num_rows_; ++r) {
+    if (VisibleAt(r, snapshot)) ++visible;
+  }
+  return visible;
+}
+
+void Table::RevertWritesAfter(uint64_t epoch) {
+  if (!versioned_) return;
+  // Appends are stamped with monotonically nondecreasing epochs, so the
+  // rows to drop form a suffix.
+  uint64_t keep = num_rows_;
+  while (keep > 0 && insert_epochs_[keep - 1] > epoch) --keep;
+  TruncateRows(keep);
+  for (Rid r = 0; r < num_rows_; ++r) {
+    if (delete_epochs_[r] > epoch) delete_epochs_[r] = 0;
+  }
+}
+
+namespace {
+
+inline uint64_t Fnv1aMix(uint64_t hash, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t Table::VisibleChecksum(uint64_t snapshot) const {
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (Rid r = 0; r < num_rows_; ++r) {
+    if (!VisibleAt(r, snapshot)) continue;
+    for (const auto& col : columns_) {
+      switch (col->type()) {
+        case DataType::kInt64:
+        case DataType::kDate: {
+          const int64_t v = col->Int64At(r);
+          hash = Fnv1aMix(hash, &v, sizeof(v));
+          break;
+        }
+        case DataType::kDouble: {
+          const double v = col->DoubleAt(r);
+          hash = Fnv1aMix(hash, &v, sizeof(v));
+          break;
+        }
+        case DataType::kString: {
+          const std::string& v = col->StringAt(r);
+          const uint64_t len = v.size();
+          hash = Fnv1aMix(hash, &len, sizeof(len));
+          hash = Fnv1aMix(hash, v.data(), v.size());
+          break;
+        }
+      }
+    }
+  }
+  return hash;
 }
 
 }  // namespace storage

@@ -225,6 +225,101 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
 
 }  // namespace
 
+namespace {
+
+// Visible checksum of every table, keyed by name — the state fingerprint
+// the atomic-commit contract compares.
+std::map<std::string, uint64_t> CatalogChecksums(
+    const storage::Catalog& catalog) {
+  std::map<std::string, uint64_t> sums;
+  for (const std::string& name : catalog.TableNames()) {
+    sums[name] = catalog.GetTable(name)->VisibleChecksum();
+  }
+  return sums;
+}
+
+}  // namespace
+
+ChaosReport ChaosHarness::RunDml(const ChaosConfig& config,
+                                 const std::vector<std::string>& statements) {
+  ChaosReport report;
+  if (statements.empty()) return report;
+
+  db_->fault_injector()->DisarmAll();
+  db_->SetGovernorLimits({});
+  const uint64_t pre_epoch = db_->catalog()->data_epoch();
+  const std::map<std::string, uint64_t> pre_sums =
+      CatalogChecksums(*db_->catalog());
+
+  // Fault-free committed reference per statement: execute it cleanly,
+  // fingerprint the committed state, then revert so every statement (and
+  // later every chaotic run) starts from the same base state.
+  std::vector<std::map<std::string, uint64_t>> committed_sums;
+  committed_sums.reserve(statements.size());
+  for (const std::string& statement : statements) {
+    Result<core::StatementResult> clean = db_->ExecuteStatement(statement);
+    RQO_CHECK_MSG(clean.ok() && clean.value().dml.has_value(),
+                  "chaos DML reference execution failed");
+    committed_sums.push_back(CatalogChecksums(*db_->catalog()));
+    db_->catalog()->RevertWritesAfter(pre_epoch);
+    RQO_CHECK_MSG(CatalogChecksums(*db_->catalog()) == pre_sums,
+                  "chaos DML revert did not restore the base state");
+  }
+
+  for (size_t i = 0; i < config.runs; ++i) {
+    const uint64_t seed = config.base_seed + i;
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    const size_t qi = i % statements.size();
+
+    db_->fault_injector()->Reseed(seed);
+    ChaosRunOutcome outcome;
+    outcome.seed = seed;
+    std::vector<std::string> armed_sites;
+    outcome.armed = ArmRandomFaults(db_->fault_injector(), &rng,
+                                    config.arm_probability, &armed_sites);
+    if (rng.NextBernoulli(config.governor_probability)) {
+      db_->SetGovernorLimits(RandomGovernorLimits(&rng));
+    }
+
+    Result<core::StatementResult> result =
+        db_->ExecuteStatement(statements[qi]);
+    const std::map<std::string, uint64_t> after =
+        CatalogChecksums(*db_->catalog());
+
+    ++report.runs;
+    for (const std::string& site : armed_sites) ++report.armed_counts[site];
+    if (result.ok()) {
+      outcome.executed = true;
+      outcome.verified = (after == committed_sums[qi]);
+      if (outcome.verified) {
+        ++report.completed;
+      } else {
+        outcome.error = "committed state differs from reference";
+        report.violations.push_back(outcome);
+      }
+    } else {
+      outcome.code = result.status().code();
+      outcome.error = result.status().ToString();
+      ++report.failures_by_code[StatusCodeName(outcome.code)];
+      const bool rolled_back = (after == pre_sums);
+      if (IsCleanFailure(outcome.code) && rolled_back) {
+        ++report.failed_typed;
+      } else {
+        if (!rolled_back) {
+          outcome.error += " [rollback incomplete: state differs from "
+                           "pre-write]";
+        }
+        report.violations.push_back(outcome);
+      }
+    }
+
+    db_->fault_injector()->DisarmAll();
+    db_->SetGovernorLimits({});
+    db_->catalog()->RevertWritesAfter(pre_epoch);
+  }
+  return report;
+}
+
 ChaosReport ChaosHarness::Run(const ChaosConfig& config,
                               const std::vector<opt::QuerySpec>& queries) {
   ChaosReport report;

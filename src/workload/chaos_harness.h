@@ -105,6 +105,24 @@ class ChaosHarness {
   ChaosReport Run(const ChaosConfig& config,
                   const std::vector<opt::QuerySpec>& queries);
 
+  /// Write-path sweep: seeded fault configurations round-robin over DML
+  /// `statements` (INSERT/UPDATE/DELETE SQL), checking the atomic-commit
+  /// contract — after every run, the visible checksum of every table
+  /// equals either the pre-write state (the write failed with a clean
+  /// typed Status and rolled back completely) or the fully-committed
+  /// fault-free reference (the write succeeded). Anything in between —
+  /// a partial apply surviving a failure, or a "successful" commit whose
+  /// state differs from the reference — is a contract violation. Runs
+  /// execute sequentially against the harness database; each run's
+  /// committed effects are reverted (Catalog::RevertWritesAfter) before
+  /// the next, so every run starts from identical state and the sweep is
+  /// replayable from config.base_seed alone. In the report, `completed`
+  /// counts verified commits and `failed_typed` counts clean full
+  /// rollbacks. The parallel `database_factory`, `metrics` and
+  /// `flight_recorder` knobs are ignored on this path.
+  ChaosReport RunDml(const ChaosConfig& config,
+                     const std::vector<std::string>& statements);
+
  private:
   core::Database* db_;
 };

@@ -29,7 +29,27 @@ struct Client {
   double due = 0.0;
   /// Rotating cursor into the statement list.
   size_t cursor = 0;
+  /// Rotating cursor into the write-statement list.
+  size_t write_cursor = 0;
+  /// Issues this client has resolved (not advanced by rejected retries, so
+  /// the retried issue redraws the same read/write kind).
+  uint64_t issue_ordinal = 0;
 };
+
+/// Random-access per-issue write decision: a pure hash of (client seed,
+/// issue ordinal), so the kind never depends on scheduling or on how many
+/// think-time draws the client's sequential stream has consumed.
+bool IsWriteIssue(const TrafficConfig& config, size_t client_id,
+                  uint64_t ordinal) {
+  if (config.write_fraction <= 0.0 || config.write_statements.empty()) {
+    return false;
+  }
+  const uint64_t h = perf::TaskSeed(
+      config.base_seed ^ 0x9e3779b97f4a7c15ULL, client_id * 0x10001 + ordinal);
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 53-bit
+  return u < config.write_fraction;
+}
 
 }  // namespace
 
@@ -45,6 +65,16 @@ std::string TrafficReport::Summary() const {
       static_cast<unsigned long long>(batches));
   out += StrPrintf("  duration=%.3f simulated s  throughput=%.6f qps\n",
                    duration_seconds, throughput_qps);
+  if (writes_issued > 0) {
+    out += StrPrintf(
+        "  writes: issued=%llu committed=%llu rows=%llu commit_retries=%llu "
+        "final_epoch=%llu\n",
+        static_cast<unsigned long long>(writes_issued),
+        static_cast<unsigned long long>(writes_committed),
+        static_cast<unsigned long long>(write_rows),
+        static_cast<unsigned long long>(commit_retries),
+        static_cast<unsigned long long>(final_data_epoch));
+  }
   out += StrPrintf(
       "  latency (simulated s): p50=%.6f p90=%.6f p99=%.6f max=%.6f n=%llu\n",
       latency.Quantile(0.5), latency.Quantile(0.9), latency.Quantile(0.99),
@@ -109,6 +139,10 @@ TrafficReport RunTraffic(server::QueryService* service,
       service->Prepare(client.session, StrPrintf("q%zu", s),
                        config.statements[s]);
     }
+    for (size_t s = 0; s < config.write_statements.size(); ++s) {
+      service->Prepare(client.session, StrPrintf("w%zu", s),
+                       config.write_statements[s]);
+    }
     // Staggered first issue so the whole population doesn't arrive at t=0.
     const double mean = config.mode == TrafficMode::kClosedLoop
                             ? config.think_seconds
@@ -143,13 +177,22 @@ TrafficReport RunTraffic(server::QueryService* service,
     });
 
     std::vector<server::QueryRequest> requests;
+    std::vector<bool> is_write;
     requests.reserve(batch.size());
+    is_write.reserve(batch.size());
     for (size_t id : batch) {
       Client& client = clients[id];
-      requests.push_back(server::QueryRequest::Prepared(
-          client.session,
-          StrPrintf("q%zu", client.cursor % config.statements.size())));
-      ++client.cursor;
+      const bool write = IsWriteIssue(config, client.id, client.issue_ordinal);
+      is_write.push_back(write);
+      const std::string name =
+          write ? StrPrintf("w%zu",
+                            client.write_cursor % config.write_statements.size())
+                : StrPrintf("q%zu", client.cursor % config.statements.size());
+      requests.push_back(
+          server::QueryRequest::Prepared(client.session, name));
+      // Cursors and the issue ordinal only advance once the response is
+      // known non-rejected, so a rejected retry re-issues the same
+      // statement as the same kind.
     }
     std::vector<server::QueryResponse> responses =
         service->ExecuteBatch(requests);
@@ -159,17 +202,25 @@ TrafficReport RunTraffic(server::QueryService* service,
       Client& client = clients[batch[b]];
       const server::QueryResponse& response = responses[b];
       ++report.issued;
+      if (is_write[b]) ++report.writes_issued;
       const double next_mean = config.mode == TrafficMode::kClosedLoop
                                    ? config.think_seconds
                                    : config.interarrival_seconds;
       if (response.status.ok()) {
         // End-to-end simulated latency: queueing (admission waves) +
-        // planning charge on a cold plan + execution.
+        // planning charge on a cold plan + execution. Writes skip the
+        // planner entirely, so they carry no plan charge and report no
+        // execution cost meter — their service component is queueing only.
         const double queue_wait = static_cast<double>(response.waves_waited) *
                                   config.wave_delay_seconds;
-        const double service_seconds =
-            response.result->simulated_seconds +
-            (response.cache_hit ? 0.0 : config.plan_charge_seconds);
+        const double exec_seconds =
+            response.result.has_value() ? response.result->simulated_seconds
+                                        : 0.0;
+        const double plan_seconds =
+            (response.cache_hit || response.dml.has_value())
+                ? 0.0
+                : config.plan_charge_seconds;
+        const double service_seconds = exec_seconds + plan_seconds;
         const double latency = queue_wait + service_seconds;
         report.latency.Observe(latency);
         report.queue_wait.Observe(queue_wait);
@@ -178,6 +229,20 @@ TrafficReport RunTraffic(server::QueryService* service,
             std::max(report.latency_max_seconds, latency);
         ++report.completed;
         if (response.cache_hit) ++report.cache_hits;
+        if (response.dml.has_value()) {
+          ++report.writes_committed;
+          report.write_rows += response.dml->rows_inserted +
+                               response.dml->rows_deleted;
+          if (response.dml->retry.attempts > 1) {
+            report.commit_retries += response.dml->retry.attempts - 1;
+          }
+        }
+        if (is_write[b]) {
+          ++client.write_cursor;
+        } else {
+          ++client.cursor;
+        }
+        ++client.issue_ordinal;
         if (config.mode == TrafficMode::kClosedLoop) {
           client.due = client.due + latency + ExpDraw(&client.rng, next_mean);
         } else {
@@ -187,12 +252,17 @@ TrafficReport RunTraffic(server::QueryService* service,
                  (response.status.code() == StatusCode::kResourceExhausted ||
                   response.status.code() == StatusCode::kUnavailable)) {
         // Typed admission rejection: the client backs off and retries the
-        // same statement.
+        // same statement (cursors and ordinal untouched).
         ++report.rejected;
-        --client.cursor;
         client.due = client.due + config.retry_backoff_seconds;
       } else {
         ++report.failed;
+        if (is_write[b]) {
+          ++client.write_cursor;
+        } else {
+          ++client.cursor;
+        }
+        ++client.issue_ordinal;
         client.due = client.due + ExpDraw(&client.rng, next_mean);
       }
     }
@@ -201,6 +271,7 @@ TrafficReport RunTraffic(server::QueryService* service,
   for (Client& client : clients) service->CloseSession(client.session);
   report.admission = service->admission()->stats();
   report.plan_cache = service->plan_cache()->stats();
+  report.final_data_epoch = service->database()->catalog()->data_epoch();
   report.throughput_qps =
       config.duration_seconds > 0.0
           ? static_cast<double>(report.completed) / config.duration_seconds

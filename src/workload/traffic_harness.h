@@ -69,6 +69,15 @@ struct TrafficConfig {
   /// Confidence thresholds rotated across client sessions (0 = inherit the
   /// system default). Empty behaves like {0}.
   std::vector<double> thresholds;
+  /// Fraction of issues that are writes (0 = read-only). The per-issue
+  /// read/write choice is a random-access hash of (client seed, issue
+  /// ordinal), so an admission-rejected issue retries as the same kind and
+  /// the mix is independent of scheduling.
+  double write_fraction = 0.0;
+  /// DML statements write issues rotate through (PREPAREd per session like
+  /// the read statements). Ignored when write_fraction <= 0; a positive
+  /// write_fraction with an empty list degrades to read-only.
+  std::vector<std::string> write_statements;
 };
 
 /// Aggregate outcome of a traffic run.
@@ -79,6 +88,15 @@ struct TrafficReport {
   uint64_t rejected = 0;  ///< typed admission rejections (retried)
   uint64_t cache_hits = 0;
   uint64_t batches = 0;
+  /// Write-path tallies (all zero on read-only runs; the Summary() block
+  /// adds its "writes:" line only when at least one write was issued, so
+  /// read-only summaries are byte-identical to pre-write-path ones).
+  uint64_t writes_issued = 0;
+  uint64_t writes_committed = 0;
+  uint64_t write_rows = 0;       ///< row versions written (inserts+deletes)
+  uint64_t commit_retries = 0;   ///< extra commit attempts beyond the first
+  /// Data epoch after the run — how many DML commits published.
+  uint64_t final_data_epoch = 0;
   double duration_seconds = 0.0;
   /// completed / duration.
   double throughput_qps = 0.0;

@@ -113,6 +113,69 @@ TEST_F(ChaosTest, MultiSessionSweepHoldsContractThroughTheServiceLayer) {
   EXPECT_EQ(report.Summary(), again.Summary());
 }
 
+std::vector<std::string> DmlStatements() {
+  return {
+      "UPDATE orders SET o_totalprice = o_totalprice * 1.01 "
+      "WHERE o_orderkey < 40",
+      "INSERT INTO lineitem VALUES (1, 1, 1, 99, 10.0, 1000.0, 0.05, "
+      "DATE '1995-06-17', DATE '1995-07-01', DATE '1995-07-15')",
+      "DELETE FROM orders WHERE o_orderkey > 1000000",
+  };
+}
+
+TEST_F(ChaosTest, DmlSweepHoldsTheAtomicCommitContract) {
+  // The write-path sweep: seeded fault configurations (including the
+  // storage.write.apply / storage.write.commit / stats.reservoir.update
+  // sites) over INSERT/UPDATE/DELETE. The contract is checked by table
+  // checksum — after every run the catalog equals either the pre-write
+  // state (clean full rollback) or the fault-free committed reference
+  // (the retry healed it). Anything in between is a torn write.
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.base_seed = 20260808;
+  config.runs = 150;
+  workload::ChaosReport report = harness.RunDml(config, DmlStatements());
+  EXPECT_EQ(report.runs, 150u);
+  EXPECT_TRUE(report.ContractHolds()) << report.Summary();
+  EXPECT_EQ(report.completed + report.failed_typed, report.runs);
+  // Both outcomes must occur: commits surviving their faults AND clean
+  // typed rollbacks.
+  EXPECT_GT(report.completed, 10u) << report.Summary();
+  EXPECT_GT(report.failed_typed, 10u) << report.Summary();
+  // The write-path sites were armed across the sweep.
+  EXPECT_GT(report.armed_counts["storage.write.apply"], 0u);
+  EXPECT_GT(report.armed_counts["storage.write.commit"], 0u);
+  EXPECT_GT(report.armed_counts["stats.reservoir.update"], 0u);
+}
+
+TEST_F(ChaosTest, DmlSweepIsReplayableBitForBit) {
+  workload::ChaosHarness harness(db_);
+  workload::ChaosConfig config;
+  config.base_seed = 424242;
+  config.runs = 40;
+  workload::ChaosReport a = harness.RunDml(config, DmlStatements());
+  workload::ChaosReport b = harness.RunDml(config, DmlStatements());
+  EXPECT_TRUE(a.ContractHolds()) << a.Summary();
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST_F(ChaosTest, DmlSweepLeavesDatabaseClean) {
+  workload::ChaosHarness harness(db_);
+  const uint64_t epoch_before = db_->catalog()->data_epoch();
+  workload::ChaosConfig config;
+  config.base_seed = 5;
+  config.runs = 20;
+  workload::ChaosReport report = harness.RunDml(config, DmlStatements());
+  EXPECT_TRUE(report.ContractHolds()) << report.Summary();
+  // Every run's effects were reverted: the data epoch and all faults and
+  // limits are back to the pre-sweep state.
+  EXPECT_EQ(db_->catalog()->data_epoch(), epoch_before);
+  for (const std::string& site : fault::KnownFaultSites()) {
+    EXPECT_FALSE(db_->fault_injector()->IsArmed(site)) << site;
+  }
+  EXPECT_TRUE(db_->governor_limits().Unlimited());
+}
+
 TEST_F(ChaosTest, HarnessLeavesDatabaseClean) {
   workload::ChaosHarness harness(db_);
   workload::ChaosConfig config;

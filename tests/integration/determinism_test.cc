@@ -189,6 +189,55 @@ TEST_F(DeterminismTest, TrafficHarnessSummaryIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(reference.empty());
 }
 
+// The write-path acceptance criterion: mixed read/write traffic — where
+// DML commits bump the data epoch, feed the statistics reservoir, and can
+// trigger background rebuilds mid-run — must produce a byte-identical
+// summary at every thread count. Writes apply sequentially in REDUCE and
+// reads pin to the wave-start snapshot, so the epoch sequence (and with
+// it every answer) is a pure function of the request sequence.
+TEST_F(DeterminismTest, MixedReadWriteTrafficSummaryIdenticalAcrossThreadCounts) {
+  workload::TrafficConfig config;
+  config.clients = 200;
+  config.duration_seconds = 20.0;
+  config.think_seconds = 4.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+  config.write_fraction = 0.25;
+  config.write_statements = {
+      "UPDATE readings SET r_value = r_value + 1 WHERE r_id < 20",
+      "INSERT INTO readings VALUES (9001, 25), (9002, 613)",
+      "DELETE FROM readings WHERE r_id = 9001",
+  };
+
+  std::string reference;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    server::ServerConfig server_config;
+    server_config.admission.max_concurrent = 8;
+    server_config.admission.max_queue_depth = 128;
+    server::QueryService service(db.get(), server_config);
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, config);
+    EXPECT_GT(report.completed, 100u);
+    EXPECT_GT(report.writes_committed, 0u);
+    EXPECT_EQ(report.final_data_epoch,
+              static_cast<uint64_t>(db->catalog()->data_epoch()));
+    const std::string summary = report.Summary();
+    if (threads == 1) {
+      reference = summary;
+    } else {
+      EXPECT_EQ(summary, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+  EXPECT_NE(reference.find("writes:"), std::string::npos);
+}
+
 // Chaos through the serving layer: with multi-session configs the sweep's
 // queries route through admission control and the plan cache, and the
 // report must still be byte-identical at every thread count.

@@ -65,6 +65,11 @@ TEST(ServerDriftTest, DriftedFingerprintEvictsItsCachedPlanUntilStatsRebuild) {
   config.quality.recent_window = 16;
   config.quality.min_observations = 8;
   config.quality.drift_factor = 4.0;
+  // This test exercises the *manual* recovery arc: drift must stay
+  // blocked until UpdateStatistics. With background rebuild on (the
+  // default) the service heals itself at the end of the flagging wave —
+  // that automatic arc is covered by online_maintenance_test.cc.
+  config.background_rebuild = false;
   server::QueryService service(&db, config);
   const server::SessionId session = service.OpenSession();
 

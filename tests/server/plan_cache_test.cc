@@ -160,6 +160,56 @@ TEST(PlanCacheTest, DriftInvalidationEvictsAndBlocksUntilStatsRebuild) {
             nullptr);
 }
 
+TEST(PlanCacheTest, DriftBlockAutoLiftsAtNewerEpoch) {
+  PlanCache cache(4);
+  const uint64_t drifted = 0xD01F;
+  cache.Insert(PlanCacheKey::Make(drifted, 0.5,
+                                  core::EstimatorKind::kRobustSample),
+               DummyPlan("stale"), /*epoch=*/3);
+  // Block the fingerprint, recording the epoch the block was imposed under.
+  cache.InvalidateFingerprint(drifted, /*blocked_epoch=*/3);
+  ASSERT_TRUE(cache.IsDriftBlocked(drifted));
+
+  // Same epoch: still blocked, re-inserts refused.
+  cache.Insert(PlanCacheKey::Make(drifted, 0.5,
+                                  core::EstimatorKind::kRobustSample),
+               DummyPlan("still-stale"), 3);
+  EXPECT_EQ(cache.stats().rejected_drifted, 1u);
+
+  // The background rebuild bumps the statistics epoch; the first insert at
+  // the newer epoch lifts the block automatically — no ClearDriftBlocks.
+  cache.Insert(PlanCacheKey::Make(drifted, 0.5,
+                                  core::EstimatorKind::kRobustSample),
+               DummyPlan("fresh"), /*epoch=*/4);
+  EXPECT_FALSE(cache.IsDriftBlocked(drifted));
+  EXPECT_EQ(cache.stats().drift_blocks_lifted, 1u);
+  ASSERT_NE(cache.Lookup(PlanCacheKey::Make(
+                             drifted, 0.5, core::EstimatorKind::kRobustSample),
+                         4),
+            nullptr);
+}
+
+TEST(PlanCacheTest, DriftBlockAutoLiftsOnLookupToo) {
+  PlanCache cache(4);
+  const uint64_t drifted = 0xD02F;
+  cache.InvalidateFingerprint(drifted, /*blocked_epoch=*/5);
+  ASSERT_TRUE(cache.IsDriftBlocked(drifted));
+
+  // A lookup at the imposing epoch leaves the block in place...
+  EXPECT_EQ(cache.Lookup(PlanCacheKey::Make(
+                             drifted, 0.5, core::EstimatorKind::kRobustSample),
+                         5),
+            nullptr);
+  EXPECT_TRUE(cache.IsDriftBlocked(drifted));
+  // ...and the first lookup at a later epoch lifts it.
+  EXPECT_EQ(cache.Lookup(PlanCacheKey::Make(
+                             drifted, 0.5, core::EstimatorKind::kRobustSample),
+                         6),
+            nullptr);
+  EXPECT_FALSE(cache.IsDriftBlocked(drifted));
+  EXPECT_EQ(cache.stats().drift_blocks_lifted, 1u);
+}
+
 TEST(PlanCacheTest, LookupFaultDegradesToCountedMiss) {
   fault::FaultInjector injector(3);
   injector.Arm(fault::sites::kPlanCacheLookup, fault::FaultSpec::FirstN(1));

@@ -1,0 +1,170 @@
+// Parser coverage for the DML surface: INSERT INTO … VALUES,
+// UPDATE … SET … WHERE, DELETE FROM … WHERE — happy paths, type
+// coercion, and the typed rejections for malformed statements.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "sql/parser.h"
+#include "storage/date.h"
+#include "tpch/tpch_gen.h"
+
+namespace robustqo {
+namespace sql {
+namespace {
+
+class DmlParserTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new core::Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(db_->catalog(), config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  DmlSpec MustParseDml(const std::string& text) {
+    Result<ParsedStatement> r = ParseStatement(*db_->catalog(), text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? r.value().dml : DmlSpec{};
+  }
+
+  Status ParseError(const std::string& text) {
+    Result<ParsedStatement> r = ParseStatement(*db_->catalog(), text);
+    EXPECT_FALSE(r.ok()) << text << " unexpectedly parsed";
+    return r.status();
+  }
+
+  static core::Database* db_;
+};
+
+core::Database* DmlParserTest::db_ = nullptr;
+
+TEST_F(DmlParserTest, SelectStillParsesAsQuery) {
+  Result<ParsedStatement> r =
+      ParseStatement(*db_->catalog(), "SELECT COUNT(*) FROM part");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind, StatementKind::kQuery);
+}
+
+TEST_F(DmlParserTest, InsertFullRow) {
+  DmlSpec dml = MustParseDml(
+      "INSERT INTO region VALUES (7, 'MIDDLE EARTH')");
+  EXPECT_EQ(dml.kind, StatementKind::kInsert);
+  EXPECT_EQ(dml.table, "region");
+  ASSERT_EQ(dml.insert_rows.size(), 1u);
+  ASSERT_EQ(dml.insert_rows[0].size(), 2u);
+  EXPECT_EQ(dml.insert_rows[0][0].AsInt64(), 7);
+  EXPECT_EQ(dml.insert_rows[0][1].AsString(), "MIDDLE EARTH");
+}
+
+TEST_F(DmlParserTest, InsertMultipleRows) {
+  DmlSpec dml = MustParseDml(
+      "INSERT INTO region VALUES (7, 'A'), (8, 'B'), (9, 'C')");
+  EXPECT_EQ(dml.insert_rows.size(), 3u);
+  EXPECT_EQ(dml.insert_rows[2][0].AsInt64(), 9);
+}
+
+TEST_F(DmlParserTest, InsertWithColumnListReordersToSchema) {
+  DmlSpec dml = MustParseDml(
+      "INSERT INTO region (r_name, r_regionkey) VALUES ('Z', 11)");
+  ASSERT_EQ(dml.insert_rows.size(), 1u);
+  // Rows come back in schema order regardless of the written column order.
+  EXPECT_EQ(dml.insert_rows[0][0].AsInt64(), 11);
+  EXPECT_EQ(dml.insert_rows[0][1].AsString(), "Z");
+}
+
+TEST_F(DmlParserTest, InsertCoercesIntToDoubleAndDate) {
+  DmlSpec dml = MustParseDml(
+      "INSERT INTO orders VALUES (90001, 1, DATE '1996-01-02', 100, 'HIGH')");
+  ASSERT_EQ(dml.insert_rows.size(), 1u);
+  // o_totalprice is a double column; the literal 100 widens at parse time.
+  EXPECT_EQ(dml.insert_rows[0][3].type(), storage::DataType::kDouble);
+  EXPECT_EQ(dml.insert_rows[0][3].AsDouble(), 100.0);
+  EXPECT_EQ(dml.insert_rows[0][2].type(), storage::DataType::kDate);
+}
+
+TEST_F(DmlParserTest, InsertRejectsUnknownTable) {
+  Status s = ParseError("INSERT INTO nowhere VALUES (1)");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(DmlParserTest, InsertRejectsArityMismatch) {
+  EXPECT_FALSE(ParseError("INSERT INTO region VALUES (7)").ok());
+}
+
+TEST_F(DmlParserTest, InsertRejectsPartialColumnList) {
+  // The column list must cover every column (no defaults in this engine).
+  EXPECT_FALSE(
+      ParseError("INSERT INTO region (r_regionkey) VALUES (7)").ok());
+}
+
+TEST_F(DmlParserTest, InsertRejectsTypeMismatch) {
+  EXPECT_FALSE(
+      ParseError("INSERT INTO region VALUES ('not a key', 'X')").ok());
+}
+
+TEST_F(DmlParserTest, UpdateWithArithmeticAndWhere) {
+  DmlSpec dml = MustParseDml(
+      "UPDATE orders SET o_totalprice = o_totalprice * 1.1 "
+      "WHERE o_orderkey < 100");
+  EXPECT_EQ(dml.kind, StatementKind::kUpdate);
+  EXPECT_EQ(dml.table, "orders");
+  ASSERT_EQ(dml.set_exprs.size(), 1u);
+  EXPECT_EQ(dml.set_exprs[0].first, "o_totalprice");
+  ASSERT_NE(dml.set_exprs[0].second, nullptr);
+  ASSERT_NE(dml.where, nullptr);
+}
+
+TEST_F(DmlParserTest, UpdateWithoutWhereTargetsEveryRow) {
+  DmlSpec dml = MustParseDml("UPDATE region SET r_name = 'SAME'");
+  EXPECT_EQ(dml.where, nullptr);
+}
+
+TEST_F(DmlParserTest, UpdateMultipleAssignments) {
+  DmlSpec dml = MustParseDml(
+      "UPDATE orders SET o_totalprice = 1.0, o_orderpriority = 'LOW' "
+      "WHERE o_orderkey = 1");
+  EXPECT_EQ(dml.set_exprs.size(), 2u);
+}
+
+TEST_F(DmlParserTest, UpdateRejectsUnknownColumn) {
+  EXPECT_FALSE(
+      ParseError("UPDATE orders SET o_nope = 1 WHERE o_orderkey = 1").ok());
+}
+
+TEST_F(DmlParserTest, UpdateRejectsColumnFromOtherTable) {
+  EXPECT_FALSE(
+      ParseError("UPDATE orders SET o_totalprice = 1 WHERE l_quantity > 0")
+          .ok());
+}
+
+TEST_F(DmlParserTest, DeleteWithWhere) {
+  DmlSpec dml =
+      MustParseDml("DELETE FROM lineitem WHERE l_linenumber = 99");
+  EXPECT_EQ(dml.kind, StatementKind::kDelete);
+  EXPECT_EQ(dml.table, "lineitem");
+  ASSERT_NE(dml.where, nullptr);
+}
+
+TEST_F(DmlParserTest, DeleteWithoutWhere) {
+  DmlSpec dml = MustParseDml("DELETE FROM region");
+  EXPECT_EQ(dml.where, nullptr);
+}
+
+TEST_F(DmlParserTest, DeleteRejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseError("DELETE FROM region extra tokens").ok());
+}
+
+TEST_F(DmlParserTest, ParseQueryStillRejectsDml) {
+  Result<opt::QuerySpec> r =
+      ParseQuery(*db_->catalog(), "DELETE FROM region");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace robustqo

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
+
+#include "fault/fault_injector.h"
+#include "statistics/statistics_catalog.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/write_batch.h"
 
 namespace robustqo {
 namespace stats {
@@ -63,6 +70,111 @@ TEST(MaintenancePolicyTest, TriggersAtFraction) {
   policy.RecordModifications(50);  // total 200 = 20% of 1000
   EXPECT_TRUE(policy.RebuildDue());
   EXPECT_EQ(policy.modifications_since_rebuild(), 200u);
+}
+
+TEST(ReservoirTest, ReplacementSequenceIsDeterministic) {
+  // Two identically-seeded reservoirs over the same stream keep exactly
+  // the same items in the same slots — the property the determinism
+  // contract extends to online maintenance.
+  ReservoirSample<int> a(16, 99);
+  ReservoirSample<int> b(16, 99);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(a.items(), b.items());
+  EXPECT_EQ(a.seen(), b.seen());
+
+  // A different seed diverges once replacement starts.
+  ReservoirSample<int> c(16, 100);
+  for (int i = 0; i < 5000; ++i) c.Add(i);
+  EXPECT_NE(a.items(), c.items());
+}
+
+TEST(ReservoirTest, ReplaySkipsPrefixIdentically) {
+  // The replacement decisions for the first k elements are independent of
+  // what comes later: replaying a longer stream reproduces the state the
+  // shorter one passed through (the reservoir is an online algorithm).
+  ReservoirSample<int> shorter(8, 7);
+  for (int i = 0; i < 200; ++i) shorter.Add(i);
+  std::vector<int> at_200 = shorter.items();
+
+  ReservoirSample<int> longer(8, 7);
+  for (int i = 0; i < 200; ++i) longer.Add(i);
+  EXPECT_EQ(longer.items(), at_200);
+  for (int i = 200; i < 400; ++i) longer.Add(i);
+  EXPECT_EQ(longer.seen(), 400u);
+}
+
+// Catalog-level consistency: the reservoir observes exactly the commits
+// that publish, so a faulted (rolled-back) write leaves it untouched.
+class ReservoirConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = std::make_unique<storage::Table>(
+        "t", storage::Schema({{"id", storage::DataType::kInt64}}));
+    for (int64_t i = 0; i < 20; ++i) {
+      table->AppendRow({storage::Value::Int64(i)});
+    }
+    ASSERT_TRUE(catalog_.AddTable(std::move(table)).ok());
+    table_ = catalog_.GetMutableTable("t");
+    statistics_ = std::make_unique<StatisticsCatalog>(&catalog_);
+  }
+
+  // Commits `rows` through a WriteBatch with the ObserveCommit pre-publish
+  // hook wired the way DmlExecutor wires it.
+  Result<storage::CommitStats> CommitInsert(int64_t first_id, int count) {
+    storage::WriteBatch batch(&catalog_, table_);
+    std::vector<StatisticsCatalog::ReservoirRow> rows;
+    for (int i = 0; i < count; ++i) {
+      std::vector<storage::Value> row = {storage::Value::Int64(first_id + i)};
+      batch.StageInsert(row);
+      rows.push_back(row);
+    }
+    return batch.Commit(statistics_->fault_injector(),
+                        [&](const storage::CommitStats&) {
+                          return statistics_->ObserveCommit("t", rows, 0);
+                        });
+  }
+
+  storage::Catalog catalog_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<StatisticsCatalog> statistics_;
+};
+
+TEST_F(ReservoirConsistencyTest, CommittedRowsFeedTheReservoir) {
+  ASSERT_TRUE(CommitInsert(100, 3).ok());
+  const auto* reservoir = statistics_->Reservoir("t");
+  ASSERT_NE(reservoir, nullptr);
+  EXPECT_EQ(reservoir->seen(), 3u);
+  EXPECT_EQ(reservoir->items().size(), 3u);
+  EXPECT_EQ(reservoir->items()[0][0].AsInt64(), 100);
+}
+
+TEST_F(ReservoirConsistencyTest, FaultedWriteLeavesSampleAndTableTogether) {
+  ASSERT_TRUE(CommitInsert(100, 3).ok());
+  const uint64_t table_checksum = table_->VisibleChecksum();
+
+  // Arm the reservoir-update site: the next commit must fail typed and
+  // roll back BOTH the table and the sample — they always move together.
+  fault::FaultInjector injector(13);
+  injector.Arm(fault::sites::kReservoirUpdate, fault::FaultSpec::FirstN(1));
+  statistics_->SetFaultInjector(&injector);
+
+  auto failed = CommitInsert(200, 5);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(table_->VisibleChecksum(), table_checksum);
+  const auto* reservoir = statistics_->Reservoir("t");
+  ASSERT_NE(reservoir, nullptr);
+  EXPECT_EQ(reservoir->seen(), 3u) << "rolled-back rows leaked into sample";
+
+  // The FirstN fault has passed: the retried commit lands and the sample
+  // advances in lockstep with the table.
+  auto healed = CommitInsert(200, 5);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(statistics_->Reservoir("t")->seen(), 8u);
+  EXPECT_EQ(table_->VisibleRowCount(), 28u);
 }
 
 TEST(MaintenancePolicyTest, RebuildResetsCounter) {

@@ -124,6 +124,63 @@ TEST(TrafficHarnessTest, SeedChangesTheTrafficButNotItsInvariants) {
   EXPECT_EQ(reseeded.completed + reseeded.rejected, reseeded.issued);
 }
 
+TrafficConfig MixedConfig() {
+  TrafficConfig config = SmallConfig();
+  config.write_fraction = 0.3;
+  config.write_statements = {
+      "UPDATE readings SET r_value = r_value + 1 WHERE r_id < 20",
+      "INSERT INTO readings VALUES (9001, 1), (9002, 2)",
+      "DELETE FROM readings WHERE r_id = 9001",
+  };
+  return config;
+}
+
+TEST(TrafficHarnessTest, MixedPopulationCommitsWritesAndKeepsInvariants) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  server::QueryService service(db.get());
+  const TrafficReport report = RunTraffic(&service, MixedConfig());
+
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.completed + report.rejected, report.issued);
+  // With write_fraction 0.3 over hundreds of issues, both populations ran.
+  EXPECT_GT(report.writes_issued, 0u);
+  EXPECT_LT(report.writes_issued, report.issued);
+  EXPECT_EQ(report.writes_committed, report.writes_issued);
+  EXPECT_GT(report.write_rows, 0u);
+  // The report's final epoch is the catalog's. (It can trail
+  // writes_committed: a write matching zero rows commits without
+  // publishing an epoch.)
+  EXPECT_EQ(report.final_data_epoch,
+            static_cast<uint64_t>(db->catalog()->data_epoch()));
+  EXPECT_GT(report.final_data_epoch, 0u);
+  // The summary grows a writes: line only for mixed runs.
+  EXPECT_NE(report.Summary().find("writes:"), std::string::npos);
+}
+
+TEST(TrafficHarnessTest, ReadOnlySummaryCarriesNoWritesLine) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  server::QueryService service(db.get());
+  const TrafficReport report = RunTraffic(&service, SmallConfig());
+  EXPECT_EQ(report.writes_issued, 0u);
+  EXPECT_EQ(report.final_data_epoch, 0u);
+  EXPECT_EQ(report.Summary().find("writes:"), std::string::npos);
+}
+
+TEST(TrafficHarnessTest, MixedRunIsReplayableFromTheConfigAlone) {
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    std::unique_ptr<core::Database> db = MakeDatabase();
+    server::QueryService service(db.get());
+    const TrafficReport report = RunTraffic(&service, MixedConfig());
+    if (round == 0) {
+      first = report.Summary();
+    } else {
+      EXPECT_EQ(report.Summary(), first)
+          << "same config + fresh database must replay byte-identically";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace workload
 }  // namespace robustqo
