@@ -1,0 +1,164 @@
+// Learning-loop overhead: the cost of the estimation feedback loop added
+// on top of the serving layer — per-request feedback-key capture at plan
+// time, a FeedbackStore::Observe per completed read in the reduce phase,
+// the learned-tier lookup inside every robust estimate, and the T% tuner
+// retune between waves.
+//
+// The enforced contract (docs/LEARNING.md): a traffic run with learning
+// enabled stays under 5% overhead versus the identical run with
+// SET LEARNING OFF. The `.learning` report render is reported as an
+// informational absolute cost, not gated.
+//
+// Usage: overhead_learning [--json out.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "core/database.h"
+#include "learning/feedback_store.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "workload/traffic_harness.h"
+
+using namespace robustqo;
+
+namespace {
+
+constexpr int kRounds = 5;
+constexpr int kItersPerRound = 3;
+
+// Best-of-rounds wall seconds for `body` run kItersPerRound times.
+template <typename Fn>
+double BestRoundSeconds(Fn&& body) {
+  double best = 1e100;
+  Stopwatch watch;
+  for (int round = 0; round < kRounds; ++round) {
+    watch.Restart();
+    for (int i = 0; i < kItersPerRound; ++i) body();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::unique_ptr<core::Database> MakeReadingsDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  if (!db->catalog()->AddTable(std::move(table)).ok()) std::abort();
+  db->UpdateStatistics();
+  return db;
+}
+
+workload::TrafficConfig MakeTraffic() {
+  workload::TrafficConfig config;
+  config.clients = 48;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ConsumeJsonFlag(&argc, argv);
+  const workload::TrafficConfig traffic = MakeTraffic();
+
+  // Baseline: learning off — the exact pre-learning serving path (no
+  // feedback-key capture, no Observe, no learned lookups, no retune).
+  std::unique_ptr<core::Database> base_db = MakeReadingsDatabase();
+  server::ServerConfig base_config;
+  base_config.admission.max_concurrent = 8;
+  base_config.admission.max_queue_depth = 128;
+  server::QueryService base_service(base_db.get(), base_config);
+  base_service.SetLearningEnabled(false);
+  auto run_base = [&] {
+    const workload::TrafficReport report =
+        workload::RunTraffic(&base_service, traffic);
+    if (report.completed == 0) std::abort();
+  };
+
+  // Instrumented: the full loop — every completed read feeds the store,
+  // every robust estimate consults it, the tuner retunes between waves.
+  std::unique_ptr<core::Database> learn_db = MakeReadingsDatabase();
+  server::QueryService learn_service(learn_db.get(), base_config);
+  auto run_learning = [&] {
+    const workload::TrafficReport report =
+        workload::RunTraffic(&learn_service, traffic);
+    if (report.completed == 0) std::abort();
+  };
+
+  // Warm both services (statistics, plan caches, allocator) untimed.
+  run_base();
+  run_learning();
+
+  const double baseline = BestRoundSeconds(run_base);
+  const double with_learning = BestRoundSeconds(run_learning);
+  const double learning_overhead = with_learning / baseline - 1.0;
+
+  // On-demand `.learning` render against the store the loop just filled.
+  std::string report_text;
+  const double report_render =
+      BestRoundSeconds([&] {
+        report_text = learn_service.LearningReportText();
+        if (report_text.empty()) std::abort();
+      }) /
+      kItersPerRound;
+
+  std::printf("traffic run (%llu clients), best of %d rounds x %d "
+              "iterations:\n",
+              static_cast<unsigned long long>(traffic.clients), kRounds,
+              kItersPerRound);
+  std::printf("  learning off:          %.4f s\n", baseline);
+  std::printf("  learning on:           %.4f s  (%+.1f%%)\n", with_learning,
+              learning_overhead * 100.0);
+  std::printf("  .learning render:      %.1f us/call (informational, "
+              "%zu bytes, %zu fingerprints, %llu observations)\n",
+              report_render * 1e6, report_text.size(),
+              learn_service.feedback_store()->fingerprints_tracked(),
+              static_cast<unsigned long long>(
+                  learn_service.feedback_store()->observations_total()));
+
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", "overhead_learning");
+    w.Field("baseline_seconds", baseline);
+    w.Field("with_learning_seconds", with_learning);
+    w.Field("learning_overhead", learning_overhead);
+    w.Field("report_render_seconds", report_render);
+    w.EndObject();
+    if (!bench::WriteJsonFile(json_path, w.str())) return 2;
+  }
+
+  // The enforced contract. The loop adds one map lookup per robust
+  // estimate and one map upsert per completed read — a small constant per
+  // request, so the measured value is normally a couple of percent with
+  // headroom for timer noise.
+  if (learning_overhead >= 0.05) {
+    std::printf("FAIL: learning overhead %.1f%% >= 5%%\n",
+                learning_overhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS: learning overhead under the 5%% bound\n");
+  return 0;
+}

@@ -22,6 +22,11 @@
 //                                   (Perfetto lanes grouped by session)
 //   .slo                            queue-wait/service/regret quantiles
 //                                   and threshold-breach counters
+//   .learning                       learning subsystem report: feedback
+//                                   store evidence (per-fingerprint Beta
+//                                   pseudo-counts fed by EXECUTE and
+//                                   EXPLAIN ANALYZE runs) and the regret-
+//                                   driven T% overrides
 //   .epoch                          data + statistics epochs and the
 //                                   per-table online-maintenance state
 //                                   (reservoir fill, modifications,
@@ -59,6 +64,9 @@
 //                                   results are identical at any setting
 //   SET BETA_CACHE_CAPACITY <n>     inverse-Beta LRU entries (default 4096)
 //   SET WRITE_FRACTION <0..1>       write share of the .traffic demo
+//   SET LEARNING ON|OFF             learned selectivity corrections + T%
+//                                   retuning (OFF reproduces the
+//                                   pre-learning estimates bit-for-bit)
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
@@ -114,8 +122,8 @@ void PrintResult(const core::ExecutionResult& result) {
 
 // Handles "SET FAULT ..." and "SET <LIMIT> ..." statements; returns false
 // when `line` is not a SET statement.
-bool HandleSet(core::Database* db, double* write_fraction,
-               const std::string& line) {
+bool HandleSet(core::Database* db, server::QueryService* service,
+               double* write_fraction, const std::string& line) {
   std::vector<std::string> tokens = SplitString(line, ' ');
   tokens.erase(std::remove(tokens.begin(), tokens.end(), std::string()),
                tokens.end());
@@ -212,6 +220,20 @@ bool HandleSet(core::Database* db, double* write_fraction,
         std::strtoull(tokens[2].c_str(), nullptr, 10));
     std::printf("inverse-beta cache capacity: %zu entries\n",
                 db->robust_estimator()->beta_cache()->capacity());
+    return true;
+  }
+
+  if (verb == "LEARNING") {
+    if (tokens.size() != 3 || (ToUpper(tokens[2]) != "ON" &&
+                               ToUpper(tokens[2]) != "OFF")) {
+      std::printf("usage: SET LEARNING ON|OFF\n");
+      return true;
+    }
+    const bool on = ToUpper(tokens[2]) == "ON";
+    service->SetLearningEnabled(on);
+    std::printf("learning: %s%s\n", on ? "on" : "off",
+                on ? "" : " (estimates match the pre-learning cascade"
+                          " bit-for-bit)");
     return true;
   }
 
@@ -335,7 +357,7 @@ int main() {
       }
       continue;
     }
-    if (HandleSet(&db, &write_fraction, line)) continue;
+    if (HandleSet(&db, &service, &write_fraction, line)) continue;
     if (line == ".epoch") {
       PrintEpochs(&db);
       continue;
@@ -441,6 +463,10 @@ int main() {
       std::printf("%s", service.slo_monitor()->ReportText().c_str());
       continue;
     }
+    if (line == ".learning") {
+      std::printf("%s", service.LearningReportText().c_str());
+      continue;
+    }
     if (StartsWith(line, "PREPARE ") || StartsWith(line, "prepare ")) {
       const std::string rest = line.substr(8);
       size_t as_pos = rest.find(" AS ");
@@ -539,7 +565,11 @@ int main() {
         std::printf("error: %s\n", analyzed.status().ToString().c_str());
         continue;
       }
-      workload::RecordAnalyzedPlan(analyzed.value(), &quality);
+      // Close the loop from the interactive path too: the run's actuals
+      // feed both the drift monitor and the learned-correction store.
+      workload::RecordAnalyzedPlan(analyzed.value(), &quality,
+                                   service.feedback_store(),
+                                   db.statistics()->epoch());
       switch (format) {
         case kText:
           std::printf("%s", analyzed.value().ToText().c_str());

@@ -14,7 +14,8 @@ const std::vector<std::string>& KnownFaultSites() {
       sites::kCsvRead,         sites::kOperatorAlloc,
       sites::kClockStall,      sites::kAdmissionEnqueue,
       sites::kPlanCacheLookup, sites::kWriteApply,
-      sites::kWriteCommit,     sites::kReservoirUpdate};
+      sites::kWriteCommit,     sites::kReservoirUpdate,
+      sites::kLearningFeedbackApply};
   return kSites;
 }
 

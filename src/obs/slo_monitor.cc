@@ -95,6 +95,15 @@ const SloMonitor::Scope* SloMonitor::FingerprintScope(
   return it == fingerprints_.end() ? nullptr : &it->second;
 }
 
+std::vector<uint64_t> SloMonitor::TrackedFingerprints() const {
+  std::vector<uint64_t> fingerprints;
+  fingerprints.reserve(fingerprints_.size());
+  for (const auto& [fingerprint, scope] : fingerprints_) {
+    fingerprints.push_back(fingerprint);
+  }
+  return fingerprints;
+}
+
 namespace {
 
 std::string QuantileLine(const char* label, const QuantileSketch& sketch) {

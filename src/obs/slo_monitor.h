@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/quantile_sketch.h"
@@ -122,6 +123,9 @@ class SloMonitor {
   const Scope* FingerprintScope(uint64_t fingerprint) const;
   size_t sessions_tracked() const { return sessions_.size(); }
   size_t fingerprints_tracked() const { return fingerprints_.size(); }
+  /// Every fingerprint with an observed scope, ascending (deterministic) —
+  /// the iteration surface the T% tuner retunes over.
+  std::vector<uint64_t> TrackedFingerprints() const;
 
   /// Fixed-precision text block: global quantiles, breach counters, and
   /// the worst sessions/fingerprints by tail service time / tail regret.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "perf/fingerprint.h"
 #include "perf/task_pool.h"
 #include "util/string_util.h"
 
@@ -48,6 +49,14 @@ struct QueryService::PendingRequest {
   double effective_threshold = 0.0;
   uint64_t seed = 0;
   fault::GovernorLimits limits;
+  // Feedback-join keys captured at plan time (reads with learning on):
+  // the canonical predicate fingerprint the estimator keys corrections
+  // under, the root row count estimates were scaled by, and the
+  // statistics epoch the plan was made at. Captured here because a
+  // same-batch DML could move the catalog before REDUCE observes.
+  uint64_t pred_fingerprint = 0;
+  double plan_root_rows = 0.0;
+  uint64_t plan_stats_epoch = 0;
   // -- execute phase --
   Status exec_status = Status::OK();
   std::optional<core::ExecutionResult> result;
@@ -63,9 +72,30 @@ QueryService::QueryService(core::Database* db, ServerConfig config)
       cache_(config.plan_cache_capacity),
       monitor_(config.quality),
       recorder_(config.flight_recorder),
-      slo_(config.slo) {
+      slo_(config.slo),
+      feedback_(config.learning),
+      tuner_(config.tpercent) {
   admission_.set_fault_injector(db_->fault_injector());
   cache_.set_fault_injector(db_->fault_injector());
+  // Close the estimation feedback loop: the reduce phase feeds this store,
+  // the database's robust estimator consults it at plan time.
+  feedback_.set_fault_injector(db_->fault_injector());
+  db_->robust_estimator()->set_feedback_store(&feedback_);
+}
+
+QueryService::~QueryService() {
+  if (db_->robust_estimator()->feedback_store() == &feedback_) {
+    db_->robust_estimator()->set_feedback_store(nullptr);
+  }
+}
+
+void QueryService::SetLearningEnabled(bool enabled) {
+  feedback_.set_enabled(enabled);
+  tuner_.set_enabled(enabled);
+}
+
+std::string QueryService::LearningReportText() const {
+  return feedback_.ReportText() + tuner_.ReportText();
 }
 
 bool QueryService::TracingEnabled() const {
@@ -306,6 +336,11 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       work.effective_threshold = options.confidence_threshold > 0.0
                                      ? options.confidence_threshold
                                      : db_->confidence_threshold();
+      // Regret-tuned T%: a fingerprint the tuner raised plans at the
+      // higher threshold (which also re-keys it out of its stale cache
+      // entries); untuned fingerprints keep the session/system base.
+      work.effective_threshold =
+          tuner_.EffectiveThreshold(work.fingerprint, work.effective_threshold);
       RQO_IF_OBS(work.tracer) {
         work.tracer->Event(
             "server", "admitted",
@@ -373,8 +408,16 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         obs::Tracer* saved_tracer = db_->tracer();
         if (work.tracer != nullptr) db_->SetTracer(work.tracer.get());
 #endif
+        // Accumulate, not assign (same bug class as the EXECUTE phase):
+        // plan-time probes against the shared injector — the estimator's
+        // learned-tier lookups probe learning.feedback.apply — must add to
+        // fires already counted for this request, e.g. a degraded
+        // plan-cache lookup.
+        const uint64_t plan_fires_before = db_->fault_injector()->total_fires();
         Result<opt::PlannedQuery> planned =
             db_->Plan(work.spec, options.estimator);
+        work.fault_fires +=
+            db_->fault_injector()->total_fires() - plan_fires_before;
 #if ROBUSTQO_OBS_ENABLED
         if (work.tracer != nullptr) db_->SetTracer(saved_tracer);
 #endif
@@ -420,6 +463,19 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       // Remember which tables this fingerprint reads so a later drift flag
       // can route the right tables to the statistics-rebuild queue.
       fingerprint_tables_[work.fingerprint] = work.spec.TableNames();
+      if (feedback_.enabled()) {
+        const std::set<std::string> tables = work.spec.TableNames();
+        const expr::ExprPtr predicate = work.spec.CombinedPredicate(tables);
+        if (predicate != nullptr) {
+          auto root = db_->catalog()->FindRootTable(tables);
+          if (root.ok()) {
+            work.pred_fingerprint = perf::FingerprintExpr(*predicate);
+            work.plan_root_rows = static_cast<double>(
+                db_->catalog()->GetTable(root.value())->num_rows());
+            work.plan_stats_epoch = epoch;
+          }
+        }
+      }
       work.seed = work.session->NextRequestSeed();
       work.limits = options.governor_limits;
       running.push_back(&work);
@@ -549,6 +605,31 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
           observation.actual_rows = static_cast<double>(work->result->spj_rows);
           observation.confidence_threshold = work->effective_threshold;
           monitor_.Record(observation);
+          // Close the learning loop: the executed actual selectivity, in
+          // the estimator's own currency, lands under the predicate
+          // fingerprint the estimator looks corrections up by. A fired
+          // learning.feedback.apply fault drops the observation and counts
+          // against this request's trace.
+          if (work->pred_fingerprint != 0 && work->plan_root_rows > 0.0) {
+            const double actual_selectivity =
+                std::min(1.0, static_cast<double>(work->result->spj_rows) /
+                                  work->plan_root_rows);
+            const double estimated_selectivity =
+                std::min(1.0, work->plan->estimated_spj_rows /
+                                  work->plan_root_rows);
+            Status fed = feedback_.Observe(
+                work->pred_fingerprint, work->plan->label,
+                estimated_selectivity, actual_selectivity,
+                work->plan_stats_epoch);
+            if (!fed.ok()) {
+              ++work->fault_fires;
+              RQO_IF_OBS(work->tracer) {
+                work->tracer->Event(
+                    "fault", "fired",
+                    {{"site", fault::sites::kLearningFeedbackApply}});
+              }
+            }
+          }
           response.result = std::move(work->result);
         }
         work->session->CountCompleted();
@@ -652,6 +733,27 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
             "server", "stats.background_rebuild",
             {{"tables", obs::AttrU64(rebuilt)},
              {"epoch", obs::AttrU64(db_->statistics()->epoch())}});
+      }
+    }
+
+    // Regret-driven T% retuning (sequential, after this wave's SLO
+    // observations landed): fingerprints whose realized regret rate is
+    // chronically over the (1-T) budget plan more conservatively from the
+    // next wave on; calibrated ones relax back toward the base. The tuned
+    // threshold is part of the plan-cache key, so a retuned fingerprint
+    // re-plans naturally instead of serving its old plan.
+    if (tuner_.enabled()) {
+      const size_t overrides_before = tuner_.overrides();
+      const uint64_t raised_before = tuner_.raised_total();
+      tuner_.Retune(slo_, db_->confidence_threshold());
+      RQO_IF_OBS(tracer_) {
+        if (tuner_.overrides() != overrides_before ||
+            tuner_.raised_total() != raised_before) {
+          tracer_->Event("server", "tpercent.retuned",
+                         {{"overrides", obs::AttrU64(tuner_.overrides())},
+                          {"raised", obs::AttrU64(tuner_.raised_total())},
+                          {"relaxed", obs::AttrU64(tuner_.relaxed_total())}});
+        }
       }
     }
   }
@@ -788,6 +890,8 @@ void QueryService::PublishMetrics(obs::MetricsRegistry* metrics) const {
       ->Set(static_cast<double>(db_->statistics()->epoch()));
   if (config_.flight_recorder.enabled) recorder_.PublishMetrics(metrics);
   if (config_.slo.enabled) slo_.PublishMetrics(metrics);
+  feedback_.PublishMetrics(metrics);
+  tuner_.PublishMetrics(metrics);
 }
 
 }  // namespace server

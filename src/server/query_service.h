@@ -55,6 +55,8 @@
 #include <vector>
 
 #include "core/database.h"
+#include "learning/feedback_store.h"
+#include "learning/tpercent_tuner.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/quality_monitor.h"
@@ -92,6 +94,14 @@ struct ServerConfig {
   obs::FlightRecorderConfig flight_recorder;
   /// Latency/regret watchdog; recording sites compile out with obs.
   obs::SloMonitorConfig slo;
+  /// Learned selectivity corrections: the reduce phase feeds each executed
+  /// read's actual selectivity into a FeedbackStore the robust estimator
+  /// consults at plan time. SET LEARNING OFF (SetLearningEnabled(false))
+  /// reproduces the pre-learning estimates bit-for-bit.
+  learn::LearningConfig learning;
+  /// Regret-driven per-fingerprint T% retuning from the SloMonitor's
+  /// realized-regret scopes (between waves, sequential).
+  learn::TunerConfig tpercent;
 };
 
 /// One client request: EXECUTE of a prepared statement (when `prepared`
@@ -154,6 +164,9 @@ class QueryService {
   /// per-request fault injectors from `db->fault_injector()`'s specs and
   /// reads the statistics epoch from `db->statistics()`.
   QueryService(core::Database* db, ServerConfig config = {});
+  /// Uninstalls the feedback store from the database's robust estimator
+  /// (the estimator must not dangle into a destroyed service).
+  ~QueryService();
 
   core::Database* database() { return db_; }
   const ServerConfig& config() const { return config_; }
@@ -198,6 +211,21 @@ class QueryService {
   /// The latency/regret watchdog (records nothing when disabled or when
   /// observability is compiled out).
   obs::SloMonitor* slo_monitor() { return &slo_; }
+  /// The learning subsystem: learned selectivity corrections (installed on
+  /// the database's robust estimator) and the regret-driven T% tuner.
+  learn::FeedbackStore* feedback_store() { return &feedback_; }
+  learn::TPercentTuner* tpercent_tuner() { return &tuner_; }
+
+  /// Toggles the whole learning loop (the shell's SET LEARNING ON|OFF):
+  /// feedback recording, learned estimator corrections, and T% retuning.
+  /// Off reproduces the pre-learning estimates bit-for-bit; accumulated
+  /// evidence and overrides are kept and resume on re-enable.
+  void SetLearningEnabled(bool enabled);
+  bool learning_enabled() const { return feedback_.enabled(); }
+
+  /// The shell's `.learning` view: the feedback store's and the tuner's
+  /// report blocks. Byte-identical at any RQO_THREADS setting.
+  std::string LearningReportText() const;
 
   uint64_t queries_completed() const { return queries_completed_; }
   uint64_t queries_failed() const { return queries_failed_; }
@@ -244,6 +272,8 @@ class QueryService {
   obs::EstimationQualityMonitor monitor_;
   obs::FlightRecorder recorder_;
   obs::SloMonitor slo_;
+  learn::FeedbackStore feedback_;
+  learn::TPercentTuner tuner_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint64_t queries_completed_ = 0;

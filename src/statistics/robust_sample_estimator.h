@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fault/retry.h"
+#include "learning/feedback_store.h"
 #include "perf/caches.h"
 #include "statistics/cardinality_estimator.h"
 #include "statistics/histogram_estimator.h"
@@ -67,9 +68,20 @@ struct RobustEstimatorConfig {
 /// of failing when statistics are missing or transiently unreadable.
 ///
 ///   tier 1  covering join synopsis   (the paper's primary path)
+///   learned execution feedback       (FeedbackStore pseudo-evidence)
 ///   tier 2  per-table samples + AVI  (Section 3.5's fallback)
 ///   tier 3  histogram/AVI baseline   (the commercial-system estimate)
 ///   tier 4  default-wide posterior   (prior-only Beta, quantile at T)
+///
+/// When a learning FeedbackStore is installed (set_feedback_store), the
+/// estimator consults learned selectivity corrections keyed by the
+/// canonical predicate fingerprint: on a hit the learned pseudo-counts
+/// merge into the Beta prior (sharpening tier 1/2 posteriors toward what
+/// execution actually measured), and when a synopsis or sample is missing
+/// the learned evidence itself becomes the posterior — a "learned" tier
+/// consulted before falling further down the cascade. Estimates with a
+/// learned correction trace with source=learned, carrying both the
+/// pre-correction (selectivity_raw) and corrected selectivity.
 ///
 /// Transient (kUnavailable) statistics reads are retried with
 /// deterministic backoff before degrading; every degradation emits an
@@ -129,7 +141,29 @@ class RobustSampleEstimator : public CardinalityEstimator {
   /// capacity adjustable via `SET BETA_CACHE_CAPACITY` in the shell).
   perf::InverseBetaCache* beta_cache() const { return beta_cache_.get(); }
 
+  /// Installs/uninstalls the learned-correction store (borrowed, nullable;
+  /// the query service owns it and feeds it from execution feedback).
+  /// With no store — or a disabled one — estimates are bit-identical to
+  /// the pre-learning cascade.
+  void set_feedback_store(learn::FeedbackStore* store) {
+    feedback_store_ = store;
+  }
+  learn::FeedbackStore* feedback_store() const { return feedback_store_; }
+
  private:
+  /// Whether learned corrections are consultable at all.
+  bool LearningActive() const {
+    return feedback_store_ != nullptr && feedback_store_->enabled();
+  }
+
+  /// Learned evidence for one canonical predicate fingerprint. Probes the
+  /// learning.feedback.apply fault site (a fire degrades the lookup to the
+  /// uncorrected estimate) and counts estimator.learned.{hit,miss,
+  /// unavailable}.
+  std::optional<learn::LearnedEvidence> LearnedLookup(uint64_t fingerprint);
+
+  /// The effective prior with `learned` pseudo-counts folded in.
+  BetaPrior MergedPrior(const learn::LearnedEvidence& learned) const;
   // Degradation bookkeeping: one trace event + counter per tier drop.
   void RecordDegradation(const char* tier_from, const char* tier_to,
                          const char* reason, const std::string& scope,
@@ -147,6 +181,7 @@ class RobustSampleEstimator : public CardinalityEstimator {
   RobustEstimatorConfig config_;
   HistogramEstimator histogram_fallback_;
   perf::ProbeCountCache* probe_cache_ = nullptr;
+  learn::FeedbackStore* feedback_store_ = nullptr;
   // unique_ptr so the estimator stays movable (the cache holds a mutex).
   std::unique_ptr<perf::InverseBetaCache> beta_cache_ =
       std::make_unique<perf::InverseBetaCache>();

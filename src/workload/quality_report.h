@@ -11,8 +11,10 @@
 #define ROBUSTQO_WORKLOAD_QUALITY_REPORT_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/explain_analyze.h"
+#include "learning/feedback_store.h"
 #include "obs/quality_monitor.h"
 
 namespace robustqo {
@@ -20,13 +22,24 @@ namespace workload {
 
 /// Joins `plan`'s planning-time estimates with its execution actuals and
 /// records them into `monitor`. The comparable estimate is the full
-/// table-set row prediction (the "synopsis" or "independence" event, whose
-/// `tables` covers every joined table): its est_rows pairs with the
-/// executed SPJ-core row count. Returns the number of observations
-/// recorded (0 when the plan was not executed, carries no fingerprints, or
-/// `monitor` is null).
+/// table-set row prediction (the "synopsis", "learned" or "independence"
+/// event, whose `tables` covers every joined table): its est_rows pairs
+/// with the executed SPJ-core row count. Returns the number of
+/// observations recorded (0 when the plan was not executed, carries no
+/// fingerprints, or `monitor` is null).
 size_t RecordAnalyzedPlan(const core::AnalyzedPlan& plan,
                           obs::EstimationQualityMonitor* monitor);
+
+/// Same join, additionally closing the learning loop: the executed actual
+/// selectivity (actual SPJ rows over the root table's row count, recovered
+/// from est_rows/selectivity of the same estimate) is folded into
+/// `feedback` under the estimate's fingerprint, stamped with
+/// `statistics_epoch`. Either sink may be null; returns the number of
+/// monitor observations recorded.
+size_t RecordAnalyzedPlan(const core::AnalyzedPlan& plan,
+                          obs::EstimationQualityMonitor* monitor,
+                          learn::FeedbackStore* feedback,
+                          uint64_t statistics_epoch);
 
 }  // namespace workload
 }  // namespace robustqo

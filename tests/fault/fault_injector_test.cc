@@ -157,7 +157,7 @@ TEST(FaultInjectorTest, FiresEmitMetricsAndTraceEvents) {
 }
 
 TEST(FaultInjectorTest, KnownSitesListedAndDescribed) {
-  EXPECT_EQ(KnownFaultSites().size(), 10u);
+  EXPECT_EQ(KnownFaultSites().size(), 11u);
   FaultInjector injector;
   EXPECT_NE(injector.DescribeArmed().find("no faults"), std::string::npos);
   injector.Arm(sites::kCsvRead, FaultSpec::Probability(0.5));

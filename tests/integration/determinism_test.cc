@@ -189,6 +189,56 @@ TEST_F(DeterminismTest, TrafficHarnessSummaryIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(reference.empty());
 }
 
+// The learning subsystem's leg of the contract: the feedback store is fed
+// from the sequential reduce phase in admission order and the T% tuner
+// retunes between waves, so after a traffic run the `.learning` report —
+// per-fingerprint pseudo-counts, observation totals, and every override —
+// must be byte-identical at 1, 4 and 8 threads, as must the traffic
+// summary produced while learning was live.
+TEST_F(DeterminismTest, LearningReportIdenticalAcrossThreadCounts) {
+  workload::TrafficConfig config;
+  config.clients = 200;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+
+  std::string reference_summary;
+  std::string reference_learning;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    server::ServerConfig server_config;
+    server_config.admission.max_concurrent = 8;
+    server_config.admission.max_queue_depth = 128;
+    server::QueryService service(db.get(), server_config);
+    ASSERT_TRUE(service.learning_enabled());
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, config);
+    EXPECT_GT(report.completed, 0u);
+    const std::string summary = report.Summary();
+    const std::string learning = service.LearningReportText();
+    if (threads == 1) {
+      reference_summary = summary;
+      reference_learning = learning;
+    } else {
+      EXPECT_EQ(summary, reference_summary) << "threads=" << threads;
+      EXPECT_EQ(learning, reference_learning) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference_learning.empty());
+  // Learning actually ran during the measured run — the report is not
+  // trivially identical because it is trivially empty.
+  EXPECT_NE(reference_learning.find("learning feedback store: on"),
+            std::string::npos);
+  EXPECT_NE(reference_learning.find("obs="), std::string::npos)
+      << reference_learning;
+}
+
 // The write-path acceptance criterion: mixed read/write traffic — where
 // DML commits bump the data epoch, feed the statistics reservoir, and can
 // trigger background rebuilds mid-run — must produce a byte-identical

@@ -1,0 +1,152 @@
+#include "learning/feedback_store.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace robustqo {
+namespace learn {
+namespace {
+
+LearningConfig SmallConfig() {
+  LearningConfig config;
+  config.observation_weight = 32.0;
+  config.max_equivalent_n = 128.0;
+  config.min_observations = 3;
+  config.max_fingerprints = 2;
+  return config;
+}
+
+TEST(FeedbackStoreTest, AccumulatesBetaPseudoCounts) {
+  FeedbackStore store;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Observe(0xabc, "{t} :: p", 0.1, 0.5, 1).ok());
+  }
+  auto evidence = store.Lookup(0xabc, 1);
+  ASSERT_TRUE(evidence.has_value());
+  // Each observation of s=0.5 at weight 32 contributes 16 to k_eq, 32 to
+  // n_eq.
+  EXPECT_DOUBLE_EQ(evidence->k_eq, 48.0);
+  EXPECT_DOUBLE_EQ(evidence->n_eq, 96.0);
+  EXPECT_EQ(evidence->observations, 3u);
+  EXPECT_EQ(store.observations_total(), 3u);
+}
+
+TEST(FeedbackStoreTest, MinObservationsGateHidesWarmingEntries) {
+  FeedbackStore store;
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  EXPECT_FALSE(store.Lookup(1, 1).has_value());
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  EXPECT_TRUE(store.Lookup(1, 1).has_value());
+}
+
+TEST(FeedbackStoreTest, DisabledStoreIsANoOp) {
+  LearningConfig config;
+  config.enabled = false;
+  FeedbackStore store(config);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  }
+  EXPECT_FALSE(store.Lookup(1, 1).has_value());
+  EXPECT_EQ(store.fingerprints_tracked(), 0u);
+  EXPECT_EQ(store.observations_total(), 0u);
+}
+
+TEST(FeedbackStoreTest, ZeroFingerprintIsRejected) {
+  FeedbackStore store;
+  EXPECT_EQ(store.Observe(0, "q", 0.1, 0.5, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FeedbackStoreTest, StaleEpochIsInvisibleAndResetsLazily) {
+  FeedbackStore store;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  }
+  ASSERT_TRUE(store.Lookup(1, 1).has_value());
+  // A statistics rebuild bumps the epoch: old evidence must not correct
+  // estimates built on the fresh statistics.
+  EXPECT_FALSE(store.Lookup(1, 2).has_value());
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.9, 2).ok());
+  EXPECT_EQ(store.epoch_resets_total(), 1u);
+  EXPECT_FALSE(store.Lookup(1, 2).has_value());  // warming again
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.9, 2).ok());
+  ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.9, 2).ok());
+  auto evidence = store.Lookup(1, 2);
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_EQ(evidence->observations, 3u);
+  EXPECT_DOUBLE_EQ(evidence->k_eq / evidence->n_eq, 0.9);
+}
+
+TEST(FeedbackStoreTest, EvidenceCapRescalesProportionally) {
+  LearningConfig config = SmallConfig();
+  FeedbackStore store(config);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Observe(1, "q", 0.1, 0.25, 1).ok());
+  }
+  auto evidence = store.Lookup(1, 1);
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_LE(evidence->n_eq, config.max_equivalent_n);
+  // Rescaling preserves the learned mean.
+  EXPECT_NEAR(evidence->k_eq / evidence->n_eq, 0.25, 1e-12);
+}
+
+TEST(FeedbackStoreTest, EvictsLeastObservedOldestFirst) {
+  FeedbackStore store(SmallConfig());  // max_fingerprints = 2
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Observe(1, "a", 0.1, 0.5, 1).ok());
+  }
+  ASSERT_TRUE(store.Observe(2, "b", 0.1, 0.5, 1).ok());
+  ASSERT_TRUE(store.Observe(3, "c", 0.1, 0.5, 1).ok());
+  EXPECT_EQ(store.evictions_total(), 1u);
+  EXPECT_EQ(store.fingerprints_tracked(), 2u);
+  // Fingerprint 2 had the fewest observations (1 vs 3) and was older than
+  // the incoming entry, so it is the deterministic victim.
+  ASSERT_TRUE(store.Observe(1, "a", 0.1, 0.5, 1).ok());
+  EXPECT_TRUE(store.Lookup(1, 1).has_value());
+  ASSERT_TRUE(store.Observe(2, "b", 0.1, 0.5, 1).ok());
+  EXPECT_EQ(store.evictions_total(), 2u);
+}
+
+TEST(FeedbackStoreTest, FaultSiteDropsObservationsAndBlocksApply) {
+  fault::FaultInjector injector;
+  injector.Arm(fault::sites::kLearningFeedbackApply,
+               fault::FaultSpec::FirstN(2));
+  FeedbackStore store;
+  store.set_fault_injector(&injector);
+  EXPECT_FALSE(store.CheckApply().ok());  // first probe fires
+  EXPECT_FALSE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+  EXPECT_EQ(store.dropped_total(), 1u);
+  EXPECT_EQ(store.observations_total(), 0u);
+  // The transient healed: both paths work again.
+  EXPECT_TRUE(store.CheckApply().ok());
+  EXPECT_TRUE(store.Observe(1, "q", 0.1, 0.5, 1).ok());
+}
+
+TEST(FeedbackStoreTest, ReportAndJsonAndMetrics) {
+  FeedbackStore store;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Observe(0x2a, "{orders} :: o_total > 90", 0.05, 0.6, 7)
+                    .ok());
+  }
+  const std::string report = store.ReportText();
+  EXPECT_NE(report.find("learning feedback store: on, 1 fingerprints"),
+            std::string::npos);
+  EXPECT_NE(report.find("000000000000002a epoch=7 obs=3"), std::string::npos);
+  EXPECT_NE(report.find("{orders} :: o_total > 90"), std::string::npos);
+  const std::string json = store.ToJson();
+  EXPECT_NE(json.find("\"fingerprints\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"0x000000000000002a\""), std::string::npos);
+
+  obs::MetricsRegistry metrics;
+  store.PublishMetrics(&metrics);
+  store.PublishMetrics(&metrics);  // idempotent
+  EXPECT_EQ(metrics.GetCounter("estimator.learned.observations")->value(), 3u);
+  EXPECT_EQ(metrics.GetGauge("estimator.learned.fingerprints")->value(), 1.0);
+}
+
+}  // namespace
+}  // namespace learn
+}  // namespace robustqo

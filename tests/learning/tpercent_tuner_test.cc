@@ -1,0 +1,127 @@
+#include "learning/tpercent_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/slo_monitor.h"
+
+namespace robustqo {
+namespace learn {
+namespace {
+
+// Feeds `count` successful executions of `fingerprint` into the monitor,
+// `regretted` of which realized more cost than the plan promised.
+void FeedExecutions(obs::SloMonitor* slo, uint64_t fingerprint, int count,
+                    int regretted) {
+  for (int i = 0; i < count; ++i) {
+    obs::SloObservation observation;
+    observation.session = 1;
+    observation.session_label = "tuner-test";
+    observation.fingerprint = fingerprint;
+    observation.cache_hit = true;
+    observation.estimated_seconds = 1.0;
+    observation.actual_seconds = i < regretted ? 2.0 : 0.5;
+    slo->Record(observation);
+  }
+}
+
+TEST(TPercentTunerTest, EffectiveThresholdDefaultsToBase) {
+  TPercentTuner tuner;
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.8);
+}
+
+TEST(TPercentTunerTest, ChronicRegretRaisesTheThreshold) {
+  obs::SloMonitor slo;
+  // 32 successes, every one over its promise: regret rate 1.0 against a
+  // (1 - 0.8) = 0.2 budget.
+  FeedExecutions(&slo, 42, 32, 32);
+  TPercentTuner tuner;
+  tuner.Retune(slo, 0.8);
+  EXPECT_EQ(tuner.overrides(), 1u);
+  EXPECT_EQ(tuner.raised_total(), 1u);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.85);
+  // Still chronically over budget: the next retune raises another step.
+  tuner.Retune(slo, 0.8);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.9);
+}
+
+TEST(TPercentTunerTest, RaiseStopsAtMaxThreshold) {
+  obs::SloMonitor slo;
+  FeedExecutions(&slo, 42, 32, 32);
+  TPercentTuner tuner;
+  for (int i = 0; i < 20; ++i) tuner.Retune(slo, 0.8);
+  EXPECT_LE(tuner.EffectiveThreshold(42, 0.8), tuner.config().max_threshold);
+}
+
+TEST(TPercentTunerTest, CalibratedFingerprintRelaxesBackToBase) {
+  obs::SloMonitor regretful;
+  FeedExecutions(&regretful, 42, 32, 32);
+  TPercentTuner tuner;
+  tuner.Retune(regretful, 0.8);
+  tuner.Retune(regretful, 0.8);
+  ASSERT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.9);
+
+  // A fresh window with zero regret: the override walks back one step per
+  // retune and disappears at the base.
+  obs::SloMonitor calibrated;
+  FeedExecutions(&calibrated, 42, 32, 0);
+  tuner.Retune(calibrated, 0.8);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.85);
+  tuner.Retune(calibrated, 0.8);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.8);
+  EXPECT_EQ(tuner.overrides(), 0u);
+  EXPECT_EQ(tuner.relaxed_total(), 2u);
+}
+
+TEST(TPercentTunerTest, TooFewObservationsAreLeftAlone) {
+  obs::SloMonitor slo;
+  FeedExecutions(&slo, 42, 8, 8);  // below min_observations = 16
+  TPercentTuner tuner;
+  tuner.Retune(slo, 0.8);
+  EXPECT_EQ(tuner.overrides(), 0u);
+}
+
+TEST(TPercentTunerTest, InBudgetRegretNeverCreatesAnOverride) {
+  obs::SloMonitor slo;
+  // Regret rate 2/32 = 0.0625, well inside the 0.2 budget.
+  FeedExecutions(&slo, 42, 32, 2);
+  TPercentTuner tuner;
+  tuner.Retune(slo, 0.8);
+  EXPECT_EQ(tuner.overrides(), 0u);
+  EXPECT_EQ(tuner.raised_total(), 0u);
+}
+
+TEST(TPercentTunerTest, DisabledTunerPassesBaseThrough) {
+  obs::SloMonitor slo;
+  FeedExecutions(&slo, 42, 32, 32);
+  TPercentTuner tuner;
+  tuner.Retune(slo, 0.8);
+  ASSERT_GT(tuner.EffectiveThreshold(42, 0.8), 0.8);
+  tuner.set_enabled(false);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.8);
+  tuner.set_enabled(true);
+  EXPECT_DOUBLE_EQ(tuner.EffectiveThreshold(42, 0.8), 0.85);
+}
+
+TEST(TPercentTunerTest, ReportJsonAndMetrics) {
+  obs::SloMonitor slo;
+  FeedExecutions(&slo, 0x2a, 32, 32);
+  TPercentTuner tuner;
+  tuner.Retune(slo, 0.8);
+  const std::string report = tuner.ReportText();
+  EXPECT_NE(report.find("1 overrides (1 raises, 0 relaxes)"),
+            std::string::npos);
+  EXPECT_NE(report.find("000000000000002a T=85%"), std::string::npos);
+  const std::string json = tuner.ToJson();
+  EXPECT_NE(json.find("\"0x000000000000002a\""), std::string::npos);
+
+  obs::MetricsRegistry metrics;
+  tuner.PublishMetrics(&metrics);
+  tuner.PublishMetrics(&metrics);  // idempotent
+  EXPECT_EQ(metrics.GetGauge("optimizer.tpercent.overrides")->value(), 1.0);
+  EXPECT_EQ(metrics.GetCounter("optimizer.tpercent.raised")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace learn
+}  // namespace robustqo
