@@ -31,6 +31,11 @@
 //                                   per-table online-maintenance state
 //                                   (reservoir fill, modifications,
 //                                   pending-rebuild flags)
+//   .whyplan [<fphex>|last]         plan-choice provenance: why the plan
+//                                   for a fingerprint won, its cost curve
+//                                   across the selectivity posterior, and
+//                                   what changed on re-plans (no argument:
+//                                   every retained record)
 //   .traffic [seconds]              mixed read/write traffic demo through
 //                                   the query service (write share set by
 //                                   SET WRITE_FRACTION); prints the
@@ -67,6 +72,10 @@
 //   SET LEARNING ON|OFF             learned selectivity corrections + T%
 //                                   retuning (OFF reproduces the
 //                                   pre-learning estimates bit-for-bit)
+//   SET PROVENANCE ON|OFF           plan-choice provenance capture (OFF
+//                                   reproduces pre-provenance reports and
+//                                   metrics bit-for-bit)
+//   SET PROVENANCE_TOPK <n>         runner-up candidates kept per plan
 //
 //   $ echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/rqo_shell
 
@@ -84,6 +93,7 @@
 #include "exec/plan_dot.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
+#include "obs/plan_provenance.h"
 #include "obs/quality_monitor.h"
 #include "perf/task_pool.h"
 #include "server/query_service.h"
@@ -237,6 +247,36 @@ bool HandleSet(core::Database* db, server::QueryService* service,
     return true;
   }
 
+  if (verb == "PROVENANCE") {
+    if (tokens.size() != 3 || (ToUpper(tokens[2]) != "ON" &&
+                               ToUpper(tokens[2]) != "OFF")) {
+      std::printf("usage: SET PROVENANCE ON|OFF\n");
+      return true;
+    }
+    const bool on = ToUpper(tokens[2]) == "ON";
+    // Keep the service observatory and the database's direct EXPLAIN
+    // ANALYZE capture in lockstep so `.whyplan` and the sensitivity
+    // section agree on what is being recorded.
+    service->SetProvenanceEnabled(on);
+    db->SetProvenanceCapture(on);
+    std::printf("provenance: %s%s\n", on ? "on" : "off",
+                on ? "" : " (reports and metrics match the pre-provenance"
+                          " output bit-for-bit)");
+    return true;
+  }
+
+  if (verb == "PROVENANCE_TOPK") {
+    if (tokens.size() != 3) {
+      std::printf("usage: SET PROVENANCE_TOPK <runner-ups>\n");
+      return true;
+    }
+    const size_t top_k = std::strtoull(tokens[2].c_str(), nullptr, 10);
+    service->SetProvenanceTopK(top_k);
+    db->SetProvenanceTopK(top_k);
+    std::printf("provenance top-k runner-ups: %zu\n", top_k);
+    return true;
+  }
+
   if (verb == "WRITE_FRACTION") {
     if (tokens.size() != 3) {
       std::printf("usage: SET WRITE_FRACTION <0..1>\n");
@@ -329,10 +369,15 @@ int main() {
   // PREPARE/EXECUTE route through its admission controller and plan cache.
   // The flight recorder is on so `.blackbox` has incidents and slow
   // requests to show after EXECUTE traffic.
+  // Plan provenance is on by default so `.whyplan` has history and
+  // EXPLAIN ANALYZE carries its sensitivity section; SET PROVENANCE OFF
+  // restores the pre-provenance output byte-for-byte.
   server::ServerConfig server_config;
   server_config.flight_recorder.enabled = true;
+  server_config.provenance.enabled = true;
   server::QueryService service(&db, server_config);
   service.set_metrics(&query_metrics);
+  db.SetProvenanceCapture(true);
   server::SessionOptions shell_options;
   shell_options.name = "shell";
   const server::SessionId shell_session = service.OpenSession(shell_options);
@@ -456,6 +501,27 @@ int main() {
                     path.c_str());
       } else {
         std::printf("usage: .blackbox [json|export <file>|trace <file>]\n");
+      }
+      continue;
+    }
+    if (line == ".whyplan" || StartsWith(line, ".whyplan ")) {
+      obs::PlanProvenanceStore* provenance = service.provenance();
+      if (line == ".whyplan") {
+        std::printf("%s", provenance->ReportText().c_str());
+      } else {
+        const std::string arg = line.substr(strlen(".whyplan "));
+        if (arg == "last") {
+          const obs::PlanProvenanceRecord* latest = provenance->Latest();
+          if (latest == nullptr) {
+            std::printf("no plans recorded — run EXECUTE traffic first\n");
+          } else {
+            std::printf("%s", provenance->ReportFor(latest->fingerprint)
+                                  .c_str());
+          }
+        } else {
+          const uint64_t fp = std::strtoull(arg.c_str(), nullptr, 16);
+          std::printf("%s", provenance->ReportFor(fp).c_str());
+        }
       }
       continue;
     }

@@ -146,18 +146,22 @@ Result<opt::PlannedQuery> Database::Plan(const opt::QuerySpec& query,
       break;
   }
   last_used_ = optimizer;
+  opt::OptimizerOptions effective = options;
+  // Database-level provenance capture acts as a default; a caller that
+  // explicitly enabled it per-call keeps its own top-K.
+  if (provenance_capture_ && !effective.provenance_enabled) {
+    effective.provenance_enabled = true;
+    effective.provenance_top_k = provenance_top_k_;
+  }
 #if ROBUSTQO_OBS_ENABLED
   // Database-level sinks act as defaults; explicit per-call sinks win.
-  opt::OptimizerOptions effective = options;
   if (effective.tracer == nullptr) effective.tracer = tracer_;
   if (effective.metrics == nullptr) effective.metrics = metrics_;
   RQO_IF_OBS(effective.metrics) {
     effective.metrics->GetCounter("db.queries_planned")->Increment();
   }
-  return optimizer->Optimize(query, effective);
-#else
-  return optimizer->Optimize(query, options);
 #endif
+  return optimizer->Optimize(query, effective);
 }
 
 Result<ExecutionResult> Database::ExecutePlan(const opt::PlannedQuery& plan,
@@ -253,6 +257,11 @@ Status Database::LoadStatisticsFrom(const std::string& directory) {
 const opt::Optimizer::Metrics& Database::last_optimizer_metrics() const {
   RQO_CHECK(last_used_ != nullptr);
   return last_used_->last_metrics();
+}
+
+const obs::PlanSensitivity& Database::last_plan_sensitivity() const {
+  RQO_CHECK(last_used_ != nullptr);
+  return last_used_->last_sensitivity();
 }
 
 }  // namespace core

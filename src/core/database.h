@@ -167,6 +167,20 @@ class Database {
   /// Metrics from the most recent Plan()/Execute() optimization.
   const opt::Optimizer::Metrics& last_optimizer_metrics() const;
 
+  /// Plan-choice sensitivity of the most recent Plan()/Execute()
+  /// optimization; `captured` is false unless provenance capture was on.
+  const obs::PlanSensitivity& last_plan_sensitivity() const;
+
+  // ---- Plan provenance (strictly read-only w.r.t. plan choice) ----
+
+  /// Default-enables sensitivity capture for every subsequent Plan() that
+  /// did not explicitly request it. Off by default: plans, results, and all
+  /// pre-existing reports stay byte-identical until a caller opts in.
+  void SetProvenanceCapture(bool enabled) { provenance_capture_ = enabled; }
+  bool provenance_capture() const { return provenance_capture_; }
+  void SetProvenanceTopK(size_t top_k) { provenance_top_k_ = top_k; }
+  size_t provenance_top_k() const { return provenance_top_k_; }
+
   // ---- Observability sinks (borrowed, nullable) ----
 
   /// Attaches a tracer: every subsequent Plan() records optimizer and
@@ -245,6 +259,8 @@ class Database {
   fault::RetryPolicy dml_retry_policy_;
   bool feedback_enabled_ = false;
   stats::WorkloadPriorBuilder feedback_;
+  bool provenance_capture_ = false;
+  size_t provenance_top_k_ = 3;
 };
 
 }  // namespace core

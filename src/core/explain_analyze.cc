@@ -277,6 +277,33 @@ std::string AnalyzedPlan::ToText() const {
                        d.tier_to.c_str(), d.reason.c_str(), d.tables.c_str());
     }
   }
+  if (sensitivity.captured) {
+    out += "sensitivity:\n";
+    if (!sensitivity.available) {
+      out += StrPrintf("  unavailable: %s\n",
+                       sensitivity.unavailable_reason.c_str());
+    } else {
+      out += StrPrintf("  T=%.4g  quantile:", sensitivity.threshold);
+      for (double q : sensitivity.grid) {
+        out += StrPrintf(" %12s", obs::QuantileLabel(q).c_str());
+      }
+      out += "\n  posterior selectivity:";
+      for (double s : sensitivity.selectivity) {
+        out += StrPrintf(" %12.6g", s);
+      }
+      out += "\n";
+      for (size_t i = 0; i < sensitivity.candidates.size(); ++i) {
+        const obs::CandidateCurve& c = sensitivity.candidates[i];
+        out += StrPrintf(
+            "  %-22s", i == 0 ? "[winner]"
+                              : StrPrintf("[#%zu]", i + 1).c_str());
+        for (double v : c.cost_at) out += StrPrintf(" %12.6g", v);
+        out += StrPrintf("  %s%s\n", c.label.c_str(),
+                         c.curve_available ? "" : " (flat: no curve)");
+      }
+    }
+    out += StrPrintf("  verdict: %s\n", sensitivity.verdict.c_str());
+  }
   return out;
 }
 
@@ -309,6 +336,10 @@ std::string AnalyzedPlan::ToDot(const std::string& graph_name) const {
       last_at_depth.resize(op.depth + 1, 0);
     }
     last_at_depth[op.depth] = i;
+  }
+  if (sensitivity.captured && !sensitivity.verdict.empty()) {
+    out += StrPrintf("  sensitivity [shape=note, label=\"%s\"];\n",
+                     EscapeDotLabel(sensitivity.verdict).c_str());
   }
   out += "}\n";
   return out;
@@ -413,7 +444,11 @@ std::string AnalyzedPlan::ToJson() const {
     out += ",\"reason\":\"" + JsonEscape(d.reason) + "\"";
     out += ",\"tables\":\"" + JsonEscape(d.tables) + "\"}";
   }
-  out += "]}";
+  out += "]";
+  if (sensitivity.captured) {
+    out += ",\"sensitivity\":" + obs::SensitivityJson(sensitivity);
+  }
+  out += "}";
   return out;
 }
 
@@ -436,6 +471,7 @@ Result<AnalyzedPlan> ExplainAnalyze(Database* db, const opt::QuerySpec& query,
   out.predicates = CollectPredicateReports(tracer.events());
   out.degradations = CollectDegradations(tracer.events());
   out.optimizer_metrics = db->last_optimizer_metrics();
+  out.sensitivity = db->last_plan_sensitivity();
   if (trace_out != nullptr) {
     *trace_out = tracer.events();  // planning phase; exec spans appended below
   }

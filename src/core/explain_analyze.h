@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "obs/plan_provenance.h"
 #include "obs/trace.h"
 #include "optimizer/query.h"
 
@@ -110,6 +111,11 @@ struct AnalyzedPlan {
   /// Estimator degradations hit while planning, in occurrence order.
   std::vector<DegradationReport> degradations;
   opt::Optimizer::Metrics optimizer_metrics;
+  /// Plan-choice sensitivity across the selectivity posterior. Rendered
+  /// (text/JSON/dot) only when `sensitivity.captured`, i.e. when the plan
+  /// was made with provenance capture on — output is byte-identical to
+  /// pre-provenance builds otherwise.
+  obs::PlanSensitivity sensitivity;
 
   /// Aligned text table (the shell's EXPLAIN ANALYZE output).
   std::string ToText() const;

@@ -166,6 +166,12 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
       op->set_planner_estimated_rows(est_rows);
       return op;
     };
+    if (run->options.provenance_enabled) {
+      const CostModel cm = cost_model_;
+      cand.cost_at = [cm, total_rows, est_rows](double ratio) {
+        return exec::SeqScanCost(cm, total_rows, est_rows * ratio);
+      };
+    }
     out->push_back(std::move(cand));
     ++metrics_.candidates;
   }
@@ -175,12 +181,10 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
 
   // 2) Single-index range scans.
   for (const SargableConjunct& s : sargables) {
+    const double conj_rows = EstimateRowsWithPredicate(
+        run, bit, s.conjunct, "conj:" + s.conjunct->ToString());
     const double entries =
-        total_rows *
-        std::min(1.0, EstimateRowsWithPredicate(
-                          run, bit, s.conjunct,
-                          "conj:" + s.conjunct->ToString()) /
-                          std::max(1.0, total_rows));
+        total_rows * std::min(1.0, conj_rows / std::max(1.0, total_rows));
     PlanCandidate cand;
     cand.cost =
         exec::IndexRangeScanCost(cost_model_, entries, entries, est_rows);
@@ -195,6 +199,15 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
       op->set_planner_estimated_rows(est_rows);
       return op;
     };
+    if (run->options.provenance_enabled) {
+      const CostModel cm = cost_model_;
+      cand.cost_at = [cm, total_rows, conj_rows, est_rows](double ratio) {
+        const double e = total_rows *
+                         std::min(1.0, conj_rows * ratio /
+                                           std::max(1.0, total_rows));
+        return exec::IndexRangeScanCost(cm, e, e, est_rows * ratio);
+      };
+    }
     out->push_back(std::move(cand));
     ++metrics_.candidates;
   }
@@ -207,6 +220,7 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
       std::vector<exec::IndexRange> ranges;
       std::vector<expr::ExprPtr> conjuncts;
       std::vector<std::string> range_cols;
+      std::vector<double> conj_rows;
       double entries_total = 0.0;
       for (size_t i = 0; i < sargables.size(); ++i) {
         if (!(mask & (1u << i))) continue;
@@ -214,12 +228,11 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
         ranges.push_back({s.range.column, s.range.lo, s.range.hi});
         conjuncts.push_back(s.conjunct);
         range_cols.push_back(s.range.column);
+        const double rows_i = EstimateRowsWithPredicate(
+            run, bit, s.conjunct, "conj:" + s.conjunct->ToString());
+        conj_rows.push_back(rows_i);
         entries_total +=
-            total_rows *
-            std::min(1.0, EstimateRowsWithPredicate(
-                              run, bit, s.conjunct,
-                              "conj:" + s.conjunct->ToString()) /
-                              std::max(1.0, total_rows));
+            total_rows * std::min(1.0, rows_i / std::max(1.0, total_rows));
       }
       // Survivors of the RID intersection: the *joint* selectivity of the
       // chosen conjuncts — this estimate is where AVI goes wrong on
@@ -244,6 +257,22 @@ void Optimizer::AddAccessPaths(RunState* run, size_t table_idx,
         op->set_planner_estimated_rows(est_rows);
         return op;
       };
+      if (run->options.provenance_enabled) {
+        const CostModel cm = cost_model_;
+        const int nranges = static_cast<int>(ranges.size());
+        cand.cost_at = [cm, nranges, conj_rows, total_rows, fetches,
+                        est_rows](double ratio) {
+          double entries = 0.0;
+          for (double rows_i : conj_rows) {
+            entries += total_rows *
+                       std::min(1.0, rows_i * ratio /
+                                         std::max(1.0, total_rows));
+          }
+          return exec::IndexIntersectionCost(cm, nranges, entries,
+                                             fetches * ratio,
+                                             est_rows * ratio);
+        };
+      }
       out->push_back(std::move(cand));
       ++metrics_.candidates;
     }
@@ -286,6 +315,19 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
           op->set_planner_estimated_rows(out_rows);
           return op;
         };
+        if (run->options.provenance_enabled && l.cost_at && r.cost_at) {
+          const CostModel cm = cost_model_;
+          auto lc = l.cost_at;
+          auto rc = r.cost_at;
+          const double l_rows = l.rows;
+          const double r_rows = r.rows;
+          cand.cost_at = [cm, lc, rc, l_rows, r_rows,
+                          out_rows](double ratio) {
+            return lc(ratio) + rc(ratio) +
+                   exec::HashJoinCost(cm, l_rows * ratio, r_rows * ratio,
+                                      out_rows * ratio);
+          };
+        }
         out->push_back(std::move(cand));
         ++metrics_.candidates;
       }
@@ -304,6 +346,19 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
           op->set_planner_estimated_rows(out_rows);
           return op;
         };
+        if (run->options.provenance_enabled && l.cost_at && r.cost_at) {
+          const CostModel cm = cost_model_;
+          auto lc = l.cost_at;
+          auto rc = r.cost_at;
+          const double l_rows = l.rows;
+          const double r_rows = r.rows;
+          cand.cost_at = [cm, lc, rc, l_rows, r_rows,
+                          out_rows](double ratio) {
+            return lc(ratio) + rc(ratio) +
+                   exec::HashJoinCost(cm, r_rows * ratio, l_rows * ratio,
+                                      out_rows * ratio);
+          };
+        }
         out->push_back(std::move(cand));
         ++metrics_.candidates;
       }
@@ -354,6 +409,21 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
             op->set_planner_estimated_rows(out_rows);
             return op;
           };
+          if (run->options.provenance_enabled && l.cost_at && r.cost_at) {
+            const CostModel cm = cost_model_;
+            auto lc = l.cost_at;
+            auto rc = r.cost_at;
+            cand.cost_at = [cm, lc, rc, l_rows, r_rows, l_sorted, r_sorted,
+                            out_rows](double ratio) {
+              double c = lc(ratio) + rc(ratio) +
+                         exec::MergeJoinCost(cm, l_rows * ratio,
+                                             r_rows * ratio,
+                                             out_rows * ratio);
+              if (!l_sorted) c += exec::SortCost(cm, l_rows * ratio);
+              if (!r_sorted) c += exec::SortCost(cm, r_rows * ratio);
+              return c;
+            };
+          }
           out->push_back(std::move(cand));
           ++metrics_.candidates;
         }
@@ -412,6 +482,17 @@ void Optimizer::AddJoinCandidates(RunState* run, uint32_t s1, uint32_t s2,
           op->set_planner_estimated_rows(out_rows);
           return op;
         };
+        if (run->options.provenance_enabled && outer.cost_at) {
+          const CostModel cm = cost_model_;
+          auto oc = outer.cost_at;
+          const double outer_rows = outer.rows;
+          cand.cost_at = [cm, oc, outer_rows, entries,
+                          out_rows](double ratio) {
+            return oc(ratio) + exec::IndexNestedLoopJoinCost(
+                                   cm, outer_rows * ratio, entries * ratio,
+                                   entries * ratio, out_rows * ratio);
+          };
+        }
         out->push_back(std::move(cand));
         ++metrics_.candidates;
       }
@@ -424,7 +505,12 @@ void Optimizer::PruneCandidates(std::vector<PlanCandidate>* candidates) {
   std::unordered_map<std::string, PlanCandidate> best_by_order;
   for (PlanCandidate& cand : *candidates) {
     auto it = best_by_order.find(cand.sort_order);
-    if (it == best_by_order.end() || cand.cost < it->second.cost) {
+    // Pinned tie-break: lower cost wins, and an exact cost tie goes to
+    // the lexicographically smaller label — the survivor (and the
+    // provenance top-K built from the surviving order) must never depend
+    // on candidate generation order.
+    if (it == best_by_order.end() || cand.cost < it->second.cost ||
+        (cand.cost == it->second.cost && cand.label < it->second.label)) {
       best_by_order[cand.sort_order] = std::move(cand);
     }
   }
@@ -437,13 +523,90 @@ void Optimizer::PruneCandidates(std::vector<PlanCandidate>* candidates) {
   }
   std::sort(candidates->begin(), candidates->end(),
             [](const PlanCandidate& a, const PlanCandidate& b) {
-              return a.cost < b.cost;
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.label != b.label) return a.label < b.label;
+              return a.sort_order < b.sort_order;
             });
+}
+
+const std::vector<double>& Optimizer::SensitivityGrid() {
+  static const std::vector<double> kGrid = {0.10, 0.25, 0.50,
+                                            0.75, 0.90, 0.95};
+  return kGrid;
+}
+
+void Optimizer::CaptureSensitivity(
+    RunState* run, uint32_t full_subset,
+    const std::vector<PlanCandidate>& finalists) {
+  sensitivity_ = obs::PlanSensitivity{};
+  sensitivity_.captured = true;
+  sensitivity_.grid = SensitivityGrid();
+  if (!finalists.empty()) sensitivity_.plan_label = finalists.front().label;
+
+  auto* robust = dynamic_cast<stats::RobustSampleEstimator*>(estimator_);
+  double threshold_selectivity = 0.0;
+  if (robust == nullptr) {
+    sensitivity_.unavailable_reason = "estimator has no posterior";
+  } else {
+    sensitivity_.threshold = robust->config().confidence_threshold;
+    stats::CardinalityRequest request;
+    request.tables = run->SubsetNames(full_subset);
+    request.predicate = run->query->CombinedPredicate(request.tables);
+    if (request.predicate == nullptr) {
+      sensitivity_.unavailable_reason = "query has no predicate";
+    } else {
+      Result<stats::SelectivityPosterior> posterior =
+          robust->EstimatePosterior(request);
+      if (!posterior.ok()) {
+        sensitivity_.unavailable_reason = "no covering posterior";
+      } else {
+        // All cdf^{-1} evaluations go through the shared inverse-Beta LRU,
+        // so a re-planned fingerprint re-reads its whole grid from cache.
+        const math::BetaDistribution& dist =
+            posterior.value().distribution();
+        perf::InverseBetaCache* beta = robust->beta_cache();
+        threshold_selectivity =
+            beta->Value(dist.alpha(), dist.beta(), sensitivity_.threshold);
+        for (double q : sensitivity_.grid) {
+          sensitivity_.selectivity.push_back(
+              beta->Value(dist.alpha(), dist.beta(), q));
+        }
+        if (threshold_selectivity > 0.0) {
+          sensitivity_.available = true;
+        } else {
+          sensitivity_.selectivity.clear();
+          sensitivity_.unavailable_reason =
+              "degenerate threshold selectivity";
+        }
+      }
+    }
+  }
+
+  if (sensitivity_.available) {
+    const size_t keep =
+        std::min(finalists.size(), run->options.provenance_top_k + 1);
+    for (size_t c = 0; c < keep; ++c) {
+      const PlanCandidate& cand = finalists[c];
+      obs::CandidateCurve curve;
+      curve.label = cand.label;
+      curve.cost = cand.cost;
+      curve.rows = cand.rows;
+      curve.curve_available = static_cast<bool>(cand.cost_at);
+      for (double selectivity : sensitivity_.selectivity) {
+        const double ratio = selectivity / threshold_selectivity;
+        curve.cost_at.push_back(curve.curve_available ? cand.cost_at(ratio)
+                                                      : cand.cost);
+      }
+      sensitivity_.candidates.push_back(std::move(curve));
+    }
+  }
+  obs::FinalizeSensitivity(&sensitivity_);
 }
 
 Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
                                          const OptimizerOptions& options) {
   metrics_ = Metrics();
+  sensitivity_ = obs::PlanSensitivity{};
   if (query.tables.empty()) {
     return Status::InvalidArgument("query has no tables");
   }
@@ -692,6 +855,51 @@ Result<PlannedQuery> Optimizer::Optimize(const QuerySpec& query,
     metrics_.beta_cache_misses =
         static_cast<size_t>(probe_cache.beta_misses());
   }
+  // After the per-query cache counters are copied, so the extra posterior
+  // read + grid quantile lookups never perturb the EXPLAIN ANALYZE
+  // perf.cache numbers.
+  if (run.options.provenance_enabled) {
+    CaptureSensitivity(&run, full, final_it->second);
+  }
+#if ROBUSTQO_OBS_ENABLED
+  if (sensitivity_.captured) {
+    RQO_IF_OBS(options.tracer) {
+      obs::SpanGuard sens_span(
+          options.tracer, "optimizer", "sensitivity",
+          {{"plan", sensitivity_.plan_label},
+           {"threshold", obs::AttrF(sensitivity_.threshold)},
+           {"grid_points", obs::AttrU64(sensitivity_.grid.size())},
+           {"candidates", obs::AttrU64(sensitivity_.candidates.size())}});
+      if (sensitivity_.available) {
+        for (size_t i = 0; i < sensitivity_.grid.size(); ++i) {
+          options.tracer->Event(
+              "optimizer", "sensitivity.point",
+              {{"quantile", obs::AttrF(sensitivity_.grid[i])},
+               {"selectivity", obs::AttrF(sensitivity_.selectivity[i])},
+               {"winner_cost",
+                obs::AttrF(sensitivity_.candidates.front().cost_at[i])}});
+        }
+      }
+      sens_span.Attr("stable", obs::AttrU64(sensitivity_.stable ? 1 : 0));
+      sens_span.Attr("crossover_quantile",
+                     obs::AttrF(sensitivity_.crossover_quantile));
+      sens_span.Attr("max_regret_pct",
+                     obs::AttrF(sensitivity_.max_regret_pct));
+      sens_span.Attr("verdict", sensitivity_.verdict);
+    }
+    RQO_IF_OBS(options.metrics) {
+      if (sensitivity_.available) {
+        options.metrics->GetCounter("optimizer.sensitivity.captured")
+            ->Increment();
+        options.metrics->GetGauge("optimizer.sensitivity.max_regret_pct")
+            ->Set(sensitivity_.max_regret_pct);
+      } else {
+        options.metrics->GetCounter("optimizer.sensitivity.unavailable")
+            ->Increment();
+      }
+    }
+  }
+#endif
 #if ROBUSTQO_OBS_ENABLED
   RQO_IF_OBS(run.metric_candidates) {
     run.metric_candidates->Increment(metrics_.candidates);

@@ -19,6 +19,7 @@
 
 #include "exec/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/plan_provenance.h"
 #include "obs/trace.h"
 #include "optimizer/plan.h"
 #include "optimizer/query.h"
@@ -60,6 +61,16 @@ struct OptimizerOptions {
   /// decisions; metrics get estimate/cache/candidate counters.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Plan-provenance capture — strictly read-only with respect to plan
+  /// choice. When enabled, every candidate carries a sensitivity re-cost
+  /// closure and Optimize() leaves a PlanSensitivity in
+  /// last_sensitivity(): the winner plus the top provenance_top_k
+  /// runner-ups (post-prune), each re-costed at the posterior quantile
+  /// grid, with a stability/crossover verdict. The added cdf^{-1} work
+  /// goes through the robust estimator's InverseBetaCache and is excluded
+  /// from last_metrics()'s per-query cache counters.
+  bool provenance_enabled = false;
+  size_t provenance_top_k = 3;
 };
 
 /// Cost-based SPJ optimizer.
@@ -89,7 +100,23 @@ class Optimizer {
   };
   const Metrics& last_metrics() const { return metrics_; }
 
+  /// Sensitivity of the most recent Optimize() call's plan choice.
+  /// `captured` is false unless that call ran with provenance_enabled.
+  const obs::PlanSensitivity& last_sensitivity() const {
+    return sensitivity_;
+  }
+
   const exec::CostModel& cost_model() const { return cost_model_; }
+
+  /// The quantile grid sensitivity curves are evaluated on.
+  static const std::vector<double>& SensitivityGrid();
+
+  /// Keeps only the cheapest candidate overall and per distinct sort
+  /// order. Tie-break is pinned (lower cost, then lexicographically
+  /// smaller label) so the surviving order — which feeds the provenance
+  /// top-K — never depends on candidate generation order. Public for
+  /// tests.
+  static void PruneCandidates(std::vector<PlanCandidate>* candidates);
 
  private:
   // -- Per-run state (reset by Optimize) --
@@ -119,13 +146,17 @@ class Optimizer {
   // star_strategies.cc); appends to `out`.
   void AddStarCandidates(RunState* run, std::vector<PlanCandidate>* out);
 
-  // Keeps only the cheapest candidate overall and per distinct sort order.
-  static void PruneCandidates(std::vector<PlanCandidate>* candidates);
+  // Fills sensitivity_ from the pruned finalists of the full table set:
+  // posterior quantile grid via the robust estimator's beta cache, one
+  // cost curve per retained candidate, verdict via FinalizeSensitivity.
+  void CaptureSensitivity(RunState* run, uint32_t full_subset,
+                          const std::vector<PlanCandidate>& finalists);
 
   const storage::Catalog* catalog_;
   stats::CardinalityEstimator* estimator_;
   exec::CostModel cost_model_;
   Metrics metrics_;
+  obs::PlanSensitivity sensitivity_;
 };
 
 }  // namespace opt

@@ -42,6 +42,13 @@ struct PlanCandidate {
   /// Structure label, composed bottom-up.
   std::string label;
   std::function<exec::OperatorPtr()> build;
+  /// Sensitivity re-cost closure, composed bottom-up like `build`: the
+  /// candidate's cost with every predicate-derived cardinality scaled by
+  /// `ratio` (a posterior selectivity divided by the planning-threshold
+  /// selectivity). cost_at(1.0) == cost exactly. Only populated when
+  /// OptimizerOptions::provenance_enabled — null otherwise, and null for
+  /// candidates with no re-cost model (star strategies).
+  std::function<double(double ratio)> cost_at;
 };
 
 }  // namespace opt

@@ -74,7 +74,8 @@ QueryService::QueryService(core::Database* db, ServerConfig config)
       recorder_(config.flight_recorder),
       slo_(config.slo),
       feedback_(config.learning),
-      tuner_(config.tpercent) {
+      tuner_(config.tpercent),
+      provenance_(config.provenance) {
   admission_.set_fault_injector(db_->fault_injector());
   cache_.set_fault_injector(db_->fault_injector());
   // Close the estimation feedback loop: the reduce phase feeds this store,
@@ -110,7 +111,7 @@ void QueryService::OfferAbortedTrace(
     obs::Tracer* tracer, uint64_t root_span, uint64_t request_id,
     SessionId session_id, const std::string& session_label, uint64_t ticket,
     uint64_t fingerprint, const std::string& cache_outcome,
-    uint64_t waves_waited, const Status& status) {
+    uint64_t waves_waited, uint64_t fault_fires, const Status& status) {
 #if ROBUSTQO_OBS_ENABLED
   if (tracer == nullptr) return;
   const char* code = StatusCodeName(status.code());
@@ -124,6 +125,7 @@ void QueryService::OfferAbortedTrace(
   trace.status = code;
   trace.failed = true;
   trace.cache_outcome = cache_outcome;
+  trace.fault_fires = fault_fires;
   trace.waves_waited = waves_waited;
   trace.queue_wait_seconds = slo_.QueueWaitSeconds(waves_waited);
   trace.events = tracer->ReleaseEvents();
@@ -138,6 +140,7 @@ void QueryService::OfferAbortedTrace(
   (void)fingerprint;
   (void)cache_outcome;
   (void)waves_waited;
+  (void)fault_fires;
   (void)status;
 #endif
 }
@@ -211,7 +214,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         request_tracer->Event("server", "submit", {{"outcome", "no_session"}});
       }
       OfferAbortedTrace(request_tracer.get(), root_span, request_id,
-                        request.session, "", 0, 0, "", 0, response.status);
+                        request.session, "", 0, 0, "", 0, 0, response.status);
       continue;
     }
     session->CountSubmitted();
@@ -233,7 +236,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
                              {{"outcome", "no_statement"}});
         }
         OfferAbortedTrace(work.tracer.get(), root_span, request_id,
-                          request.session, session->name(), 0, 0, "", 0,
+                          request.session, session->name(), 0, 0, "", 0, 0,
                           response.status);
         continue;
       }
@@ -257,7 +260,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
           work.tracer->Event("server", "submit", {{"outcome", "parse_error"}});
         }
         OfferAbortedTrace(work.tracer.get(), root_span, request_id,
-                          request.session, session->name(), 0, 0, "", 0,
+                          request.session, session->name(), 0, 0, "", 0, 0,
                           response.status);
         continue;
       }
@@ -286,7 +289,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       }
       OfferAbortedTrace(work.tracer.get(), root_span, request_id,
                         request.session, session->name(), 0, work.fingerprint,
-                        "", 0, response.status);
+                        "", 0, 0, response.status);
       continue;
     }
     work.ticket = ticket.value();
@@ -318,7 +321,8 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         ++queries_failed_;
         OfferAbortedTrace(work.tracer.get(), work.root_span, work.request_id,
                           work.session->id(), work.session->name(), ticket,
-                          work.fingerprint, "", 0, responses[work.index].status);
+                          work.fingerprint, "", 0, work.fault_fires,
+                          responses[work.index].status);
       }
       break;
     }
@@ -401,6 +405,16 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       if (work.plan == nullptr) {
         const double saved_threshold = db_->confidence_threshold();
         db_->SetConfidenceThreshold(work.effective_threshold);
+        // Provenance capture rides the optimizer run (sequential PLAN
+        // phase): save/set/restore the database knobs like the threshold
+        // so a direct db user outside the service is unaffected.
+        const bool provenance_on = provenance_.enabled();
+        const bool saved_capture = db_->provenance_capture();
+        const size_t saved_top_k = db_->provenance_top_k();
+        if (provenance_on) {
+          db_->SetProvenanceCapture(true);
+          db_->SetProvenanceTopK(config_.provenance_top_k);
+        }
 #if ROBUSTQO_OBS_ENABLED
         // Re-point the database's tracer at this request's for the
         // optimizer run, so degradation/estimation events nest under the
@@ -421,6 +435,10 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 #if ROBUSTQO_OBS_ENABLED
         if (work.tracer != nullptr) db_->SetTracer(saved_tracer);
 #endif
+        if (provenance_on) {
+          db_->SetProvenanceCapture(saved_capture);
+          db_->SetProvenanceTopK(saved_top_k);
+        }
         db_->SetConfidenceThreshold(saved_threshold);
         if (!planned.ok()) {
           responses[work.index].status = planned.status();
@@ -446,13 +464,20 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
           OfferAbortedTrace(work.tracer.get(), work.root_span, work.request_id,
                             work.session->id(), work.session->name(),
                             work.ticket, work.fingerprint, work.cache_outcome,
-                            work.waves_waited, planned.status());
+                            work.waves_waited, work.fault_fires,
+                            planned.status());
           pending.erase(admitted.ticket);
           continue;
         }
         work.plan = std::make_shared<const opt::PlannedQuery>(
             std::move(planned).value());
         cache_.Insert(key, work.plan, epoch);
+        // Record after the fresh optimizer run (drift-blocked re-plans are
+        // not cached but still get provenance); cache hits keep their
+        // existing record.
+        if (provenance_on) {
+          RecordProvenance(work, key, epoch, cache_outcome);
+        }
       }
       RQO_IF_OBS(work.tracer) {
         work.tracer->EndSpan(
@@ -842,6 +867,64 @@ void QueryService::ExecuteDmlWork(
 #endif
 }
 
+void QueryService::RecordProvenance(const PendingRequest& work,
+                                    const PlanCacheKey& key, uint64_t epoch,
+                                    PlanCacheOutcome outcome) {
+  const obs::PlanSensitivity& sensitivity = db_->last_plan_sensitivity();
+  if (!sensitivity.captured) return;
+  // Copy any prior record before the store mutates: a re-planned
+  // fingerprint diffs against what the observatory last knew about it.
+  std::optional<obs::PlanProvenanceRecord> prior;
+  if (const obs::PlanProvenanceRecord* existing =
+          provenance_.Find(key.fingerprint)) {
+    prior = *existing;
+  }
+  obs::PlanProvenanceRecord record;
+  record.fingerprint = key.fingerprint;
+  record.threshold_bits = key.threshold_bits;
+  record.estimator =
+      work.session->options().estimator == core::EstimatorKind::kHistogram
+          ? "histogram"
+          : "robust";
+  record.epoch = epoch;
+  record.plan_label = work.plan->label;
+  record.estimated_cost = work.plan->estimated_cost;
+  record.estimated_rows = work.plan->estimated_rows;
+  record.sensitivity = sensitivity;
+  provenance_.Record(std::move(record));
+  if (!prior.has_value()) return;
+  obs::PlanDiffRecord diff;
+  diff.fingerprint = key.fingerprint;
+  diff.trigger = PlanCacheOutcomeName(outcome);
+  diff.old_epoch = prior->epoch;
+  diff.new_epoch = epoch;
+  diff.old_label = prior->plan_label;
+  diff.new_label = work.plan->label;
+  diff.old_cost = prior->estimated_cost;
+  diff.new_cost = work.plan->estimated_cost;
+  diff.plan_changed = diff.old_label != diff.new_label;
+  if (sensitivity.available && !sensitivity.candidates.empty()) {
+    diff.grid = sensitivity.grid;
+    diff.new_curve = sensitivity.candidates.front().cost_at;
+  }
+  const obs::PlanSensitivity& old_sensitivity = prior->sensitivity;
+  if (old_sensitivity.available && !old_sensitivity.candidates.empty()) {
+    if (diff.grid.empty()) diff.grid = old_sensitivity.grid;
+    diff.old_curve = old_sensitivity.candidates.front().cost_at;
+  }
+  diff.old_verdict = old_sensitivity.verdict;
+  diff.new_verdict = sensitivity.verdict;
+  provenance_.RecordDiff(std::move(diff));
+#if ROBUSTQO_OBS_ENABLED
+  RQO_IF_OBS(tracer_) {
+    tracer_->Event("server", "plan_provenance.replanned",
+                   {{"fingerprint", FpHex(key.fingerprint)},
+                    {"trigger", PlanCacheOutcomeName(outcome)},
+                    {"plan_changed", diff.plan_changed ? "1" : "0"}});
+  }
+#endif
+}
+
 QueryResponse QueryService::ExecutePrepared(SessionId session,
                                             const std::string& name) {
   std::vector<QueryResponse> responses =
@@ -892,6 +975,9 @@ void QueryService::PublishMetrics(obs::MetricsRegistry* metrics) const {
   if (config_.slo.enabled) slo_.PublishMetrics(metrics);
   feedback_.PublishMetrics(metrics);
   tuner_.PublishMetrics(metrics);
+  // Gated on the runtime toggle so SET PROVENANCE OFF keeps the metric
+  // byte stream identical to a pre-provenance build.
+  provenance_.PublishMetrics(metrics);
 }
 
 }  // namespace server

@@ -59,6 +59,7 @@
 #include "learning/tpercent_tuner.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/plan_provenance.h"
 #include "obs/quality_monitor.h"
 #include "obs/slo_monitor.h"
 #include "obs/trace.h"
@@ -102,6 +103,15 @@ struct ServerConfig {
   /// Regret-driven per-fingerprint T% retuning from the SloMonitor's
   /// realized-regret scopes (between waves, sequential).
   learn::TunerConfig tpercent;
+  /// Plan-choice provenance: every plan resolved by the optimizer (cache
+  /// misses of any flavor) files a sensitivity record, and a re-planned
+  /// fingerprint files a plan-diff record with its trigger. Strictly
+  /// read-only w.r.t. plan choice; SET PROVENANCE OFF
+  /// (SetProvenanceEnabled(false)) reproduces the pre-provenance metric
+  /// and trace bytes.
+  obs::PlanProvenanceConfig provenance;
+  /// Runner-up candidates retained per sensitivity record.
+  size_t provenance_top_k = 3;
 };
 
 /// One client request: EXECUTE of a prepared statement (when `prepared`
@@ -215,6 +225,17 @@ class QueryService {
   /// the database's robust estimator) and the regret-driven T% tuner.
   learn::FeedbackStore* feedback_store() { return &feedback_; }
   learn::TPercentTuner* tpercent_tuner() { return &tuner_; }
+  /// The plan-choice observatory: provenance + plan-diff records (the
+  /// shell's `.whyplan`).
+  obs::PlanProvenanceStore* provenance() { return &provenance_; }
+  const obs::PlanProvenanceStore* provenance() const { return &provenance_; }
+
+  /// Toggles provenance capture and recording (the shell's SET PROVENANCE
+  /// ON|OFF). Off reproduces pre-provenance metrics/traces byte-for-byte;
+  /// accumulated records are kept and resume on re-enable.
+  void SetProvenanceEnabled(bool enabled) { provenance_.set_enabled(enabled); }
+  bool provenance_enabled() const { return provenance_.enabled(); }
+  void SetProvenanceTopK(size_t top_k) { config_.provenance_top_k = top_k; }
 
   /// Toggles the whole learning loop (the shell's SET LEARNING ON|OFF):
   /// feedback recording, learned estimator corrections, and T% retuning.
@@ -257,12 +278,20 @@ class QueryService {
       const std::vector<std::pair<std::string, fault::FaultSpec>>&
           armed_specs);
   /// Finalizes and offers the trace of a request that died before the
-  /// execute phase (submit-time rejections, plan failures).
+  /// execute phase (submit-time rejections, plan failures). `fault_fires`
+  /// carries fires already counted for the request (e.g. a degraded
+  /// plan-cache lookup before a planning failure) into the trace.
   void OfferAbortedTrace(obs::Tracer* tracer, uint64_t root_span,
                          uint64_t request_id, SessionId session_id,
                          const std::string& session_label, uint64_t ticket,
                          uint64_t fingerprint, const std::string& cache_outcome,
-                         uint64_t waves_waited, const Status& status);
+                         uint64_t waves_waited, uint64_t fault_fires,
+                         const Status& status);
+
+  /// Files the provenance (and, on a re-plan, plan-diff) record for a
+  /// freshly optimized plan. Sequential PLAN phase only.
+  void RecordProvenance(const PendingRequest& work, const PlanCacheKey& key,
+                        uint64_t epoch, PlanCacheOutcome outcome);
 
   core::Database* db_;
   ServerConfig config_;
@@ -274,6 +303,7 @@ class QueryService {
   obs::SloMonitor slo_;
   learn::FeedbackStore feedback_;
   learn::TPercentTuner tuner_;
+  obs::PlanProvenanceStore provenance_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint64_t queries_completed_ = 0;

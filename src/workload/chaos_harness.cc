@@ -145,6 +145,9 @@ struct RunResult {
   /// The run's retained request traces (service path with a flight
   /// recorder configured); absorbed into the sweep recorder in run order.
   std::unique_ptr<obs::FlightRecorder> flight;
+  /// The run's plan provenance records (service path with an observatory
+  /// configured); absorbed into the sweep store in run order.
+  std::unique_ptr<obs::PlanProvenanceStore> provenance;
 };
 
 // One self-contained chaos run against `db`: every input is derived from
@@ -178,6 +181,10 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
       server_config.flight_recorder = config.flight_recorder->config();
       server_config.flight_recorder.enabled = true;
     }
+    if (config.provenance != nullptr) {
+      server_config.provenance = config.provenance->config();
+      server_config.provenance.enabled = true;
+    }
     server::QueryService service(db, server_config);
     service.set_metrics(db->metrics());
     std::vector<server::SessionId> ids;
@@ -203,6 +210,10 @@ RunResult ExecuteOneRun(core::Database* db, const ChaosConfig& config,
         service.flight_recorder()->size() > 0) {
       run.flight = std::make_unique<obs::FlightRecorder>(
           std::move(*service.flight_recorder()));
+    }
+    if (config.provenance != nullptr && service.provenance()->size() > 0) {
+      run.provenance = std::make_unique<obs::PlanProvenanceStore>(
+          std::move(*service.provenance()));
     }
   } else {
     if (governed) db->SetGovernorLimits(limits);
@@ -389,6 +400,11 @@ ChaosReport ChaosHarness::Run(const ChaosConfig& config,
       config.flight_recorder->Absorb(std::move(*run.flight),
                                      StrPrintf("run=%zu", i));
       run.flight.reset();
+    }
+    if (config.provenance != nullptr && run.provenance != nullptr) {
+      config.provenance->Absorb(std::move(*run.provenance),
+                                StrPrintf("run=%zu", i));
+      run.provenance.reset();
     }
     ++report.runs;
     for (const std::string& site : run.armed_sites) {

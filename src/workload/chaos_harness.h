@@ -22,6 +22,7 @@
 #include "core/database.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/plan_provenance.h"
 #include "optimizer/query.h"
 
 namespace robustqo {
@@ -63,6 +64,13 @@ struct ChaosConfig {
   /// retained traces are absorbed here in run-index order, tagged
   /// "run=<i>", so the merged dump is byte-identical at any thread count.
   obs::FlightRecorder* flight_recorder = nullptr;
+  /// Optional plan-choice observatory for the service path (requires
+  /// sessions > 0): every run's QueryService files provenance and
+  /// plan-diff records, absorbed here in run-index order tagged
+  /// "run=<i>" — the merged `.whyplan` history is byte-identical at any
+  /// thread count. Unlike the flight recorder this works with
+  /// observability compiled out (the store is a plain data class).
+  obs::PlanProvenanceStore* provenance = nullptr;
 };
 
 /// One run's outcome.

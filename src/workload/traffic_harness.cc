@@ -282,6 +282,9 @@ TrafficReport RunTraffic(server::QueryService* service,
   if (service->flight_recorder()->size() > 0) {
     report.blackbox_json = service->flight_recorder()->ToJson();
   }
+  if (service->provenance()->size() > 0) {
+    report.provenance_json = service->provenance()->ToJson();
+  }
   return report;
 }
 

@@ -117,6 +117,10 @@ struct TrafficReport {
   /// Flight-recorder JSON dump (empty unless the service's recorder was
   /// enabled and retained at least one request).
   std::string blackbox_json;
+  /// Plan-provenance JSON dump (empty unless the service's observatory
+  /// recorded at least one plan). Not part of Summary(), so pre-provenance
+  /// summaries stay byte-identical.
+  std::string provenance_json;
 
   /// Deterministic fixed-precision text block — the byte-identical
   /// artifact the determinism suite pins across thread counts.

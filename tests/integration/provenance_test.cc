@@ -1,0 +1,314 @@
+// The plan-choice provenance observatory, end to end: the serving layer
+// files a record for every fresh optimizer run (why the winner won, how
+// fragile it is across the selectivity posterior), re-plans file plan-diff
+// records naming the PlanCacheOutcome trigger, every surface is
+// byte-identical across thread counts, and SET PROVENANCE OFF restores
+// the pre-provenance report and metric bytes. Also pins the
+// report-overwrite regression: a request whose fault fires span both the
+// PLAN and EXECUTE phases must report every fire in its retained trace —
+// including when planning itself fails (the aborted-trace path used to
+// drop the PLAN-phase fires).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/explain_analyze.h"
+#include "expr/expression.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/plan_provenance.h"
+#include "perf/task_pool.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "workload/traffic_harness.h"
+
+namespace robustqo {
+namespace {
+
+constexpr uint64_t kBaseRows = 2000;
+
+std::unique_ptr<core::Database> MakeReadingsDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < kBaseRows; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
+  return db;
+}
+
+opt::QuerySpec ReadingsQuery(int64_t below) {
+  opt::QuerySpec query;
+  query.tables.push_back(
+      {"readings", expr::Lt(expr::Col("r_value"), expr::LitInt(below))});
+  return query;
+}
+
+constexpr unsigned kThreadCounts[] = {1, 4, 8};
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = perf::ThreadCount(); }
+  void TearDown() override { perf::SetThreadCount(saved_threads_); }
+
+ private:
+  unsigned saved_threads_ = 1;
+};
+
+TEST_F(ProvenanceTest, ServiceFilesRecordOnPlanMissOnly) {
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::QueryService service(db.get(), {});
+  ASSERT_TRUE(service.provenance()->enabled());
+  const server::SessionId session = service.OpenSession();
+
+  const opt::QuerySpec query = ReadingsQuery(50);
+  const uint64_t fp = server::FingerprintQuery(query);
+  ASSERT_TRUE(service.ExecuteSpec(session, query).status.ok());
+  ASSERT_EQ(service.provenance()->size(), 1u);
+  const obs::PlanProvenanceRecord* record = service.provenance()->Find(fp);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->estimator, "robust");
+  EXPECT_FALSE(record->plan_label.empty());
+  EXPECT_GT(record->estimated_cost, 0.0);
+  ASSERT_TRUE(record->sensitivity.captured);
+  ASSERT_TRUE(record->sensitivity.available)
+      << record->sensitivity.unavailable_reason;
+  EXPECT_EQ(record->sensitivity.grid.size(), 6u);
+  EXPECT_EQ(record->sensitivity.selectivity.size(), 6u);
+  ASSERT_FALSE(record->sensitivity.candidates.empty());
+  EXPECT_EQ(record->sensitivity.candidates.front().label,
+            record->sensitivity.plan_label);
+  EXPECT_FALSE(record->sensitivity.verdict.empty());
+  // The winner's curve reproduces its ranking cost at the planning
+  // threshold's own selectivity — the cost_at(1.0) == cost invariant.
+  EXPECT_FALSE(record->sensitivity.candidates.front().cost_at.empty());
+
+  // A cache hit must not refresh or duplicate the record.
+  server::QueryResponse hit = service.ExecuteSpec(session, query);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(service.provenance()->size(), 1u);
+  EXPECT_EQ(service.provenance()->stats().recorded, 1u);
+}
+
+TEST_F(ProvenanceTest, DisablingProvenanceRestoresPreProvenanceBytes) {
+  // Reference: a service with the observatory off behaves byte-for-byte
+  // like a pre-provenance build — no records, no provenance metrics.
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::QueryService service(db.get(), {});
+  service.SetProvenanceEnabled(false);
+  const server::SessionId session = service.OpenSession();
+  ASSERT_TRUE(service.ExecuteSpec(session, ReadingsQuery(50)).status.ok());
+  EXPECT_EQ(service.provenance()->size(), 0u);
+  obs::MetricsRegistry metrics;
+  service.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.ToJson().find("optimizer.provenance"), std::string::npos);
+  EXPECT_EQ(metrics.ToJson().find("optimizer.sensitivity"), std::string::npos);
+
+  // The database-level capture is equally silent when off: EXPLAIN
+  // ANALYZE text carries no sensitivity section.
+  auto analyzed = core::ExplainAnalyze(db.get(), ReadingsQuery(50),
+                                       core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed.value().ToText().find("sensitivity:"),
+            std::string::npos);
+  EXPECT_EQ(analyzed.value().ToJson().find("\"sensitivity\""),
+            std::string::npos);
+}
+
+TEST_F(ProvenanceTest, ExplainAnalyzeCarriesSensitivityWhenCaptureIsOn) {
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  db->SetProvenanceCapture(true);
+  auto analyzed = core::ExplainAnalyze(db.get(), ReadingsQuery(50),
+                                       core::EstimatorKind::kRobustSample);
+  ASSERT_TRUE(analyzed.ok());
+  const std::string text = analyzed.value().ToText();
+  EXPECT_NE(text.find("sensitivity:"), std::string::npos);
+  EXPECT_NE(text.find("[winner]"), std::string::npos);
+  EXPECT_NE(text.find("verdict:"), std::string::npos);
+  const std::string json = analyzed.value().ToJson();
+  EXPECT_NE(json.find("\"sensitivity\":{\"captured\":true"),
+            std::string::npos);
+  const std::string dot = analyzed.value().ToDot();
+  EXPECT_NE(dot.find("sensitivity [shape=note"), std::string::npos);
+}
+
+// The ISSUE's drift arc: a plan is cached and served hot; its data floods
+// underneath the stale statistics; the drift watchdog evicts the plan;
+// the forced re-plan files a plan-diff record whose trigger names the
+// plan-cache outcome and whose curves allow a cost-curve delta.
+TEST_F(ProvenanceTest, DriftEvictionFilesPlanDiffWithTriggerAndCurves) {
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::ServerConfig config;
+  config.quality.baseline_window = 16;
+  config.quality.recent_window = 16;
+  config.quality.min_observations = 8;
+  config.quality.drift_factor = 4.0;
+  config.background_rebuild = false;
+  server::QueryService service(db.get(), config);
+  const server::SessionId session = service.OpenSession();
+
+  const opt::QuerySpec drifting = ReadingsQuery(50);
+  const uint64_t fp = server::FingerprintQuery(drifting);
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(service.ExecuteSpec(session, drifting).status.ok());
+  }
+  ASSERT_EQ(service.provenance()->size(), 1u);
+  ASSERT_TRUE(service.provenance()->Diffs().empty());
+  const uint64_t first_epoch = service.provenance()->Find(fp)->epoch;
+
+  // Flood rows matching the predicate without rebuilding statistics.
+  storage::Table* readings = db->catalog()->GetMutableTable("readings");
+  ASSERT_NE(readings, nullptr);
+  Rng rng(77);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    readings->AppendRow(
+        {storage::Value::Int64(static_cast<int64_t>(kBaseRows + i)),
+         storage::Value::Int64(static_cast<int64_t>(rng.NextBounded(50)))});
+  }
+  bool evicted = false;
+  for (int round = 0; round < 40 && !evicted; ++round) {
+    ASSERT_TRUE(service.ExecuteSpec(session, drifting).status.ok());
+    evicted = service.plan_cache()->stats().invalidated_drift > 0;
+  }
+  ASSERT_TRUE(evicted);
+
+  // The evicted fingerprint is re-planned (drift-blocked: planned fresh,
+  // not re-cached) and the observatory files the diff.
+  ASSERT_TRUE(service.ExecuteSpec(session, drifting).status.ok());
+  const auto diffs = service.provenance()->Diffs();
+  ASSERT_FALSE(diffs.empty());
+  const obs::PlanDiffRecord* diff = diffs.front();
+  EXPECT_EQ(diff->fingerprint, fp);
+  EXPECT_EQ(diff->trigger, "drift_blocked");
+  EXPECT_FALSE(diff->old_label.empty());
+  EXPECT_FALSE(diff->new_label.empty());
+  // Both sides captured sensitivity, so the record supports a per-quantile
+  // cost-curve delta on a shared grid.
+  ASSERT_FALSE(diff->grid.empty());
+  EXPECT_EQ(diff->old_curve.size(), diff->grid.size());
+  EXPECT_EQ(diff->new_curve.size(), diff->grid.size());
+  EXPECT_FALSE(diff->new_verdict.empty());
+  // The refreshed record supersedes the pre-flood one under the same key.
+  EXPECT_GE(service.provenance()->Find(fp)->epoch, first_epoch);
+  // The .whyplan body stitches the arc together.
+  const std::string report = service.provenance()->ReportFor(fp);
+  EXPECT_NE(report.find("[drift_blocked]"), std::string::npos);
+  EXPECT_NE(report.find("curve delta:"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, WhyplanAndTrafficBytesIdenticalAcrossThreadCounts) {
+  workload::TrafficConfig config;
+  config.clients = 200;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 4.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+
+  std::string reference_summary;
+  std::string reference_json;
+  std::string reference_whyplan;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    server::ServerConfig server_config;
+    server_config.admission.max_concurrent = 8;
+    server_config.admission.max_queue_depth = 128;
+    server::QueryService service(db.get(), server_config);
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, config);
+    EXPECT_GT(report.completed, 100u);
+    ASSERT_GT(service.provenance()->size(), 0u);
+    std::string whyplan = service.provenance()->ReportText();
+    for (const obs::PlanProvenanceRecord* record :
+         service.provenance()->Snapshot()) {
+      whyplan += service.provenance()->ReportFor(record->fingerprint);
+    }
+    if (threads == 1) {
+      reference_summary = report.Summary();
+      reference_json = report.provenance_json;
+      reference_whyplan = whyplan;
+    } else {
+      EXPECT_EQ(report.Summary(), reference_summary) << "threads=" << threads;
+      EXPECT_EQ(report.provenance_json, reference_json)
+          << "threads=" << threads;
+      EXPECT_EQ(whyplan, reference_whyplan) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference_json.empty());
+  EXPECT_FALSE(reference_whyplan.empty());
+}
+
+#if ROBUSTQO_OBS_ENABLED
+// Report-overwrite regression (the satellite sweep's find): fault fires
+// counted in the PLAN phase must survive into the retained trace when the
+// request later fails — in EXECUTE, and on the aborted path where
+// planning itself fails (OfferAbortedTrace used to zero them).
+TEST_F(ProvenanceTest, FaultFiresAccumulateAcrossPlanAndExecutePhases) {
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::ServerConfig config;
+  config.flight_recorder.enabled = true;
+  server::QueryService service(db.get(), config);
+  const server::SessionId session = service.OpenSession();
+
+  // PLAN-phase fire: every plan-cache lookup degrades to a miss.
+  // EXECUTE-phase fire: every operator workspace allocation fails.
+  db->fault_injector()->Arm(fault::sites::kPlanCacheLookup,
+                            fault::FaultSpec::Always());
+  fault::FaultSpec alloc = fault::FaultSpec::Always();
+  alloc.code = StatusCode::kResourceExhausted;
+  db->fault_injector()->Arm(fault::sites::kOperatorAlloc, alloc);
+
+  server::QueryResponse failed = service.ExecuteSpec(session, ReadingsQuery(50));
+  EXPECT_FALSE(failed.status.ok());
+  auto traces = service.flight_recorder()->Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces[0]->failed);
+  EXPECT_GE(traces[0]->fault_fires, 2u)
+      << "PLAN-phase fire lost: trace reports " << traces[0]->fault_fires;
+  db->fault_injector()->DisarmAll();
+}
+
+TEST_F(ProvenanceTest, AbortedPlanTraceKeepsPlanPhaseFaultFires) {
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::ServerConfig config;
+  config.flight_recorder.enabled = true;
+  server::QueryService service(db.get(), config);
+  const server::SessionId session = service.OpenSession();
+
+  db->fault_injector()->Arm(fault::sites::kPlanCacheLookup,
+                            fault::FaultSpec::Always());
+  // Planning fails outright: the spec names a table the catalog lacks.
+  opt::QuerySpec bogus;
+  bogus.tables.push_back({"no_such_table", nullptr});
+  server::QueryResponse failed = service.ExecuteSpec(session, bogus);
+  EXPECT_FALSE(failed.status.ok());
+  auto traces = service.flight_recorder()->Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces[0]->failed);
+  EXPECT_GE(traces[0]->fault_fires, 1u)
+      << "aborted-plan trace dropped the degraded-lookup fire";
+  db->fault_injector()->DisarmAll();
+}
+#endif  // ROBUSTQO_OBS_ENABLED
+
+}  // namespace
+}  // namespace robustqo

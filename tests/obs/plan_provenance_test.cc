@@ -1,0 +1,318 @@
+#include "obs/plan_provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace robustqo {
+namespace obs {
+namespace {
+
+PlanSensitivity MakeSensitivity(std::vector<CandidateCurve> candidates) {
+  PlanSensitivity s;
+  s.captured = true;
+  s.available = true;
+  s.threshold = 0.8;
+  s.grid = {0.10, 0.50, 0.95};
+  s.selectivity = {0.05, 0.10, 0.20};
+  s.plan_label = candidates.empty() ? "" : candidates.front().label;
+  s.candidates = std::move(candidates);
+  FinalizeSensitivity(&s);
+  return s;
+}
+
+PlanProvenanceRecord MakeRecord(uint64_t fingerprint, uint64_t epoch,
+                                const std::string& label, double cost) {
+  PlanProvenanceRecord record;
+  record.fingerprint = fingerprint;
+  record.threshold_bits = 0x3FE999999999999Au;
+  record.estimator = "robust";
+  record.epoch = epoch;
+  record.plan_label = label;
+  record.estimated_cost = cost;
+  record.estimated_rows = 100.0;
+  record.sensitivity =
+      MakeSensitivity({{label, cost, 100.0, true, {cost, cost, cost}}});
+  return record;
+}
+
+TEST(FinalizeSensitivityTest, StableWhenWinnerDominatesEverywhere) {
+  PlanSensitivity s = MakeSensitivity({
+      {"HJ", 0.5, 100.0, true, {0.50, 0.52, 0.55}},
+      {"INLJ", 0.6, 100.0, true, {0.58, 0.61, 0.66}},
+  });
+  EXPECT_TRUE(s.stable);
+  EXPECT_DOUBLE_EQ(s.max_regret_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.crossover_quantile, -1.0);
+  EXPECT_EQ(s.verdict,
+            "winner dominates at every grid point across p10-p95 (stable)");
+}
+
+TEST(FinalizeSensitivityTest, CrossoverInterpolatesBetweenGridPoints) {
+  // Winner flat at 0.5; rival goes 0.4 -> 0.6 between p10 and p50, so the
+  // curves cross halfway: p30. The rival is cheaper at p10 already? No —
+  // rival is 0.6 at p10 and 0.4 at p95: make it cross inside the grid.
+  PlanSensitivity s = MakeSensitivity({
+      {"Seq", 0.5, 100.0, true, {0.50, 0.50, 0.50}},
+      {"Ix", 0.55, 100.0, true, {0.60, 0.40, 0.30}},
+  });
+  EXPECT_FALSE(s.stable);
+  // Gap winner-rival goes -0.10 at p10 to +0.10 at p50: crossing at the
+  // midpoint quantile 0.30.
+  EXPECT_NEAR(s.crossover_quantile, 0.30, 1e-9);
+  EXPECT_EQ(s.crossover_rival, "Ix");
+  EXPECT_GT(s.max_regret_pct, 0.0);
+  EXPECT_NE(s.verdict.find("crossover at p30 vs Ix"), std::string::npos);
+}
+
+TEST(FinalizeSensitivityTest, CrossoverAtFirstGridPointUsesThatQuantile) {
+  PlanSensitivity s = MakeSensitivity({
+      {"Seq", 0.5, 100.0, true, {0.50, 0.50, 0.50}},
+      {"Ix", 0.55, 100.0, true, {0.40, 0.45, 0.60}},
+  });
+  EXPECT_FALSE(s.stable);
+  EXPECT_NEAR(s.crossover_quantile, 0.10, 1e-9);
+}
+
+TEST(FinalizeSensitivityTest, UnavailableKeepsReason) {
+  PlanSensitivity s;
+  s.captured = true;
+  s.available = false;
+  s.unavailable_reason = "estimator has no posterior";
+  FinalizeSensitivity(&s);
+  EXPECT_FALSE(s.stable);
+  EXPECT_EQ(s.verdict,
+            "sensitivity unavailable (estimator has no posterior)");
+}
+
+TEST(FinalizeSensitivityTest, IsIdempotent) {
+  PlanSensitivity s = MakeSensitivity({
+      {"Seq", 0.5, 100.0, true, {0.50, 0.50, 0.50}},
+      {"Ix", 0.55, 100.0, true, {0.60, 0.40, 0.30}},
+  });
+  PlanSensitivity again = s;
+  FinalizeSensitivity(&again);
+  EXPECT_EQ(again.verdict, s.verdict);
+  EXPECT_DOUBLE_EQ(again.crossover_quantile, s.crossover_quantile);
+  EXPECT_DOUBLE_EQ(again.max_regret_pct, s.max_regret_pct);
+}
+
+TEST(QuantileLabelTest, RendersPercentiles) {
+  EXPECT_EQ(QuantileLabel(0.10), "p10");
+  EXPECT_EQ(QuantileLabel(0.83), "p83");
+  EXPECT_EQ(QuantileLabel(0.95), "p95");
+}
+
+TEST(PlanProvenanceStoreTest, RecordsAndFindsByFingerprint) {
+  PlanProvenanceStore store;
+  store.Record(MakeRecord(0xAA, 1, "Seq(t)", 0.5));
+  store.Record(MakeRecord(0xBB, 1, "Ix(t)", 0.3));
+  ASSERT_EQ(store.size(), 2u);
+  const PlanProvenanceRecord* found = store.Find(0xAA);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->plan_label, "Seq(t)");
+  EXPECT_EQ(store.Find(0xCC), nullptr);
+  const PlanProvenanceRecord* latest = store.Latest();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->fingerprint, 0xBBu);
+}
+
+TEST(PlanProvenanceStoreTest, RefreshKeepsOneRecordPerKey) {
+  PlanProvenanceStore store;
+  store.Record(MakeRecord(0xAA, 1, "Seq(t)", 0.5));
+  store.Record(MakeRecord(0xAA, 2, "Ix(t)", 0.4));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().recorded, 2u);
+  EXPECT_EQ(store.Find(0xAA)->plan_label, "Ix(t)");
+  EXPECT_EQ(store.Find(0xAA)->epoch, 2u);
+}
+
+TEST(PlanProvenanceStoreTest, EvictsLeastRecentlyRecorded) {
+  PlanProvenanceConfig config;
+  config.capacity = 2;
+  PlanProvenanceStore store(config);
+  store.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  store.Record(MakeRecord(0xBB, 1, "b", 0.2));
+  // Refresh 0xAA so 0xBB becomes the LRU victim.
+  store.Record(MakeRecord(0xAA, 2, "a2", 0.15));
+  store.Record(MakeRecord(0xCC, 1, "c", 0.3));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().evicted, 1u);
+  EXPECT_NE(store.Find(0xAA), nullptr);
+  EXPECT_EQ(store.Find(0xBB), nullptr);
+  EXPECT_NE(store.Find(0xCC), nullptr);
+}
+
+TEST(PlanProvenanceStoreTest, DiffsAreFifoBounded) {
+  PlanProvenanceConfig config;
+  config.diff_capacity = 2;
+  PlanProvenanceStore store(config);
+  for (uint64_t i = 0; i < 3; ++i) {
+    PlanDiffRecord diff;
+    diff.fingerprint = i;
+    diff.trigger = "stale-epoch";
+    store.RecordDiff(std::move(diff));
+  }
+  const auto diffs = store.Diffs();
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0]->fingerprint, 1u);
+  EXPECT_EQ(diffs[1]->fingerprint, 2u);
+  EXPECT_EQ(store.stats().diffs, 3u);
+  EXPECT_EQ(store.stats().diffs_evicted, 1u);
+}
+
+TEST(PlanProvenanceStoreTest, DisabledStoreDropsOffers) {
+  PlanProvenanceConfig config;
+  config.enabled = false;
+  PlanProvenanceStore store(config);
+  store.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  PlanDiffRecord diff;
+  store.RecordDiff(std::move(diff));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Diffs().empty());
+  EXPECT_EQ(store.stats().recorded, 0u);
+  // Disabled stores publish nothing, so the metric surface is untouched.
+  MetricsRegistry metrics;
+  store.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.ToJson(), MetricsRegistry().ToJson());
+}
+
+TEST(PlanProvenanceStoreTest, TracksFragileAndStableCounts) {
+  PlanProvenanceStore store;
+  store.Record(MakeRecord(0xAA, 1, "stable", 0.5));  // single candidate
+  PlanProvenanceRecord fragile = MakeRecord(0xBB, 1, "Seq", 0.5);
+  fragile.sensitivity = MakeSensitivity({
+      {"Seq", 0.5, 100.0, true, {0.50, 0.50, 0.50}},
+      {"Ix", 0.55, 100.0, true, {0.60, 0.40, 0.30}},
+  });
+  store.Record(std::move(fragile));
+  EXPECT_EQ(store.stats().stable, 1u);
+  EXPECT_EQ(store.stats().fragile, 1u);
+}
+
+TEST(PlanProvenanceStoreTest, AbsorbPrefixesTagsAndKeepsOrder) {
+  PlanProvenanceStore sink;
+  PlanProvenanceStore donor;
+  donor.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  PlanDiffRecord diff;
+  diff.fingerprint = 0xAA;
+  diff.trigger = "drift-blocked";
+  donor.RecordDiff(std::move(diff));
+  donor.Record(MakeRecord(0xBB, 1, "b", 0.2));
+  sink.Absorb(std::move(donor), "run=3");
+  EXPECT_EQ(donor.size(), 0u);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.stats().absorbed, 3u);
+  EXPECT_EQ(sink.Find(0xAA)->tag, "run=3");
+  // Donor order is preserved: record 0xAA, then the diff, then 0xBB.
+  const auto records = sink.Snapshot();
+  EXPECT_EQ(records[0]->fingerprint, 0xAAu);
+  EXPECT_EQ(records[1]->fingerprint, 0xBBu);
+  ASSERT_EQ(sink.Diffs().size(), 1u);
+  EXPECT_EQ(sink.Diffs()[0]->tag, "run=3");
+  EXPECT_GT(sink.Diffs()[0]->sequence, records[0]->sequence);
+  EXPECT_LT(sink.Diffs()[0]->sequence, records[1]->sequence);
+}
+
+TEST(PlanProvenanceStoreTest, AbsorbStacksTagsAcrossLevels) {
+  PlanProvenanceStore leaf;
+  leaf.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  PlanProvenanceStore mid;
+  mid.Absorb(std::move(leaf), "run=1");
+  PlanProvenanceStore root;
+  root.Absorb(std::move(mid), "sweep=0");
+  EXPECT_EQ(root.Find(0xAA)->tag, "sweep=0/run=1");
+}
+
+TEST(PlanProvenanceStoreTest, ReportForMissIsOneLineNotice) {
+  PlanProvenanceStore store;
+  EXPECT_EQ(store.ReportFor(0xAB),
+            "whyplan: no provenance retained for fp=00000000000000ab\n");
+}
+
+TEST(PlanProvenanceStoreTest, ReportForShowsCurvesVerdictAndDiffs) {
+  PlanProvenanceStore store;
+  PlanProvenanceRecord record = MakeRecord(0xAB, 2, "Seq", 0.5);
+  record.sensitivity = MakeSensitivity({
+      {"Seq", 0.5, 100.0, true, {0.50, 0.50, 0.50}},
+      {"Ix", 0.55, 100.0, false, {0.55, 0.55, 0.55}},
+  });
+  store.Record(std::move(record));
+  PlanDiffRecord diff;
+  diff.fingerprint = 0xAB;
+  diff.trigger = "stale-epoch";
+  diff.old_epoch = 1;
+  diff.new_epoch = 2;
+  diff.old_label = "Ix";
+  diff.new_label = "Seq";
+  diff.old_cost = 0.4;
+  diff.new_cost = 0.5;
+  diff.plan_changed = true;
+  diff.grid = {0.10, 0.50, 0.95};
+  diff.old_curve = {0.40, 0.40, 0.40};
+  diff.new_curve = {0.50, 0.50, 0.50};
+  diff.new_verdict = "winner dominates";
+  store.RecordDiff(std::move(diff));
+
+  const std::string report = store.ReportFor(0xAB);
+  EXPECT_NE(report.find("whyplan fp=00000000000000ab"), std::string::npos);
+  EXPECT_NE(report.find("[winner]"), std::string::npos);
+  EXPECT_NE(report.find("(flat: no curve)"), std::string::npos);
+  EXPECT_NE(report.find("verdict: winner dominates at every grid point"),
+            std::string::npos);
+  EXPECT_NE(report.find("[stale-epoch] epoch 1->2 plan Ix -> Seq"),
+            std::string::npos);
+  EXPECT_NE(report.find("curve delta: p10=+0.1 p50=+0.1 p95=+0.1"),
+            std::string::npos);
+  EXPECT_NE(report.find("now: winner dominates"), std::string::npos);
+}
+
+TEST(PlanProvenanceStoreTest, JsonAndReportsAreDeterministic) {
+  auto build = [] {
+    PlanProvenanceStore store;
+    store.Record(MakeRecord(0xAA, 1, "a", 0.1));
+    store.Record(MakeRecord(0xBB, 2, "b", 0.2));
+    PlanDiffRecord diff;
+    diff.fingerprint = 0xAA;
+    diff.trigger = "lru-evicted";
+    store.RecordDiff(std::move(diff));
+    return store;
+  };
+  EXPECT_EQ(build().ToJson(), build().ToJson());
+  EXPECT_EQ(build().ReportText(), build().ReportText());
+  EXPECT_EQ(build().ToChromeTrace(), build().ToChromeTrace());
+}
+
+TEST(PlanProvenanceStoreTest, PublishMetricsSyncsToRegistryValues) {
+  PlanProvenanceStore store;
+  store.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  MetricsRegistry metrics;
+  store.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.GetCounter("optimizer.provenance.recorded")->value(), 1u);
+  EXPECT_EQ(metrics.GetGauge("optimizer.provenance.records")->value(), 1.0);
+  // Publishing twice must not double-count: the store syncs absolute
+  // values, counter-delta style, like the flight recorder.
+  store.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.GetCounter("optimizer.provenance.recorded")->value(), 1u);
+  store.Record(MakeRecord(0xBB, 1, "b", 0.2));
+  store.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.GetCounter("optimizer.provenance.recorded")->value(), 2u);
+  EXPECT_EQ(metrics.GetGauge("optimizer.provenance.records")->value(), 2.0);
+}
+
+TEST(PlanProvenanceStoreTest, ClearEmptiesRecordsAndDiffs) {
+  PlanProvenanceStore store;
+  store.Record(MakeRecord(0xAA, 1, "a", 0.1));
+  PlanDiffRecord diff;
+  store.RecordDiff(std::move(diff));
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Diffs().empty());
+  EXPECT_EQ(store.Latest(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace robustqo
