@@ -1,0 +1,540 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "cluster/stats_replication.h"
+#include "exec/agg_ops.h"
+#include "exec/scan_ops.h"
+#include "storage/value.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace robustqo {
+namespace cluster {
+
+using storage::Rid;
+using storage::Table;
+using storage::Value;
+
+size_t NodesFromEnv() {
+  const char* env = std::getenv("RQO_NODES");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 1;
+  return static_cast<size_t>(v);
+}
+
+namespace {
+
+std::vector<std::string> AllColumnNames(const storage::Schema& schema) {
+  std::vector<std::string> names;
+  names.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) names.push_back(col.name);
+  return names;
+}
+
+std::vector<std::string> EffectiveColumns(
+    const storage::Schema& schema, const std::vector<std::string>& requested) {
+  return requested.empty() ? AllColumnNames(schema) : requested;
+}
+
+// Mirror of the single-node aggregate state (exec/agg_ops.cc). Partial
+// merge is exact — and therefore order-independent — for COUNT/MIN/MAX
+// always, and for SUM/AVG when every input value is integer-valued (the
+// push-down gate): integer sums accumulate exactly in doubles.
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+
+  void Update(double v) {
+    sum += v;
+    min = std::fmin(min, v);
+    max = std::fmax(max, v);
+    ++count;
+  }
+
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    min = std::fmin(min, other.min);
+    max = std::fmax(max, other.max);
+    count += other.count;
+  }
+
+  Value Finalize(exec::AggKind kind) const {
+    switch (kind) {
+      case exec::AggKind::kCount:
+        return Value::Int64(static_cast<int64_t>(count));
+      case exec::AggKind::kSum:
+        return Value::Double(sum);
+      case exec::AggKind::kMin:
+        return Value::Double(count == 0 ? 0.0 : min);
+      case exec::AggKind::kMax:
+        return Value::Double(count == 0 ? 0.0 : max);
+      case exec::AggKind::kAvg:
+        return Value::Double(count == 0 ? 0.0
+                                        : sum / static_cast<double>(count));
+    }
+    return Value();
+  }
+};
+
+Result<storage::Schema> AggOutputSchema(const std::vector<exec::AggSpec>& aggs) {
+  std::vector<storage::ColumnDef> defs;
+  for (const exec::AggSpec& agg : aggs) {
+    const storage::DataType type = agg.kind == exec::AggKind::kCount
+                                       ? storage::DataType::kInt64
+                                       : storage::DataType::kDouble;
+    defs.push_back({agg.output_name, type});
+  }
+  return storage::Schema(std::move(defs));
+}
+
+Result<std::vector<size_t>> AggInputColumns(
+    const storage::Schema& input, const std::vector<exec::AggSpec>& aggs) {
+  std::vector<size_t> cols;
+  cols.reserve(aggs.size());
+  for (const exec::AggSpec& agg : aggs) {
+    if (agg.kind == exec::AggKind::kCount && agg.column.empty()) {
+      cols.push_back(SIZE_MAX);
+      continue;
+    }
+    auto idx = input.ColumnIndex(agg.column);
+    if (!idx.ok()) return idx.status();
+    cols.push_back(idx.value());
+  }
+  return cols;
+}
+
+void UpdateStates(const Table& input, Rid rid,
+                  const std::vector<size_t>& agg_cols,
+                  std::vector<AggState>* states) {
+  for (size_t a = 0; a < agg_cols.size(); ++a) {
+    if (agg_cols[a] == SIZE_MAX) {
+      (*states)[a].Update(0.0);
+    } else {
+      (*states)[a].Update(input.ValueAt(rid, agg_cols[a]).NumericValue());
+    }
+  }
+}
+
+// Per-node partial aggregates handed from the shadow scan to the shadow
+// aggregate within one request's shadow tree.
+struct PushdownPartials {
+  bool enabled = false;  ///< gate passed; the scan fills per-node states
+  bool filled = false;   ///< scatter-gather ran and the states are valid
+  const std::vector<exec::AggSpec>* specs = nullptr;
+  std::vector<size_t> agg_cols;  ///< resolved against the scan output
+  std::vector<std::vector<AggState>> per_node;  ///< [node][agg]
+};
+
+/// Shadow of SeqScanOp: scatters the scan over node fragments and gathers
+/// rows by k-way global-RID merge. Delegates Describe() to the original
+/// operator so trace spans (EXPLAIN ANALYZE) are indistinguishable.
+class ClusterScanOp final : public exec::PhysicalOperator {
+ public:
+  ClusterScanOp(const exec::SeqScanOp* original, const Coordinator* coord,
+                uint64_t request_seed, RequestOutcome* outcome,
+                PushdownPartials* pushdown)
+      : original_(original),
+        coord_(coord),
+        request_seed_(request_seed),
+        outcome_(outcome),
+        pushdown_(pushdown) {}
+
+  std::string Describe() const override { return original_->Describe(); }
+
+  Result<Table> Execute(exec::ExecContext* ctx) const override {
+    const size_t n_nodes = coord_->nodes();
+    const bool strict = coord_->config().strict;
+
+    // Link health: one net.partition probe per node. A fire kills the
+    // scatter — typed in strict mode, re-routed to local execution
+    // otherwise. Unarmed probes are invisible (no counters, no streams).
+    for (size_t node = 0; node < n_nodes; ++node) {
+      if (ctx->fault == nullptr) break;
+      Status s = ctx->fault->Check(fault::sites::kNetPartition);
+      if (!s.ok()) {
+        if (strict) return s;
+        ++outcome_->reroutes;
+        outcome_->fallback_local = true;
+        return original_->Execute(ctx);
+      }
+    }
+    // Wire stalls: a fired net.lag charges its stall_seconds to the cost
+    // meter, exactly like an exec clock stall attributed to the network.
+    for (size_t node = 0; node < n_nodes; ++node) {
+      if (ctx->fault == nullptr) break;
+      const double stall = ctx->fault->CheckStall(fault::sites::kNetLag);
+      if (stall > 0.0) {
+        ctx->meter.ChargePenaltySeconds(stall);
+        outcome_->injected_lag_seconds += stall;
+      }
+    }
+    // Replica freshness: a node pinned on an old statistics epoch by
+    // replica.stale_stats cannot serve this wave.
+    for (size_t node = 0; node < n_nodes; ++node) {
+      if (!coord_->node(node).stale()) continue;
+      ++outcome_->stale_detected;
+      if (strict) {
+        return Status(StatusCode::kUnavailable,
+                      StrPrintf("replica statistics stale on node %zu",
+                                node));
+      }
+      outcome_->fallback_local = true;
+      return original_->Execute(ctx);
+    }
+
+    // Prologue identical to SeqScanOp::Execute — schema, projection and
+    // the full-table sequential charge come from the shared catalog
+    // table, so the meter never sees the partitioning.
+    RQO_ASSIGN_OR_RETURN(const Table* source,
+                         exec::LookupTable(*ctx, original_->table()));
+    const std::vector<std::string> cols =
+        EffectiveColumns(source->schema(), original_->output_columns());
+    RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                         exec::ProjectSchema(source->schema(), cols));
+    Table out(original_->table() + "$scan", std::move(schema));
+    RQO_ASSIGN_OR_RETURN(const std::vector<size_t> col_idx,
+                         exec::ResolveColumns(source->schema(), cols));
+    const uint64_t row_bytes = exec::ApproximateRowBytes(out.schema());
+
+    const uint64_t n = source->num_rows();
+    ctx->meter.ChargeSeqTuples(ctx->cost_model, n);
+
+    if (pushdown_ != nullptr && pushdown_->enabled) {
+      auto agg_cols = AggInputColumns(out.schema(), *pushdown_->specs);
+      // Gate already validated the columns; a failure here only disables
+      // push-down, never the gather.
+      if (agg_cols.ok()) {
+        pushdown_->agg_cols = std::move(agg_cols).value();
+      } else {
+        pushdown_->enabled = false;
+      }
+    }
+
+    // Gather: k-way merge of node fragments by global RID reproduces the
+    // single-node row visit order exactly.
+    const expr::Expr* predicate = original_->predicate();
+    std::vector<const TableFragment*> frags(n_nodes);
+    std::vector<size_t> cursor(n_nodes, 0);
+    for (size_t node = 0; node < n_nodes; ++node) {
+      frags[node] =
+          coord_->partitioner().FragmentOf(node, original_->table());
+      if (frags[node] == nullptr) {
+        // Partition out of date for this table — should have been caught
+        // by the epoch gate; degrade to local execution.
+        outcome_->fallback_local = true;
+        return original_->Execute(ctx);
+      }
+    }
+    if (pushdown_ != nullptr && pushdown_->enabled) {
+      pushdown_->per_node.assign(
+          n_nodes, std::vector<AggState>(pushdown_->agg_cols.size()));
+    }
+    while (true) {
+      size_t best = n_nodes;
+      Rid best_rid = 0;
+      for (size_t node = 0; node < n_nodes; ++node) {
+        if (cursor[node] >= frags[node]->global_rids.size()) continue;
+        const Rid rid = frags[node]->global_rids[cursor[node]];
+        if (best == n_nodes || rid < best_rid) {
+          best = node;
+          best_rid = rid;
+        }
+      }
+      if (best == n_nodes) break;
+      const Table& frag = *frags[best]->rows;
+      const Rid local = cursor[best]++;
+      if (predicate == nullptr || predicate->EvaluateBool(frag, local)) {
+        exec::AppendProjectedRow(frag, local, col_idx, &out);
+        RQO_RETURN_NOT_OK(ctx->Tick(1, row_bytes));
+        if (pushdown_ != nullptr && pushdown_->enabled) {
+          UpdateStates(out, out.num_rows() - 1, pushdown_->agg_cols,
+                       &pushdown_->per_node[best]);
+        }
+      }
+    }
+    ctx->meter.ChargeOutputTuples(ctx->cost_model, out.num_rows());
+
+    if (pushdown_ != nullptr && pushdown_->enabled) pushdown_->filled = true;
+    outcome_->routed = true;
+    outcome_->rows_gathered += out.num_rows();
+    const NetDelivery d = coord_->network().ScatterGather(request_seed_,
+                                                          n_nodes);
+    outcome_->messages += d.messages;
+    outcome_->sim_lag_seconds += d.total_lag_seconds;
+    outcome_->makespan_seconds =
+        std::max(outcome_->makespan_seconds, d.makespan_seconds);
+    return out;
+  }
+
+ private:
+  const exec::SeqScanOp* original_;
+  const Coordinator* coord_;
+  uint64_t request_seed_;
+  RequestOutcome* outcome_;
+  PushdownPartials* pushdown_;
+};
+
+/// Shadow of ScalarAggregateOp: mirrors its charges byte-for-byte and
+/// reduces per-node partials in node-index order when push-down ran.
+class ClusterAggOp final : public exec::PhysicalOperator {
+ public:
+  ClusterAggOp(const exec::ScalarAggregateOp* original,
+               const ClusterScanOp* child, RequestOutcome* outcome,
+               PushdownPartials* pushdown)
+      : original_(original),
+        child_(child),
+        outcome_(outcome),
+        pushdown_(pushdown) {}
+
+  std::string Describe() const override { return original_->Describe(); }
+
+  Result<Table> Execute(exec::ExecContext* ctx) const override {
+    RQO_ASSIGN_OR_RETURN(const Table input, child_->Run(ctx));
+    ctx->aggregate_input_rows = input.num_rows();
+    ctx->meter.ChargeCpuTuples(ctx->cost_model, input.num_rows());
+    const std::vector<exec::AggSpec>& aggs = original_->aggs();
+    RQO_ASSIGN_OR_RETURN(const std::vector<size_t> agg_cols,
+                         AggInputColumns(input.schema(), aggs));
+    std::vector<AggState> states(aggs.size());
+    if (pushdown_->filled) {
+      // Index-ordered reduction: merge node partials 0..N-1. Exact (and
+      // order-independent) by the push-down gate.
+      for (const std::vector<AggState>& node_states : pushdown_->per_node) {
+        for (size_t a = 0; a < states.size(); ++a) {
+          states[a].Merge(node_states[a]);
+        }
+      }
+      outcome_->pushdown = true;
+    } else {
+      for (Rid rid = 0; rid < input.num_rows(); ++rid) {
+        UpdateStates(input, rid, agg_cols, &states);
+      }
+    }
+    RQO_RETURN_NOT_OK(ctx->CheckPoint());
+    RQO_ASSIGN_OR_RETURN(storage::Schema schema,
+                         AggOutputSchema(aggs));
+    Table out("aggregate", std::move(schema));
+    std::vector<Value> row;
+    row.reserve(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(states[a].Finalize(aggs[a].kind));
+    }
+    out.AppendRow(row);
+    RQO_RETURN_NOT_OK(ctx->Tick(1, exec::ApproximateRowBytes(out.schema())));
+    ctx->meter.ChargeOutputTuples(ctx->cost_model, 1);
+    return out;
+  }
+
+ private:
+  const exec::ScalarAggregateOp* original_;
+  const ClusterScanOp* child_;
+  RequestOutcome* outcome_;
+  PushdownPartials* pushdown_;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(core::Database* db, const ClusterConfig& config,
+                         learn::FeedbackStore* feedback)
+    : db_(db),
+      config_(config),
+      feedback_(feedback),
+      net_(SimNetworkConfig{config.seed, config.lag_min_seconds,
+                            config.lag_max_seconds}) {
+  const size_t n = config_.nodes == 0 ? 1 : config_.nodes;
+  config_.nodes = n;
+  partitioner_ = std::make_unique<HashPartitioner>(n, config_.seed);
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) nodes_.push_back(std::make_unique<Node>(i));
+}
+
+void Coordinator::BeginWave(uint64_t data_epoch) {
+  partitioner_->Rebuild(*db_->catalog(), data_epoch);
+  for (auto& node : nodes_) {
+    const SyncResult r =
+        SyncNodeStatistics(node.get(), *db_->statistics(), feedback_,
+                           db_->fault_injector(), force_resync_);
+    if (r.attempted && !r.stale) ++syncs_;
+    if (r.stale) ++stale_syncs_;
+    artifacts_shipped_ += r.shipped;
+    artifacts_skipped_ += r.skipped;
+    feedback_shipped_ += r.feedback_shipped;
+  }
+  force_resync_ = false;
+}
+
+bool Coordinator::AnyNodeStale() const {
+  for (const auto& node : nodes_) {
+    if (node->stale()) return true;
+  }
+  return false;
+}
+
+Result<Table> Coordinator::Execute(const exec::PhysicalOperator* root,
+                                   exec::ExecContext* ctx,
+                                   uint64_t request_seed,
+                                   RequestOutcome* outcome) const {
+  const auto* agg = dynamic_cast<const exec::ScalarAggregateOp*>(root);
+  const auto* scan =
+      agg != nullptr
+          ? dynamic_cast<const exec::SeqScanOp*>(agg->child())
+          : dynamic_cast<const exec::SeqScanOp*>(root);
+
+  // Snapshot gate: the fragments must be an exact snapshot of what this
+  // request would see. The wave prologue rebuilds fragments at the wave's
+  // data epoch, so this only misses for explicitly pinned old snapshots.
+  const uint64_t effective_snapshot =
+      ctx->snapshot_epoch == storage::kLatestSnapshot
+          ? db_->catalog()->data_epoch()
+          : ctx->snapshot_epoch;
+  const bool eligible = scan != nullptr &&
+                        partitioner_->build_epoch() == effective_snapshot;
+  if (!eligible) {
+    return root->Run(ctx);
+  }
+
+  PushdownPartials pushdown;
+  if (agg != nullptr) {
+    pushdown.specs = &agg->aggs();
+    pushdown.enabled = true;
+    // SUM/AVG push-down is only exact over integer-physical inputs.
+    const storage::Table* source = db_->catalog()->GetTable(scan->table());
+    for (const exec::AggSpec& spec : agg->aggs()) {
+      if (spec.kind != exec::AggKind::kSum &&
+          spec.kind != exec::AggKind::kAvg) {
+        continue;
+      }
+      auto idx = source == nullptr
+                     ? Result<size_t>(Status(StatusCode::kNotFound, "table"))
+                     : source->schema().ColumnIndex(spec.column);
+      if (!idx.ok() ||
+          !storage::IsIntegerPhysical(
+              source->schema().column(idx.value()).type)) {
+        pushdown.enabled = false;
+        break;
+      }
+    }
+  }
+
+  ClusterScanOp shadow_scan(scan, this, request_seed, outcome,
+                            agg != nullptr ? &pushdown : nullptr);
+  if (agg == nullptr) {
+    return shadow_scan.Run(ctx);
+  }
+  ClusterAggOp shadow_agg(agg, &shadow_scan, outcome, &pushdown);
+  return shadow_agg.Run(ctx);
+}
+
+void Coordinator::Accumulate(const RequestOutcome& outcome) {
+  if (outcome.routed) {
+    ++requests_routed_;
+    for (auto& node : nodes_) ++node->requests_served;
+  } else {
+    ++requests_local_;
+  }
+  if (outcome.pushdown) ++requests_pushdown_;
+  if (outcome.fallback_local) ++requests_fallback_;
+  rows_gathered_ += outcome.rows_gathered;
+  reroutes_ += outcome.reroutes;
+  stale_detected_ += outcome.stale_detected;
+  messages_ += outcome.messages;
+  sim_lag_seconds_ += outcome.sim_lag_seconds;
+  makespan_seconds_ += outcome.makespan_seconds;
+  injected_lag_seconds_ += outcome.injected_lag_seconds;
+}
+
+std::string Coordinator::ReportText() const {
+  std::string out = StrPrintf(
+      "cluster: %zu nodes, strict=%s, seed=%llu\n", nodes_.size(),
+      config_.strict ? "on" : "off",
+      static_cast<unsigned long long>(config_.seed));
+  out += StrPrintf(
+      "partition: epoch=%lld rows=%llu rebuilds=%llu\n",
+      partitioner_->build_epoch() == UINT64_MAX
+          ? -1ll
+          : static_cast<long long>(partitioner_->build_epoch()),
+      static_cast<unsigned long long>(partitioner_->total_fragment_rows()),
+      static_cast<unsigned long long>(partitioner_->rebuilds()));
+  out += StrPrintf(
+      "requests: routed=%llu pushdown=%llu fallback_local=%llu local=%llu "
+      "rows_gathered=%llu\n",
+      static_cast<unsigned long long>(requests_routed_),
+      static_cast<unsigned long long>(requests_pushdown_),
+      static_cast<unsigned long long>(requests_fallback_),
+      static_cast<unsigned long long>(requests_local_),
+      static_cast<unsigned long long>(rows_gathered_));
+  out += StrPrintf(
+      "network: messages=%llu reroutes=%llu sim_lag=%.6fs makespan=%.6fs "
+      "injected_lag=%.6fs\n",
+      static_cast<unsigned long long>(messages_),
+      static_cast<unsigned long long>(reroutes_), sim_lag_seconds_,
+      makespan_seconds_, injected_lag_seconds_);
+  out += StrPrintf(
+      "stats sync: syncs=%llu shipped=%llu skipped=%llu stale=%llu "
+      "stale_detected=%llu feedback=%llu\n",
+      static_cast<unsigned long long>(syncs_),
+      static_cast<unsigned long long>(artifacts_shipped_),
+      static_cast<unsigned long long>(artifacts_skipped_),
+      static_cast<unsigned long long>(stale_syncs_),
+      static_cast<unsigned long long>(stale_detected_),
+      static_cast<unsigned long long>(feedback_shipped_));
+  for (const auto& node : nodes_) {
+    out += StrPrintf(
+        "node %zu: synced_epoch=%lld stale=%s artifacts=%zu feedback=%zu "
+        "syncs=%llu shipped=%llu skipped=%llu stale_events=%llu "
+        "served=%llu\n",
+        node->id(),
+        node->synced_epoch() == UINT64_MAX
+            ? -1ll
+            : static_cast<long long>(node->synced_epoch()),
+        node->stale() ? "yes" : "no", node->artifacts(),
+        node->feedback_entries(),
+        static_cast<unsigned long long>(node->syncs),
+        static_cast<unsigned long long>(node->shipped),
+        static_cast<unsigned long long>(node->skipped),
+        static_cast<unsigned long long>(node->stale_events),
+        static_cast<unsigned long long>(node->requests_served));
+  }
+  return out;
+}
+
+void Coordinator::PublishMetrics(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->GetGauge("cluster.nodes")
+      ->Set(static_cast<double>(nodes_.size()));
+  metrics->GetGauge("cluster.partition.rows")
+      ->Set(static_cast<double>(partitioner_->total_fragment_rows()));
+  metrics->GetGauge("cluster.partition.epoch")
+      ->Set(partitioner_->build_epoch() == UINT64_MAX
+                ? -1.0
+                : static_cast<double>(partitioner_->build_epoch()));
+  // Counters publish idempotently: set-to-total via delta increments.
+  const auto sync = [metrics](const char* name, uint64_t total) {
+    obs::Counter* counter = metrics->GetCounter(name);
+    if (total > counter->value()) counter->Increment(total - counter->value());
+  };
+  sync("cluster.requests.routed", requests_routed_);
+  sync("cluster.requests.pushdown", requests_pushdown_);
+  sync("cluster.requests.fallback_local", requests_fallback_);
+  sync("cluster.requests.local", requests_local_);
+  sync("cluster.rows.gathered", rows_gathered_);
+  sync("cluster.net.messages", messages_);
+  sync("cluster.net.reroutes", reroutes_);
+  sync("cluster.stats.syncs", syncs_);
+  sync("cluster.stats.artifacts_shipped", artifacts_shipped_);
+  sync("cluster.stats.artifacts_skipped", artifacts_skipped_);
+  sync("cluster.stats.stale_detected", stale_detected_);
+  sync("cluster.partition.rebuilds", partitioner_->rebuilds());
+}
+
+}  // namespace cluster
+}  // namespace robustqo

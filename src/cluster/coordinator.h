@@ -1,0 +1,167 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Cluster coordinator: routes eligible plans onto N node replicas as
+// scatter-gather executions while keeping every observable byte identical
+// to single-node execution.
+//
+// Determinism contract (see docs/CLUSTER.md):
+//   * Row identity — each node's table fragment holds the rows the hash
+//     partitioner assigned to it, in global-RID order; the gather phase
+//     k-way-merges fragments by global RID, reproducing the exact row
+//     visit order of a single-node sequential scan.
+//   * Charge identity — the coordinator charges the cost meter exactly
+//     what the single-node operator would (full-table sequential charge,
+//     per-row governor ticks in merged order, output charge), so
+//     simulated seconds, governor accounting and EXPLAIN ANALYZE spans
+//     are byte-identical at any RQO_THREADS x RQO_NODES.
+//   * Push-down identity — partial aggregation push-down keeps per-node
+//     AggState partials and merges them in node-index order ("index-
+//     ordered reduction"); SUM/AVG push-down is gated to integer-physical
+//     input columns, where double accumulation is exact and therefore
+//     order-independent. Ineligible aggregates gather rows and reduce
+//     exactly like the single-node operator.
+//   * Fault visibility — the scatter path probes net.partition and
+//     net.lag on the request's injector and consults the per-node stale
+//     flags set by replica.stale_stats; unarmed probes are invisible, a
+//     fired probe degrades typed (strict) or falls back to local
+//     execution (re-route), never to a wrong answer.
+//
+// Plans the coordinator cannot prove byte-identical (joins, index scans,
+// group-bys, snapshot mismatches) run locally through the unchanged
+// single-node path.
+
+#ifndef ROBUSTQO_CLUSTER_COORDINATOR_H_
+#define ROBUSTQO_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/partitioner.h"
+#include "cluster/sim_network.h"
+#include "core/database.h"
+#include "exec/operator.h"
+#include "learning/feedback_store.h"
+#include "obs/metrics.h"
+
+namespace robustqo {
+namespace cluster {
+
+/// Cluster knobs (ServerConfig::cluster; the shell's SET NODES).
+struct ClusterConfig {
+  /// Node replica count. 1 with enabled=false means no coordinator is
+  /// constructed at all — the byte-identical pre-cluster serving path.
+  size_t nodes = 1;
+  /// Construct the coordinator even at nodes=1 (overhead benchmarking).
+  bool enabled = false;
+  /// Strict mode: a partitioned link or stale replica fails the request
+  /// with a typed Status instead of re-routing to local execution.
+  bool strict = false;
+  /// Seeds the hash partitioner and the simulated network.
+  uint64_t seed = 42;
+  /// Simulated per-message network lag range (observational only).
+  double lag_min_seconds = 0.0005;
+  double lag_max_seconds = 0.0050;
+};
+
+/// RQO_NODES environment override (>=1; 1 when unset or malformed).
+size_t NodesFromEnv();
+
+/// Per-request cluster accounting, filled during the parallel EXECUTE
+/// phase and folded into coordinator totals in admission order during
+/// REDUCE (so totals, reports and metrics are thread-count independent).
+struct RequestOutcome {
+  bool routed = false;          ///< scatter-gather path taken
+  bool pushdown = false;        ///< partial-aggregation push-down used
+  bool fallback_local = false;  ///< degraded to local execution mid-route
+  uint64_t rows_gathered = 0;
+  uint64_t reroutes = 0;        ///< net.partition fires absorbed
+  uint64_t stale_detected = 0;  ///< stale-replica re-routes
+  uint64_t messages = 0;        ///< simulated network messages
+  double sim_lag_seconds = 0.0;      ///< observational simulated lag
+  double makespan_seconds = 0.0;     ///< scatter-gather critical path
+  double injected_lag_seconds = 0.0; ///< net.lag stalls charged to meter
+};
+
+/// Scatter-gather coordinator over N node replicas.
+class Coordinator {
+ public:
+  Coordinator(core::Database* db, const ClusterConfig& config,
+              learn::FeedbackStore* feedback);
+
+  const ClusterConfig& config() const { return config_; }
+  size_t nodes() const { return nodes_.size(); }
+
+  /// Wave prologue (sequential): rebuilds fragments when the data epoch
+  /// moved and epoch-syncs every node's statistics replica. Probes the
+  /// serving database's fault injector at replica.stale_stats once per
+  /// out-of-date node.
+  void BeginWave(uint64_t data_epoch);
+
+  /// Executes `root` for one admitted request. Routes eligible plans
+  /// through scatter-gather (byte-identical results and charges);
+  /// everything else runs locally via root->Run(ctx). Thread-safe across
+  /// concurrent requests of one wave: all cluster state read here is
+  /// immutable between BeginWave calls, and per-request accounting goes
+  /// to `outcome`.
+  Result<storage::Table> Execute(const exec::PhysicalOperator* root,
+                                 exec::ExecContext* ctx,
+                                 uint64_t request_seed,
+                                 RequestOutcome* outcome) const;
+
+  /// Folds one request's outcome into the totals (REDUCE, admission
+  /// order).
+  void Accumulate(const RequestOutcome& outcome);
+
+  /// Drift hook: forces the next BeginWave to re-ship every artifact
+  /// (checksum skipping disabled once).
+  void NoteDrift() { force_resync_ = true; }
+
+  /// True when any node replica is pinned on an old statistics epoch.
+  bool AnyNodeStale() const;
+
+  /// Aligned text block (the shell's `.cluster`). Byte-identical at any
+  /// RQO_THREADS for a given node count and workload.
+  std::string ReportText() const;
+
+  /// Publishes cluster.* gauges/counters (idempotent; no-op on null).
+  void PublishMetrics(obs::MetricsRegistry* metrics) const;
+
+  const HashPartitioner& partitioner() const { return *partitioner_; }
+  const SimNetwork& network() const { return net_; }
+  const Node& node(size_t i) const { return *nodes_[i]; }
+
+ private:
+  core::Database* db_;
+  ClusterConfig config_;
+  learn::FeedbackStore* feedback_;
+  std::unique_ptr<HashPartitioner> partitioner_;
+  SimNetwork net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool force_resync_ = false;
+
+  // Totals (mutated only in the sequential BeginWave/Accumulate phases).
+  uint64_t requests_routed_ = 0;
+  uint64_t requests_pushdown_ = 0;
+  uint64_t requests_fallback_ = 0;
+  uint64_t requests_local_ = 0;
+  uint64_t rows_gathered_ = 0;
+  uint64_t reroutes_ = 0;
+  uint64_t stale_detected_ = 0;
+  uint64_t messages_ = 0;
+  double sim_lag_seconds_ = 0.0;
+  double makespan_seconds_ = 0.0;
+  double injected_lag_seconds_ = 0.0;
+  uint64_t syncs_ = 0;
+  uint64_t artifacts_shipped_ = 0;
+  uint64_t artifacts_skipped_ = 0;
+  uint64_t stale_syncs_ = 0;
+  uint64_t feedback_shipped_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,88 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// One cluster node replica: the node's identity, its replicated
+// statistics artifacts (samples / synopses cloned from the coordinator's
+// statistics catalog, plus learned-feedback evidence), and per-node sync
+// accounting. The node's table fragments live in the HashPartitioner,
+// indexed by node id.
+//
+// A node is "fresh" when its synced statistics epoch matches the
+// coordinator's; the replica.stale_stats fault site can pin a node on an
+// old epoch during a sync, which the coordinator's per-request freshness
+// check then detects (degrade typed in strict mode, or re-route the
+// request to local execution) until a later wave's sync heals it.
+
+#ifndef ROBUSTQO_CLUSTER_NODE_H_
+#define ROBUSTQO_CLUSTER_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "learning/feedback_store.h"
+#include "statistics/join_synopsis.h"
+#include "statistics/sample.h"
+
+namespace robustqo {
+namespace cluster {
+
+/// One node's replicated statistics state.
+class Node {
+ public:
+  explicit Node(size_t id) : id_(id) {}
+
+  size_t id() const { return id_; }
+
+  /// Statistics epoch this node last fully synced to (UINT64_MAX =
+  /// never synced).
+  uint64_t synced_epoch() const { return synced_epoch_; }
+  void set_synced_epoch(uint64_t epoch) { synced_epoch_ = epoch; }
+
+  /// True while the node is pinned on an old epoch by a fired
+  /// replica.stale_stats probe.
+  bool stale() const { return stale_; }
+  void set_stale(bool stale) { stale_ = stale; }
+
+  /// Checksum-addressed artifact store: key ("sample/<table>",
+  /// "synopsis/<root>") -> content checksum of the replicated copy. The
+  /// replicator skips shipping artifacts whose checksum already matches.
+  std::map<std::string, uint64_t>* checksums() { return &checksums_; }
+
+  /// Replicated clones, keyed like `checksums()`.
+  std::map<std::string, std::unique_ptr<stats::TableSample>>* samples() {
+    return &samples_;
+  }
+  std::map<std::string, std::unique_ptr<stats::JoinSynopsis>>* synopses() {
+    return &synopses_;
+  }
+
+  /// Replicated learned-feedback evidence (fingerprint -> pseudo-counts).
+  std::map<uint64_t, learn::LearnedEvidence>* feedback() {
+    return &feedback_;
+  }
+  size_t feedback_entries() const { return feedback_.size(); }
+  size_t artifacts() const { return checksums_.size(); }
+
+  // Lifetime sync accounting (the `.cluster` report's per-node lane).
+  uint64_t syncs = 0;            ///< completed epoch syncs
+  uint64_t shipped = 0;          ///< artifacts actually copied
+  uint64_t skipped = 0;          ///< artifacts skipped (checksum match)
+  uint64_t stale_events = 0;     ///< replica.stale_stats fires absorbed
+  uint64_t requests_served = 0;  ///< scatter fragments this node scanned
+
+ private:
+  size_t id_;
+  uint64_t synced_epoch_ = UINT64_MAX;
+  bool stale_ = false;
+  std::map<std::string, uint64_t> checksums_;
+  std::map<std::string, std::unique_ptr<stats::TableSample>> samples_;
+  std::map<std::string, std::unique_ptr<stats::JoinSynopsis>> synopses_;
+  std::map<uint64_t, learn::LearnedEvidence> feedback_;
+};
+
+}  // namespace cluster
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CLUSTER_NODE_H_

@@ -1,0 +1,78 @@
+#include "cluster/partitioner.h"
+
+#include <utility>
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+// Explicit FNV-1a (not std::hash) so the assignment is stable across
+// standard-library implementations.
+uint64_t Fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: spreads the RID bits so consecutive RIDs land on
+// different nodes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashPartitioner::HashPartitioner(size_t nodes, uint64_t seed)
+    : nodes_(nodes == 0 ? 1 : nodes), seed_(seed) {
+  fragments_.resize(nodes_);
+}
+
+size_t HashPartitioner::NodeOf(const std::string& table,
+                               storage::Rid rid) const {
+  if (nodes_ == 1) return 0;
+  return static_cast<size_t>(Mix(Fnv1a(table) ^ seed_ ^ rid) % nodes_);
+}
+
+bool HashPartitioner::Rebuild(const storage::Catalog& catalog,
+                              uint64_t data_epoch) {
+  if (build_epoch_ == data_epoch) return false;
+  for (auto& per_node : fragments_) per_node.clear();
+  total_fragment_rows_ = 0;
+  for (const std::string& name : catalog.TableNames()) {
+    const storage::Table* table = catalog.GetTable(name);
+    std::vector<TableFragment*> frags(nodes_);
+    for (size_t node = 0; node < nodes_; ++node) {
+      TableFragment& f = fragments_[node][name];
+      f.rows = std::make_unique<storage::Table>(
+          name + "$frag" + std::to_string(node), table->schema());
+      f.global_rids.clear();
+      frags[node] = &f;
+    }
+    const uint64_t n = table->num_rows();
+    for (storage::Rid rid = 0; rid < n; ++rid) {
+      if (!table->VisibleAt(rid, data_epoch)) continue;
+      TableFragment* f = frags[NodeOf(name, rid)];
+      f->rows->AppendRow(table->RowAt(rid));
+      f->global_rids.push_back(rid);
+      ++total_fragment_rows_;
+    }
+  }
+  build_epoch_ = data_epoch;
+  ++rebuilds_;
+  return true;
+}
+
+const TableFragment* HashPartitioner::FragmentOf(
+    size_t node, const std::string& table) const {
+  if (node >= fragments_.size()) return nullptr;
+  auto it = fragments_[node].find(table);
+  return it == fragments_[node].end() ? nullptr : &it->second;
+}
+
+}  // namespace cluster
+}  // namespace robustqo

@@ -1,0 +1,82 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Hash partitioner: deterministically assigns every row of every catalog
+// table to one of N nodes and materializes per-node table fragments. The
+// assignment is a pure function of (partitioner seed, table name, global
+// RID) — independent of node enumeration order, thread count, and of which
+// wave triggered the fragment build — so a cluster rebuilt from the same
+// catalog state is byte-identical.
+//
+// Fragments are snapshots: each one copies the rows visible at the build's
+// data epoch, together with a parallel vector of their global RIDs (which
+// is strictly increasing, since rows are visited in RID order). The
+// coordinator's gather phase k-way-merges fragments by global RID, which
+// reproduces the exact row-visit order of a single-node sequential scan —
+// the heart of the byte-identical determinism contract in docs/CLUSTER.md.
+
+#ifndef ROBUSTQO_CLUSTER_PARTITIONER_H_
+#define ROBUSTQO_CLUSTER_PARTITIONER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace robustqo {
+namespace cluster {
+
+/// One node's slice of one table: the visible rows assigned to the node
+/// (copied, in global-RID order) plus their global RIDs.
+struct TableFragment {
+  std::unique_ptr<storage::Table> rows;
+  std::vector<storage::Rid> global_rids;  ///< strictly increasing
+};
+
+/// Splits catalog tables across N nodes by seeded row hash.
+class HashPartitioner {
+ public:
+  HashPartitioner(size_t nodes, uint64_t seed);
+
+  size_t nodes() const { return nodes_; }
+  uint64_t seed() const { return seed_; }
+
+  /// The node row (table, rid) lives on. Pure and stateless: FNV-1a over
+  /// the table name mixed with the RID and the partitioner seed.
+  size_t NodeOf(const std::string& table, storage::Rid rid) const;
+
+  /// Rebuilds every table's fragments from `catalog`, snapshotting the
+  /// rows visible at `data_epoch`. Idempotent per epoch: a no-op when the
+  /// fragments were already built at `data_epoch` (returns false).
+  bool Rebuild(const storage::Catalog& catalog, uint64_t data_epoch);
+
+  /// Fragment of `table` on `node`; nullptr before the first Rebuild or
+  /// for unknown tables. Immutable between Rebuild calls, so concurrent
+  /// readers during a wave's EXECUTE phase are safe.
+  const TableFragment* FragmentOf(size_t node, const std::string& table) const;
+
+  /// Data epoch of the last Rebuild (UINT64_MAX = never built).
+  uint64_t build_epoch() const { return build_epoch_; }
+
+  /// Total rows across all fragments of all tables (the `.cluster`
+  /// report's partition size), and how many Rebuild calls did real work.
+  uint64_t total_fragment_rows() const { return total_fragment_rows_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  size_t nodes_;
+  uint64_t seed_;
+  uint64_t build_epoch_ = UINT64_MAX;
+  uint64_t total_fragment_rows_ = 0;
+  uint64_t rebuilds_ = 0;
+  /// fragments_[node][table]
+  std::vector<std::map<std::string, TableFragment>> fragments_;
+};
+
+}  // namespace cluster
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CLUSTER_PARTITIONER_H_

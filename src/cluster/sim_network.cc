@@ -1,0 +1,46 @@
+#include "cluster/sim_network.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double SimNetwork::LagSeconds(uint64_t request_seed, size_t node,
+                              uint64_t msg_index) const {
+  Rng rng(Mix(config_.seed ^ Mix(request_seed) ^
+              Mix((static_cast<uint64_t>(node) << 32) | msg_index)));
+  const double lo = config_.lag_min_seconds;
+  const double hi = std::max(config_.lag_max_seconds, lo);
+  return lo + rng.NextDouble() * (hi - lo);
+}
+
+NetDelivery SimNetwork::ScatterGather(uint64_t request_seed,
+                                      size_t nodes) const {
+  NetDelivery d;
+  for (size_t node = 0; node < nodes; ++node) {
+    // Logical clock per link: scatter at t=0, gather response right after
+    // the request arrives (node compute time is accounted by the cost
+    // meter, not the network).
+    const double out = LagSeconds(request_seed, node, 0);
+    const double back = LagSeconds(request_seed, node, 1);
+    d.messages += 2;
+    d.total_lag_seconds += out + back;
+    d.makespan_seconds = std::max(d.makespan_seconds, out + back);
+  }
+  return d;
+}
+
+}  // namespace cluster
+}  // namespace robustqo

@@ -1,0 +1,67 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Deterministic simulated network. Every message between the coordinator
+// and a node carries a lag drawn from a stream seeded by
+// (network seed, request seed, link id, message index) — a pure function,
+// so the network holds no mutable state and concurrent requests in the
+// wave's EXECUTE phase never race or perturb each other's draws. Delivery
+// order is modeled with per-request logical clocks: a message's delivery
+// time is its send time plus its lag, and a request's makespan is the
+// latest delivery across its links (the scatter-gather critical path).
+//
+// The simulated lag is observational: it feeds the RequestOutcome and the
+// `.cluster` report, never the request's cost meter — only a fired
+// `net.lag` fault site charges wire time to the meter (through the armed
+// spec's stall_seconds), exactly like an exec clock stall. That keeps
+// single-node and multi-node cost accounting byte-identical when no
+// network faults are armed.
+
+#ifndef ROBUSTQO_CLUSTER_SIM_NETWORK_H_
+#define ROBUSTQO_CLUSTER_SIM_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace robustqo {
+namespace cluster {
+
+/// Knobs of the simulated network.
+struct SimNetworkConfig {
+  uint64_t seed = 42;
+  /// Per-message lag range (simulated seconds), inclusive-exclusive.
+  double lag_min_seconds = 0.0005;
+  double lag_max_seconds = 0.0050;
+};
+
+/// Accounting for one request's scatter-gather round trip.
+struct NetDelivery {
+  uint64_t messages = 0;        ///< messages exchanged (scatter + gather)
+  double total_lag_seconds = 0.0;   ///< sum of per-message lags
+  double makespan_seconds = 0.0;    ///< critical path (slowest node)
+};
+
+/// Stateless deterministic network simulator.
+class SimNetwork {
+ public:
+  explicit SimNetwork(const SimNetworkConfig& config) : config_(config) {}
+
+  const SimNetworkConfig& config() const { return config_; }
+
+  /// Lag of message `msg_index` on the link to `node` for the request
+  /// with `request_seed`. Pure: identical inputs give identical lag.
+  double LagSeconds(uint64_t request_seed, size_t node,
+                    uint64_t msg_index) const;
+
+  /// Models one scatter-gather exchange with `nodes` nodes (one request
+  /// message and one response message per node) using per-request logical
+  /// clocks.
+  NetDelivery ScatterGather(uint64_t request_seed, size_t nodes) const;
+
+ private:
+  SimNetworkConfig config_;
+};
+
+}  // namespace cluster
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CLUSTER_SIM_NETWORK_H_

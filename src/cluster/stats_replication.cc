@@ -1,0 +1,101 @@
+#include "cluster/stats_replication.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+std::unique_ptr<storage::Table> CloneTable(const storage::Table& source) {
+  auto copy =
+      std::make_unique<storage::Table>(source.name(), source.schema());
+  const uint64_t n = source.num_rows();
+  copy->Reserve(n);
+  for (storage::Rid rid = 0; rid < n; ++rid) {
+    copy->AppendRow(source.RowAt(rid));
+  }
+  return copy;
+}
+
+}  // namespace
+
+SyncResult SyncNodeStatistics(Node* node,
+                              const stats::StatisticsCatalog& catalog,
+                              const learn::FeedbackStore* feedback,
+                              fault::FaultInjector* injector, bool force) {
+  SyncResult result;
+  const uint64_t target_epoch = catalog.epoch();
+  if (!force && node->synced_epoch() == target_epoch) {
+    node->set_stale(false);
+    return result;
+  }
+  result.attempted = true;
+
+  // The replication message to this node can be lost: a fired probe pins
+  // the replica on its previous epoch until a later sync gets through.
+  if (injector != nullptr &&
+      !injector->Check(fault::sites::kReplicaStaleStats).ok()) {
+    node->set_stale(true);
+    ++node->stale_events;
+    result.stale = true;
+    return result;
+  }
+
+  for (const stats::TableSample* sample : catalog.AllSamples()) {
+    const std::string key = "sample/" + sample->source_table();
+    const uint64_t checksum = sample->rows().VisibleChecksum();
+    auto it = node->checksums()->find(key);
+    if (!force && it != node->checksums()->end() && it->second == checksum) {
+      ++result.skipped;
+      continue;
+    }
+    (*node->samples())[key] =
+        std::make_unique<stats::TableSample>(stats::TableSample::FromSavedRows(
+            sample->source_table(), sample->source_row_count(),
+            CloneTable(sample->rows())));
+    (*node->checksums())[key] = checksum;
+    ++result.shipped;
+  }
+
+  for (const stats::JoinSynopsis* synopsis : catalog.AllSynopses()) {
+    const std::string key = "synopsis/" + synopsis->root_table();
+    const uint64_t checksum = synopsis->rows().VisibleChecksum();
+    auto it = node->checksums()->find(key);
+    if (!force && it != node->checksums()->end() && it->second == checksum) {
+      ++result.skipped;
+      continue;
+    }
+    (*node->synopses())[key] = std::make_unique<stats::JoinSynopsis>(
+        stats::JoinSynopsis::FromSavedRows(
+            synopsis->root_table(), synopsis->root_row_count(),
+            synopsis->covered_tables(), CloneTable(synopsis->rows())));
+    (*node->checksums())[key] = checksum;
+    ++result.shipped;
+  }
+
+  if (feedback != nullptr) {
+    for (const auto& [fingerprint, evidence] : feedback->AllEvidence()) {
+      auto it = node->feedback()->find(fingerprint);
+      if (it != node->feedback()->end() &&
+          it->second.k_eq == evidence.k_eq &&
+          it->second.n_eq == evidence.n_eq &&
+          it->second.observations == evidence.observations) {
+        continue;
+      }
+      (*node->feedback())[fingerprint] = evidence;
+      ++result.feedback_shipped;
+    }
+  }
+
+  node->set_synced_epoch(target_epoch);
+  node->set_stale(false);
+  ++node->syncs;
+  node->shipped += result.shipped;
+  node->skipped += result.skipped;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace robustqo

@@ -1,0 +1,54 @@
+// Copyright (c) robustqo authors. Licensed under the MIT license.
+//
+// Epoch-synced statistics replication. At every wave boundary the
+// coordinator syncs each node replica to the statistics catalog's current
+// epoch: samples and join synopses are shipped checksum-addressed (an
+// artifact whose visible-content checksum already matches the node's copy
+// is skipped — only deltas move), and the learned-feedback store's
+// evidence is shipped as per-fingerprint deltas. Sync runs sequentially in
+// the wave's single-threaded prologue, so its fault probes and counters
+// are deterministic at any RQO_THREADS.
+//
+// The replica.stale_stats fault site is probed once per out-of-date node
+// per sync: a fire pins the node on its previous epoch (modeling a lost
+// or rejected replication message). The node heals on the first later
+// sync whose probe stays quiet — or immediately after the drift hook
+// forces a full re-ship.
+
+#ifndef ROBUSTQO_CLUSTER_STATS_REPLICATION_H_
+#define ROBUSTQO_CLUSTER_STATS_REPLICATION_H_
+
+#include <cstdint>
+
+#include "cluster/node.h"
+#include "fault/fault_injector.h"
+#include "learning/feedback_store.h"
+#include "statistics/statistics_catalog.h"
+
+namespace robustqo {
+namespace cluster {
+
+/// One sync's outcome for one node.
+struct SyncResult {
+  bool attempted = false;  ///< node was out of date
+  bool stale = false;      ///< replica.stale_stats fired; node kept old epoch
+  uint64_t shipped = 0;    ///< artifacts copied (samples + synopses)
+  uint64_t skipped = 0;    ///< artifacts skipped (checksum match)
+  uint64_t feedback_shipped = 0;  ///< feedback evidence entries updated
+};
+
+/// Syncs one node replica to the catalog's current statistics epoch.
+/// `feedback` may be null (no learning store configured). `injector` may
+/// be null (no fault probing); it is the serving database's base injector,
+/// probed sequentially so chaos arming of replica.stale_stats is
+/// deterministic. When `force` is set, checksum skipping is disabled and
+/// every artifact re-ships (the drift hook's re-sync).
+SyncResult SyncNodeStatistics(Node* node,
+                              const stats::StatisticsCatalog& catalog,
+                              const learn::FeedbackStore* feedback,
+                              fault::FaultInjector* injector, bool force);
+
+}  // namespace cluster
+}  // namespace robustqo
+
+#endif  // ROBUSTQO_CLUSTER_STATS_REPLICATION_H_

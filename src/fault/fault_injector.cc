@@ -15,7 +15,8 @@ const std::vector<std::string>& KnownFaultSites() {
       sites::kClockStall,      sites::kAdmissionEnqueue,
       sites::kPlanCacheLookup, sites::kWriteApply,
       sites::kWriteCommit,     sites::kReservoirUpdate,
-      sites::kLearningFeedbackApply};
+      sites::kLearningFeedbackApply, sites::kNetPartition,
+      sites::kNetLag,          sites::kReplicaStaleStats};
   return kSites;
 }
 

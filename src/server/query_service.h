@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "core/database.h"
 #include "learning/feedback_store.h"
 #include "learning/tpercent_tuner.h"
@@ -112,6 +113,11 @@ struct ServerConfig {
   obs::PlanProvenanceConfig provenance;
   /// Runner-up candidates retained per sensitivity record.
   size_t provenance_top_k = 3;
+  /// Multi-node scatter-gather execution. With nodes=1 and enabled=false
+  /// (the default) no coordinator exists at all and the serving path is
+  /// byte-identical to the pre-cluster build; RQO_NODES and the shell's
+  /// SET NODES raise the node count.
+  cluster::ClusterConfig cluster;
 };
 
 /// One client request: EXECUTE of a prepared statement (when `prepared`
@@ -229,6 +235,14 @@ class QueryService {
   /// shell's `.whyplan`).
   obs::PlanProvenanceStore* provenance() { return &provenance_; }
   const obs::PlanProvenanceStore* provenance() const { return &provenance_; }
+  /// The cluster coordinator; nullptr when serving single-node (the
+  /// pre-cluster path).
+  cluster::Coordinator* cluster() { return cluster_.get(); }
+  const cluster::Coordinator* cluster() const { return cluster_.get(); }
+
+  /// The shell's `.cluster` view. Byte-identical at any RQO_THREADS for a
+  /// given node count and workload.
+  std::string ClusterReportText() const;
 
   /// Toggles provenance capture and recording (the shell's SET PROVENANCE
   /// ON|OFF). Off reproduces pre-provenance metrics/traces byte-for-byte;
@@ -277,6 +291,10 @@ class QueryService {
       PendingRequest* work,
       const std::vector<std::pair<std::string, fault::FaultSpec>>&
           armed_specs);
+  /// Adds one fault fire to a request's running total and stamps the
+  /// request trace. Every phase (PLAN, EXECUTE, REDUCE) funnels through
+  /// this so fires accumulate instead of overwriting each other.
+  static void NoteRequestFaultFire(PendingRequest* work, const char* site);
   /// Finalizes and offers the trace of a request that died before the
   /// execute phase (submit-time rejections, plan failures). `fault_fires`
   /// carries fires already counted for the request (e.g. a degraded
@@ -304,6 +322,7 @@ class QueryService {
   learn::FeedbackStore feedback_;
   learn::TPercentTuner tuner_;
   obs::PlanProvenanceStore provenance_;
+  std::unique_ptr<cluster::Coordinator> cluster_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint64_t queries_completed_ = 0;

@@ -1,0 +1,332 @@
+#include "cluster/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "exec/agg_ops.h"
+#include "exec/operator.h"
+#include "exec/scan_ops.h"
+#include "expr/expression.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+using expr::Col;
+using expr::LitInt;
+using expr::Lt;
+
+std::unique_ptr<core::Database> MakeDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64},
+                                   {"r_score", storage::DataType::kDouble}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    table->AppendRow(
+        {storage::Value::Int64(static_cast<int64_t>(i)),
+         storage::Value::Int64(static_cast<int64_t>(rng.NextBounded(1000))),
+         storage::Value::Double(rng.NextDouble())});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
+  return db;
+}
+
+std::string Csv(const storage::Table& table) {
+  std::ostringstream out;
+  RQO_CHECK_MSG(storage::WriteCsv(table, &out).ok(), "csv dump failed");
+  return out.str();
+}
+
+exec::ExecContext MakeContext(core::Database* db) {
+  exec::ExecContext ctx;
+  ctx.catalog = db->catalog();
+  ctx.cost_model = db->cost_model();
+  return ctx;
+}
+
+ClusterConfig FourNodes() {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.enabled = true;
+  return config;
+}
+
+// Every observable of a routed scan — rows, row order, and each cost-meter
+// lane — must match the single-node operator byte for byte.
+TEST(CoordinatorTest, RoutedScanIsByteIdenticalToSingleNode) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  exec::SeqScanOp scan("readings", Lt(Col("r_value"), LitInt(500)),
+                       {"r_id", "r_value"});
+  exec::ExecContext single = MakeContext(db.get());
+  const storage::Table expected = scan.Run(&single).value();
+
+  exec::ExecContext routed = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &routed, /*request_seed=*/7, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(outcome.routed);
+  EXPECT_FALSE(outcome.fallback_local);
+  EXPECT_EQ(outcome.rows_gathered, expected.num_rows());
+  EXPECT_EQ(outcome.messages, 8u);  // 2 per node
+  EXPECT_EQ(Csv(result.value()), Csv(expected));
+  EXPECT_EQ(routed.meter.seq_tuples(), single.meter.seq_tuples());
+  EXPECT_EQ(routed.meter.cpu_tuples(), single.meter.cpu_tuples());
+  EXPECT_EQ(routed.meter.output_tuples(), single.meter.output_tuples());
+  EXPECT_EQ(routed.meter.total_seconds(), single.meter.total_seconds());
+}
+
+TEST(CoordinatorTest, AggregatePushdownIsByteIdenticalToSingleNode) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  auto make_root = []() {
+    auto scan = std::make_unique<exec::SeqScanOp>(
+        "readings", Lt(Col("r_value"), LitInt(800)));
+    std::vector<exec::AggSpec> aggs = {
+        {exec::AggKind::kCount, "", "n"},
+        {exec::AggKind::kSum, "r_value", "total"},
+        {exec::AggKind::kAvg, "r_value", "mean"},
+        {exec::AggKind::kMin, "r_value", "lo"},
+        {exec::AggKind::kMax, "r_value", "hi"},
+    };
+    return std::make_unique<exec::ScalarAggregateOp>(std::move(scan),
+                                                     std::move(aggs));
+  };
+
+  auto root = make_root();
+  exec::ExecContext single = MakeContext(db.get());
+  const storage::Table expected = root->Run(&single).value();
+
+  exec::ExecContext routed = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(root.get(), &routed, 7, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(outcome.routed);
+  EXPECT_TRUE(outcome.pushdown);
+  EXPECT_EQ(Csv(result.value()), Csv(expected));
+  EXPECT_EQ(routed.meter.seq_tuples(), single.meter.seq_tuples());
+  EXPECT_EQ(routed.meter.cpu_tuples(), single.meter.cpu_tuples());
+  EXPECT_EQ(routed.meter.output_tuples(), single.meter.output_tuples());
+  EXPECT_EQ(routed.meter.total_seconds(), single.meter.total_seconds());
+  EXPECT_EQ(routed.aggregate_input_rows, single.aggregate_input_rows);
+}
+
+// SUM/AVG over a double column cannot be proven order-independent, so the
+// push-down gate closes; the request still routes, gathers rows, and
+// reduces exactly like the single-node operator.
+TEST(CoordinatorTest, FloatSumRoutesWithoutPushdown) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  auto scan = std::make_unique<exec::SeqScanOp>(
+      "readings", Lt(Col("r_value"), LitInt(800)));
+  std::vector<exec::AggSpec> aggs = {{exec::AggKind::kSum, "r_score", "s"}};
+  exec::ScalarAggregateOp root(std::move(scan), std::move(aggs));
+
+  exec::ExecContext single = MakeContext(db.get());
+  const storage::Table expected = root.Run(&single).value();
+
+  exec::ExecContext routed = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(&root, &routed, 7, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(outcome.routed);
+  EXPECT_FALSE(outcome.pushdown);
+  EXPECT_EQ(Csv(result.value()), Csv(expected));
+  EXPECT_EQ(routed.meter.total_seconds(), single.meter.total_seconds());
+}
+
+TEST(CoordinatorTest, IneligibleRootsRunTheLocalPath) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  // An index access path is not a provable scatter-gather shape.
+  exec::IndexRangeScanOp root("readings", {"r_value", 0.0, 100.0}, nullptr);
+  exec::ExecContext single = MakeContext(db.get());
+  const auto expected = root.Run(&single);
+
+  exec::ExecContext routed = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(&root, &routed, 7, &outcome);
+  EXPECT_FALSE(outcome.routed);
+  EXPECT_EQ(result.ok(), expected.ok());
+  if (result.ok()) EXPECT_EQ(Csv(result.value()), Csv(expected.value()));
+}
+
+TEST(CoordinatorTest, SnapshotMismatchRunsTheLocalPath) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  // No BeginWave: fragments were never built, so nothing can route.
+  exec::SeqScanOp scan("readings", nullptr);
+  exec::ExecContext ctx = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &ctx, 7, &outcome);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(outcome.routed);
+  EXPECT_EQ(result.value().num_rows(), 2000u);
+}
+
+TEST(CoordinatorTest, PartitionFaultReroutesToLocalExecution) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  exec::SeqScanOp scan("readings", Lt(Col("r_value"), LitInt(500)));
+  exec::ExecContext single = MakeContext(db.get());
+  const storage::Table expected = scan.Run(&single).value();
+
+  fault::FaultInjector injector(7);
+  injector.Arm(fault::sites::kNetPartition, fault::FaultSpec::Always());
+  exec::ExecContext routed = MakeContext(db.get());
+  routed.fault = &injector;
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &routed, 7, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(outcome.fallback_local);
+  EXPECT_GT(outcome.reroutes, 0u);
+  EXPECT_EQ(Csv(result.value()), Csv(expected));
+  EXPECT_EQ(routed.meter.total_seconds(), single.meter.total_seconds());
+}
+
+TEST(CoordinatorTest, PartitionFaultInStrictModeFailsTyped) {
+  auto db = MakeDatabase();
+  ClusterConfig config = FourNodes();
+  config.strict = true;
+  Coordinator coord(db.get(), config, nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  exec::SeqScanOp scan("readings", nullptr);
+  fault::FaultInjector injector(7);
+  injector.Arm(fault::sites::kNetPartition, fault::FaultSpec::Always());
+  exec::ExecContext ctx = MakeContext(db.get());
+  ctx.fault = &injector;
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &ctx, 7, &outcome);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(CoordinatorTest, NetLagFaultChargesTheMeter) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  exec::SeqScanOp scan("readings", nullptr);
+  exec::ExecContext single = MakeContext(db.get());
+  const storage::Table expected = scan.Run(&single).value();
+
+  fault::FaultInjector injector(7);
+  fault::FaultSpec lag = fault::FaultSpec::Always();
+  lag.stall_seconds = 0.25;
+  injector.Arm(fault::sites::kNetLag, lag);
+  exec::ExecContext routed = MakeContext(db.get());
+  routed.fault = &injector;
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &routed, 7, &outcome);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Same answer, but the injected wire stalls are on the clock.
+  EXPECT_EQ(Csv(result.value()), Csv(expected));
+  EXPECT_GT(outcome.injected_lag_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(routed.meter.total_seconds(),
+                   single.meter.total_seconds() +
+                       outcome.injected_lag_seconds);
+}
+
+TEST(CoordinatorTest, StaleReplicaDetectedAndRerouted) {
+  auto db = MakeDatabase();
+  db->fault_injector()->Arm(fault::sites::kReplicaStaleStats,
+                            fault::FaultSpec::Always());
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+  EXPECT_TRUE(coord.AnyNodeStale());
+
+  exec::SeqScanOp scan("readings", nullptr);
+  exec::ExecContext ctx = MakeContext(db.get());
+  RequestOutcome outcome;
+  auto result = coord.Execute(&scan, &ctx, 7, &outcome);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(outcome.fallback_local);
+  EXPECT_GT(outcome.stale_detected, 0u);
+  EXPECT_EQ(result.value().num_rows(), 2000u);
+
+  // Strict mode degrades typed instead.
+  ClusterConfig strict_config = FourNodes();
+  strict_config.strict = true;
+  Coordinator strict(db.get(), strict_config, nullptr);
+  strict.BeginWave(db->catalog()->data_epoch());
+  RequestOutcome strict_outcome;
+  exec::ExecContext strict_ctx = MakeContext(db.get());
+  auto strict_result = strict.Execute(&scan, &strict_ctx, 7, &strict_outcome);
+  ASSERT_FALSE(strict_result.ok());
+  EXPECT_EQ(strict_result.status().code(), StatusCode::kUnavailable);
+
+  // Disarm: the next wave's sync heals every node.
+  db->fault_injector()->Disarm(fault::sites::kReplicaStaleStats);
+  coord.NoteDrift();
+  coord.BeginWave(db->catalog()->data_epoch());
+  EXPECT_FALSE(coord.AnyNodeStale());
+}
+
+TEST(CoordinatorTest, ReportAndMetricsReflectAccumulatedOutcomes) {
+  auto db = MakeDatabase();
+  Coordinator coord(db.get(), FourNodes(), nullptr);
+  coord.BeginWave(db->catalog()->data_epoch());
+
+  exec::SeqScanOp scan("readings", Lt(Col("r_value"), LitInt(500)));
+  exec::ExecContext ctx = MakeContext(db.get());
+  RequestOutcome outcome;
+  ASSERT_TRUE(coord.Execute(&scan, &ctx, 7, &outcome).ok());
+  coord.Accumulate(outcome);
+
+  const std::string report = coord.ReportText();
+  EXPECT_NE(report.find("cluster: 4 nodes"), std::string::npos) << report;
+  EXPECT_NE(report.find("requests: routed=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("node 0:"), std::string::npos) << report;
+
+  obs::MetricsRegistry metrics;
+  coord.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.GetGauge("cluster.nodes")->value(), 4.0);
+  EXPECT_EQ(metrics.GetCounter("cluster.requests.routed")->value(), 1u);
+  // Publishing is idempotent: counters sync, never double.
+  coord.PublishMetrics(&metrics);
+  EXPECT_EQ(metrics.GetCounter("cluster.requests.routed")->value(), 1u);
+}
+
+TEST(CoordinatorTest, NodesFromEnvParsesAndClamps) {
+  ::unsetenv("RQO_NODES");
+  EXPECT_EQ(NodesFromEnv(), 1u);
+  ::setenv("RQO_NODES", "4", 1);
+  EXPECT_EQ(NodesFromEnv(), 4u);
+  ::setenv("RQO_NODES", "0", 1);
+  EXPECT_EQ(NodesFromEnv(), 1u);
+  ::setenv("RQO_NODES", "banana", 1);
+  EXPECT_EQ(NodesFromEnv(), 1u);
+  ::unsetenv("RQO_NODES");
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace robustqo

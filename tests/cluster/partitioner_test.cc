@@ -1,0 +1,143 @@
+#include "cluster/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+using storage::Catalog;
+using storage::DataType;
+using storage::Rid;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+std::unique_ptr<Table> MakeTable(const std::string& name, uint64_t rows) {
+  auto t = std::make_unique<Table>(
+      name, Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}}));
+  Rng rng(99);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                  Value::Int64(static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  return t;
+}
+
+TEST(HashPartitionerTest, NodeOfIsPureAndInRange) {
+  HashPartitioner p(4, 42);
+  for (Rid rid = 0; rid < 500; ++rid) {
+    const size_t node = p.NodeOf("t", rid);
+    EXPECT_LT(node, 4u);
+    EXPECT_EQ(node, p.NodeOf("t", rid)) << "rid=" << rid;
+  }
+}
+
+TEST(HashPartitionerTest, SingleNodeOwnsEverything) {
+  HashPartitioner p(1, 42);
+  for (Rid rid = 0; rid < 100; ++rid) EXPECT_EQ(p.NodeOf("t", rid), 0u);
+}
+
+TEST(HashPartitionerTest, AssignmentSpreadsAcrossNodesAndTables) {
+  HashPartitioner p(4, 42);
+  std::set<size_t> seen;
+  for (Rid rid = 0; rid < 200; ++rid) seen.insert(p.NodeOf("t", rid));
+  EXPECT_EQ(seen.size(), 4u) << "200 rows should hit all 4 nodes";
+  // Different tables get different layouts for the same RID stream.
+  bool differs = false;
+  for (Rid rid = 0; rid < 200 && !differs; ++rid) {
+    differs = p.NodeOf("a", rid) != p.NodeOf("b", rid);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HashPartitionerTest, SeedChangesLayoutNodeCountPreservesPurity) {
+  HashPartitioner a(4, 1);
+  HashPartitioner b(4, 2);
+  bool differs = false;
+  for (Rid rid = 0; rid < 200 && !differs; ++rid) {
+    differs = a.NodeOf("t", rid) != b.NodeOf("t", rid);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HashPartitionerTest, RebuildPartitionsEveryVisibleRowExactlyOnce) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t", 1000)).ok());
+  HashPartitioner p(4, 42);
+  EXPECT_EQ(p.build_epoch(), UINT64_MAX);
+  ASSERT_TRUE(p.Rebuild(catalog, catalog.data_epoch()));
+
+  const Table* source = catalog.GetTable("t");
+  std::set<Rid> covered;
+  uint64_t total = 0;
+  for (size_t node = 0; node < 4; ++node) {
+    const TableFragment* frag = p.FragmentOf(node, "t");
+    ASSERT_NE(frag, nullptr);
+    ASSERT_EQ(frag->rows->num_rows(), frag->global_rids.size());
+    for (size_t i = 0; i < frag->global_rids.size(); ++i) {
+      const Rid rid = frag->global_rids[i];
+      // Strictly increasing RIDs within a fragment (merge precondition).
+      if (i > 0) EXPECT_GT(rid, frag->global_rids[i - 1]);
+      EXPECT_EQ(p.NodeOf("t", rid), node);
+      EXPECT_TRUE(covered.insert(rid).second) << "rid owned twice";
+      // The fragment row is a faithful copy of the source row.
+      EXPECT_EQ(frag->rows->ValueAt(i, 0).AsInt64(),
+                source->ValueAt(rid, 0).AsInt64());
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(p.total_fragment_rows(), 1000u);
+  EXPECT_EQ(p.build_epoch(), catalog.data_epoch());
+}
+
+TEST(HashPartitionerTest, RebuildIsIdempotentPerEpoch) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t", 200)).ok());
+  HashPartitioner p(2, 42);
+  EXPECT_TRUE(p.Rebuild(catalog, catalog.data_epoch()));
+  EXPECT_EQ(p.rebuilds(), 1u);
+  // Same epoch: no-op.
+  EXPECT_FALSE(p.Rebuild(catalog, catalog.data_epoch()));
+  EXPECT_EQ(p.rebuilds(), 1u);
+}
+
+TEST(HashPartitionerTest, RebuildsAreByteIdenticalAcrossInstances) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t", 500)).ok());
+  HashPartitioner a(3, 42);
+  HashPartitioner b(3, 42);
+  ASSERT_TRUE(a.Rebuild(catalog, catalog.data_epoch()));
+  ASSERT_TRUE(b.Rebuild(catalog, catalog.data_epoch()));
+  for (size_t node = 0; node < 3; ++node) {
+    const TableFragment* fa = a.FragmentOf(node, "t");
+    const TableFragment* fb = b.FragmentOf(node, "t");
+    ASSERT_NE(fa, nullptr);
+    ASSERT_NE(fb, nullptr);
+    EXPECT_EQ(fa->global_rids, fb->global_rids);
+    EXPECT_EQ(fa->rows->VisibleChecksum(), fb->rows->VisibleChecksum());
+  }
+}
+
+TEST(HashPartitionerTest, UnknownTableAndPreBuildLookupsReturnNull) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t", 10)).ok());
+  HashPartitioner p(2, 42);
+  EXPECT_EQ(p.FragmentOf(0, "t"), nullptr);  // before first Rebuild
+  ASSERT_TRUE(p.Rebuild(catalog, catalog.data_epoch()));
+  EXPECT_EQ(p.FragmentOf(0, "missing"), nullptr);
+  EXPECT_NE(p.FragmentOf(0, "t"), nullptr);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace robustqo

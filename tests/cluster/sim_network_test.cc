@@ -1,0 +1,68 @@
+#include "cluster/sim_network.h"
+
+#include <gtest/gtest.h>
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+TEST(SimNetworkTest, LagIsPureAndBounded) {
+  SimNetworkConfig config;
+  config.seed = 7;
+  SimNetwork net(config);
+  for (size_t node = 0; node < 4; ++node) {
+    for (uint64_t msg = 0; msg < 8; ++msg) {
+      const double lag = net.LagSeconds(1234, node, msg);
+      EXPECT_GE(lag, config.lag_min_seconds);
+      EXPECT_LT(lag, config.lag_max_seconds);
+      EXPECT_EQ(lag, net.LagSeconds(1234, node, msg));
+    }
+  }
+}
+
+TEST(SimNetworkTest, DistinctLinksAndRequestsDrawIndependentStreams) {
+  SimNetwork net(SimNetworkConfig{});
+  // Not all links can share a lag; not all requests can share a link lag.
+  EXPECT_NE(net.LagSeconds(1, 0, 0), net.LagSeconds(1, 1, 0));
+  EXPECT_NE(net.LagSeconds(1, 0, 0), net.LagSeconds(2, 0, 0));
+  EXPECT_NE(net.LagSeconds(1, 0, 0), net.LagSeconds(1, 0, 1));
+}
+
+TEST(SimNetworkTest, ScatterGatherAccountsTwoMessagesPerNode) {
+  SimNetwork net(SimNetworkConfig{});
+  const NetDelivery d = net.ScatterGather(42, 4);
+  EXPECT_EQ(d.messages, 8u);
+  EXPECT_GT(d.total_lag_seconds, 0.0);
+  // The critical path is one node's round trip: no longer than the sum of
+  // all lags, no shorter than the mean round trip.
+  EXPECT_LE(d.makespan_seconds, d.total_lag_seconds);
+  EXPECT_GE(d.makespan_seconds,
+            d.total_lag_seconds / 4.0 - 1e-12);
+}
+
+TEST(SimNetworkTest, ScatterGatherIsDeterministic) {
+  SimNetworkConfig config;
+  config.seed = 99;
+  SimNetwork a(config);
+  SimNetwork b(config);
+  const NetDelivery da = a.ScatterGather(77, 3);
+  const NetDelivery db = b.ScatterGather(77, 3);
+  EXPECT_EQ(da.messages, db.messages);
+  EXPECT_EQ(da.total_lag_seconds, db.total_lag_seconds);
+  EXPECT_EQ(da.makespan_seconds, db.makespan_seconds);
+}
+
+TEST(SimNetworkTest, NetworkSeedShapesTheDraws) {
+  SimNetworkConfig a_config;
+  a_config.seed = 1;
+  SimNetworkConfig b_config;
+  b_config.seed = 2;
+  SimNetwork a(a_config);
+  SimNetwork b(b_config);
+  EXPECT_NE(a.ScatterGather(42, 4).total_lag_seconds,
+            b.ScatterGather(42, 4).total_lag_seconds);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace robustqo

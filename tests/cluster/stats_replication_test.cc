@@ -1,0 +1,151 @@
+#include "cluster/stats_replication.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/node.h"
+#include "core/database.h"
+#include "fault/fault_injector.h"
+#include "learning/feedback_store.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace robustqo {
+namespace cluster {
+namespace {
+
+std::unique_ptr<core::Database> MakeDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 500; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
+  return db;
+}
+
+TEST(StatsReplicationTest, FirstSyncShipsEverythingAndRecordsEpoch) {
+  auto db = MakeDatabase();
+  Node node(0);
+  const SyncResult r = SyncNodeStatistics(&node, *db->statistics(),
+                                          /*feedback=*/nullptr,
+                                          /*injector=*/nullptr,
+                                          /*force=*/false);
+  EXPECT_TRUE(r.attempted);
+  EXPECT_FALSE(r.stale);
+  EXPECT_GT(r.shipped, 0u);
+  EXPECT_EQ(r.skipped, 0u);
+  EXPECT_EQ(node.synced_epoch(), db->statistics()->epoch());
+  EXPECT_EQ(node.artifacts(), r.shipped);
+  EXPECT_FALSE(node.samples()->empty());
+}
+
+TEST(StatsReplicationTest, FreshNodeIsANoOp) {
+  auto db = MakeDatabase();
+  Node node(0);
+  SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr, false);
+  const SyncResult r =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr, false);
+  EXPECT_FALSE(r.attempted);
+  EXPECT_EQ(r.shipped + r.skipped, 0u);
+}
+
+TEST(StatsReplicationTest, ChecksumMatchSkipsUnchangedArtifacts) {
+  auto db = MakeDatabase();
+  Node node(0);
+  const SyncResult first =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr, false);
+  // Re-open the epoch gap without changing any artifact content: the next
+  // sync must recognize every replica copy by checksum and ship nothing.
+  node.set_synced_epoch(UINT64_MAX);
+  const SyncResult second =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr, false);
+  EXPECT_TRUE(second.attempted);
+  EXPECT_EQ(second.shipped, 0u);
+  EXPECT_EQ(second.skipped, first.shipped);
+  EXPECT_EQ(node.synced_epoch(), db->statistics()->epoch());
+}
+
+TEST(StatsReplicationTest, ForceReshipsEvenOnChecksumMatch) {
+  auto db = MakeDatabase();
+  Node node(0);
+  const SyncResult first =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr, false);
+  node.set_synced_epoch(UINT64_MAX);
+  const SyncResult forced =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, nullptr,
+                         /*force=*/true);
+  EXPECT_TRUE(forced.attempted);
+  EXPECT_EQ(forced.shipped, first.shipped);
+  EXPECT_EQ(forced.skipped, 0u);
+}
+
+TEST(StatsReplicationTest, StaleStatsFaultPinsNodeOnOldEpochUntilHealed) {
+  auto db = MakeDatabase();
+  Node node(0);
+  fault::FaultInjector injector(7);
+  injector.Arm(fault::sites::kReplicaStaleStats, fault::FaultSpec::FirstN(1));
+
+  const SyncResult stale =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, &injector, false);
+  EXPECT_TRUE(stale.attempted);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.shipped, 0u);
+  EXPECT_EQ(node.synced_epoch(), UINT64_MAX);
+  EXPECT_TRUE(node.stale());
+  EXPECT_EQ(node.stale_events, 1u);
+
+  // The FirstN(1) spec is exhausted: the next sync heals the replica.
+  const SyncResult healed =
+      SyncNodeStatistics(&node, *db->statistics(), nullptr, &injector, false);
+  EXPECT_TRUE(healed.attempted);
+  EXPECT_FALSE(healed.stale);
+  EXPECT_GT(healed.shipped, 0u);
+  EXPECT_FALSE(node.stale());
+  EXPECT_EQ(node.synced_epoch(), db->statistics()->epoch());
+}
+
+TEST(StatsReplicationTest, FeedbackEvidenceReplicatesAsDeltas) {
+  auto db = MakeDatabase();
+  learn::FeedbackStore store{learn::LearningConfig{}};
+  ASSERT_TRUE(store
+                  .Observe(/*fingerprint=*/0xabcdef, "seq",
+                           /*estimated_selectivity=*/0.5,
+                           /*actual_selectivity=*/0.25,
+                           db->statistics()->epoch())
+                  .ok());
+  Node node(0);
+  const SyncResult first =
+      SyncNodeStatistics(&node, *db->statistics(), &store, nullptr, false);
+  EXPECT_EQ(first.feedback_shipped, 1u);
+  EXPECT_EQ(node.feedback_entries(), 1u);
+
+  // Unchanged evidence is a delta of zero on the next attempted sync.
+  node.set_synced_epoch(UINT64_MAX);
+  const SyncResult second =
+      SyncNodeStatistics(&node, *db->statistics(), &store, nullptr, false);
+  EXPECT_EQ(second.feedback_shipped, 0u);
+
+  // New evidence ships as a delta.
+  ASSERT_TRUE(
+      store.Observe(0xabcdef, "seq", 0.5, 0.30, db->statistics()->epoch())
+          .ok());
+  node.set_synced_epoch(UINT64_MAX);
+  const SyncResult third =
+      SyncNodeStatistics(&node, *db->statistics(), &store, nullptr, false);
+  EXPECT_EQ(third.feedback_shipped, 1u);
+  EXPECT_EQ(node.feedback_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace robustqo

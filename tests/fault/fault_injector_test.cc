@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -157,7 +159,24 @@ TEST(FaultInjectorTest, FiresEmitMetricsAndTraceEvents) {
 }
 
 TEST(FaultInjectorTest, KnownSitesListedAndDescribed) {
-  EXPECT_EQ(KnownFaultSites().size(), 11u);
+  // Golden sorted-name list: adding a site is a one-line edit here, and
+  // the size assertion below can never drift out of step with it.
+  const std::vector<std::string> kExpectedSorted = {
+      sites::kClockStall,      sites::kOperatorAlloc,
+      sites::kLearningFeedbackApply,
+      sites::kNetLag,          sites::kNetPartition,
+      sites::kReplicaStaleStats,
+      sites::kAdmissionEnqueue, sites::kPlanCacheLookup,
+      sites::kReservoirUpdate, sites::kSampleRead,
+      sites::kSynopsisRead,    sites::kCsvRead,
+      sites::kWriteApply,      sites::kWriteCommit,
+  };
+  ASSERT_TRUE(std::is_sorted(kExpectedSorted.begin(), kExpectedSorted.end()));
+  std::vector<std::string> actual_sorted = KnownFaultSites();
+  std::sort(actual_sorted.begin(), actual_sorted.end());
+  EXPECT_EQ(actual_sorted, kExpectedSorted);
+  EXPECT_EQ(KnownFaultSites().size(), kExpectedSorted.size());
+
   FaultInjector injector;
   EXPECT_NE(injector.DescribeArmed().find("no faults"), std::string::npos);
   injector.Arm(sites::kCsvRead, FaultSpec::Probability(0.5));

@@ -1,0 +1,267 @@
+// The cluster determinism contract, end to end: a multi-node service must
+// produce byte-identical query results, traffic summaries, `.cluster`
+// reports and metric exports at every RQO_THREADS x RQO_NODES combination
+// — and a single-node service (nodes=1, the default) must be
+// byte-identical to the pre-cluster build, because no coordinator is
+// constructed at all. See docs/CLUSTER.md.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "core/database.h"
+#include "fault/fault_injector.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "perf/task_pool.h"
+#include "server/query_service.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "workload/traffic_harness.h"
+
+namespace robustqo {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 4, 8};
+constexpr size_t kNodeCounts[] = {1, 2, 4};
+
+std::unique_ptr<core::Database> MakeReadingsDatabase() {
+  auto db = std::make_unique<core::Database>();
+  auto table = std::make_unique<storage::Table>(
+      "readings", storage::Schema({{"r_id", storage::DataType::kInt64},
+                                   {"r_value", storage::DataType::kInt64}}));
+  Rng rng(2026);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    table->AppendRow({storage::Value::Int64(static_cast<int64_t>(i)),
+                      storage::Value::Int64(
+                          static_cast<int64_t>(rng.NextBounded(1000)))});
+  }
+  RQO_CHECK_MSG(db->catalog()->AddTable(std::move(table)).ok(),
+                "table load failed");
+  db->UpdateStatistics();
+  return db;
+}
+
+server::ServerConfig MakeServerConfig(size_t nodes) {
+  server::ServerConfig config;
+  config.admission.max_concurrent = 8;
+  config.admission.max_queue_depth = 128;
+  config.cluster.nodes = nodes;
+  return config;
+}
+
+workload::TrafficConfig MakeTraffic() {
+  workload::TrafficConfig config;
+  config.clients = 200;
+  config.duration_seconds = 10.0;
+  config.think_seconds = 5.0;
+  config.statements = {
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value < 50",
+      "SELECT COUNT(*) AS n FROM readings WHERE r_value >= 500 AND "
+      "r_value < 600",
+  };
+  config.thresholds = {0.0, 0.95};
+  return config;
+}
+
+std::string Csv(const storage::Table& table) {
+  std::ostringstream out;
+  RQO_CHECK_MSG(storage::WriteCsv(table, &out).ok(), "csv dump failed");
+  return out.str();
+}
+
+// Restores the global thread count after each test.
+class ClusterDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = perf::ThreadCount(); }
+  void TearDown() override { perf::SetThreadCount(saved_threads_); }
+
+ private:
+  unsigned saved_threads_ = 1;
+};
+
+// The acceptance pin: one traffic summary reference, captured on the
+// single-node service at one thread (which constructs no coordinator and
+// IS the pre-cluster serving path), matched byte-for-byte by every
+// RQO_THREADS x RQO_NODES combination.
+TEST_F(ClusterDeterminismTest, TrafficSummaryIdenticalAcrossThreadsAndNodes) {
+  const workload::TrafficConfig traffic = MakeTraffic();
+  std::string reference;
+  for (size_t nodes : kNodeCounts) {
+    for (unsigned threads : kThreadCounts) {
+      perf::SetThreadCount(threads);
+      std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+      server::QueryService service(db.get(), MakeServerConfig(nodes));
+      EXPECT_EQ(service.cluster() != nullptr, nodes > 1);
+      const workload::TrafficReport report =
+          workload::RunTraffic(&service, traffic);
+      EXPECT_GT(report.completed, 200u);
+      const std::string summary = report.Summary();
+      if (reference.empty()) {
+        reference = summary;
+      } else {
+        EXPECT_EQ(summary, reference)
+            << "nodes=" << nodes << " threads=" << threads;
+      }
+      // Multi-node services actually routed work — the identity is not
+      // vacuous.
+      if (nodes > 1) {
+        const std::string cluster_report = service.ClusterReportText();
+        EXPECT_EQ(cluster_report.find("requests: routed=0 "),
+                  std::string::npos)
+            << cluster_report;
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+// Direct query-result pin: the same statement executed through a 1-, 2-
+// and 4-node service returns a byte-identical result table, simulated
+// seconds and plan label.
+TEST_F(ClusterDeterminismTest, QueryResultsIdenticalAcrossNodeCounts) {
+  std::string reference_csv;
+  double reference_seconds = 0.0;
+  std::string reference_label;
+  for (size_t nodes : kNodeCounts) {
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    server::QueryService service(db.get(), MakeServerConfig(nodes));
+    const server::SessionId session = service.OpenSession();
+    const server::QueryResponse response = service.ExecuteSql(
+        session, "SELECT r_id, r_value FROM readings WHERE r_value < 250");
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_TRUE(response.result.has_value());
+    const std::string csv = Csv(response.result->rows);
+    if (nodes == 1) {
+      reference_csv = csv;
+      reference_seconds = response.result->simulated_seconds;
+      reference_label = response.result->plan_label;
+    } else {
+      EXPECT_EQ(csv, reference_csv) << "nodes=" << nodes;
+      EXPECT_EQ(response.result->simulated_seconds, reference_seconds)
+          << "nodes=" << nodes;
+      EXPECT_EQ(response.result->plan_label, reference_label)
+          << "nodes=" << nodes;
+    }
+  }
+  EXPECT_FALSE(reference_csv.empty());
+}
+
+// The `.cluster` report is wave-accumulated state: it must not see thread
+// scheduling at all.
+TEST_F(ClusterDeterminismTest, ClusterReportIdenticalAcrossThreadCounts) {
+  const workload::TrafficConfig traffic = MakeTraffic();
+  for (size_t nodes : {size_t{2}, size_t{4}}) {
+    std::string reference;
+    for (unsigned threads : kThreadCounts) {
+      perf::SetThreadCount(threads);
+      std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+      server::QueryService service(db.get(), MakeServerConfig(nodes));
+      workload::RunTraffic(&service, traffic);
+      const std::string report = service.ClusterReportText();
+      if (threads == 1) {
+        reference = report;
+      } else {
+        EXPECT_EQ(report, reference)
+            << "nodes=" << nodes << " threads=" << threads;
+      }
+    }
+    EXPECT_NE(reference.find("partition: epoch=0"), std::string::npos)
+        << reference;
+    EXPECT_NE(reference.find("stats sync:"), std::string::npos);
+  }
+  // Single-node: no coordinator, fixed report.
+  std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+  server::QueryService service(db.get(), MakeServerConfig(1));
+  EXPECT_EQ(service.ClusterReportText(),
+            "cluster: single-node (no coordinator)\n");
+}
+
+#if ROBUSTQO_OBS_ENABLED
+// Metric export leg: cluster.* counters publish from REDUCE-accumulated
+// totals, so the OpenMetrics text is byte-identical across thread counts
+// — and single-node exports contain no cluster metrics at all.
+TEST_F(ClusterDeterminismTest, MetricsExportIdenticalAcrossThreadCounts) {
+  const workload::TrafficConfig traffic = MakeTraffic();
+  for (size_t nodes : kNodeCounts) {
+    std::string reference;
+    for (unsigned threads : kThreadCounts) {
+      perf::SetThreadCount(threads);
+      std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+      server::QueryService service(db.get(), MakeServerConfig(nodes));
+      workload::RunTraffic(&service, traffic);
+      obs::MetricsRegistry registry;
+      service.PublishMetrics(&registry);
+      const std::string om = obs::ToOpenMetrics(registry);
+      EXPECT_EQ(om.find("rqo_cluster_") != std::string::npos, nodes > 1);
+      if (threads == 1) {
+        reference = om;
+      } else {
+        EXPECT_EQ(om, reference)
+            << "nodes=" << nodes << " threads=" << threads;
+      }
+    }
+    EXPECT_FALSE(reference.empty());
+  }
+}
+#endif
+
+// The armed leg of the acceptance pin: with replica.stale_stats armed the
+// sweep still answers every query correctly (stale nodes re-route to
+// local execution), the summary stays byte-identical to the unarmed
+// reference, and the `.cluster` report — which records the pinned sync
+// and the per-request stale detections — is identical at every thread
+// count.
+TEST_F(ClusterDeterminismTest, StaleStatsArmedRunIdenticalAcrossThreadCounts) {
+  const workload::TrafficConfig traffic = MakeTraffic();
+
+  perf::SetThreadCount(1);
+  std::string unarmed_summary;
+  {
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    server::QueryService service(db.get(), MakeServerConfig(4));
+    unarmed_summary = workload::RunTraffic(&service, traffic).Summary();
+  }
+
+  std::string reference_summary;
+  std::string reference_report;
+  for (unsigned threads : kThreadCounts) {
+    perf::SetThreadCount(threads);
+    std::unique_ptr<core::Database> db = MakeReadingsDatabase();
+    // Sync probes run sequentially in the wave prologue, so "the 3rd
+    // replication message is lost" pins the same node at every thread
+    // count.
+    db->fault_injector()->Arm(fault::sites::kReplicaStaleStats,
+                              fault::FaultSpec::OnNth(3));
+    server::QueryService service(db.get(), MakeServerConfig(4));
+    const workload::TrafficReport report =
+        workload::RunTraffic(&service, traffic);
+    EXPECT_GT(report.completed, 200u);
+    const std::string summary = report.Summary();
+    const std::string cluster_report = service.ClusterReportText();
+    if (threads == 1) {
+      reference_summary = summary;
+      reference_report = cluster_report;
+    } else {
+      EXPECT_EQ(summary, reference_summary) << "threads=" << threads;
+      EXPECT_EQ(cluster_report, reference_report) << "threads=" << threads;
+    }
+  }
+  // Correct-result contract: the fault changed routing, never answers.
+  EXPECT_EQ(reference_summary, unarmed_summary);
+  // The pinned sync and its downstream detections are on the record.
+  EXPECT_NE(reference_report.find(" stale=1 "), std::string::npos)
+      << reference_report;
+  EXPECT_NE(reference_report.find("stale_events=1"), std::string::npos)
+      << reference_report;
+}
+
+}  // namespace
+}  // namespace robustqo

@@ -11,7 +11,10 @@
 
 #include "core/database.h"
 #include "expr/expression.h"
+#include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/query_service.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
@@ -227,6 +230,51 @@ TEST(QueryServiceTest, PublishMetricsExportsTheServerFamily) {
   EXPECT_DOUBLE_EQ(
       metrics.GetGauge("stats.epoch")->value(),
       static_cast<double>(db->statistics()->epoch()));
+}
+
+// Regression: a request's fault_fires must accumulate across all three
+// phases — a degraded plan-cache lookup (PLAN), injector fires during
+// execution (EXECUTE), and a dropped feedback observation (REDUCE) — not
+// overwrite each other. The retained trace's counter must also agree with
+// the "fault"/"fired" events actually recorded on the request's tracer.
+TEST(QueryServiceTest, FaultFiresAccumulateAcrossPlanExecuteAndReduce) {
+  std::unique_ptr<core::Database> db = MakeDatabase();
+  db->fault_injector()->Arm(fault::sites::kPlanCacheLookup,
+                            fault::FaultSpec::Always());
+  fault::FaultSpec stall = fault::FaultSpec::Always();
+  stall.stall_seconds = 0.001;
+  db->fault_injector()->Arm(fault::sites::kClockStall, stall);
+  db->fault_injector()->Arm(fault::sites::kLearningFeedbackApply,
+                            fault::FaultSpec::Always());
+
+  ServerConfig config;
+  config.flight_recorder.enabled = true;
+  QueryService service(db.get(), config);
+  const SessionId session = service.OpenSession();
+  const QueryResponse response = service.ExecuteSql(session, kCountSql);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  const auto traces = service.flight_recorder()->Snapshot();
+  ASSERT_FALSE(traces.empty());
+  const obs::RequestTrace* trace = traces.front();
+  uint64_t fired_events = 0;
+  bool plan_site = false;
+  bool reduce_site = false;
+  for (const obs::TraceEvent& event : trace->events) {
+    if (event.category != "fault" || event.name != "fired") continue;
+    ++fired_events;
+    for (const auto& [key, value] : event.attrs) {
+      if (key != "site") continue;
+      plan_site |= value == fault::sites::kPlanCacheLookup;
+      reduce_site |= value == fault::sites::kLearningFeedbackApply;
+    }
+  }
+  // One PLAN fire + at least one EXECUTE fire + one REDUCE fire, all kept.
+  EXPECT_GE(trace->fault_fires, 3u);
+  EXPECT_EQ(trace->fault_fires, fired_events);
+  EXPECT_TRUE(plan_site);
+  EXPECT_TRUE(reduce_site);
+  EXPECT_EQ(trace->cache_outcome, "degraded_fault");
 }
 #endif
 
